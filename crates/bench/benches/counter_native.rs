@@ -1,0 +1,81 @@
+//! Native companion to Figure 3b: uncontended `apply_op` latency of each
+//! construction on the host machine (emulated UDN — see the fidelity note
+//! in DESIGN.md; the paper-shape numbers come from `repro fig3a/fig3b`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsync_bench::{fabric_for, native_counter, COUNTER};
+use mpsync_core::{ApplyOp, LockCs, McsLock, TasLock, TicketLock};
+use mpsync_objects::counter::{AtomicCounter, CsCounter};
+use mpsync_objects::Counter;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_uncontended");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Baseline: a single atomic fetch-and-add.
+    {
+        let mut counter = AtomicCounter::new();
+        g.bench_function("atomic_faa", |b| b.iter(|| counter.fetch_inc()));
+    }
+
+    // MP-SERVER: full message round trip through the emulated UDN.
+    {
+        let fabric = fabric_for(8);
+        let server = native_counter::mp_server(&fabric);
+        let mut h = CsCounter::new(server.client(fabric.register_any().unwrap()));
+        g.bench_function("mp_server", |b| b.iter(|| h.fetch_inc()));
+        drop(h);
+        server.shutdown();
+    }
+
+    // SHM-SERVER: cache-line channel round trip.
+    {
+        let server = native_counter::shm_server(2);
+        let mut h = CsCounter::new(server.client());
+        g.bench_function("shm_server", |b| b.iter(|| h.fetch_inc()));
+        drop(h);
+        server.shutdown();
+    }
+
+    // HYBCOMB: a lone thread becomes combiner every time (three atomics per
+    // op, as the paper notes when explaining single-thread latency).
+    {
+        let fabric = fabric_for(8);
+        let hc = native_counter::hybcomb(2, 200);
+        let mut h = CsCounter::new(hc.handle(fabric.register_any().unwrap()));
+        g.bench_function("hybcomb", |b| b.iter(|| h.fetch_inc()));
+    }
+
+    // CC-SYNCH: one SWAP per op when alone.
+    {
+        let cs = native_counter::cc_synch(2, 200);
+        let mut h = CsCounter::new(cs.handle());
+        g.bench_function("cc_synch", |b| b.iter(|| h.fetch_inc()));
+    }
+
+    // Classic locks (§3 baselines).
+    {
+        let cs = LockCs::<u64, TasLock, _>::new(0, COUNTER);
+        let mut h = cs.handle();
+        g.bench_function("tas_lock", |b| b.iter(|| h.apply(0, 0)));
+    }
+    {
+        let cs = LockCs::<u64, TicketLock, _>::new(0, COUNTER);
+        let mut h = cs.handle();
+        g.bench_function("ticket_lock", |b| b.iter(|| h.apply(0, 0)));
+    }
+    {
+        let cs = LockCs::<u64, McsLock, _>::new(0, COUNTER);
+        let mut h = cs.handle();
+        g.bench_function("mcs_lock", |b| b.iter(|| h.apply(0, 0)));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

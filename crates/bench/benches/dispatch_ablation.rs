@@ -1,0 +1,67 @@
+//! The §5.2 inlining ablation (`abl-fptr`), measured natively: dispatching
+//! critical sections through a unique opcode (a match the compiler inlines)
+//! versus through a table of function pointers (the paper's original
+//! `apply_op(func_ptr, args)` interface, an indirect call).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsync_core::{ApplyOp, LockCs, OpTable, TicketLock};
+
+type OpcodeFn = fn(&mut u64, u64, u64) -> u64;
+
+fn opcode_dispatch(state: &mut u64, op: u64, arg: u64) -> u64 {
+    match op {
+        0 => {
+            let old = *state;
+            *state += 1;
+            old
+        }
+        1 => {
+            *state = state.wrapping_add(arg);
+            *state
+        }
+        _ => *state,
+    }
+}
+
+fn table_inc(state: &mut u64, _arg: u64) -> u64 {
+    let old = *state;
+    *state += 1;
+    old
+}
+
+fn table_add(state: &mut u64, arg: u64) -> u64 {
+    *state = state.wrapping_add(arg);
+    *state
+}
+
+fn table_get(state: &mut u64, _arg: u64) -> u64 {
+    *state
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_ablation");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    {
+        let cs = LockCs::<u64, TicketLock, OpcodeFn>::new(0, opcode_dispatch as OpcodeFn);
+        let mut h = cs.handle();
+        g.bench_function("opcode_inline", |b| b.iter(|| h.apply(0, 0)));
+    }
+    {
+        let cs = LockCs::<u64, TicketLock, OpTable<u64>>::new(
+            0,
+            OpTable::new(vec![table_inc, table_add, table_get]),
+        );
+        let mut h = cs.handle();
+        g.bench_function("fnptr_table", |b| b.iter(|| h.apply(0, 0)));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Native companion to Figure 5a: enqueue+dequeue pair cost for the queue
+//! implementations on the host machine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsync_core::{LockCs, TicketLock};
+use mpsync_objects::queue::{
+    deq_dispatch, enq_dispatch, CsQueue, DeqSide, EnqSide, Lcrq, TwoLockQueue,
+    TwoLockQueueHandle,
+};
+use mpsync_objects::seq::{queue_dispatch, SeqQueue};
+use mpsync_objects::ConcurrentQueue;
+
+type QueueFn = fn(&mut SeqQueue, u64, u64) -> u64;
+type EnqFn = fn(&mut EnqSide, u64, u64) -> u64;
+type DeqFn = fn(&mut DeqSide, u64, u64) -> u64;
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_enq_deq_pair");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // One-lock (ticket) sequential queue: the paper's winning shape when
+    // fronted by MP-SERVER/HYBCOMB.
+    {
+        let cs = LockCs::<SeqQueue, TicketLock, QueueFn>::new(
+            SeqQueue::new(),
+            queue_dispatch as QueueFn,
+        );
+        let mut q = CsQueue::new(cs.handle());
+        g.bench_function("onelock_ticket", |b| {
+            b.iter(|| {
+                q.enqueue(7);
+                q.dequeue()
+            })
+        });
+    }
+
+    // Two-lock MS queue (two independent ticket locks).
+    {
+        let (enq, deq) = TwoLockQueue::states();
+        let e = LockCs::<EnqSide, TicketLock, EnqFn>::new(enq, enq_dispatch as EnqFn);
+        let d = LockCs::<DeqSide, TicketLock, DeqFn>::new(deq, deq_dispatch as DeqFn);
+        let mut q = TwoLockQueueHandle::new(e.handle(), d.handle());
+        g.bench_function("twolock_ticket", |b| {
+            b.iter(|| {
+                q.enqueue(7);
+                q.dequeue()
+            })
+        });
+    }
+
+    // LCRQ (nonblocking).
+    {
+        let q = Arc::new(Lcrq::new());
+        let mut h = q.handle();
+        g.bench_function("lcrq", |b| {
+            b.iter(|| {
+                h.enqueue(7);
+                h.dequeue()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

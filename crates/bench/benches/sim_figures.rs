@@ -1,0 +1,62 @@
+//! Criterion entry points for the simulator-based figure reproductions: one
+//! short deterministic run per construction per figure family, so that
+//! `cargo bench` exercises the whole tilesim pipeline. The full sweeps (the
+//! paper's x-axes) are produced by the `repro` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tilesim::algos::Approach;
+use tilesim::{workload, MachineConfig, Metric};
+
+const HORIZON: u64 = 40_000;
+const THREADS: usize = 8;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_figures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    for a in Approach::ALL {
+        g.bench_function(format!("fig3a_counter/{}", a.label()), |b| {
+            b.iter(|| {
+                let r = workload::run_counter(
+                    MachineConfig::tile_gx8036(),
+                    a,
+                    THREADS,
+                    200,
+                    HORIZON,
+                    1,
+                );
+                assert!(r.metric_sum(Metric::Ops) > 0);
+                r.mops()
+            })
+        });
+    }
+
+    g.bench_function("fig5a_queue/mp-server-1", |b| {
+        b.iter(|| {
+            workload::run_queue_onelock(
+                MachineConfig::tile_gx8036(),
+                Approach::MpServer,
+                THREADS,
+                200,
+                HORIZON,
+                1,
+            )
+            .mops()
+        })
+    });
+
+    g.bench_function("fig5b_stack/Treiber", |b| {
+        b.iter(|| {
+            workload::run_stack_treiber(MachineConfig::tile_gx8036(), THREADS, HORIZON, 1).mops()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

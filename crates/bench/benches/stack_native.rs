@@ -1,0 +1,65 @@
+//! Native companion to Figure 5b: push+pop pair cost for the stack
+//! implementations on the host machine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsync_core::{LockCs, TicketLock};
+use mpsync_objects::seq::{stack_dispatch, SeqStack};
+use mpsync_objects::stack::{CsStack, EliminationStack, TreiberStack};
+use mpsync_objects::ConcurrentStack;
+
+type StackFn = fn(&mut SeqStack, u64, u64) -> u64;
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_push_pop_pair");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Coarse-lock sequential stack.
+    {
+        let cs = LockCs::<SeqStack, TicketLock, StackFn>::new(
+            SeqStack::new(),
+            stack_dispatch as StackFn,
+        );
+        let mut s = CsStack::new(cs.handle());
+        g.bench_function("coarse_ticket", |b| {
+            b.iter(|| {
+                s.push(7);
+                s.pop()
+            })
+        });
+    }
+
+    // Treiber nonblocking stack.
+    {
+        let s = Arc::new(TreiberStack::new());
+        let mut h = s.handle();
+        g.bench_function("treiber", |b| {
+            b.iter(|| {
+                h.push(7);
+                h.pop()
+            })
+        });
+    }
+
+    // Elimination-backoff stack (extension; §5.4 notes the coarse stacks
+    // can back an elimination front end).
+    {
+        let s = Arc::new(EliminationStack::new(4));
+        let mut h = s.handle();
+        g.bench_function("elimination", |b| {
+            b.iter(|| {
+                h.push(7);
+                h.pop()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stacks);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the emulated UDN itself: send cost, round-trip
+//! latency through an echo thread, and queue probing.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpsync_bench::fabric_for;
+
+fn bench_udn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("udn");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Asynchronous send into a deep queue (no consumer involvement).
+    {
+        let fabric = fabric_for(8);
+        let a = fabric.register_any().unwrap();
+        let mut b = fabric.register_any().unwrap();
+        let dest = b.id();
+        g.bench_function("send_3_words", |bch| {
+            bch.iter(|| {
+                a.send(dest, &[1, 2, 3]).unwrap();
+                // Drain to keep the queue from filling.
+                let mut buf = [0u64; 3];
+                b.receive(&mut buf);
+                buf[2]
+            })
+        });
+    }
+
+    // Round trip through an echo thread (the MP-SERVER hot path).
+    {
+        let fabric = fabric_for(8);
+        let mut echo_ep = fabric.register_any().unwrap();
+        let echo_id = echo_ep.id();
+        let echo = std::thread::spawn(move || loop {
+            let [sender, op, arg] = echo_ep.receive3();
+            if op == u64::MAX {
+                break;
+            }
+            echo_ep
+                .send(mpsync_udn::EndpointId::from_word(sender), &[arg])
+                .unwrap();
+        });
+        let mut client = fabric.register_any().unwrap();
+        let me = client.id().to_word();
+        g.bench_function("roundtrip_3_plus_1", |bch| {
+            bch.iter(|| {
+                client.send(echo_id, &[me, 0, 9]).unwrap();
+                client.receive1()
+            })
+        });
+        client.send(echo_id, &[me, u64::MAX, 0]).unwrap();
+        echo.join().unwrap();
+    }
+
+    // is_queue_empty probe.
+    {
+        let fabric = fabric_for(4);
+        let ep = fabric.register_any().unwrap();
+        g.bench_function("is_queue_empty", |bch| bch.iter(|| ep.is_queue_empty()));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_udn);
+criterion_main!(benches);

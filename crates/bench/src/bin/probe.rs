@@ -1,0 +1,48 @@
+//! `probe` — a diagnostic companion to `repro`: runs one HYBCOMB counter
+//! point on the simulator and prints the servicing-side cycle breakdown and
+//! protocol counters (combining rate, CAS churn, orphan rounds). Useful when
+//! recalibrating `MachineConfig` — the figure-level sweeps hide *why* a
+//! configuration behaves as it does.
+//!
+//! ```text
+//! probe [threads] [max_ops] [horizon]
+//! ```
+
+use tilesim::algos::Approach;
+use tilesim::workload::{run_counter, servicing_core};
+use tilesim::{MachineConfig, Metric};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(35);
+    let max_ops: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let horizon: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(300_000);
+
+    let cfg = MachineConfig::tile_gx8036();
+    let r = run_counter(cfg, Approach::HybComb, threads, max_ops, horizon, 42);
+    println!("HybComb {threads} threads, MAX_OPS={max_ops}, horizon={horizon} cycles");
+    println!(
+        "throughput {:.1} Mops/s | combining rate {:.1} | CAS/op {:.2} | rounds {} | orphan rounds {}",
+        r.mops(),
+        r.combining_rate(),
+        r.cas_per_op(),
+        r.metric_sum(Metric::Rounds),
+        r.metric_sum(Metric::Orphans)
+    );
+    let sc = servicing_core(&r);
+    println!("\nbusiest servicing core and any core serving >5% of requests:");
+    let total_served = r.metric_sum(Metric::Served).max(1);
+    for (i, c) in r.per_core.iter().enumerate() {
+        let served = r.metric(i, Metric::Served);
+        if i == sc || served * 20 > total_served {
+            println!(
+                "  core {i:>2}: busy={:>7} stall={:>7} idle={:>7} served={served:>6} rmrs={:>5} atomics={:>5}",
+                c.busy, c.stall, c.idle, c.rmrs, c.atomics
+            );
+        }
+    }
+    println!(
+        "\ntotal served {} over {} cycles",
+        total_served, r.cycles
+    );
+}

@@ -1,0 +1,436 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation
+//! (§5) on the `tilesim` machine model, printing CSV series shaped like the
+//! paper's plots.
+//!
+//! ```text
+//! repro [--quick] [--horizon CYCLES] [--seed N] <experiment>... | all
+//! ```
+//!
+//! Experiments: `fig3a fig3b fig3c fig4a fig4b fig4c fig5a fig5b
+//! tab-cas tab-fair tab-x86 abl-swap abl-nodrain ext-locks ext-tail
+//! ext-imbalance`.
+//!
+//! Numbers are deterministic for a given seed/horizon. Absolute values are
+//! calibrated to the paper's magnitudes; the claims under reproduction are
+//! the *shapes* (who wins, by what factor, where curves cross) — see
+//! EXPERIMENTS.md.
+
+use mpsync_bench::{f, max_ops_sweep, row, thread_sweep};
+use tilesim::algos::{Approach, HybOptions, LockKind};
+use tilesim::workload::{self, servicing_core};
+use tilesim::{MachineConfig, Metric, SimResult};
+
+struct Opts {
+    quick: bool,
+    horizon: u64,
+    seed: u64,
+}
+
+fn main() {
+    let mut opts = Opts {
+        quick: false,
+        horizon: workload::DEFAULT_HORIZON,
+        seed: 42,
+    };
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--horizon" => {
+                opts.horizon = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--horizon needs a cycle count");
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for e in &experiments {
+        run_experiment(e, &opts);
+        println!();
+    }
+}
+
+const ALL: &[&str] = &[
+    "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "tab-cas",
+    "tab-fair", "tab-x86", "abl-swap", "abl-nodrain", "ext-locks", "ext-tail",
+    "ext-imbalance",
+];
+
+fn print_usage() {
+    eprintln!("usage: repro [--quick] [--horizon CYCLES] [--seed N] <experiment>...|all");
+    eprintln!("experiments: {}", ALL.join(" "));
+}
+
+fn run_experiment(name: &str, o: &Opts) {
+    match name {
+        "fig3a" => fig3a(o),
+        "fig3b" => fig3b(o),
+        "fig3c" => fig3c(o),
+        "fig4a" => fig4a(o),
+        "fig4b" => fig4b(o),
+        "fig4c" => fig4c(o),
+        "fig5a" => fig5a(o),
+        "fig5b" => fig5b(o),
+        "tab-cas" => tab_cas(o),
+        "tab-fair" => tab_fair(o),
+        "tab-x86" => tab_x86(o),
+        "abl-swap" => abl_swap(o),
+        "abl-nodrain" => abl_nodrain(o),
+        "ext-locks" => ext_locks(o),
+        "ext-tail" => ext_tail(o),
+        "ext-imbalance" => ext_imbalance(o),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cfg() -> MachineConfig {
+    MachineConfig::tile_gx8036()
+}
+
+/// Cache key: (approach label, threads, max_ops, horizon, seed).
+type CounterKey = (&'static str, usize, u64, u64, u64);
+
+thread_local! {
+    /// Several experiments (fig3a/3b/4b, tab-cas, tab-fair) derive their
+    /// columns from identical counter runs; the simulator is deterministic,
+    /// so each distinct point is simulated once and reused.
+    static COUNTER_CACHE: std::cell::RefCell<std::collections::HashMap<CounterKey, SimResult>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+fn counter_cached(o: &Opts, a: Approach, threads: usize, max_ops: u64) -> SimResult {
+    let key = (a.label(), threads, max_ops, o.horizon, o.seed);
+    COUNTER_CACHE.with(|c| {
+        c.borrow_mut()
+            .entry(key)
+            .or_insert_with(|| {
+                workload::run_counter(cfg(), a, threads, max_ops, o.horizon, o.seed)
+            })
+            .clone()
+    })
+}
+
+/// Figure 3a: counter throughput (Mops/s) vs. application threads.
+fn fig3a(o: &Opts) {
+    println!("# fig3a: counter throughput vs threads (paper: mp-server up to ~115 Mops/s, 4.3x over shm-server; HybComb ~2.5x over CC-Synch at high concurrency)");
+    row(&["threads".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let mut cells = vec![t.to_string()];
+        for a in Approach::ALL {
+            let r = counter_cached(o, a, t, 200);
+            cells.push(f(r.mops()));
+        }
+        row(&cells);
+    }
+}
+
+/// Figure 3b: average request latency (cycles) vs. application threads.
+fn fig3b(o: &Opts) {
+    println!("# fig3b: counter request latency (cycles) vs threads (paper: mp-server lowest; combining latency dips when combining kicks in, then grows)");
+    row(&["threads".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let mut cells = vec![t.to_string()];
+        for a in Approach::ALL {
+            let r = counter_cached(o, a, t, 200);
+            cells.push(f(r.avg_latency()));
+        }
+        row(&cells);
+    }
+}
+
+/// Figure 3c: throughput at maximum load vs. MAX_OPS (log x in the paper).
+fn fig3c(o: &Opts) {
+    println!("# fig3c: max-load throughput vs MAX_OPS (paper: HybComb keeps growing to ~88 Mops/s at 5000; CC-Synch saturates early)");
+    row(&["max_ops".into(), "HybComb".into(), "CC-Synch".into()]);
+    let t = 35.min(workload::max_threads(&cfg(), Approach::HybComb));
+    for &m in &max_ops_sweep(o.quick) {
+        let hyb = counter_cached(o, Approach::HybComb, t, m);
+        let cc = counter_cached(o, Approach::CcSynch, t, m);
+        row(&[m.to_string(), f(hyb.mops()), f(cc.mops())]);
+    }
+}
+
+/// Figure 4a: stalled vs. total cycles per op on the servicing thread under
+/// maximum load, fixed combiner (MAX_OPS = ∞).
+fn fig4a(o: &Opts) {
+    println!("# fig4a: servicing-thread cycles/op under max load, fixed combiner (paper: mp-server/HybComb ~no stalls; >50% stalls for shm-server/CC-Synch)");
+    row(&["approach".into(), "stalled".into(), "total".into(), "stall_frac".into()]);
+    let t = 35.min(cfg().cores() - 1);
+    for a in Approach::ALL {
+        let r = workload::run_counter_fixed(cfg(), a, t, o.horizon, o.seed);
+        let core = servicing_core(&r);
+        let stalled = r.stalls_per_served_op(core);
+        let total = r.cycles_per_served_op(core);
+        row(&[
+            a.label().into(),
+            f(stalled),
+            f(total),
+            f(stalled / total.max(1e-9)),
+        ]);
+    }
+}
+
+/// Figure 4b: actual combining rate vs. threads.
+fn fig4b(o: &Opts) {
+    println!("# fig4b: actual combining rate vs threads, MAX_OPS=200 (paper: ~threads-1 at low concurrency, sharp rise, CC-Synch reaches 200, HybComb slightly below)");
+    row(&["threads".into(), "HybComb".into(), "CC-Synch".into(), "HybComb_orphan_frac".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let hyb = counter_cached(o, Approach::HybComb, t, 200);
+        let cc = counter_cached(o, Approach::CcSynch, t, 200);
+        let orphan_frac = if hyb.metric_sum(Metric::Rounds) == 0 {
+            0.0
+        } else {
+            hyb.metric_sum(Metric::Orphans) as f64 / hyb.metric_sum(Metric::Rounds) as f64
+        };
+        row(&[
+            t.to_string(),
+            f(hyb.combining_rate()),
+            f(cc.combining_rate()),
+            f(orphan_frac),
+        ]);
+    }
+}
+
+/// Figure 4c: cycles per CS execution vs. CS length (array iterations).
+fn fig4c(o: &Opts) {
+    println!("# fig4c: cycles per CS vs CS length (paper: constant overhead for mp-server/HybComb; shm-server/CC-Synch overhead shrinks as RMRs overlap; ~10% gap at 15 iters)");
+    row(&["iters".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into(), "ideal".into()]);
+    let t = 14.min(cfg().cores() - 1);
+    let iter_list: Vec<u64> = if o.quick {
+        vec![0, 2, 6, 10, 15]
+    } else {
+        (0..=15).collect()
+    };
+    for &iters in &iter_list {
+        let mut cells = vec![iters.to_string()];
+        for a in Approach::ALL {
+            let r = workload::run_array(cfg(), a, t, iters, 200, o.horizon, o.seed);
+            let ops = r.metric_sum(Metric::Ops).max(1);
+            cells.push(f(r.cycles as f64 / ops as f64));
+        }
+        cells.push(f(workload::array_ideal_cycles(&cfg(), iters) as f64));
+        row(&cells);
+    }
+}
+
+/// Figure 5a: queue throughput vs. clients.
+fn fig5a(o: &Opts) {
+    println!("# fig5a: queue throughput vs clients (paper: one-lock queues win; mp-server-1 up to 2x and HybComb-1 1.5x over third best; LCRQ and mp-server-2 level off early)");
+    row(&[
+        "clients".into(),
+        "mp-server-1".into(),
+        "HybComb-1".into(),
+        "shm-server-1".into(),
+        "CC-Synch-1".into(),
+        "LCRQ".into(),
+        "mp-server-2".into(),
+    ]);
+    for &t in &thread_sweep(o.quick) {
+        let t2 = t.min(cfg().cores() - 2);
+        let mut cells = vec![t.to_string()];
+        for a in Approach::ALL {
+            let r = workload::run_queue_onelock(cfg(), a, t, 200, o.horizon, o.seed);
+            cells.push(f(r.mops()));
+        }
+        cells.push(f(workload::run_queue_lcrq(cfg(), t, o.horizon, o.seed).mops()));
+        cells.push(f(workload::run_queue_mp2(cfg(), t2, o.horizon, o.seed).mops()));
+        row(&cells);
+    }
+}
+
+/// Figure 5b: stack throughput vs. clients.
+fn fig5b(o: &Opts) {
+    println!("# fig5b: stack throughput vs clients (paper: mp-server and HybComb coarse stacks win, ~matching the one-lock queue; Treiber collapses under CAS contention)");
+    row(&[
+        "clients".into(),
+        "mp-server".into(),
+        "HybComb".into(),
+        "shm-server".into(),
+        "CC-Synch".into(),
+        "Treiber".into(),
+    ]);
+    for &t in &thread_sweep(o.quick) {
+        let mut cells = vec![t.to_string()];
+        for a in Approach::ALL {
+            let r = workload::run_stack(cfg(), a, t, 200, o.horizon, o.seed);
+            cells.push(f(r.mops()));
+        }
+        cells.push(f(workload::run_stack_treiber(cfg(), t, o.horizon, o.seed).mops()));
+        row(&cells);
+    }
+}
+
+/// In-text §5.3: CAS executions per apply_op for HYBCOMB.
+fn tab_cas(o: &Opts) {
+    println!("# tab-cas: HybComb CAS per operation (paper: ~0.1 at high concurrency, <=0.7 in any multithreaded run)");
+    row(&["threads".into(), "cas_per_op".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let r = counter_cached(o, Approach::HybComb, t, 200);
+        row(&[t.to_string(), format!("{:.3}", r.cas_per_op())]);
+    }
+}
+
+/// In-text §5.3: fairness ratio (max/min per-thread ops).
+fn tab_fair(o: &Opts) {
+    println!("# tab-fair: fairness ratio max/min ops per thread (paper: HybComb <=1.2 (avg 1.16); mp-server ~1.1)");
+    row(&["threads".into(), "HybComb".into(), "mp-server".into()]);
+    for &t in &thread_sweep(o.quick) {
+        if t < 2 {
+            continue;
+        }
+        let hyb = counter_cached(o, Approach::HybComb, t, 200);
+        let mp = counter_cached(o, Approach::MpServer, t, 200);
+        row(&[t.to_string(), f(hyb.fairness_ratio()), f(mp.fairness_ratio())]);
+    }
+}
+
+/// §5.5: stall share of the servicing thread as RMRs get more expensive
+/// (x86-like costs).
+fn tab_x86(o: &Opts) {
+    println!("# tab-x86: servicing-thread stall fraction, TILE-Gx-like vs x86-like RMR costs (paper §5.5: proportionally more stalls on x86 => larger improvement potential)");
+    row(&["approach".into(), "tile_stall_frac".into(), "x86_stall_frac".into()]);
+    let t = 10;
+    for a in [Approach::ShmServer, Approach::CcSynch, Approach::MpServer] {
+        let frac = |cfg: MachineConfig| {
+            let r = workload::run_counter_fixed(cfg, a, t, o.horizon, o.seed);
+            let c = servicing_core(&r);
+            let s = &r.per_core[c];
+            s.stall as f64 / (s.busy + s.stall) as f64
+        };
+        row(&[
+            a.label().into(),
+            f(frac(MachineConfig::tile_gx8036())),
+            f(frac(MachineConfig::x86_like())),
+        ]);
+    }
+}
+
+/// Ablation: CAS vs SWAP combiner registration (§4.2's design discussion).
+fn abl_swap(o: &Opts) {
+    println!("# abl-swap: HybComb with CAS (paper's choice) vs SWAP registration (paper: SWAP lets several threads become combiners with only their own request)");
+    row(&["threads".into(), "cas_mops".into(), "swap_mops".into(), "cas_rate".into(), "swap_rate".into(), "cas_orphans".into(), "swap_orphans".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let cas = workload::run_counter_hybcomb_opts(cfg(), t, 200, o.horizon, o.seed, HybOptions::default());
+        let swap = workload::run_counter_hybcomb_opts(
+            cfg(),
+            t,
+            200,
+            o.horizon,
+            o.seed,
+            HybOptions { use_swap: true, ..HybOptions::default() },
+        );
+        let orphans = |r: &SimResult| {
+            if r.metric_sum(Metric::Rounds) == 0 {
+                0.0
+            } else {
+                r.metric_sum(Metric::Orphans) as f64 / r.metric_sum(Metric::Rounds) as f64
+            }
+        };
+        row(&[
+            t.to_string(),
+            f(cas.mops()),
+            f(swap.mops()),
+            f(cas.combining_rate()),
+            f(swap.combining_rate()),
+            f(orphans(&cas)),
+            f(orphans(&swap)),
+        ]);
+    }
+}
+
+/// Extension: counter throughput under classical spin locks (§3's context),
+/// against MP-SERVER — why delegation wins even over a queue lock.
+fn ext_locks(o: &Opts) {
+    println!("# ext-locks: counter throughput under classical locks vs mp-server (paper §3: locks pay O(1) RMRs per acquisition *plus* data migration)");
+    row(&["threads".into(), "tas".into(), "ticket".into(), "mcs".into(), "mp-server".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let mut cells = vec![t.to_string()];
+        for kind in LockKind::ALL {
+            let r = workload::run_counter_lock(cfg(), kind, t, o.horizon, o.seed);
+            cells.push(f(r.mops()));
+        }
+        let mp = counter_cached(o, Approach::MpServer, t, 200);
+        cells.push(f(mp.mops()));
+        row(&cells);
+    }
+}
+
+/// Extension: tail latency — §5.3's "sporadic latency hiccups for some
+/// requests (when the requesting thread becomes a combiner)".
+fn ext_tail(o: &Opts) {
+    println!("# ext-tail: request latency percentiles (cycles; bucketed) at 20 threads (paper §5.3: HybComb trades throughput for sporadic combiner-duty hiccups; mp-server has no such mode)");
+    row(&["approach".into(), "avg".into(), "p50".into(), "p90".into(), "p99".into()]);
+    let t = 20;
+    for a in Approach::ALL {
+        let r = counter_cached(o, a, t, 200);
+        row(&[
+            a.label().into(),
+            f(r.avg_latency()),
+            r.latency_percentile(0.50).to_string(),
+            r.latency_percentile(0.90).to_string(),
+            r.latency_percentile(0.99).to_string(),
+        ]);
+    }
+}
+
+/// Extension: asymmetric queue mixes (1–3 enqueues per 4 operations).
+fn ext_imbalance(o: &Opts) {
+    println!("# ext-imbalance: one-lock queue throughput under asymmetric mixes at 20 threads (1/4 = dequeue-heavy, mostly-empty; 3/4 = enqueue-heavy, drifts full; balanced load is fig5a)");
+    row(&["enq_per_4".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    let t = 20;
+    for enq in 1..=3usize {
+        let mut cells = vec![format!("{enq}/4")];
+        for a in Approach::ALL {
+            let r = workload::run_queue_mixed(cfg(), a, t, enq, 200, o.horizon, o.seed);
+            cells.push(f(r.mops()));
+        }
+        row(&cells);
+    }
+}
+
+/// Ablation: the eager drain loop (Algorithm 1 lines 25–28).
+fn abl_nodrain(o: &Opts) {
+    println!("# abl-nodrain: HybComb with vs without the eager drain loop (paper: the loop is not needed for correctness but increases combining potential)");
+    row(&["threads".into(), "drain_mops".into(), "nodrain_mops".into(), "drain_rate".into(), "nodrain_rate".into()]);
+    for &t in &thread_sweep(o.quick) {
+        let drain = workload::run_counter_hybcomb_opts(cfg(), t, 200, o.horizon, o.seed, HybOptions::default());
+        let nodrain = workload::run_counter_hybcomb_opts(
+            cfg(),
+            t,
+            200,
+            o.horizon,
+            o.seed,
+            HybOptions { eager_drain: false, ..HybOptions::default() },
+        );
+        row(&[
+            t.to_string(),
+            f(drain.mops()),
+            f(nodrain.mops()),
+            f(drain.combining_rate()),
+            f(nodrain.combining_rate()),
+        ]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared helpers for the `repro` harness and the Criterion benches:
+//! sweep definitions, table formatting, and native-benchmark drivers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use mpsync_core::{ApplyOp, CcSynch, HybComb, MpServer, ShmServer};
+use mpsync_objects::seq::counter_dispatch;
+use mpsync_udn::{Fabric, FabricConfig};
+
+/// The application-thread counts swept on the x-axis of the
+/// throughput/latency figures (the paper plots 1–35).
+pub fn thread_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4, 10, 20, 35]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 14, 17, 20, 24, 28, 32, 35]
+    }
+}
+
+/// The `MAX_OPS` values swept in Figure 3c (log-scaled 1..5000).
+pub fn max_ops_sweep(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1, 10, 100, 1000, 5000]
+    } else {
+        vec![1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000]
+    }
+}
+
+/// Prints one CSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(","));
+}
+
+/// Formats a float for table output.
+pub fn f(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Counter dispatch function type used across the native drivers.
+pub type CounterFn = fn(&mut u64, u64, u64) -> u64;
+
+/// The counter dispatch used by native benches.
+pub const COUNTER: CounterFn = counter_dispatch;
+
+/// Runs `ops` fetch-and-increments per thread on `threads` native threads,
+/// each owning a handle produced by `mk`, and returns total ops performed
+/// (for Criterion throughput bookkeeping).
+pub fn hammer_native<H, F>(threads: usize, ops: u64, mk: F) -> u64
+where
+    H: ApplyOp + Send + 'static,
+    F: Fn(usize) -> H,
+{
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let mut h = mk(t);
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..ops {
+                h.apply(0, 0);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    threads as u64 * ops
+}
+
+/// Builds a TILE-Gx-shaped UDN fabric sized for `n` endpoints.
+pub fn fabric_for(n: usize) -> Arc<Fabric> {
+    Arc::new(Fabric::new(FabricConfig::new(n.div_ceil(4).max(1))))
+}
+
+/// Convenience constructors for the four native executors over a counter,
+/// used by benches and examples.
+pub mod native_counter {
+    use super::*;
+
+    /// MP-SERVER counter: returns the server handle (shut down on drop).
+    pub fn mp_server(fabric: &Arc<Fabric>) -> MpServer<u64> {
+        MpServer::spawn(fabric.register_any().unwrap(), 0u64, COUNTER)
+    }
+
+    /// SHM-SERVER counter for up to `clients` clients.
+    pub fn shm_server(clients: usize) -> ShmServer<u64> {
+        ShmServer::spawn(clients, 0u64, COUNTER)
+    }
+
+    /// HYBCOMB counter for up to `threads` threads.
+    pub fn hybcomb(threads: usize, max_ops: u64) -> HybComb<u64, CounterFn> {
+        HybComb::new(threads, max_ops, 0u64, COUNTER)
+    }
+
+    /// CC-SYNCH counter for up to `threads` threads.
+    pub fn cc_synch(threads: usize, max_ops: u64) -> CcSynch<u64, CounterFn> {
+        CcSynch::new(threads, max_ops, 0u64, COUNTER)
+    }
+}

@@ -1,0 +1,277 @@
+//! Flat combining [Hendler, Incze, Shavit, Tzafrir — SPAA 2010]: the
+//! original combining construction the paper cites as prior art ([13]).
+//!
+//! Threads *publish* their requests in per-thread records; whoever acquires
+//! the global try-lock becomes the combiner and serves the whole publication
+//! list for a few scans. Compared to CC-SYNCH there is no hand-off queue —
+//! just a test-and-set lock plus scanning — which makes it simpler but less
+//! cache-friendly (the combiner re-reads every record every scan, served or
+//! not). Included as an additional baseline for the counter benchmarks and
+//! as a reference point for the evaluation's "combining" family.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::dispatch::Dispatcher;
+use crate::state::CsState;
+use crate::ApplyOp;
+
+/// Publication-record states.
+const EMPTY: u64 = 0;
+const PENDING: u64 = 1;
+const DONE: u64 = 2;
+
+/// One thread's publication record (a cache line of its own).
+struct Record {
+    state: AtomicU64,
+    op: AtomicU64,
+    arg: AtomicU64,
+    ret: AtomicU64,
+}
+
+impl Record {
+    fn new() -> Self {
+        Self {
+            state: AtomicU64::new(EMPTY),
+            op: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            ret: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared<S, D> {
+    records: Box<[CachePadded<Record>]>,
+    lock: CachePadded<AtomicBool>,
+    state: CsState<S>,
+    dispatch: D,
+    scans: u32,
+    next_handle: AtomicUsize,
+    rounds: AtomicU64,
+    combined: AtomicU64,
+}
+
+/// The flat-combining construction protecting a state `S`.
+pub struct FlatCombining<S, D> {
+    shared: Arc<Shared<S, D>>,
+}
+
+impl<S, D> FlatCombining<S, D>
+where
+    S: Send + 'static,
+    D: Dispatcher<S>,
+{
+    /// Creates the construction for at most `max_threads` threads. The
+    /// combiner makes `scans` passes over the publication list per
+    /// acquisition (the classic implementations use a small constant).
+    pub fn new(max_threads: usize, scans: u32, state: S, dispatch: D) -> Self {
+        assert!(max_threads > 0, "need at least one thread");
+        assert!(scans > 0, "combiner must scan at least once");
+        Self {
+            shared: Arc::new(Shared {
+                records: (0..max_threads)
+                    .map(|_| CachePadded::new(Record::new()))
+                    .collect(),
+                lock: CachePadded::new(AtomicBool::new(false)),
+                state: CsState::new(state),
+                dispatch,
+                scans,
+                next_handle: AtomicUsize::new(0),
+                rounds: AtomicU64::new(0),
+                combined: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a participating thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_threads` handles are created.
+    pub fn handle(&self) -> FlatCombiningHandle<S, D> {
+        let i = self.shared.next_handle.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            i < self.shared.records.len(),
+            "flat combining sized for {} threads",
+            self.shared.records.len()
+        );
+        FlatCombiningHandle {
+            shared: Arc::clone(&self.shared),
+            slot: i,
+        }
+    }
+
+    /// Average requests served per combining round.
+    pub fn combining_rate(&self) -> f64 {
+        let rounds = self.shared.rounds.load(Ordering::Relaxed);
+        if rounds == 0 {
+            0.0
+        } else {
+            self.shared.combined.load(Ordering::Relaxed) as f64 / rounds as f64
+        }
+    }
+
+    /// Consumes the construction and returns the protected state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if handles are still alive.
+    pub fn into_state(self) -> S {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.state.into_inner(),
+            Err(_) => panic!("flat-combining handles still alive at into_state"),
+        }
+    }
+}
+
+/// Per-thread handle to a [`FlatCombining`] instance.
+pub struct FlatCombiningHandle<S, D> {
+    shared: Arc<Shared<S, D>>,
+    slot: usize,
+}
+
+impl<S, D> FlatCombiningHandle<S, D>
+where
+    S: Send + 'static,
+    D: Dispatcher<S>,
+{
+    /// Serves every pending publication record, `scans` times.
+    fn combine(&self) -> u64 {
+        let sh = &*self.shared;
+        // SAFETY: `lock` was acquired with Acquire; only the lock holder
+        // reaches this point (flat combining's mutual exclusion), and the
+        // Release store unlocking publishes the state mutations.
+        let state = unsafe { sh.state.get_mut() };
+        let mut served = 0u64;
+        for _ in 0..sh.scans {
+            for rec in sh.records.iter() {
+                if rec.state.load(Ordering::Acquire) == PENDING {
+                    let ret = sh.dispatch.dispatch(
+                        state,
+                        rec.op.load(Ordering::Relaxed),
+                        rec.arg.load(Ordering::Relaxed),
+                    );
+                    rec.ret.store(ret, Ordering::Relaxed);
+                    rec.state.store(DONE, Ordering::Release);
+                    served += 1;
+                }
+            }
+        }
+        served
+    }
+}
+
+impl<S, D> ApplyOp for FlatCombiningHandle<S, D>
+where
+    S: Send + 'static,
+    D: Dispatcher<S>,
+{
+    fn apply(&mut self, op: u64, arg: u64) -> u64 {
+        let sh = &*self.shared;
+        let rec = &sh.records[self.slot];
+        rec.op.store(op, Ordering::Relaxed);
+        rec.arg.store(arg, Ordering::Relaxed);
+        rec.state.store(PENDING, Ordering::Release);
+
+        let mut spins = 0u32;
+        loop {
+            if rec.state.load(Ordering::Acquire) == DONE {
+                rec.state.store(EMPTY, Ordering::Relaxed);
+                return rec.ret.load(Ordering::Relaxed);
+            }
+            // Try to become the combiner (test-and-test-and-set).
+            if !sh.lock.load(Ordering::Relaxed)
+                && !sh.lock.swap(true, Ordering::Acquire)
+            {
+                let served = self.combine();
+                sh.lock.store(false, Ordering::Release);
+                sh.rounds.fetch_add(1, Ordering::Relaxed);
+                sh.combined.fetch_add(served, Ordering::Relaxed);
+                // My own record was PENDING, so the scan served it.
+                debug_assert_eq!(rec.state.load(Ordering::Acquire), DONE);
+                rec.state.store(EMPTY, Ordering::Relaxed);
+                return rec.ret.load(Ordering::Relaxed);
+            }
+            spins = spins.saturating_add(1);
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type CounterFn = fn(&mut u64, u64, u64) -> u64;
+
+    fn fai(state: &mut u64, _op: u64, _arg: u64) -> u64 {
+        let old = *state;
+        *state += 1;
+        old
+    }
+
+    #[test]
+    fn single_thread_sequence() {
+        let fc = FlatCombining::new(1, 2, 0u64, fai as CounterFn);
+        let mut h = fc.handle();
+        for i in 0..100 {
+            assert_eq!(h.apply(0, 0), i);
+        }
+        drop(h);
+        assert_eq!(fc.into_state(), 100);
+    }
+
+    #[test]
+    fn multithreaded_permutation() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 3_000;
+        let fc = Arc::new(FlatCombining::new(THREADS, 2, 0u64, fai as CounterFn));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut h = fc.handle();
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
+        assert!(fc.combining_rate() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for")]
+    fn too_many_handles_panics() {
+        let fc = FlatCombining::new(1, 1, 0u64, fai as CounterFn);
+        let _a = fc.handle();
+        let _b = fc.handle();
+    }
+
+    #[test]
+    fn non_counter_state() {
+        let fc = FlatCombining::new(
+            2,
+            3,
+            Vec::<u64>::new(),
+            |s: &mut Vec<u64>, _op: u64, arg: u64| {
+                s.push(arg);
+                (s.len() - 1) as u64
+            },
+        );
+        let mut a = fc.handle();
+        let mut b = fc.handle();
+        assert_eq!(a.apply(0, 5), 0);
+        assert_eq!(b.apply(0, 9), 1);
+        drop((a, b));
+        assert_eq!(fc.into_state(), vec![5, 9]);
+    }
+}

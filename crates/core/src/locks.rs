@@ -1,0 +1,325 @@
+//! Classical spin locks (§3 context) and an adapter that turns any of them
+//! into an [`ApplyOp`] executor, so lock-based critical sections can be
+//! compared head-to-head with the delegation/combining constructions.
+//!
+//! Provided locks:
+//!
+//! * [`TasLock`] — test-and-test-and-set with exponential backoff; the
+//!   baseline that generates unbounded RMRs under contention;
+//! * [`TicketLock`] — FIFO-fair, one RMR-generating variable;
+//! * [`McsLock`] — the queue lock of Mellor-Crummey & Scott with *local
+//!   spinning* and O(1) RMR complexity per acquisition.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::dispatch::Dispatcher;
+use crate::state::CsState;
+use crate::ApplyOp;
+
+/// A raw mutual-exclusion lock usable by [`LockCs`].
+///
+/// `Ctx` is the per-thread context a lock needs across an
+/// acquire/release pair (the MCS queue node; `()` for centralized locks).
+pub trait CsLock: Send + Sync + Default + 'static {
+    /// Per-thread context carried by the handle.
+    type Ctx: Default + Send;
+
+    /// Acquires the lock, spinning as needed.
+    fn lock(&self, ctx: &mut Self::Ctx);
+
+    /// Releases the lock.
+    ///
+    /// Must only be called by the current holder, with the same `ctx` used
+    /// to acquire.
+    fn unlock(&self, ctx: &mut Self::Ctx);
+}
+
+fn spin(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 128 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Test-and-test-and-set lock with exponential backoff.
+#[derive(Default)]
+pub struct TasLock {
+    locked: CachePadded<AtomicBool>,
+}
+
+impl CsLock for TasLock {
+    type Ctx = ();
+
+    fn lock(&self, _ctx: &mut ()) {
+        let mut backoff = 1u32;
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+            // Test loop: spin on the local cached copy until it looks free.
+            let mut spins = 0u32;
+            while self.locked.load(Ordering::Relaxed) {
+                spin(&mut spins);
+            }
+            for _ in 0..backoff {
+                std::hint::spin_loop();
+            }
+            backoff = (backoff * 2).min(1024);
+        }
+    }
+
+    fn unlock(&self, _ctx: &mut ()) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// Ticket lock: FIFO fairness with a single grant variable.
+#[derive(Default)]
+pub struct TicketLock {
+    next_ticket: CachePadded<AtomicU64>,
+    now_serving: CachePadded<AtomicU64>,
+}
+
+impl CsLock for TicketLock {
+    type Ctx = ();
+
+    fn lock(&self, _ctx: &mut ()) {
+        let my = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut spins = 0u32;
+        while self.now_serving.load(Ordering::Acquire) != my {
+            spin(&mut spins);
+        }
+    }
+
+    fn unlock(&self, _ctx: &mut ()) {
+        let next = self.now_serving.load(Ordering::Relaxed) + 1;
+        self.now_serving.store(next, Ordering::Release);
+    }
+}
+
+/// Queue node for [`McsLock`]. One per (thread, lock); owned by the
+/// [`LockCsHandle`] or supplied by the caller of the raw API.
+pub struct McsNode {
+    next: AtomicPtr<McsNode>,
+    locked: AtomicBool,
+}
+
+impl Default for McsNode {
+    fn default() -> Self {
+        Self {
+            next: AtomicPtr::new(ptr::null_mut()),
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The MCS queue lock: local spinning, O(1) RMRs per acquisition.
+#[derive(Default)]
+pub struct McsLock {
+    tail: CachePadded<AtomicPtr<McsNode>>,
+}
+
+// SAFETY invariants for the raw pointers: a node is published to `tail` only
+// by its owner inside `lock`; it is unlinked before `unlock` returns; the
+// owner does not move or reuse the node between `lock` and `unlock` because
+// `Ctx` is borrowed mutably for the whole critical section by `LockCs`, and
+// the raw-API contract requires the same.
+impl CsLock for McsLock {
+    type Ctx = McsNode;
+
+    fn lock(&self, node: &mut McsNode) {
+        node.next.store(ptr::null_mut(), Ordering::Relaxed);
+        node.locked.store(true, Ordering::Relaxed);
+        let me: *mut McsNode = node;
+        let pred = self.tail.swap(me, Ordering::AcqRel);
+        if !pred.is_null() {
+            // SAFETY: `pred` was published by its owner, which cannot
+            // release-and-reuse it until we link ourselves (its unlock spins
+            // on `next` once its CAS on `tail` fails — and it must fail,
+            // because we swapped after it).
+            unsafe { (*pred).next.store(me, Ordering::Release) };
+            let mut spins = 0u32;
+            while node.locked.load(Ordering::Acquire) {
+                spin(&mut spins);
+            }
+        }
+    }
+
+    fn unlock(&self, node: &mut McsNode) {
+        let me: *mut McsNode = node;
+        let mut next = node.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: try to swing tail back to empty.
+            if self
+                .tail
+                .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor swapped in; wait for it to link itself.
+            let mut spins = 0u32;
+            loop {
+                next = node.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                spin(&mut spins);
+            }
+        }
+        // SAFETY: the successor is spinning on its own `locked` flag and its
+        // node outlives the spin (guaranteed by its `lock` call frame).
+        unsafe { (*next).locked.store(false, Ordering::Release) };
+    }
+}
+
+struct LockShared<S, L, D> {
+    lock: L,
+    state: CsState<S>,
+    dispatch: D,
+}
+
+/// Executes critical sections inline under a lock `L` — the classical
+/// approach the paper's §3 contrasts with delegation and combining.
+pub struct LockCs<S, L: CsLock, D> {
+    shared: Arc<LockShared<S, L, D>>,
+}
+
+impl<S, L, D> LockCs<S, L, D>
+where
+    S: Send + 'static,
+    L: CsLock,
+    D: Dispatcher<S>,
+{
+    /// Creates the lock-protected state.
+    pub fn new(state: S, dispatch: D) -> Self {
+        Self {
+            shared: Arc::new(LockShared {
+                lock: L::default(),
+                state: CsState::new(state),
+                dispatch,
+            }),
+        }
+    }
+
+    /// Creates a per-thread handle (any number may be created).
+    pub fn handle(&self) -> LockCsHandle<S, L, D> {
+        LockCsHandle {
+            shared: Arc::clone(&self.shared),
+            ctx: L::Ctx::default(),
+        }
+    }
+
+    /// Consumes the executor and returns the protected state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if handles are still alive.
+    pub fn into_state(self) -> S {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.state.into_inner(),
+            Err(_) => panic!("LockCs handles still alive at into_state"),
+        }
+    }
+}
+
+/// Per-thread handle to a [`LockCs`].
+pub struct LockCsHandle<S, L: CsLock, D> {
+    shared: Arc<LockShared<S, L, D>>,
+    ctx: L::Ctx,
+}
+
+impl<S, L, D> ApplyOp for LockCsHandle<S, L, D>
+where
+    S: Send + 'static,
+    L: CsLock,
+    D: Dispatcher<S>,
+{
+    #[inline]
+    fn apply(&mut self, op: u64, arg: u64) -> u64 {
+        self.shared.lock.lock(&mut self.ctx);
+        // SAFETY: we hold the lock; `CsLock` implementations provide mutual
+        // exclusion and release/acquire ordering across the hand-off.
+        let ret = {
+            let state = unsafe { self.shared.state.get_mut() };
+            self.shared.dispatch.dispatch(state, op, arg)
+        };
+        self.shared.lock.unlock(&mut self.ctx);
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type CounterFn = fn(&mut u64, u64, u64) -> u64;
+
+    fn fai(state: &mut u64, _op: u64, _arg: u64) -> u64 {
+        let old = *state;
+        *state += 1;
+        old
+    }
+
+    fn hammer<L: CsLock>() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 3_000;
+        let cs = LockCs::<u64, L, CounterFn>::new(0, fai as CounterFn);
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut h = cs.handle();
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
+        assert_eq!(cs.into_state(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn tas_lock_mutual_exclusion() {
+        hammer::<TasLock>();
+    }
+
+    #[test]
+    fn ticket_lock_mutual_exclusion() {
+        hammer::<TicketLock>();
+    }
+
+    #[test]
+    fn mcs_lock_mutual_exclusion() {
+        hammer::<McsLock>();
+    }
+
+    #[test]
+    fn mcs_uncontended_fast_path() {
+        let lock = McsLock::default();
+        let mut node = McsNode::default();
+        for _ in 0..100 {
+            lock.lock(&mut node);
+            lock.unlock(&mut node);
+        }
+    }
+
+    #[test]
+    fn ticket_lock_is_fifo_single_thread() {
+        let lock = TicketLock::default();
+        for _ in 0..10 {
+            lock.lock(&mut ());
+            lock.unlock(&mut ());
+        }
+        assert_eq!(lock.next_ticket.load(Ordering::Relaxed), 10);
+        assert_eq!(lock.now_serving.load(Ordering::Relaxed), 10);
+    }
+}

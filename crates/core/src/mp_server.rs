@@ -1,0 +1,252 @@
+//! MP-SERVER (§4.1): the client/server (delegation) approach over hardware
+//! message passing.
+//!
+//! A dedicated server thread owns the protected state and loops on
+//! `receive(3)`, executing one critical section per request and answering
+//! with a one-word response. Because `receive` reads the server's *local*
+//! message queue and `send` is asynchronous, no synchronization-related
+//! remote memory reference remains on the server's critical path (Figure 2
+//! of the paper) — on real hardware; under this crate's software emulation
+//! the functional behaviour is identical but the stall-free property is not
+//! reproduced (see the `tilesim` crate for that).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use mpsync_udn::{Endpoint, EndpointId, Fabric};
+
+use crate::dispatch::Dispatcher;
+use crate::ApplyOp;
+
+/// Reserved opcode used internally to stop the server loop. Client code must
+/// not submit it through [`ApplyOp::apply`].
+pub(crate) const OP_SHUTDOWN: u64 = u64::MAX;
+
+/// Handle to a running MP-SERVER instance.
+///
+/// Created by [`MpServer::spawn`]; produces clients with
+/// [`MpServer::client`] and returns the final state on
+/// [`MpServer::shutdown`].
+pub struct MpServer<S> {
+    fabric: Arc<Fabric>,
+    server_id: EndpointId,
+    join: Option<JoinHandle<S>>,
+}
+
+impl<S: Send + 'static> MpServer<S> {
+    /// Spawns the server thread on the given endpoint (the paper pins the
+    /// server to core 0; choose the endpoint's core accordingly).
+    ///
+    /// `dispatch` interprets each request's `(op, arg)` against the state.
+    pub fn spawn<D>(endpoint: Endpoint, state: S, dispatch: D) -> Self
+    where
+        D: Dispatcher<S>,
+    {
+        let fabric = Arc::clone(endpoint.fabric());
+        let server_id = endpoint.id();
+        let join = std::thread::Builder::new()
+            .name(format!("mp-server-{server_id}"))
+            .spawn(move || Self::serve(endpoint, state, dispatch))
+            .expect("failed to spawn MP-SERVER thread");
+        Self {
+            fabric,
+            server_id,
+            join: Some(join),
+        }
+    }
+
+    /// The server loop of Figure 2: `r()` — execute CS — `s(t)`.
+    fn serve<D>(mut endpoint: Endpoint, mut state: S, dispatch: D) -> S
+    where
+        D: Dispatcher<S>,
+    {
+        loop {
+            let [sender, op, arg] = endpoint.receive3();
+            if op == OP_SHUTDOWN {
+                break;
+            }
+            let ret = dispatch.dispatch(&mut state, op, arg);
+            let client = EndpointId::from_word(sender);
+            endpoint
+                .send(client, &[ret])
+                .expect("MP-SERVER response to unknown endpoint");
+        }
+        state
+    }
+
+    /// The endpoint id clients address their requests to.
+    pub fn server_id(&self) -> EndpointId {
+        self.server_id
+    }
+
+    /// Creates a client bound to `endpoint`. Each application thread needs
+    /// its own endpoint (its private hardware queue for responses).
+    pub fn client(&self, endpoint: Endpoint) -> MpClient {
+        MpClient {
+            server: self.server_id,
+            endpoint,
+        }
+    }
+
+    /// Stops the server thread and returns the final protected state.
+    ///
+    /// The caller must ensure no client still has a request in flight
+    /// (dropping or quiescing all clients first).
+    pub fn shutdown(mut self) -> S {
+        self.signal_shutdown();
+        self.join
+            .take()
+            .expect("server already shut down")
+            .join()
+            .expect("MP-SERVER thread panicked")
+    }
+
+    fn signal_shutdown(&self) {
+        // The sender id accompanying OP_SHUTDOWN is never used for a reply.
+        let _ = self
+            .fabric
+            .sender()
+            .send(self.server_id, &[0, OP_SHUTDOWN, 0]);
+    }
+}
+
+impl<S> Drop for MpServer<S> {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self
+                .fabric
+                .sender()
+                .send(self.server_id, &[0, OP_SHUTDOWN, 0]);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Per-thread client of an [`MpServer`].
+///
+/// `apply` sends the three-word request `{id, op, arg}` (Algorithm of §4.1 /
+/// Figure 2) and blocks on the one-word response.
+pub struct MpClient {
+    server: EndpointId,
+    endpoint: Endpoint,
+}
+
+impl MpClient {
+    /// The id of this client's own endpoint.
+    pub fn id(&self) -> EndpointId {
+        self.endpoint.id()
+    }
+}
+
+impl ApplyOp for MpClient {
+    #[inline]
+    fn apply(&mut self, op: u64, arg: u64) -> u64 {
+        debug_assert_ne!(op, OP_SHUTDOWN, "opcode u64::MAX is reserved");
+        self.endpoint
+            .send(self.server, &[self.endpoint.id().to_word(), op, arg])
+            .expect("MP-SERVER vanished");
+        self.endpoint.receive1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsync_udn::FabricConfig;
+
+    fn counter_dispatch(state: &mut u64, op: u64, arg: u64) -> u64 {
+        match op {
+            0 => {
+                let old = *state;
+                *state += 1;
+                old
+            }
+            1 => {
+                *state += arg;
+                *state
+            }
+            2 => *state,
+            _ => unreachable!("unknown opcode"),
+        }
+    }
+
+    #[test]
+    fn single_client_counter() {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+        let server = MpServer::spawn(
+            fabric.register_any().unwrap(),
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        let mut c = server.client(fabric.register_any().unwrap());
+        assert_eq!(c.apply(0, 0), 0);
+        assert_eq!(c.apply(0, 0), 1);
+        assert_eq!(c.apply(1, 10), 12);
+        assert_eq!(c.apply(2, 0), 12);
+        drop(c);
+        assert_eq!(server.shutdown(), 12);
+    }
+
+    #[test]
+    fn many_clients_sum_is_exact() {
+        const THREADS: usize = 6;
+        const OPS: u64 = 2_000;
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(8)));
+        let server = MpServer::spawn(
+            fabric.register_any().unwrap(),
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = server.client(fabric.register_any().unwrap());
+            joins.push(std::thread::spawn(move || {
+                let mut seen = Vec::with_capacity(OPS as usize);
+                for _ in 0..OPS {
+                    seen.push(c.apply(0, 0));
+                }
+                seen
+            }));
+        }
+        let mut all: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        // Fetch-and-increment results must be a permutation of 0..N — the
+        // strongest possible evidence of mutual exclusion and atomicity.
+        let expect: Vec<u64> = (0..THREADS as u64 * OPS).collect();
+        assert_eq!(all, expect);
+        assert_eq!(server.shutdown(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn drop_without_shutdown_stops_server() {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+        let server = MpServer::spawn(
+            fabric.register_any().unwrap(),
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        drop(server); // must not hang
+    }
+
+    #[test]
+    fn state_returned_on_shutdown_reflects_all_ops() {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+        let server = MpServer::spawn(
+            fabric.register_any().unwrap(),
+            Vec::<u64>::new(),
+            |state: &mut Vec<u64>, _op: u64, arg: u64| {
+                state.push(arg);
+                state.len() as u64
+            },
+        );
+        let mut c = server.client(fabric.register_any().unwrap());
+        for i in 0..5 {
+            assert_eq!(c.apply(0, i * 7), i + 1);
+        }
+        drop(c);
+        assert_eq!(server.shutdown(), vec![0, 7, 14, 21, 28]);
+    }
+}

@@ -1,0 +1,273 @@
+//! SHM-SERVER (§5.2): the client/server approach over cache-coherent shared
+//! memory — a simplified Remote Core Locking (RCL) server.
+//!
+//! Each client owns a dedicated cache-line-sized *channel*; to execute a
+//! critical section it writes its request into the channel and spins there
+//! until the server's reply appears (Figure 1 of the paper). The server
+//! scans the channels round-robin. On a cache-coherent machine both the
+//! server's read of a fresh request and its write of the response are RMRs —
+//! the two stalls per CS that MP-SERVER eliminates.
+//!
+//! As in the paper, this is RCL's core mechanism without the advanced
+//! features (nested CSes etc.), a simplification that does not reduce
+//! performance.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_utils::CachePadded;
+
+use crate::dispatch::Dispatcher;
+use crate::ApplyOp;
+
+/// Channel states. The client flips `IDLE → REQ`; the server flips
+/// `REQ → DONE`; the client consumes `DONE` and later writes `REQ` again.
+const IDLE: u64 = 0;
+const REQ: u64 = 1;
+const DONE: u64 = 2;
+
+/// One client's bi-directional channel, padded to its own cache line so
+/// that client/server traffic on different channels never falsely shares.
+struct Channel {
+    status: AtomicU64,
+    op: AtomicU64,
+    arg: AtomicU64,
+    ret: AtomicU64,
+}
+
+impl Channel {
+    fn new() -> Self {
+        Self {
+            status: AtomicU64::new(IDLE),
+            op: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+            ret: AtomicU64::new(0),
+        }
+    }
+}
+
+struct Shared {
+    channels: Box<[CachePadded<Channel>]>,
+    next_slot: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// Handle to a running SHM-SERVER instance.
+pub struct ShmServer<S> {
+    shared: Arc<Shared>,
+    join: Option<JoinHandle<S>>,
+}
+
+impl<S: Send + 'static> ShmServer<S> {
+    /// Spawns the server thread, with room for `max_clients` client
+    /// channels.
+    pub fn spawn<D>(max_clients: usize, state: S, dispatch: D) -> Self
+    where
+        D: Dispatcher<S>,
+    {
+        assert!(max_clients > 0, "need at least one client channel");
+        let shared = Arc::new(Shared {
+            channels: (0..max_clients)
+                .map(|_| CachePadded::new(Channel::new()))
+                .collect(),
+            next_slot: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let worker = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("shm-server".into())
+            .spawn(move || Self::serve(worker, state, dispatch))
+            .expect("failed to spawn SHM-SERVER thread");
+        Self {
+            shared,
+            join: Some(join),
+        }
+    }
+
+    /// The server loop of Figure 1: R(i) — CS(i) — W(i), scanning channels.
+    fn serve<D>(shared: Arc<Shared>, mut state: S, dispatch: D) -> S
+    where
+        D: Dispatcher<S>,
+    {
+        let mut idle_scans = 0u32;
+        loop {
+            let mut served = false;
+            for ch in shared.channels.iter() {
+                if ch.status.load(Ordering::Acquire) == REQ {
+                    let op = ch.op.load(Ordering::Relaxed);
+                    let arg = ch.arg.load(Ordering::Relaxed);
+                    let ret = dispatch.dispatch(&mut state, op, arg);
+                    ch.ret.store(ret, Ordering::Relaxed);
+                    ch.status.store(DONE, Ordering::Release);
+                    served = true;
+                }
+            }
+            if served {
+                idle_scans = 0;
+            } else {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                idle_scans = idle_scans.saturating_add(1);
+                if idle_scans > 64 {
+                    // Oversubscribed hosts: let clients run.
+                    std::thread::yield_now();
+                }
+            }
+        }
+        state
+    }
+
+    /// Allocates a client channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_clients` clients are created.
+    pub fn client(&self) -> ShmClient {
+        let slot = self.shared.next_slot.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.shared.channels.len(),
+            "SHM-SERVER has only {} client channels",
+            self.shared.channels.len()
+        );
+        ShmClient {
+            shared: Arc::clone(&self.shared),
+            slot,
+        }
+    }
+
+    /// Stops the server thread (after it finishes any requests already
+    /// visible) and returns the final protected state.
+    pub fn shutdown(mut self) -> S {
+        self.shared.stop.store(true, Ordering::Release);
+        self.join
+            .take()
+            .expect("server already shut down")
+            .join()
+            .expect("SHM-SERVER thread panicked")
+    }
+}
+
+impl<S> Drop for ShmServer<S> {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            self.shared.stop.store(true, Ordering::Release);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Per-thread client of a [`ShmServer`], owning one cache-line channel.
+pub struct ShmClient {
+    shared: Arc<Shared>,
+    slot: usize,
+}
+
+impl ShmClient {
+    /// Index of this client's channel (its RCL "client id").
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl ApplyOp for ShmClient {
+    #[inline]
+    fn apply(&mut self, op: u64, arg: u64) -> u64 {
+        let ch = &self.shared.channels[self.slot];
+        ch.op.store(op, Ordering::Relaxed);
+        ch.arg.store(arg, Ordering::Relaxed);
+        ch.status.store(REQ, Ordering::Release);
+        let mut spins = 0u32;
+        while ch.status.load(Ordering::Acquire) != DONE {
+            spins = spins.saturating_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let ret = ch.ret.load(Ordering::Relaxed);
+        ch.status.store(IDLE, Ordering::Relaxed);
+        ret
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_dispatch(state: &mut u64, _op: u64, _arg: u64) -> u64 {
+        let old = *state;
+        *state += 1;
+        old
+    }
+
+    #[test]
+    fn single_client_roundtrip() {
+        let server = ShmServer::spawn(
+            2,
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        let mut c = server.client();
+        assert_eq!(c.apply(0, 0), 0);
+        assert_eq!(c.apply(0, 0), 1);
+        assert_eq!(server.shutdown(), 2);
+    }
+
+    #[test]
+    fn fetch_and_inc_results_are_a_permutation() {
+        const THREADS: usize = 6;
+        const OPS: u64 = 2_000;
+        let server = ShmServer::spawn(
+            THREADS,
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = server.client();
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.apply(0, 0)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = joins
+            .into_iter()
+            .flat_map(|j| j.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
+        assert_eq!(server.shutdown(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "client channels")]
+    fn too_many_clients_panics() {
+        let server = ShmServer::spawn(
+            1,
+            0u64,
+            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
+        );
+        let _a = server.client();
+        let _b = server.client();
+    }
+
+    #[test]
+    fn shutdown_returns_state() {
+        let server = ShmServer::spawn(
+            1,
+            String::new(),
+            |s: &mut String, _op: u64, arg: u64| {
+                s.push((b'a' + arg as u8) as char);
+                s.len() as u64
+            },
+        );
+        let mut c = server.client();
+        for i in 0..3 {
+            c.apply(0, i);
+        }
+        drop(c);
+        assert_eq!(server.shutdown(), "abc");
+    }
+}

@@ -1,0 +1,48 @@
+//! Interior-mutable holder for the state protected by a construction.
+
+use std::cell::UnsafeCell;
+
+/// The state a construction protects, wrapped so that it can be shared
+/// across threads while only ever being *accessed* by the thread currently
+/// holding the (implicit) mutual exclusion.
+///
+/// Each executor in this crate establishes mutual exclusion by its own
+/// protocol (a dedicated server thread, a unique combiner, a held lock); the
+/// `unsafe` blocks touching this cell cite the relevant argument.
+pub(crate) struct CsState<S> {
+    cell: UnsafeCell<S>,
+}
+
+// SAFETY: access to the cell is funnelled through the constructions'
+// mutual-exclusion protocols; `S: Send` suffices because at most one thread
+// holds a reference at any time and hand-offs are synchronized with
+// release/acquire edges (message publication, `combining_done`, lock
+// release).
+unsafe impl<S: Send> Sync for CsState<S> {}
+
+impl<S> CsState<S> {
+    pub(crate) fn new(state: S) -> Self {
+        Self {
+            cell: UnsafeCell::new(state),
+        }
+    }
+
+    /// Returns a mutable reference to the protected state.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique servicing thread at this moment: a
+    /// dedicated server, the active combiner, or a lock holder. No other
+    /// reference (shared or exclusive) may exist concurrently.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get_mut(&self) -> &mut S {
+        // SAFETY: forwarded to the caller's contract above.
+        unsafe { &mut *self.cell.get() }
+    }
+
+    /// Consumes the holder, returning the state (used on shutdown once all
+    /// servicing activity has quiesced).
+    pub(crate) fn into_inner(self) -> S {
+        self.cell.into_inner()
+    }
+}

@@ -1,0 +1,414 @@
+//! A small linearizability checker for testing concurrent objects.
+//!
+//! The paper's constructions implement *linearizable* concurrent objects
+//! (Herlihy & Wing, 1990 — the correctness condition the paper adopts in
+//! §1/§4.2). This crate provides the machinery the test suite uses to verify
+//! that claim on real executions:
+//!
+//! * [`Recorder`] — collects a complete concurrent history (operation,
+//!   result, invocation/response timestamps) from threads exercising an
+//!   object;
+//! * [`SeqSpec`] — a sequential specification of the object;
+//! * [`check`] — a Wing & Gong-style exhaustive search (with memoization of
+//!   visited `(remaining-set, state)` pairs) for a linearization of the
+//!   history that the specification accepts.
+//!
+//! The checker is exponential in the worst case and is intended for the
+//! small, adversarial histories used in tests (up to [`MAX_OPS`] operations).
+//!
+//! # Example: a history that fails linearizability
+//!
+//! ```
+//! use mpsync_lincheck::{check, History, Operation};
+//! use mpsync_lincheck::specs::CounterSpec;
+//!
+//! // Two non-overlapping fetch-and-increments both claiming to have seen 0:
+//! // impossible for a linearizable counter.
+//! let h = History::from_ops(vec![
+//!     Operation { thread: 0, op: (), ret: 0, invoked: 0, returned: 1 },
+//!     Operation { thread: 1, op: (), ret: 0, invoked: 2, returned: 3 },
+//! ]);
+//! assert!(check(&CounterSpec, &h).is_err());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub mod specs;
+
+/// Maximum history size [`check`] accepts (the remaining-set is a `u64`
+/// bitmask).
+pub const MAX_OPS: usize = 64;
+
+/// A sequential specification of a concurrent object.
+pub trait SeqSpec {
+    /// Abstract state of the object.
+    type State: Clone + Eq + Hash;
+    /// Operation descriptor (e.g. `Enqueue(5)`).
+    type Op: Clone;
+    /// Result value of an operation.
+    type Ret: PartialEq + Clone + std::fmt::Debug;
+
+    /// Initial abstract state.
+    fn init(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the new state and the result the
+    /// sequential object would produce.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation in a history.
+#[derive(Debug, Clone)]
+pub struct Operation<O, R> {
+    /// Thread that performed the operation.
+    pub thread: usize,
+    /// The operation.
+    pub op: O,
+    /// The result the implementation returned.
+    pub ret: R,
+    /// Logical timestamp of the invocation.
+    pub invoked: u64,
+    /// Logical timestamp of the response. Must be `> invoked`.
+    pub returned: u64,
+}
+
+/// A complete concurrent history (every operation has returned).
+#[derive(Debug, Clone)]
+pub struct History<O, R> {
+    ops: Vec<Operation<O, R>>,
+}
+
+impl<O, R> Default for History<O, R> {
+    fn default() -> Self {
+        Self { ops: Vec::new() }
+    }
+}
+
+impl<O, R> History<O, R> {
+    /// Builds a history from completed operations.
+    pub fn from_ops(ops: Vec<Operation<O, R>>) -> Self {
+        Self { ops }
+    }
+
+    /// The operations of the history.
+    pub fn ops(&self) -> &[Operation<O, R>] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Why a history failed the linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinError {
+    /// No linearization of the history matches the sequential spec.
+    NotLinearizable,
+    /// The history is larger than [`MAX_OPS`].
+    TooLarge(usize),
+    /// An operation has `returned <= invoked`.
+    BadTimestamps {
+        /// Index of the offending operation.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for LinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotLinearizable => write!(f, "history admits no valid linearization"),
+            Self::TooLarge(n) => write!(f, "history of {n} ops exceeds the {MAX_OPS}-op limit"),
+            Self::BadTimestamps { index } => {
+                write!(f, "operation {index} returned at or before its invocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinError {}
+
+/// Checks whether `history` is linearizable with respect to `spec`.
+///
+/// On success returns a witness: the indices of the history's operations in
+/// a valid linearization order.
+pub fn check<S: SeqSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+) -> Result<Vec<usize>, LinError> {
+    let ops = history.ops();
+    let n = ops.len();
+    if n > MAX_OPS {
+        return Err(LinError::TooLarge(n));
+    }
+    if let Some(i) = ops.iter().position(|o| o.returned <= o.invoked) {
+        return Err(LinError::BadTimestamps { index: i });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut visited: HashSet<(u64, S::State)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::with_capacity(n);
+
+    if dfs(spec, ops, full, &spec.init(), &mut visited, &mut witness) {
+        Ok(witness)
+    } else {
+        Err(LinError::NotLinearizable)
+    }
+}
+
+fn dfs<S: SeqSpec>(
+    spec: &S,
+    ops: &[Operation<S::Op, S::Ret>],
+    remaining: u64,
+    state: &S::State,
+    visited: &mut HashSet<(u64, S::State)>,
+    witness: &mut Vec<usize>,
+) -> bool {
+    if remaining == 0 {
+        return true;
+    }
+    if !visited.insert((remaining, state.clone())) {
+        return false;
+    }
+    // An op may linearize first iff no *other remaining* op returned before
+    // it was invoked; equivalently, its invocation precedes the earliest
+    // remaining response.
+    let min_return = ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| remaining & (1 << i) != 0)
+        .map(|(_, o)| o.returned)
+        .min()
+        .expect("remaining non-empty");
+    for i in 0..ops.len() {
+        if remaining & (1 << i) == 0 {
+            continue;
+        }
+        let o = &ops[i];
+        if o.invoked > min_return {
+            continue;
+        }
+        let (next_state, ret) = spec.apply(state, &o.op);
+        if ret != o.ret {
+            continue;
+        }
+        witness.push(i);
+        if dfs(spec, ops, remaining & !(1 << i), &next_state, visited, witness) {
+            return true;
+        }
+        witness.pop();
+    }
+    false
+}
+
+/// Records a concurrent history with logical timestamps drawn from a shared
+/// monotone counter.
+///
+/// The counter gives a valid "happened-before" witness: if operation A's
+/// response was recorded before operation B's invocation in real time, A's
+/// `returned` stamp is smaller than B's `invoked` stamp.
+pub struct Recorder<O, R> {
+    clock: Arc<AtomicU64>,
+    _marker: std::marker::PhantomData<fn() -> (O, R)>,
+}
+
+impl<O: Send + 'static, R: Send + 'static> Recorder<O, R> {
+    /// Creates a recorder.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            clock: Arc::new(AtomicU64::new(0)),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates a per-thread handle. `thread` labels the operations.
+    pub fn handle(&self, thread: usize) -> RecorderHandle<O, R> {
+        RecorderHandle {
+            clock: Arc::clone(&self.clock),
+            thread,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Merges per-thread logs into a single history.
+    pub fn collect(self, handles: Vec<RecorderHandle<O, R>>) -> History<O, R> {
+        let mut ops = Vec::new();
+        for h in handles {
+            ops.extend(h.ops);
+        }
+        History::from_ops(ops)
+    }
+}
+
+/// Per-thread log of timestamped operations.
+pub struct RecorderHandle<O, R> {
+    clock: Arc<AtomicU64>,
+    thread: usize,
+    ops: Vec<Operation<O, R>>,
+}
+
+impl<O, R> RecorderHandle<O, R> {
+    /// Runs `f` as the implementation of `op`, recording invocation and
+    /// response timestamps around it.
+    pub fn record(&mut self, op: O, f: impl FnOnce() -> R) {
+        let invoked = self.clock.fetch_add(1, Ordering::AcqRel);
+        let ret = f();
+        let returned = self.clock.fetch_add(1, Ordering::AcqRel);
+        self.ops.push(Operation {
+            thread: self.thread,
+            op,
+            ret,
+            invoked,
+            returned,
+        });
+    }
+
+    /// Number of operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::specs::{QueueOp, QueueSpec, RegisterOp, RegisterSpec, CounterSpec};
+    use super::*;
+
+    fn op<O, R>(thread: usize, op: O, ret: R, invoked: u64, returned: u64) -> Operation<O, R> {
+        Operation {
+            thread,
+            op,
+            ret,
+            invoked,
+            returned,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<(), u64> = History::default();
+        assert_eq!(check(&CounterSpec, &h).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sequential_counter_ok() {
+        let h = History::from_ops(vec![
+            op(0, (), 0, 0, 1),
+            op(0, (), 1, 2, 3),
+            op(0, (), 2, 4, 5),
+        ]);
+        assert_eq!(check(&CounterSpec, &h).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_counter_needs_reorder() {
+        // Thread 1's op is concurrent with thread 0's and must linearize
+        // first (it saw 0, thread 0 saw 1).
+        let h = History::from_ops(vec![op(0, (), 1, 0, 5), op(1, (), 0, 1, 2)]);
+        assert_eq!(check(&CounterSpec, &h).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn duplicate_fetch_inc_rejected() {
+        // Non-overlapping ops both claiming to have seen 0.
+        let h = History::from_ops(vec![op(0, (), 0, 0, 1), op(1, (), 0, 2, 3)]);
+        assert_eq!(check(&CounterSpec, &h), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn real_time_order_respected() {
+        // A register: write 1 completes, then a read of 0 begins — the stale
+        // read must be rejected even though some reordering "explains" it.
+        let h = History::from_ops(vec![
+            op(0, RegisterOp::Write(1), None, 0, 1),
+            op(1, RegisterOp::Read, Some(0), 2, 3),
+        ]);
+        assert_eq!(check(&RegisterSpec, &h), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn concurrent_stale_read_accepted() {
+        // Same as above but the read overlaps the write: linearizable.
+        let h = History::from_ops(vec![
+            op(0, RegisterOp::Write(1), None, 0, 3),
+            op(1, RegisterOp::Read, Some(0), 1, 2),
+        ]);
+        assert!(check(&RegisterSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn queue_fifo_violation_rejected() {
+        let h = History::from_ops(vec![
+            op(0, QueueOp::Enqueue(1), None, 0, 1),
+            op(0, QueueOp::Enqueue(2), None, 2, 3),
+            op(1, QueueOp::Dequeue, Some(2), 4, 5),
+        ]);
+        assert_eq!(check(&QueueSpec, &h), Err(LinError::NotLinearizable));
+    }
+
+    #[test]
+    fn queue_fifo_ok() {
+        let h = History::from_ops(vec![
+            op(0, QueueOp::Enqueue(1), None, 0, 1),
+            op(0, QueueOp::Enqueue(2), None, 2, 3),
+            op(1, QueueOp::Dequeue, Some(1), 4, 5),
+            op(1, QueueOp::Dequeue, Some(2), 6, 7),
+            op(1, QueueOp::Dequeue, None, 8, 9),
+        ]);
+        assert!(check(&QueueSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn bad_timestamps_detected() {
+        let h = History::from_ops(vec![op(0, (), 0u64, 5, 5)]);
+        assert_eq!(
+            check(&CounterSpec, &h),
+            Err(LinError::BadTimestamps { index: 0 })
+        );
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let ops: Vec<_> = (0..65).map(|i| op(0, (), i, 2 * i, 2 * i + 1)).collect();
+        let h = History::from_ops(ops);
+        assert_eq!(check(&CounterSpec, &h), Err(LinError::TooLarge(65)));
+    }
+
+    #[test]
+    fn recorder_produces_checkable_history() {
+        let rec: Recorder<(), u64> = Recorder::new();
+        let mut h0 = rec.handle(0);
+        let mut counter = 0u64;
+        for _ in 0..5 {
+            h0.record((), || {
+                let old = counter;
+                counter += 1;
+                old
+            });
+        }
+        assert_eq!(h0.len(), 5);
+        assert!(!h0.is_empty());
+        let history = rec.collect(vec![h0]);
+        assert!(check(&CounterSpec, &history).is_ok());
+    }
+}

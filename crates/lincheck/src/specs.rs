@@ -1,0 +1,175 @@
+//! Ready-made sequential specifications for the objects the paper evaluates:
+//! counters (§5.3), FIFO queues and LIFO stacks (§5.4), plus a register used
+//! in the checker's own tests.
+
+use std::collections::VecDeque;
+
+use crate::SeqSpec;
+
+/// Fetch-and-increment counter: every op increments and returns the previous
+/// value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSpec;
+
+impl SeqSpec for CounterSpec {
+    type State = u64;
+    type Op = ();
+    type Ret = u64;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, s: &u64, _op: &()) -> (u64, u64) {
+        (s + 1, *s)
+    }
+}
+
+/// Operations on a single read/write register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// Read the current value.
+    Read,
+    /// Write a new value (returns `None`).
+    Write(u64),
+}
+
+/// A 64-bit read/write register initialized to 0. Reads return `Some(v)`,
+/// writes return `None`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegisterSpec;
+
+impl SeqSpec for RegisterSpec {
+    type State = u64;
+    type Op = RegisterOp;
+    type Ret = Option<u64>;
+
+    fn init(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, s: &u64, op: &RegisterOp) -> (u64, Option<u64>) {
+        match op {
+            RegisterOp::Read => (*s, Some(*s)),
+            RegisterOp::Write(v) => (*v, None),
+        }
+    }
+}
+
+/// Operations on a FIFO queue of 64-bit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Append a value (returns `None`).
+    Enqueue(u64),
+    /// Remove the oldest value; returns `Some(v)` or `None` when empty.
+    Dequeue,
+}
+
+/// FIFO queue specification. Enqueue returns `None`; dequeue returns the
+/// dequeued value or `None` on empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueSpec;
+
+impl SeqSpec for QueueSpec {
+    type State = VecDeque<u64>;
+    type Op = QueueOp;
+    type Ret = Option<u64>;
+
+    fn init(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, s: &VecDeque<u64>, op: &QueueOp) -> (VecDeque<u64>, Option<u64>) {
+        let mut next = s.clone();
+        match op {
+            QueueOp::Enqueue(v) => {
+                next.push_back(*v);
+                (next, None)
+            }
+            QueueOp::Dequeue => {
+                let ret = next.pop_front();
+                (next, ret)
+            }
+        }
+    }
+}
+
+/// Operations on a LIFO stack of 64-bit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value (returns `None`).
+    Push(u64),
+    /// Pop the newest value; returns `Some(v)` or `None` when empty.
+    Pop,
+}
+
+/// LIFO stack specification. Push returns `None`; pop returns the popped
+/// value or `None` on empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackSpec;
+
+impl SeqSpec for StackSpec {
+    type State = Vec<u64>;
+    type Op = StackOp;
+    type Ret = Option<u64>;
+
+    fn init(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, s: &Vec<u64>, op: &StackOp) -> (Vec<u64>, Option<u64>) {
+        let mut next = s.clone();
+        match op {
+            StackOp::Push(v) => {
+                next.push(*v);
+                (next, None)
+            }
+            StackOp::Pop => {
+                let ret = next.pop();
+                (next, ret)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_spec_sequence() {
+        let s = CounterSpec;
+        let (s1, r1) = s.apply(&s.init(), &());
+        let (_, r2) = s.apply(&s1, &());
+        assert_eq!((r1, r2), (0, 1));
+    }
+
+    #[test]
+    fn register_spec_read_after_write() {
+        let s = RegisterSpec;
+        let (st, _) = s.apply(&s.init(), &RegisterOp::Write(9));
+        assert_eq!(s.apply(&st, &RegisterOp::Read).1, Some(9));
+    }
+
+    #[test]
+    fn queue_spec_fifo() {
+        let s = QueueSpec;
+        let (st, _) = s.apply(&s.init(), &QueueOp::Enqueue(1));
+        let (st, _) = s.apply(&st, &QueueOp::Enqueue(2));
+        let (st, r1) = s.apply(&st, &QueueOp::Dequeue);
+        let (st, r2) = s.apply(&st, &QueueOp::Dequeue);
+        let (_, r3) = s.apply(&st, &QueueOp::Dequeue);
+        assert_eq!((r1, r2, r3), (Some(1), Some(2), None));
+    }
+
+    #[test]
+    fn stack_spec_lifo() {
+        let s = StackSpec;
+        let (st, _) = s.apply(&s.init(), &StackOp::Push(1));
+        let (st, _) = s.apply(&st, &StackOp::Push(2));
+        let (st, r1) = s.apply(&st, &StackOp::Pop);
+        let (st, r2) = s.apply(&st, &StackOp::Pop);
+        let (_, r3) = s.apply(&st, &StackOp::Pop);
+        assert_eq!((r1, r2, r3), (Some(2), Some(1), None));
+    }
+}

@@ -1,0 +1,205 @@
+//! Concurrent counters (§5.3's microbenchmark object).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mpsync_core::ApplyOp;
+
+use crate::seq::counter_ops;
+use crate::Counter;
+
+/// A counter handle backed by any critical-section executor: `fetch_inc`
+/// submits the `INC` opcode through the executor's `apply_op`.
+pub struct CsCounter<A> {
+    inner: A,
+}
+
+impl<A: ApplyOp> CsCounter<A> {
+    /// Wraps an executor handle.
+    pub fn new(inner: A) -> Self {
+        Self { inner }
+    }
+
+    /// Adds `delta`, returning the new value.
+    pub fn add(&mut self, delta: u64) -> u64 {
+        self.inner.apply(counter_ops::ADD, delta)
+    }
+
+    /// Reads the current value.
+    pub fn get(&mut self) -> u64 {
+        self.inner.apply(counter_ops::GET, 0)
+    }
+
+    /// Recovers the wrapped executor handle.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: ApplyOp> Counter for CsCounter<A> {
+    #[inline]
+    fn fetch_inc(&mut self) -> u64 {
+        self.inner.apply(counter_ops::INC, 0)
+    }
+}
+
+/// The trivial hardware baseline: a single atomic fetch-and-add cell.
+///
+/// On machines with scalable fetch-and-add this is the upper bound for a
+/// pure counter; it cannot, however, generalize to arbitrary critical
+/// sections, which is what the universal constructions are for.
+#[derive(Clone, Default)]
+pub struct AtomicCounter {
+    cell: Arc<AtomicU64>,
+}
+
+impl AtomicCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl Counter for AtomicCounter {
+    #[inline]
+    fn fetch_inc(&mut self) -> u64 {
+        self.cell.fetch_add(1, Ordering::AcqRel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsync_core::{CcSynch, HybComb, LockCs, McsLock, MpServer, ShmServer, TicketLock};
+    use mpsync_udn::{Fabric, FabricConfig};
+
+    type CounterFn = fn(&mut u64, u64, u64) -> u64;
+    const DISPATCH: CounterFn = crate::seq::counter_dispatch;
+
+    fn check_permutation(results: Vec<u64>, expected_total: u64) {
+        let mut all = results;
+        all.sort_unstable();
+        assert_eq!(all, (0..expected_total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn atomic_counter_concurrent() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 5_000;
+        let counter = AtomicCounter::new();
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = counter.clone();
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        check_permutation(all, THREADS as u64 * OPS);
+        assert_eq!(counter.get(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn mp_server_counter() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+        let server = MpServer::spawn(fabric.register_any().unwrap(), 0u64, DISPATCH);
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = CsCounter::new(server.client(fabric.register_any().unwrap()));
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        check_permutation(all, THREADS as u64 * OPS);
+        assert_eq!(server.shutdown(), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn shm_server_counter() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let server = ShmServer::spawn(THREADS, 0u64, DISPATCH);
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = CsCounter::new(server.client());
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        check_permutation(all, THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn hybcomb_counter() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let hc = Arc::new(HybComb::new(THREADS, 50, 0u64, DISPATCH));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = CsCounter::new(hc.handle(fabric.register_any().unwrap()));
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        check_permutation(all, THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn cc_synch_counter() {
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let cs = Arc::new(CcSynch::new(THREADS, 50, 0u64, DISPATCH));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let mut c = CsCounter::new(cs.handle());
+            joins.push(std::thread::spawn(move || {
+                (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        check_permutation(all, THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn lock_counters() {
+        fn run<L: mpsync_core::CsLock>() {
+            const THREADS: usize = 4;
+            const OPS: u64 = 2_000;
+            let cs = LockCs::<u64, L, CounterFn>::new(0, DISPATCH);
+            let mut joins = Vec::new();
+            for _ in 0..THREADS {
+                let mut c = CsCounter::new(cs.handle());
+                joins.push(std::thread::spawn(move || {
+                    (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+                }));
+            }
+            let all: Vec<u64> =
+                joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+            check_permutation(all, THREADS as u64 * OPS);
+        }
+        run::<TicketLock>();
+        run::<McsLock>();
+    }
+
+    #[test]
+    fn cs_counter_extra_ops() {
+        let cs = LockCs::<u64, TicketLock, CounterFn>::new(0, DISPATCH);
+        let mut c = CsCounter::new(cs.handle());
+        assert_eq!(c.fetch_inc(), 0);
+        assert_eq!(c.add(9), 10);
+        assert_eq!(c.get(), 10);
+        drop(c);
+        assert_eq!(cs.into_state(), 10);
+    }
+}

@@ -1,0 +1,570 @@
+//! LCRQ — the nonblocking FIFO queue of Morrison & Afek (PPoPP 2013), as
+//! adapted by the paper for the TILE-Gx (§5.4, footnote 5):
+//!
+//! * no 128-bit `CAS2`: a ring cell packs `(safe bit, 31-bit index, 32-bit
+//!   value)` into one `u64`, so the queue stores **32-bit values**;
+//! * no bitwise test-and-set (`BTAS`): closing a ring uses a plain CAS loop.
+//!
+//! Structure: a linked list of *circular ring queues* (CRQs). Within a CRQ,
+//! enqueuers and dequeuers claim slots with fetch-and-add on `tail`/`head`
+//! and settle each cell with CAS. When a CRQ fills (or an enqueuer starves),
+//! it is *closed* and a fresh CRQ is appended; dequeuers retire drained
+//! CRQs. Retired CRQs are reclaimed with epoch-based reclamation
+//! (`crossbeam-epoch`), standing in for the original's hazard-pointer-free
+//! scheme.
+//!
+//! The paper's observation about this algorithm on the TILE-Gx — that its
+//! many atomics execute at two memory controllers and falsely serialize —
+//! is a *performance* property reproduced by the `tilesim` crate; the
+//! implementation here is the functional queue.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+use crate::ConcurrentQueue;
+
+/// log2 of the default CRQ ring size (the original paper uses rings of a
+/// few hundred to a few thousand slots).
+pub const LCRQ_RING_ORDER: u32 = 10;
+
+/// The reserved "no value" mark inside a cell (the algorithm's ⊥).
+const BOTTOM: u32 = u32::MAX;
+
+/// Closed bit on a CRQ's tail counter.
+const CLOSED: u64 = 1 << 63;
+
+/// Number of failed deposit attempts before an enqueuer closes the ring
+/// (starvation avoidance, as in the original).
+const STARVATION_LIMIT: u32 = 16;
+
+/// Packs `(safe, idx, val)` into a cell word: bit 63 = safe, bits 62..32 =
+/// idx (mod 2^31), bits 31..0 = val.
+#[inline]
+fn pack(safe: bool, idx: u64, val: u32) -> u64 {
+    ((safe as u64) << 63) | ((idx & 0x7fff_ffff) << 32) | val as u64
+}
+
+#[inline]
+fn unpack(cell: u64) -> (bool, u64, u32) {
+    (cell >> 63 == 1, (cell >> 32) & 0x7fff_ffff, cell as u32)
+}
+
+/// Compares a full position against a cell's 31-bit stored index.
+#[inline]
+fn idx_eq(stored: u64, pos: u64) -> bool {
+    stored == (pos & 0x7fff_ffff)
+}
+
+#[inline]
+fn idx_gt(stored: u64, pos: u64) -> bool {
+    // Positions are monotone and the window between head and any live cell
+    // index is far below 2^31 in any realistic execution, so a plain
+    // comparison on the truncated values is used, as in ports that lack a
+    // wide CAS. (A CRQ wraps its 31-bit index space after 2^31 operations;
+    // the queue must be re-created before that point.)
+    stored > (pos & 0x7fff_ffff)
+}
+
+struct Crq {
+    head: CachePaddedU64,
+    tail: CachePaddedU64,
+    next: Atomic<Crq>,
+    ring: Box<[AtomicU64]>,
+    order: u32,
+}
+
+/// Minimal cache-line padding for the two hot counters.
+#[repr(align(128))]
+struct CachePaddedU64(AtomicU64);
+
+impl Crq {
+    fn new(order: u32) -> Self {
+        let size = 1usize << order;
+        let ring = (0..size as u64)
+            .map(|i| AtomicU64::new(pack(true, i, BOTTOM)))
+            .collect();
+        Self {
+            head: CachePaddedU64(AtomicU64::new(0)),
+            tail: CachePaddedU64(AtomicU64::new(0)),
+            next: Atomic::null(),
+            ring,
+            order,
+        }
+    }
+
+    /// A fresh CRQ already containing `v` at slot 0 (used when appending
+    /// after a closed ring, so the appender's enqueue succeeds atomically
+    /// with the append).
+    fn with_first(order: u32, v: u32) -> Self {
+        let crq = Self::new(order);
+        crq.ring[0].store(pack(true, 0, v), Ordering::Relaxed);
+        crq.tail.0.store(1, Ordering::Relaxed);
+        crq
+    }
+
+    #[inline]
+    fn size(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    #[inline]
+    fn cell(&self, pos: u64) -> &AtomicU64 {
+        &self.ring[(pos & (self.size() - 1)) as usize]
+    }
+
+    /// Sets the closed bit with a CAS loop (the paper's BTAS replacement).
+    fn close(&self) {
+        let mut t = self.tail.0.load(Ordering::Relaxed);
+        while t & CLOSED == 0 {
+            match self.tail.0.compare_exchange_weak(
+                t,
+                t | CLOSED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(cur) => t = cur,
+            }
+        }
+    }
+
+    /// Tries to enqueue `v`; `false` means the ring is closed (caller must
+    /// append a new CRQ).
+    fn enqueue(&self, v: u32) -> bool {
+        let mut tries = 0u32;
+        loop {
+            let t_raw = self.tail.0.fetch_add(1, Ordering::AcqRel);
+            if t_raw & CLOSED != 0 {
+                return false;
+            }
+            let t = t_raw;
+            let cell = self.cell(t);
+            let old = cell.load(Ordering::Acquire);
+            let (safe, idx, val) = unpack(old);
+            if val == BOTTOM
+                && !idx_gt(idx, t)
+                && (safe || self.head.0.load(Ordering::Acquire) <= t)
+                && cell
+                    .compare_exchange(old, pack(true, t, v), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return true;
+                }
+            // Deposit failed: close if full or starving.
+            let h = self.head.0.load(Ordering::Acquire);
+            tries += 1;
+            if t.wrapping_sub(h) >= self.size() || tries >= STARVATION_LIMIT {
+                self.close();
+                return false;
+            }
+        }
+    }
+
+    /// Tries to dequeue; `None` means this CRQ is (transiently) empty.
+    fn dequeue(&self) -> Option<u32> {
+        loop {
+            let h = self.head.0.fetch_add(1, Ordering::AcqRel);
+            let cell = self.cell(h);
+            // Cell loop: settle the cell at position h.
+            loop {
+                let old = cell.load(Ordering::Acquire);
+                let (safe, idx, val) = unpack(old);
+                if idx_gt(idx, h) {
+                    break; // cell already belongs to a later round
+                }
+                if val != BOTTOM {
+                    if idx_eq(idx, h) {
+                        // The value deposited for exactly this position.
+                        if cell
+                            .compare_exchange(
+                                old,
+                                pack(safe, h + self.size(), BOTTOM),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            return Some(val);
+                        }
+                    } else {
+                        // A lagging value from an earlier round: mark the
+                        // cell unsafe so its enqueuer cannot be satisfied
+                        // out of order.
+                        if cell
+                            .compare_exchange(
+                                old,
+                                pack(false, idx, val),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                } else {
+                    // Empty cell: advance its index past h so a slow
+                    // enqueuer for position h fails its deposit.
+                    if cell
+                        .compare_exchange(
+                            old,
+                            pack(safe, h + self.size(), BOTTOM),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            // Empty check: if the tail is not ahead of us, the ring holds
+            // nothing for this dequeuer.
+            let t = self.tail.0.load(Ordering::Acquire) & !CLOSED;
+            if t <= h + 1 {
+                self.fix_state();
+                return None;
+            }
+        }
+    }
+
+    /// If dequeuers overshot the tail, lift the tail to the head so that
+    /// subsequent enqueues do not deposit at already-consumed positions.
+    fn fix_state(&self) {
+        loop {
+            let t_raw = self.tail.0.load(Ordering::Acquire);
+            let h = self.head.0.load(Ordering::Acquire);
+            if (t_raw & !CLOSED) >= h {
+                return;
+            }
+            let new = h | (t_raw & CLOSED);
+            if self
+                .tail
+                .0
+                .compare_exchange(t_raw, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Snapshot emptiness test used by the outer queue's second-chance
+    /// logic.
+    fn looks_empty(&self) -> bool {
+        let h = self.head.0.load(Ordering::Acquire);
+        let t = self.tail.0.load(Ordering::Acquire) & !CLOSED;
+        t <= h
+    }
+}
+
+/// The LCRQ nonblocking queue of `u32` values (the paper's 32-bit port).
+///
+/// ```
+/// use std::sync::Arc;
+/// use mpsync_objects::queue::Lcrq;
+/// use mpsync_objects::ConcurrentQueue;
+///
+/// let q = Arc::new(Lcrq::new());
+/// let mut h = q.handle();
+/// h.enqueue(1);
+/// h.enqueue(2);
+/// assert_eq!(h.dequeue(), Some(1));
+/// assert_eq!(h.dequeue(), Some(2));
+/// assert_eq!(h.dequeue(), None);
+/// ```
+pub struct Lcrq {
+    head: Atomic<Crq>,
+    tail: Atomic<Crq>,
+    order: u32,
+}
+
+impl Lcrq {
+    /// Creates a queue with the default ring size (2^[`LCRQ_RING_ORDER`]).
+    pub fn new() -> Self {
+        Self::with_ring_order(LCRQ_RING_ORDER)
+    }
+
+    /// Creates a queue whose CRQs hold `2^order` slots.
+    pub fn with_ring_order(order: u32) -> Self {
+        assert!((1..=30).contains(&order), "ring order must be in 1..=30");
+        let first = Owned::new(Crq::new(order));
+        let queue = Self {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+            order,
+        };
+        let guard = epoch::pin();
+        let shared = first.into_shared(&guard);
+        queue.head.store(shared, Ordering::Relaxed);
+        queue.tail.store(shared, Ordering::Relaxed);
+        queue
+    }
+
+    /// Enqueues a 32-bit value (`u32::MAX` is reserved as ⊥).
+    pub fn enqueue(&self, v: u32) {
+        assert_ne!(v, BOTTOM, "u32::MAX is the reserved BOTTOM mark");
+        let guard = epoch::pin();
+        loop {
+            let tail_ptr = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: protected by the epoch guard; tail is never null.
+            let crq = unsafe { tail_ptr.deref() };
+            let next = crq.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Help swing the tail forward.
+                let _ = self.tail.compare_exchange(
+                    tail_ptr,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                    &guard,
+                );
+                continue;
+            }
+            if crq.enqueue(v) {
+                return;
+            }
+            // Ring closed: append a fresh CRQ carrying v.
+            let new = Owned::new(Crq::with_first(self.order, v));
+            match crq.next.compare_exchange(
+                Shared::null(),
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &guard,
+            ) {
+                Ok(new_shared) => {
+                    let _ = self.tail.compare_exchange(
+                        tail_ptr,
+                        new_shared,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        &guard,
+                    );
+                    return;
+                }
+                Err(_) => {
+                    // Someone else appended; retry from the new tail. The
+                    // `Owned` in `e.new` is dropped here, freeing our ring.
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Dequeues a value, or `None` when the queue is observed empty.
+    pub fn dequeue(&self) -> Option<u32> {
+        let guard = epoch::pin();
+        loop {
+            let head_ptr = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: protected by the epoch guard; head is never null.
+            let crq = unsafe { head_ptr.deref() };
+            if let Some(v) = crq.dequeue() {
+                return Some(v);
+            }
+            // This CRQ looked empty. If there is no successor, the whole
+            // queue is empty.
+            let next = crq.next.load(Ordering::Acquire, &guard);
+            if next.is_null() {
+                return None;
+            }
+            // A successor exists (the ring is closed). An in-flight
+            // enqueuer may still deposit, so give the ring a second chance
+            // before retiring it.
+            if let Some(v) = crq.dequeue() {
+                return Some(v);
+            }
+            if !crq.looks_empty() {
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head_ptr, next, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .is_ok()
+            {
+                // SAFETY: head_ptr is now unreachable from the queue; the
+                // epoch guard defers destruction past all current readers.
+                unsafe { guard.defer_destroy(head_ptr) };
+            }
+        }
+    }
+
+    /// Creates a cloneable per-thread handle.
+    pub fn handle(self: &Arc<Self>) -> LcrqHandle {
+        LcrqHandle {
+            queue: Arc::clone(self),
+        }
+    }
+}
+
+impl Default for Lcrq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for Lcrq {
+    fn drop(&mut self) {
+        // SAFETY: we have exclusive access; unprotected traversal is fine.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            while !cur.is_null() {
+                let next = cur.deref().next.load(Ordering::Relaxed, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+/// Per-thread handle to an [`Lcrq`]; stores values `< u32::MAX`.
+#[derive(Clone)]
+pub struct LcrqHandle {
+    queue: Arc<Lcrq>,
+}
+
+impl ConcurrentQueue for LcrqHandle {
+    #[inline]
+    fn enqueue(&mut self, v: u64) {
+        assert!(v < BOTTOM as u64, "LCRQ stores 32-bit values (< u32::MAX)");
+        self.queue.enqueue(v as u32);
+    }
+
+    #[inline]
+    fn dequeue(&mut self) -> Option<u64> {
+        self.queue.dequeue().map(u64::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_packing_roundtrip() {
+        for &(safe, idx, val) in &[
+            (true, 0u64, 0u32),
+            (false, 12345, 678),
+            (true, 0x7fff_ffff, BOTTOM - 1),
+            (false, 1, BOTTOM),
+        ] {
+            assert_eq!(unpack(pack(safe, idx, val)), (safe, idx, val));
+        }
+    }
+
+    #[test]
+    fn sequential_fifo() {
+        let q = Lcrq::new();
+        assert_eq!(q.dequeue(), None);
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn wraps_within_one_ring() {
+        let q = Lcrq::with_ring_order(3); // 8 slots
+        for round in 0..50u32 {
+            for i in 0..6 {
+                q.enqueue(round * 100 + i);
+            }
+            for i in 0..6 {
+                assert_eq!(q.dequeue(), Some(round * 100 + i));
+            }
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn overflow_spills_to_new_ring() {
+        let q = Lcrq::with_ring_order(2); // 4 slots
+        for i in 0..64 {
+            q.enqueue(i);
+        }
+        for i in 0..64 {
+            assert_eq!(q.dequeue(), Some(i), "lost or reordered at {i}");
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn bottom_value_rejected() {
+        let q = Lcrq::new();
+        q.enqueue(BOTTOM);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        use std::sync::atomic::AtomicU64;
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: u32 = 20_000;
+
+        let q = Arc::new(Lcrq::with_ring_order(6));
+        let mut joins = Vec::new();
+        for p in 0..PRODUCERS as u32 {
+            let q = Arc::clone(&q);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.enqueue(p * PER_PRODUCER + i);
+                }
+                Vec::new()
+            }));
+        }
+        let total = (PRODUCERS as u64) * PER_PRODUCER as u64;
+        let drained = Arc::new(AtomicU64::new(0));
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            let drained = Arc::clone(&drained);
+            joins.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while drained.load(Ordering::Relaxed) < total {
+                    if let Some(v) = q.dequeue() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                        got.push(v);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        assert_eq!(all.len() as u64, total);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len() as u64, total, "duplicate or lost values");
+    }
+
+    #[test]
+    fn per_producer_order_preserved() {
+        const PER: u32 = 30_000;
+        let q = Arc::new(Lcrq::with_ring_order(5));
+        let qp = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            for i in 0..PER {
+                qp.enqueue(i);
+            }
+        });
+        let mut last: Option<u32> = None;
+        let mut seen = 0;
+        while seen < PER {
+            if let Some(v) = q.dequeue() {
+                if let Some(prev) = last {
+                    assert!(v > prev, "FIFO violated: {v} after {prev}");
+                }
+                last = Some(v);
+                seen += 1;
+            }
+        }
+        producer.join().unwrap();
+    }
+}

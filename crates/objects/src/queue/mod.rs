@@ -1,0 +1,20 @@
+//! Concurrent FIFO queues from the paper's evaluation (§5.4, Figure 5a):
+//!
+//! * [`CsQueue`] — a sequential queue under one executor (the paper's
+//!   best-performing "single-lock MS-queue" configuration);
+//! * [`TwoLockQueue`] — the Michael & Scott two-lock queue, with the
+//!   enqueue and dequeue critical sections protected by *two independent*
+//!   executors (two servers per queue instance for the server approaches);
+//! * [`Lcrq`] — the nonblocking LCRQ of Morrison & Afek, with the paper's
+//!   TILE-Gx adaptations (32-bit values in 64-bit-CAS cells, CAS loop in
+//!   place of the missing bitwise test-and-set).
+
+mod lcrq;
+mod onelock;
+mod twolock;
+
+pub use lcrq::{Lcrq, LcrqHandle, LCRQ_RING_ORDER};
+pub use onelock::CsQueue;
+pub use twolock::{
+    enq_dispatch, deq_dispatch, DeqSide, EnqSide, TwoLockQueue, TwoLockQueueHandle,
+};

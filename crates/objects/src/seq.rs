@@ -1,0 +1,158 @@
+//! Sequential states and dispatch functions for executor-backed objects.
+//!
+//! Each function here is a *critical-section body*: it runs under the mutual
+//! exclusion provided by whichever executor protects the state. Opcodes are
+//! small integers (the paper's §5.2 opcode optimization), and results are
+//! single 64-bit words ([`EMPTY`](crate::EMPTY) encodes "nothing").
+
+use std::collections::VecDeque;
+
+use crate::EMPTY;
+
+/// Opcodes understood by [`counter_dispatch`].
+pub mod counter_ops {
+    /// Fetch-and-increment; returns the previous value.
+    pub const INC: u64 = 0;
+    /// Add `arg`; returns the new value.
+    pub const ADD: u64 = 1;
+    /// Read the current value.
+    pub const GET: u64 = 2;
+}
+
+/// Critical-section body for a shared `u64` counter (§5.3's microbenchmark).
+pub fn counter_dispatch(state: &mut u64, op: u64, arg: u64) -> u64 {
+    match op {
+        counter_ops::INC => {
+            let old = *state;
+            *state += 1;
+            old
+        }
+        counter_ops::ADD => {
+            *state = state.wrapping_add(arg);
+            *state
+        }
+        counter_ops::GET => *state,
+        _ => panic!("counter: unknown opcode {op}"),
+    }
+}
+
+/// Opcodes understood by [`queue_dispatch`].
+pub mod queue_ops {
+    /// Enqueue `arg`; returns 0.
+    pub const ENQ: u64 = 0;
+    /// Dequeue; returns the value or `EMPTY`.
+    pub const DEQ: u64 = 1;
+    /// Current length.
+    pub const LEN: u64 = 2;
+}
+
+/// A sequential FIFO queue state for the paper's single-lock MS-queue
+/// configuration (both CSes under one executor).
+pub type SeqQueue = VecDeque<u64>;
+
+/// Critical-section body for a sequential FIFO queue.
+pub fn queue_dispatch(state: &mut SeqQueue, op: u64, arg: u64) -> u64 {
+    match op {
+        queue_ops::ENQ => {
+            debug_assert_ne!(arg, EMPTY, "EMPTY sentinel is not storable");
+            state.push_back(arg);
+            0
+        }
+        queue_ops::DEQ => state.pop_front().unwrap_or(EMPTY),
+        queue_ops::LEN => state.len() as u64,
+        _ => panic!("queue: unknown opcode {op}"),
+    }
+}
+
+/// Opcodes understood by [`stack_dispatch`].
+pub mod stack_ops {
+    /// Push `arg`; returns 0.
+    pub const PUSH: u64 = 0;
+    /// Pop; returns the value or `EMPTY`.
+    pub const POP: u64 = 1;
+    /// Current depth.
+    pub const LEN: u64 = 2;
+}
+
+/// A sequential LIFO stack state (the paper's coarse-lock stack, §5.4).
+pub type SeqStack = Vec<u64>;
+
+/// Critical-section body for a sequential stack.
+pub fn stack_dispatch(state: &mut SeqStack, op: u64, arg: u64) -> u64 {
+    match op {
+        stack_ops::PUSH => {
+            debug_assert_ne!(arg, EMPTY, "EMPTY sentinel is not storable");
+            state.push(arg);
+            0
+        }
+        stack_ops::POP => state.pop().unwrap_or(EMPTY),
+        stack_ops::LEN => state.len() as u64,
+        _ => panic!("stack: unknown opcode {op}"),
+    }
+}
+
+/// State for the variable-length critical section of Figure 4c: an array
+/// whose elements are incremented in a loop, `arg` iterations per CS.
+pub type ArrayCs = Vec<u64>;
+
+/// Critical-section body for Figure 4c: `arg` loop iterations, one array
+/// element increment each (wrapping around the array).
+pub fn array_cs_dispatch(state: &mut ArrayCs, _op: u64, arg: u64) -> u64 {
+    let n = state.len();
+    debug_assert!(n > 0, "array CS needs a non-empty array");
+    for i in 0..arg as usize {
+        state[i % n] = state[i % n].wrapping_add(1);
+    }
+    arg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ops_work() {
+        let mut s = 0u64;
+        assert_eq!(counter_dispatch(&mut s, counter_ops::INC, 0), 0);
+        assert_eq!(counter_dispatch(&mut s, counter_ops::INC, 0), 1);
+        assert_eq!(counter_dispatch(&mut s, counter_ops::ADD, 8), 10);
+        assert_eq!(counter_dispatch(&mut s, counter_ops::GET, 0), 10);
+    }
+
+    #[test]
+    fn queue_ops_fifo() {
+        let mut q = SeqQueue::new();
+        queue_dispatch(&mut q, queue_ops::ENQ, 5);
+        queue_dispatch(&mut q, queue_ops::ENQ, 6);
+        assert_eq!(queue_dispatch(&mut q, queue_ops::LEN, 0), 2);
+        assert_eq!(queue_dispatch(&mut q, queue_ops::DEQ, 0), 5);
+        assert_eq!(queue_dispatch(&mut q, queue_ops::DEQ, 0), 6);
+        assert_eq!(queue_dispatch(&mut q, queue_ops::DEQ, 0), EMPTY);
+    }
+
+    #[test]
+    fn stack_ops_lifo() {
+        let mut s = SeqStack::new();
+        stack_dispatch(&mut s, stack_ops::PUSH, 5);
+        stack_dispatch(&mut s, stack_ops::PUSH, 6);
+        assert_eq!(stack_dispatch(&mut s, stack_ops::LEN, 0), 2);
+        assert_eq!(stack_dispatch(&mut s, stack_ops::POP, 0), 6);
+        assert_eq!(stack_dispatch(&mut s, stack_ops::POP, 0), 5);
+        assert_eq!(stack_dispatch(&mut s, stack_ops::POP, 0), EMPTY);
+    }
+
+    #[test]
+    fn array_cs_touches_arg_elements() {
+        let mut a = vec![0u64; 4];
+        assert_eq!(array_cs_dispatch(&mut a, 0, 6), 6);
+        assert_eq!(a, vec![2, 2, 1, 1]);
+        assert_eq!(array_cs_dispatch(&mut a, 0, 0), 0);
+        assert_eq!(a, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown opcode")]
+    fn unknown_counter_opcode_panics() {
+        counter_dispatch(&mut 0, 99, 0);
+    }
+}

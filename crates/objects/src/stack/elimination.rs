@@ -1,0 +1,247 @@
+//! Elimination-backoff stack [Shavit & Touitou 1995; Hendler, Shavit, Yerushalmi 2004].
+//!
+//! The paper evaluates a *non-elimination* stack on the grounds that
+//! "elimination is orthogonal to the content of this paper" and that its
+//! stacks "can be used to back up an elimination-based stack" (§5.4). This
+//! module provides exactly that back-up composition: a Treiber stack front
+//! (one CAS attempt), falling back to an *elimination array* where a
+//! concurrent push and pop exchange values directly and never touch the
+//! stack top, and finally retrying.
+//!
+//! Exchanger slot protocol (one `u64` per slot):
+//!
+//! * `EMPTY_SLOT` — free;
+//! * a pusher CASes `EMPTY_SLOT → WAITING | value` and waits briefly;
+//! * a popper CASes `WAITING | value → MATCHED`, taking the value;
+//! * the pusher observes `MATCHED`, resets the slot to `EMPTY_SLOT`, done;
+//! * on timeout the pusher CASes `WAITING | value → EMPTY_SLOT` and falls
+//!   back to the stack (if the CAS fails, a popper got there first — the
+//!   exchange succeeded after all).
+//!
+//! Values are limited to 62 bits (two tag bits).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+
+use crate::stack::TreiberStack;
+use crate::ConcurrentStack;
+
+const TAG_SHIFT: u32 = 62;
+const TAG_MASK: u64 = 0b11 << TAG_SHIFT;
+const VALUE_MASK: u64 = !TAG_MASK;
+
+const EMPTY_SLOT: u64 = 0;
+const WAITING: u64 = 0b01 << TAG_SHIFT;
+const MATCHED: u64 = 0b10 << TAG_SHIFT;
+
+/// How long a pusher camps on an elimination slot before falling back.
+const EXCHANGE_SPINS: u32 = 64;
+
+/// A Treiber stack backed by an elimination array.
+///
+/// Stores values below `2^62` (two bits are used as exchange tags).
+///
+/// ```
+/// use std::sync::Arc;
+/// use mpsync_objects::stack::EliminationStack;
+/// use mpsync_objects::ConcurrentStack;
+///
+/// let s = Arc::new(EliminationStack::new(4));
+/// let mut h = s.handle();
+/// h.push(10);
+/// h.push(20);
+/// assert_eq!(h.pop(), Some(20));
+/// assert_eq!(h.pop(), Some(10));
+/// assert_eq!(h.pop(), None);
+/// ```
+pub struct EliminationStack {
+    stack: TreiberStack,
+    slots: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl EliminationStack {
+    /// Creates a stack with `slots` elimination exchangers (a small power
+    /// of two near the expected concurrency works well).
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "need at least one elimination slot");
+        Self {
+            stack: TreiberStack::new(),
+            slots: (0..slots)
+                .map(|_| CachePadded::new(AtomicU64::new(EMPTY_SLOT)))
+                .collect(),
+        }
+    }
+
+    fn slot_for(&self, hint: u64) -> &AtomicU64 {
+        &self.slots[(hint as usize) % self.slots.len()]
+    }
+
+    /// Pushes `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not fit in 62 bits.
+    pub fn push(&self, v: u64, hint: u64) {
+        assert_eq!(v & TAG_MASK, 0, "elimination stack stores 62-bit values");
+        loop {
+            // Fast path: one Treiber attempt.
+            if self.stack.try_push(v) {
+                return;
+            }
+            // Contention: offer the value for elimination.
+            let slot = self.slot_for(hint);
+            if slot
+                .compare_exchange(EMPTY_SLOT, WAITING | v, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                for _ in 0..EXCHANGE_SPINS {
+                    if slot.load(Ordering::Acquire) == MATCHED {
+                        slot.store(EMPTY_SLOT, Ordering::Release);
+                        return; // a popper took the value
+                    }
+                    std::hint::spin_loop();
+                }
+                // Timeout: withdraw the offer — unless a popper just won.
+                match slot.compare_exchange(
+                    WAITING | v,
+                    EMPTY_SLOT,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {}
+                    Err(_) => {
+                        // Must be MATCHED: the exchange happened.
+                        slot.store(EMPTY_SLOT, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops the newest value (or one eliminated against a concurrent push);
+    /// `None` when the stack is empty and no pusher is waiting to exchange.
+    pub fn pop(&self, hint: u64) -> Option<u64> {
+        loop {
+            let empty = match self.stack.try_pop() {
+                Ok(Some(v)) => return Some(v),
+                Ok(None) => true,
+                Err(()) => false,
+            };
+            // Contention or empty: look for a waiting pusher to eliminate
+            // against (an exchange linearizes as push immediately followed
+            // by this pop).
+            let slot = self.slot_for(hint);
+            let cur = slot.load(Ordering::Acquire);
+            if cur & TAG_MASK == WAITING
+                && slot
+                    .compare_exchange(cur, MATCHED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(cur & VALUE_MASK);
+            }
+            if empty {
+                return None;
+            }
+        }
+    }
+
+    /// Creates a per-thread handle (each handle cycles its own slot hint).
+    pub fn handle(self: &Arc<Self>) -> EliminationHandle {
+        EliminationHandle {
+            stack: Arc::clone(self),
+            hint: 0x9E37_79B9_7F4A_7C15u64
+                .wrapping_mul(Arc::strong_count(self) as u64),
+        }
+    }
+}
+
+/// Per-thread handle to an [`EliminationStack`].
+#[derive(Clone)]
+pub struct EliminationHandle {
+    stack: Arc<EliminationStack>,
+    hint: u64,
+}
+
+impl EliminationHandle {
+    fn next_hint(&mut self) -> u64 {
+        self.hint = self.hint.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.hint >> 33
+    }
+}
+
+impl ConcurrentStack for EliminationHandle {
+    #[inline]
+    fn push(&mut self, v: u64) {
+        let h = self.next_hint();
+        self.stack.push(v, h);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u64> {
+        let h = self.next_hint();
+        self.stack.pop(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_when_uncontended() {
+        let s = EliminationStack::new(4);
+        assert_eq!(s.pop(0), None);
+        s.push(1, 0);
+        s.push(2, 0);
+        assert_eq!(s.pop(0), Some(2));
+        assert_eq!(s.pop(0), Some(1));
+        assert_eq!(s.pop(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "62-bit")]
+    fn oversized_value_rejected() {
+        let s = EliminationStack::new(1);
+        s.push(1 << 63, 0);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: u64 = 4;
+        const OPS: u64 = 10_000;
+        let s = Arc::new(EliminationStack::new(2));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mut h = s.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..OPS {
+                    h.push(t * OPS + i);
+                    if let Some(v) = h.pop() {
+                        mine.push(v);
+                    }
+                }
+                while let Some(v) = h.pop() {
+                    mine.push(v);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..THREADS * OPS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn direct_exchange_via_slot() {
+        // A popper and pusher meeting in the array exchange without the
+        // stack: simulate by preloading the slot with a WAITING offer.
+        let s = EliminationStack::new(1);
+        s.slots[0].store(WAITING | 77, Ordering::Release);
+        assert_eq!(s.pop(0), Some(77));
+        assert_eq!(s.slots[0].load(Ordering::Acquire), MATCHED);
+    }
+}

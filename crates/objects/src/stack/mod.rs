@@ -1,0 +1,17 @@
+//! Concurrent stacks from the paper's evaluation (§5.4, Figure 5b):
+//!
+//! * [`CsStack`] — a sequential stack under any executor (the paper's
+//!   coarse-lock stack, the best performer with MP-SERVER/HYBCOMB);
+//! * [`TreiberStack`] — the classical nonblocking stack, whose CAS-on-top
+//!   contention the paper shows collapsing under load;
+//! * [`EliminationStack`] — the paper sets elimination aside as orthogonal
+//!   but notes its stacks "can be used to back up an elimination-based
+//!   stack"; this type provides exactly that composition, as an extension.
+
+mod coarse;
+mod elimination;
+mod treiber;
+
+pub use coarse::CsStack;
+pub use elimination::{EliminationHandle, EliminationStack};
+pub use treiber::{TreiberHandle, TreiberStack};

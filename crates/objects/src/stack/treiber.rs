@@ -1,0 +1,216 @@
+//! Treiber's nonblocking stack (IBM TR RJ 5118, 1986): a linked list whose
+//! top pointer is manipulated with CAS.
+//!
+//! As the paper observes (Figure 5b), the single CAS-contended top makes the
+//! stack collapse under load — most CAS attempts fail and retry — which is
+//! exactly why a sequential stack behind MP-SERVER or HYBCOMB beats it.
+//! Nodes are reclaimed with epoch-based reclamation.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+
+use crate::{ConcurrentStack, EMPTY};
+
+struct Node {
+    value: u64,
+    next: Atomic<Node>,
+}
+
+/// The Treiber stack of `u64` values.
+pub struct TreiberStack {
+    top: Atomic<Node>,
+}
+
+impl TreiberStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self {
+            top: Atomic::null(),
+        }
+    }
+
+    /// Pushes `v` (must not be [`EMPTY`]).
+    pub fn push(&self, v: u64) {
+        debug_assert_ne!(v, EMPTY, "EMPTY sentinel is not storable");
+        let guard = epoch::pin();
+        let mut node = Owned::new(Node {
+            value: v,
+            next: Atomic::null(),
+        });
+        loop {
+            let top = self.top.load(Ordering::Acquire, &guard);
+            node.next.store(top, Ordering::Relaxed);
+            match self
+                .top
+                .compare_exchange(top, node, Ordering::AcqRel, Ordering::Acquire, &guard)
+            {
+                Ok(_) => return,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Pops the newest value, or `None` when empty.
+    pub fn pop(&self) -> Option<u64> {
+        let guard = epoch::pin();
+        loop {
+            let top = self.top.load(Ordering::Acquire, &guard);
+            let node = unsafe { top.as_ref() }?;
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if self
+                .top
+                .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, &guard)
+                .is_ok()
+            {
+                // SAFETY: `top` is now unlinked; epoch reclamation defers
+                // the free past concurrent readers.
+                unsafe { guard.defer_destroy(top) };
+                return Some(node.value);
+            }
+        }
+    }
+
+    /// A single push attempt: one CAS. Returns `false` on contention (the
+    /// caller may retry, or try elimination — see
+    /// [`EliminationStack`](crate::stack::EliminationStack)).
+    pub fn try_push(&self, v: u64) -> bool {
+        debug_assert_ne!(v, EMPTY, "EMPTY sentinel is not storable");
+        let guard = epoch::pin();
+        let node = Owned::new(Node {
+            value: v,
+            next: Atomic::null(),
+        });
+        let top = self.top.load(Ordering::Acquire, &guard);
+        node.next.store(top, Ordering::Relaxed);
+        self.top
+            .compare_exchange(top, node, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_ok()
+    }
+
+    /// A single pop attempt: `Ok(Some(v))` on success, `Ok(None)` if the
+    /// stack was empty, `Err(())` on CAS contention.
+    #[allow(clippy::result_unit_err)] // Err carries no information beyond "lost the race"
+    pub fn try_pop(&self) -> Result<Option<u64>, ()> {
+        let guard = epoch::pin();
+        let top = self.top.load(Ordering::Acquire, &guard);
+        let Some(node) = (unsafe { top.as_ref() }) else {
+            return Ok(None);
+        };
+        let next = node.next.load(Ordering::Acquire, &guard);
+        if self
+            .top
+            .compare_exchange(top, next, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_ok()
+        {
+            // SAFETY: unlinked; epoch defers the free past readers.
+            unsafe { guard.defer_destroy(top) };
+            Ok(Some(node.value))
+        } else {
+            Err(())
+        }
+    }
+
+    /// Creates a cloneable per-thread handle.
+    pub fn handle(self: &Arc<Self>) -> TreiberHandle {
+        TreiberHandle {
+            stack: Arc::clone(self),
+        }
+    }
+}
+
+impl Default for TreiberStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TreiberStack {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access at drop; unprotected traversal.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.top.load(Ordering::Relaxed, guard);
+            while !cur.is_null() {
+                let next = cur.deref().next.load(Ordering::Relaxed, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+/// Per-thread handle to a [`TreiberStack`].
+#[derive(Clone)]
+pub struct TreiberHandle {
+    stack: Arc<TreiberStack>,
+}
+
+impl ConcurrentStack for TreiberHandle {
+    #[inline]
+    fn push(&mut self, v: u64) {
+        self.stack.push(v);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_semantics() {
+        let s = TreiberStack::new();
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        s.push(4);
+        assert_eq!(s.pop(), Some(4));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn drop_with_contents_is_clean() {
+        let s = TreiberStack::new();
+        for i in 0..1_000 {
+            s.push(i);
+        }
+        drop(s);
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: u64 = 4;
+        const OPS: u64 = 10_000;
+        let s = Arc::new(TreiberStack::new());
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mut h = s.handle();
+            joins.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..OPS {
+                    h.push(t * OPS + i);
+                    if let Some(v) = h.pop() {
+                        mine.push(v);
+                    }
+                }
+                while let Some(v) = h.pop() {
+                    mine.push(v);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..THREADS * OPS).collect::<Vec<_>>());
+    }
+}

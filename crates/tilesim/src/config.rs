@@ -1,0 +1,208 @@
+//! Machine configuration: topology and latency parameters.
+//!
+//! Defaults approximate the TILE-Gx8036 the paper evaluates on (36 cores at
+//! 1.2 GHz on a 6×6 mesh, two memory controllers executing atomic
+//! instructions, per-core hardware message buffers of 118 words). The cycle
+//! costs are calibrated so that the *magnitudes* the paper reports emerge —
+//! ~10 cycles per operation on an MP-SERVER under load, ~50 on the
+//! shared-memory servers with more than half of them stalls (Figure 4a) —
+//! without claiming cycle-accuracy for the real chip.
+
+/// Simulator cycle counts and machine shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Clock frequency in Hz, used only to convert cycles to ops/second
+    /// (TILE-Gx8036: 1.2 GHz).
+    pub freq_hz: f64,
+
+    /// Cycles for a load/store that hits the local cache.
+    pub l1_hit: u64,
+    /// Base cycles of any remote memory reference (directory lookup etc.),
+    /// on top of the hop-proportional part.
+    pub rmr_base: u64,
+    /// Cycles per mesh hop (one way).
+    pub hop: u64,
+    /// Extra cycles when an RMR must invalidate or fetch from another
+    /// core's cache (owner forwarding / invalidation round).
+    pub coherence_extra: u64,
+    /// Serialization at a line's *home tile* per directory transaction
+    /// (miss service or invalidation). A line hammered by many cores
+    /// queues at its home — the mechanism that collapses CAS-retry
+    /// structures (Treiber's top) without affecting distributed traffic.
+    pub dir_occupancy: u64,
+
+    /// Base latency of one atomic operation at a memory controller, on top
+    /// of travel and queuing (TILE-Gx executes FAA/CAS/SWAP at the
+    /// controllers, not in the local cache — §5.3, §5.4).
+    pub ctrl_op: u64,
+    /// Controller serialization (occupancy) when an atomic hits the *same*
+    /// line as the previous atomic at that controller — the streaming fast
+    /// path that lets HYBCOMB's single `n_ops` line absorb one FAA every
+    /// handful of cycles.
+    pub ctrl_occupancy_same: u64,
+    /// Controller serialization when an atomic targets a *different* line
+    /// than the previous one — the paper's §5.4 "false serialization": "two
+    /// atomic instructions might collide on the memory controller even if
+    /// they have independent data sets", which is what flattens LCRQ on
+    /// this machine.
+    pub ctrl_occupancy_switch: u64,
+    /// Number of memory controllers (TILE-Gx8036: 2).
+    pub controllers: usize,
+
+    /// Cycles to inject a message into the network (asynchronous send).
+    pub send_inject: u64,
+    /// Fixed wire latency of a message between cores, on top of the
+    /// hop-proportional part (serialization through the UDN, packetization).
+    /// Affects delivery time only — the sender does not wait for it.
+    pub msg_wire_base: u64,
+    /// Fixed cycles of a `receive` that finds its words ready.
+    pub recv_base: u64,
+    /// Additional cycles per received word.
+    pub recv_word: u64,
+    /// Cycles of an `is_queue_empty` check (local buffer probe).
+    pub queue_probe: u64,
+    /// Capacity of a core's hardware message queue, in words (TILE-Gx: 118).
+    pub queue_capacity: usize,
+
+    /// Cycles per iteration of the benchmark's local-work loop (§5.2: "a
+    /// random number of empty loop iterations (at most 50)").
+    pub work_iter: u64,
+}
+
+impl MachineConfig {
+    /// The TILE-Gx8036-like default machine.
+    pub fn tile_gx8036() -> Self {
+        Self {
+            rows: 6,
+            cols: 6,
+            freq_hz: 1.2e9,
+            l1_hit: 2,
+            rmr_base: 1,
+            hop: 1,
+            coherence_extra: 3,
+            dir_occupancy: 10,
+            ctrl_op: 18,
+            ctrl_occupancy_same: 8,
+            ctrl_occupancy_switch: 30,
+            controllers: 2,
+            send_inject: 2,
+            msg_wire_base: 12,
+            recv_base: 2,
+            recv_word: 1,
+            queue_probe: 1,
+            queue_capacity: 118,
+            work_iter: 3,
+        }
+    }
+
+    /// A machine with x86-like remote-reference costs (§5.5: proportionally
+    /// more stalls per operation than the TILE-Gx), for the `tab-x86`
+    /// sensitivity experiment.
+    pub fn x86_like() -> Self {
+        Self {
+            rmr_base: 35,
+            coherence_extra: 20,
+            dir_occupancy: 10,
+            ctrl_op: 12,
+            ctrl_occupancy_same: 6,
+            ctrl_occupancy_switch: 10,
+            ..Self::tile_gx8036()
+        }
+    }
+
+    /// Number of cores on the mesh.
+    pub fn cores(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Mesh coordinates of a core.
+    pub fn coords(&self, core: usize) -> (usize, usize) {
+        (core / self.cols, core % self.cols)
+    }
+
+    /// Manhattan hop distance between two cores.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u64
+    }
+
+    /// Hop distance from a core to a memory controller. The controllers sit
+    /// at the middle of the left and right chip edges.
+    pub fn hops_to_controller(&self, core: usize, ctrl: usize) -> u64 {
+        let (r, c) = self.coords(core);
+        let ctrl_row = self.rows / 2;
+        let ctrl_col_dist = if ctrl.is_multiple_of(2) {
+            c + 1 // left edge
+        } else {
+            self.cols - c // right edge
+        };
+        (r.abs_diff(ctrl_row) + ctrl_col_dist) as u64
+    }
+
+    /// One-way wire latency between two cores.
+    pub fn wire(&self, a: usize, b: usize) -> u64 {
+        self.hop * self.hops(a, b)
+    }
+
+    /// Converts an operation count over a cycle span to Mops/second at the
+    /// configured frequency.
+    pub fn mops(&self, ops: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        ops as f64 / (cycles as f64 / self.freq_hz) / 1e6
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::tile_gx8036()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_defaults_shape() {
+        let c = MachineConfig::tile_gx8036();
+        assert_eq!(c.cores(), 36);
+        assert_eq!(c.coords(0), (0, 0));
+        assert_eq!(c.coords(35), (5, 5));
+        assert_eq!(c.coords(7), (1, 1));
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let c = MachineConfig::tile_gx8036();
+        assert_eq!(c.hops(0, 0), 0);
+        assert_eq!(c.hops(0, 35), 10);
+        assert_eq!(c.hops(0, 1), 1);
+        assert_eq!(c.hops(0, 6), 1);
+        assert_eq!(c.hops(7, 14), 2);
+    }
+
+    #[test]
+    fn controller_distances_differ_by_edge() {
+        let c = MachineConfig::tile_gx8036();
+        // Core 12 is at (2, 0): immediately next to the left edge.
+        assert!(c.hops_to_controller(12, 0) < c.hops_to_controller(12, 1));
+        // Core 17 is at (2, 5): right edge.
+        assert!(c.hops_to_controller(17, 1) < c.hops_to_controller(17, 0));
+    }
+
+    #[test]
+    fn mops_conversion() {
+        let c = MachineConfig::tile_gx8036();
+        // 1.2e9 cycles = 1 second; 120e6 ops in 1 s = 120 Mops/s.
+        let m = c.mops(120_000_000, 1_200_000_000);
+        assert!((m - 120.0).abs() < 1e-9);
+        assert_eq!(c.mops(5, 0), 0.0);
+    }
+}

@@ -1,0 +1,809 @@
+//! The discrete-event engine.
+//!
+//! Each simulated core runs one *proc*: an OS thread executing a plain Rust
+//! closure that issues [`Request`]s through its [`Ctx`] handle and blocks
+//! until the engine answers. The engine processes exactly one proc at a
+//! time, in global simulated-time order (ties broken by core id), so the
+//! simulation is fully deterministic regardless of host scheduling —
+//! and, because effects apply in that single global order, the simulated
+//! memory is sequentially consistent, exactly the paper's §2 model.
+//!
+//! When the simulation horizon is reached, blocked and running procs are
+//! torn down by answering [`Response::Stopped`], which `Ctx` converts into a
+//! panic payload caught by the proc wrapper — so workload closures are
+//! written as infinite loops without any stop-flag plumbing.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::config::MachineConfig;
+use crate::mem::{Addr, Memory};
+use crate::stats::{CoreStats, Metric, SimResult, N_METRICS};
+
+/// A request a proc issues to the engine.
+#[derive(Debug)]
+enum Request {
+    Read(Addr),
+    Write(Addr, u64),
+    Faa(Addr, u64),
+    Cas(Addr, u64, u64),
+    Swap(Addr, u64),
+    Send { dest: usize, words: Vec<u64> },
+    Receive(usize),
+    IsQueueEmpty,
+    QueuePending,
+    Work(u64),
+    Now,
+    Record(Metric, u64),
+    Done { panic_msg: Option<String> },
+}
+
+/// The engine's answer to a request.
+#[derive(Debug)]
+enum Response {
+    Value(u64),
+    Values(Vec<u64>),
+    Bool(bool),
+    Unit,
+    /// Simulation horizon reached: the proc must unwind.
+    Stopped,
+}
+
+/// Panic payload used to unwind a proc at the simulation horizon.
+struct StopSim;
+
+/// Silences the default panic hook for `StopSim` unwinds (they are the
+/// engine's normal teardown mechanism, not errors); every other panic goes
+/// to the previously installed hook.
+fn install_quiet_stop_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<StopSim>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Per-proc handle through which simulated code talks to the machine.
+///
+/// All methods advance simulated time; see [`MachineConfig`] for costs.
+pub struct Ctx {
+    core: usize,
+    req_tx: Sender<Request>,
+    resp_rx: Receiver<Response>,
+}
+
+impl Ctx {
+    fn roundtrip(&mut self, req: Request) -> Response {
+        self.req_tx.send(req).expect("engine vanished");
+        let resp = self.resp_rx.recv().expect("engine vanished");
+        if matches!(resp, Response::Stopped) {
+            panic::panic_any(StopSim);
+        }
+        resp
+    }
+
+    fn value(&mut self, req: Request) -> u64 {
+        match self.roundtrip(req) {
+            Response::Value(v) => v,
+            r => unreachable!("expected Value, got {r:?}"),
+        }
+    }
+
+    /// The core this proc is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Reads a shared-memory word.
+    pub fn read(&mut self, a: Addr) -> u64 {
+        self.value(Request::Read(a))
+    }
+
+    /// Writes a shared-memory word.
+    pub fn write(&mut self, a: Addr, v: u64) {
+        self.roundtrip(Request::Write(a, v));
+    }
+
+    /// Fetch-and-add; returns the previous value.
+    pub fn faa(&mut self, a: Addr, delta: u64) -> u64 {
+        self.value(Request::Faa(a, delta))
+    }
+
+    /// Compare-and-set; returns whether the swap happened (the boolean
+    /// variant, as in the paper's model).
+    pub fn cas(&mut self, a: Addr, old: u64, new: u64) -> bool {
+        self.value(Request::Cas(a, old, new)) != 0
+    }
+
+    /// Atomic exchange; returns the previous value.
+    pub fn swap(&mut self, a: Addr, v: u64) -> u64 {
+        self.value(Request::Swap(a, v))
+    }
+
+    /// Sends `words` as one message to `dest`'s hardware queue
+    /// (asynchronous; blocks only on back-pressure).
+    pub fn send(&mut self, dest: usize, words: &[u64]) {
+        self.roundtrip(Request::Send {
+            dest,
+            words: words.to_vec(),
+        });
+    }
+
+    /// Receives exactly `k` words from the local queue, blocking as needed.
+    pub fn receive(&mut self, k: usize) -> Vec<u64> {
+        match self.roundtrip(Request::Receive(k)) {
+            Response::Values(v) => v,
+            r => unreachable!("expected Values, got {r:?}"),
+        }
+    }
+
+    /// Receives a single word.
+    pub fn receive1(&mut self) -> u64 {
+        self.receive(1)[0]
+    }
+
+    /// Receives a three-word request `{sender, op, arg}`.
+    pub fn receive3(&mut self) -> [u64; 3] {
+        let v = self.receive(3);
+        [v[0], v[1], v[2]]
+    }
+
+    /// `true` if the local hardware queue currently holds no arrived word.
+    pub fn is_queue_empty(&mut self) -> bool {
+        match self.roundtrip(Request::IsQueueEmpty) {
+            Response::Bool(b) => b,
+            r => unreachable!("expected Bool, got {r:?}"),
+        }
+    }
+
+    /// `true` if any word is queued for this core, *including words still
+    /// in flight on the simulated wire*.
+    ///
+    /// Real hardware cannot see in-flight messages, but this simulator
+    /// charges a fixed wire latency that real short-distance UDN messages
+    /// do not pay; a drain loop that polled only arrived words would close
+    /// combining rounds on that artifact. Use this for "should I keep
+    /// serving?" checks and [`Ctx::is_queue_empty`] for faithful hardware
+    /// probes.
+    pub fn has_pending_traffic(&mut self) -> bool {
+        match self.roundtrip(Request::QueuePending) {
+            Response::Bool(b) => b,
+            r => unreachable!("expected Bool, got {r:?}"),
+        }
+    }
+
+    /// Burns `cycles` of local computation.
+    pub fn work(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.roundtrip(Request::Work(cycles));
+        }
+    }
+
+    /// Current simulated time in cycles (free).
+    pub fn now(&mut self) -> u64 {
+        self.value(Request::Now)
+    }
+
+    /// Adds `v` to this proc's `metric` accumulator (free).
+    pub fn record(&mut self, metric: Metric, v: u64) {
+        self.roundtrip(Request::Record(metric, v));
+    }
+}
+
+#[derive(Debug)]
+#[allow(dead_code)] // `dest` is carried for Debug diagnostics only
+enum ProcState {
+    /// Scheduled in the event heap; `pending` is delivered on resume.
+    Runnable,
+    /// Blocked on `receive(k)` since the given cycle.
+    WaitRecv { k: usize, since: u64 },
+    /// Blocked sending `words` to `dest` since the given cycle.
+    WaitSend {
+        dest: usize,
+        words: Vec<u64>,
+        since: u64,
+    },
+    Finished,
+}
+
+struct ProcSlot {
+    state: ProcState,
+    pending: Option<Response>,
+    req_rx: Receiver<Request>,
+    resp_tx: Sender<Response>,
+    join: Option<JoinHandle<()>>,
+    stats: CoreStats,
+    metrics: [u64; N_METRICS],
+    panic_msg: Option<String>,
+}
+
+/// One core's hardware message queue: words with arrival times, plus the
+/// back-pressured senders waiting for space.
+struct SimQueue {
+    words: VecDeque<(u64, u64)>, // (arrival cycle, value)
+    blocked_senders: VecDeque<usize>,
+}
+
+/// The simulator: owns the machine state and the procs.
+pub struct Engine {
+    cfg: MachineConfig,
+    mem: Memory,
+    procs: Vec<ProcSlot>,
+    queues: Vec<SimQueue>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    clock: u64,
+    stopping: bool,
+}
+
+impl Engine {
+    /// Creates an engine for the given machine.
+    pub fn new(cfg: MachineConfig) -> Self {
+        install_quiet_stop_hook();
+        let queues = (0..cfg.cores())
+            .map(|_| SimQueue {
+                words: VecDeque::new(),
+                blocked_senders: VecDeque::new(),
+            })
+            .collect();
+        Self {
+            cfg,
+            mem: Memory::new(cfg),
+            procs: Vec::new(),
+            queues,
+            heap: BinaryHeap::new(),
+            clock: 0,
+            stopping: false,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Initializes a memory word before the run, without coherence effects
+    /// or cycle charges (protocol state setup).
+    pub fn preset_memory(&mut self, addr: Addr, v: u64) {
+        self.mem.poke(addr, v);
+    }
+
+    /// Adds a proc pinned to the next free core (procs are pinned in
+    /// ascending order, like the paper's thread placement). Returns the
+    /// core index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all cores already have a proc.
+    pub fn add_proc<F>(&mut self, f: F) -> usize
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let core = self.procs.len();
+        assert!(core < self.cfg.cores(), "machine has {} cores", self.cfg.cores());
+        let (req_tx, req_rx) = std::sync::mpsc::channel();
+        let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+        let join = std::thread::Builder::new()
+            .name(format!("simproc-{core}"))
+            .spawn(move || {
+                let mut ctx = Ctx {
+                    core,
+                    req_tx,
+                    resp_rx,
+                };
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                let panic_msg = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        if payload.downcast_ref::<StopSim>().is_some() {
+                            None
+                        } else if let Some(s) = payload.downcast_ref::<&str>() {
+                            Some((*s).to_string())
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            Some(s.clone())
+                        } else {
+                            Some("proc panicked".to_string())
+                        }
+                    }
+                };
+                // The engine may already be gone if it panicked itself.
+                let _ = ctx.req_tx.send(Request::Done { panic_msg });
+            })
+            .expect("failed to spawn sim proc");
+        self.procs.push(ProcSlot {
+            state: ProcState::Runnable,
+            pending: None,
+            req_rx,
+            resp_tx,
+            join: Some(join),
+            stats: CoreStats::default(),
+            metrics: [0; N_METRICS],
+            panic_msg: None,
+        });
+        self.heap.push(Reverse((0, core)));
+        core
+    }
+
+    fn schedule(&mut self, proc: usize, at: u64, resp: Response) {
+        self.procs[proc].pending = Some(resp);
+        self.procs[proc].state = ProcState::Runnable;
+        self.heap.push(Reverse((at, proc)));
+    }
+
+    /// Charges a memory access to a core: `l1_hit` is useful work, the rest
+    /// is a coherence stall.
+    fn charge_mem(&mut self, proc: usize, latency: u64) {
+        let useful = self.cfg.l1_hit.min(latency);
+        self.procs[proc].stats.busy += useful;
+        self.procs[proc].stats.stall += latency - useful;
+        self.procs[proc].stats.mem_ops += 1;
+    }
+
+    /// Queue occupancy check: can `n` more words fit?
+    fn queue_has_room(&self, dest: usize, n: usize) -> bool {
+        self.queues[dest].words.len() + n <= self.cfg.queue_capacity
+    }
+
+    /// Deposits a message and wakes the destination's receiver if it is now
+    /// satisfiable.
+    fn deposit(&mut self, from: usize, dest: usize, words: &[u64], send_time: u64) {
+        let arrival =
+            send_time + self.cfg.send_inject + self.cfg.msg_wire_base + self.cfg.wire(from, dest);
+        for &w in words {
+            self.queues[dest].words.push_back((arrival, w));
+        }
+        self.procs[from].stats.msgs_sent += 1;
+        self.try_wake_receiver(dest);
+    }
+
+    /// If the proc on `core` is blocked in `receive(k)` and k words are now
+    /// queued, completes the receive.
+    fn try_wake_receiver(&mut self, core: usize) {
+        let (k, since) = match self.procs[core].state {
+            ProcState::WaitRecv { k, since } => (k, since),
+            _ => return,
+        };
+        if self.queues[core].words.len() < k {
+            return;
+        }
+        self.complete_receive(core, k, since);
+    }
+
+    /// Pops `k` words for `core`'s proc and schedules its resume.
+    fn complete_receive(&mut self, core: usize, k: usize, issued: u64) {
+        let mut vals = Vec::with_capacity(k);
+        let mut last_arrival = issued;
+        for _ in 0..k {
+            let (arr, v) = self.queues[core].words.pop_front().expect("checked len");
+            last_arrival = last_arrival.max(arr);
+            vals.push(v);
+        }
+        let service = self.cfg.recv_base + self.cfg.recv_word * k as u64;
+        let resume = last_arrival + service;
+        let slot = &mut self.procs[core];
+        slot.stats.busy += service;
+        slot.stats.idle += last_arrival - issued;
+        slot.stats.msgs_recv += 1;
+        self.schedule(core, resume, Response::Values(vals));
+        // Space freed: let blocked senders through (in arrival order).
+        self.drain_blocked_senders(core, resume);
+    }
+
+    fn drain_blocked_senders(&mut self, dest: usize, now: u64) {
+        while let Some(&sender) = self.queues[dest].blocked_senders.front() {
+            let (words, since) = match &self.procs[sender].state {
+                ProcState::WaitSend { words, since, .. } => (words.clone(), *since),
+                _ => unreachable!("blocked sender not in WaitSend"),
+            };
+            if !self.queue_has_room(dest, words.len()) {
+                break;
+            }
+            self.queues[dest].blocked_senders.pop_front();
+            self.procs[sender].stats.idle += now.saturating_sub(since);
+            self.procs[sender].stats.blocked_sends += 1;
+            self.deposit(sender, dest, &words, now);
+            let resume = now + self.cfg.send_inject;
+            self.procs[sender].stats.busy += self.cfg.send_inject;
+            self.schedule(sender, resume, Response::Unit);
+        }
+    }
+
+    fn handle_request(&mut self, proc: usize, req: Request) {
+        let now = self.clock;
+        match req {
+            Request::Read(a) => {
+                let (v, acc) = self.mem.read(proc, a, now);
+                self.charge_mem(proc, acc.latency);
+                self.schedule(proc, now + acc.latency, Response::Value(v));
+            }
+            Request::Write(a, v) => {
+                let acc = self.mem.write(proc, a, v, now);
+                self.charge_mem(proc, acc.latency);
+                self.schedule(proc, now + acc.latency, Response::Unit);
+            }
+            Request::Faa(a, d) => {
+                let (old, acc) = self.mem.atomic(proc, a, now, |v| v.wrapping_add(d));
+                self.charge_mem(proc, acc.latency);
+                self.schedule(proc, now + acc.latency, Response::Value(old));
+            }
+            Request::Cas(a, expect, new) => {
+                let mut ok = false;
+                let (_, acc) = self.mem.atomic(proc, a, now, |v| {
+                    if v == expect {
+                        ok = true;
+                        new
+                    } else {
+                        v
+                    }
+                });
+                self.charge_mem(proc, acc.latency);
+                self.schedule(proc, now + acc.latency, Response::Value(ok as u64));
+            }
+            Request::Swap(a, new) => {
+                let (old, acc) = self.mem.atomic(proc, a, now, |_| new);
+                self.charge_mem(proc, acc.latency);
+                self.schedule(proc, now + acc.latency, Response::Value(old));
+            }
+            Request::Send { dest, words } => {
+                assert!(dest < self.queues.len(), "send to core {dest} out of range");
+                assert!(
+                    words.len() <= self.cfg.queue_capacity,
+                    "message larger than a hardware queue"
+                );
+                if self.queue_has_room(dest, words.len()) {
+                    self.deposit(proc, dest, &words, now);
+                    self.procs[proc].stats.busy += self.cfg.send_inject;
+                    self.schedule(proc, now + self.cfg.send_inject, Response::Unit);
+                } else {
+                    self.procs[proc].state = ProcState::WaitSend {
+                        dest,
+                        words,
+                        since: now,
+                    };
+                    self.queues[dest].blocked_senders.push_back(proc);
+                }
+            }
+            Request::Receive(k) => {
+                assert!(k > 0 && k <= self.cfg.queue_capacity, "bad receive size {k}");
+                if self.queues[proc].words.len() >= k {
+                    self.complete_receive(proc, k, now);
+                } else {
+                    self.procs[proc].state = ProcState::WaitRecv { k, since: now };
+                }
+            }
+            Request::IsQueueEmpty => {
+                let empty = self.queues[proc]
+                    .words
+                    .front()
+                    .map(|&(arr, _)| arr > now)
+                    .unwrap_or(true);
+                self.procs[proc].stats.busy += self.cfg.queue_probe;
+                self.schedule(proc, now + self.cfg.queue_probe, Response::Bool(empty));
+            }
+            Request::QueuePending => {
+                let pending = !self.queues[proc].words.is_empty();
+                self.procs[proc].stats.busy += self.cfg.queue_probe;
+                self.schedule(proc, now + self.cfg.queue_probe, Response::Bool(pending));
+            }
+            Request::Work(cycles) => {
+                self.procs[proc].stats.busy += cycles;
+                self.schedule(proc, now + cycles, Response::Unit);
+            }
+            Request::Now => {
+                self.schedule(proc, now, Response::Value(now));
+            }
+            Request::Record(metric, v) => {
+                self.procs[proc].metrics[metric as usize] += v;
+                self.schedule(proc, now, Response::Unit);
+            }
+            Request::Done { panic_msg } => {
+                self.procs[proc].panic_msg = panic_msg;
+                self.procs[proc].state = ProcState::Finished;
+            }
+        }
+    }
+
+    /// Forces every blocked proc runnable with a `Stopped` response.
+    fn force_stop_blocked(&mut self) {
+        for i in 0..self.procs.len() {
+            match self.procs[i].state {
+                ProcState::WaitRecv { .. } | ProcState::WaitSend { .. } => {
+                    self.schedule(i, self.clock, Response::Stopped);
+                }
+                _ => {}
+            }
+        }
+        for q in &mut self.queues {
+            q.blocked_senders.clear();
+        }
+    }
+
+    /// Runs the simulation until every proc finished or `horizon` cycles
+    /// elapsed, and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a proc panicked (test failures propagate), or on deadlock
+    /// (all procs blocked before the horizon).
+    pub fn run(mut self, horizon: u64) -> SimResult {
+        loop {
+            if self.procs.iter().all(|p| matches!(p.state, ProcState::Finished)) {
+                break;
+            }
+            let Some(Reverse((t, proc))) = self.heap.pop() else {
+                // No event pending. Either procs are mid-teardown (wait for
+                // their Done), or every remaining proc is blocked with no
+                // event that could ever wake it — quiescence; stop them.
+                if self.stopping {
+                    self.reap_done();
+                } else {
+                    self.stopping = true;
+                    self.force_stop_blocked();
+                }
+                continue;
+            };
+            if matches!(self.procs[proc].state, ProcState::Finished) {
+                continue;
+            }
+            self.clock = self.clock.max(t);
+            if self.clock >= horizon && !self.stopping {
+                self.stopping = true;
+                self.force_stop_blocked();
+            }
+            // Deliver the pending response, if any (at the very first
+            // activation there is none: the proc starts by *sending* its
+            // first request). Under teardown, whatever was pending is
+            // replaced by Stopped.
+            if let Some(pending) = self.procs[proc].pending.take() {
+                let resp = if self.stopping {
+                    Response::Stopped
+                } else {
+                    pending
+                };
+                if self.procs[proc].resp_tx.send(resp).is_err() {
+                    // Proc already exited (teardown race); reap below.
+                    self.procs[proc].state = ProcState::Finished;
+                    continue;
+                }
+            }
+            let req = match self.procs[proc].req_rx.recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    self.procs[proc].state = ProcState::Finished;
+                    continue;
+                }
+            };
+            self.handle_request(proc, req);
+        }
+        self.finish(horizon)
+    }
+
+    /// Collects `Done` notifications from procs that are unwinding after a
+    /// forced stop.
+    fn reap_done(&mut self) {
+        for i in 0..self.procs.len() {
+            if matches!(self.procs[i].state, ProcState::Finished) {
+                continue;
+            }
+            match self.procs[i].req_rx.recv() {
+                Ok(Request::Done { panic_msg }) => {
+                    self.procs[i].panic_msg = panic_msg;
+                    self.procs[i].state = ProcState::Finished;
+                }
+                Ok(other) => {
+                    // A proc raced one more request in before seeing the
+                    // stop; answer Stopped and let it unwind.
+                    let _ = other;
+                    let _ = self.procs[i].resp_tx.send(Response::Stopped);
+                }
+                Err(_) => self.procs[i].state = ProcState::Finished,
+            }
+        }
+    }
+
+    fn finish(mut self, horizon: u64) -> SimResult {
+        for p in &mut self.procs {
+            if let Some(j) = p.join.take() {
+                let _ = j.join();
+            }
+        }
+        let mut panics: Vec<String> = Vec::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            if let Some(msg) = &p.panic_msg {
+                panics.push(format!("proc {i}: {msg}"));
+            }
+        }
+        assert!(panics.is_empty(), "sim procs panicked: {panics:?}");
+
+        let per_core: Vec<CoreStats> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mut s = p.stats;
+                s.rmrs = self.mem.rmrs(i);
+                s.atomics = self.mem.atomics(i);
+                s
+            })
+            .collect();
+        let metrics = self.procs.iter().map(|p| p.metrics).collect();
+        SimResult {
+            cfg: self.cfg,
+            cycles: self.clock.min(horizon).max(1),
+            end_clock: self.clock,
+            per_core,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Metric;
+
+    fn small_cfg() -> MachineConfig {
+        MachineConfig {
+            rows: 2,
+            cols: 2,
+            ..MachineConfig::tile_gx8036()
+        }
+    }
+
+    #[test]
+    fn single_proc_memory_ops() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| {
+            ctx.write(10, 5);
+            assert_eq!(ctx.read(10), 5);
+            assert_eq!(ctx.faa(10, 3), 5);
+            assert_eq!(ctx.read(10), 8);
+            assert!(ctx.cas(10, 8, 20));
+            assert!(!ctx.cas(10, 8, 30));
+            assert_eq!(ctx.swap(10, 1), 20);
+            ctx.record(Metric::Ops, 1);
+        });
+        let r = e.run(1_000_000);
+        assert_eq!(r.metrics[0][Metric::Ops as usize], 1);
+        assert!(r.per_core[0].busy > 0);
+    }
+
+    #[test]
+    fn two_procs_message_roundtrip() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| {
+            // Server on core 0.
+            let m = ctx.receive3();
+            assert_eq!(m, [1, 42, 7]);
+            ctx.send(1, &[m[1] + m[2]]);
+        });
+        e.add_proc(|ctx| {
+            ctx.send(0, &[1, 42, 7]);
+            assert_eq!(ctx.receive1(), 49);
+            ctx.record(Metric::Ops, 1);
+        });
+        let r = e.run(100_000);
+        assert_eq!(r.metrics[1][Metric::Ops as usize], 1);
+        assert_eq!(r.per_core[0].msgs_recv, 1);
+        assert_eq!(r.per_core[0].msgs_sent, 1);
+    }
+
+    #[test]
+    fn horizon_stops_infinite_loops() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| loop {
+            ctx.work(10);
+            ctx.record(Metric::Ops, 1);
+        });
+        // A receiver that never gets a message: must be torn down too.
+        e.add_proc(|ctx| {
+            ctx.receive1();
+            unreachable!("no one sends to core 1");
+        });
+        let r = e.run(5_000);
+        let ops = r.metrics[0][Metric::Ops as usize];
+        assert!((490..=510).contains(&ops), "ops {ops}");
+        assert_eq!(r.cycles, 5_000);
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_result() {
+        fn run_once() -> (u64, u64) {
+            let mut e = Engine::new(small_cfg());
+            for p in 0..4 {
+                e.add_proc(move |ctx| {
+                    use rand::{rngs::StdRng, Rng, SeedableRng};
+                    let mut rng = StdRng::seed_from_u64(33 + p as u64);
+                    loop {
+                        ctx.work(rng.gen_range(0..50));
+                        ctx.faa(7, 1);
+                        ctx.record(Metric::Ops, 1);
+                    }
+                });
+            }
+            let r = e.run(20_000);
+            let ops: u64 = r.metrics.iter().map(|m| m[Metric::Ops as usize]).sum();
+            let stalls: u64 = r.per_core.iter().map(|c| c.stall).sum();
+            (ops, stalls)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn backpressure_blocks_sender() {
+        let cfg = MachineConfig {
+            queue_capacity: 4,
+            ..small_cfg()
+        };
+        let mut e = Engine::new(cfg);
+        e.add_proc(|ctx| {
+            // Receiver: wait long, then drain.
+            ctx.work(10_000);
+            for _ in 0..10 {
+                ctx.receive1();
+            }
+        });
+        e.add_proc(|ctx| {
+            for i in 0..10 {
+                ctx.send(0, &[i]); // must block after the queue fills
+            }
+            ctx.record(Metric::Ops, 1);
+        });
+        let r = e.run(1_000_000);
+        assert_eq!(r.metrics[1][Metric::Ops as usize], 1);
+        assert!(r.per_core[1].blocked_sends > 0, "sender never blocked");
+        assert!(r.per_core[1].idle > 0);
+    }
+
+    #[test]
+    fn quiescent_blocked_proc_is_torn_down() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| {
+            ctx.receive1(); // nobody ever sends
+            unreachable!("must be stopped, not satisfied");
+        });
+        e.add_proc(|ctx| {
+            ctx.work(100);
+            ctx.record(Metric::Ops, 1);
+        });
+        // Even with an effectively infinite horizon the run terminates once
+        // no event can ever wake the blocked receiver.
+        let r = e.run(u64::MAX / 2);
+        assert_eq!(r.metrics[1][Metric::Ops as usize], 1);
+    }
+
+    #[test]
+    fn proc_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut e = Engine::new(small_cfg());
+            e.add_proc(|ctx| {
+                ctx.work(5);
+                panic!("boom from sim proc");
+            });
+            e.run(1_000);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn is_queue_empty_sees_arrivals_only() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| {
+            // Wait until the message must have arrived.
+            ctx.work(1_000);
+            assert!(!ctx.is_queue_empty());
+            assert_eq!(ctx.receive1(), 9);
+            assert!(ctx.is_queue_empty());
+        });
+        e.add_proc(|ctx| {
+            ctx.send(0, &[9]);
+        });
+        e.run(100_000);
+    }
+}

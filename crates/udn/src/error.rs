@@ -1,0 +1,66 @@
+//! Error types for registration and sending.
+
+use std::fmt;
+
+use crate::EndpointId;
+
+/// Failure to register a thread on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The requested core index does not exist on this fabric.
+    NoSuchCore {
+        /// Requested core.
+        core: usize,
+        /// Number of cores on the fabric.
+        cores: usize,
+    },
+    /// The requested channel index exceeds the per-core multiplexing factor.
+    NoSuchChannel {
+        /// Requested channel.
+        channel: usize,
+        /// Channels available per core.
+        channels: usize,
+    },
+    /// The (core, channel) pair is already registered by another thread.
+    Busy(EndpointId),
+    /// `register_any` found no free hardware queue anywhere on the fabric.
+    Exhausted,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSuchCore { core, cores } => {
+                write!(f, "core {core} out of range (fabric has {cores} cores)")
+            }
+            Self::NoSuchChannel { channel, channels } => write!(
+                f,
+                "channel {channel} out of range (each core multiplexes {channels} queues)"
+            ),
+            Self::Busy(id) => write!(f, "hardware queue {id} is already registered"),
+            Self::Exhausted => write!(f, "no free hardware queue on the fabric"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Failure to send a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// Destination endpoint id does not exist on this fabric.
+    NoSuchEndpoint(EndpointId),
+    /// `try_send` found the destination queue full.
+    Full(EndpointId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSuchEndpoint(id) => write!(f, "endpoint {id} does not exist"),
+            Self::Full(id) => write!(f, "message queue of endpoint {id} is full"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}

@@ -1,0 +1,230 @@
+//! The fabric: the set of per-core multiplexed hardware queues plus the
+//! registration book-keeping.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::endpoint::{Endpoint, EndpointId, Sender};
+use crate::error::{RegisterError, SendError};
+use crate::queue::WordQueue;
+use crate::stats::FabricStats;
+use crate::{CHANNELS_PER_CORE, QUEUE_CAPACITY_WORDS};
+
+/// Configuration of an emulated message-passing fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Number of cores (the TILE-Gx8036 has 36).
+    pub cores: usize,
+    /// Independent hardware queues multiplexed per core (TILE-Gx: 4).
+    pub channels_per_core: usize,
+    /// Capacity of each queue in 64-bit words (TILE-Gx: 118).
+    pub queue_capacity: usize,
+}
+
+impl FabricConfig {
+    /// TILE-Gx-like defaults (4 channels/core, 118-word queues) with the
+    /// given core count.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            cores,
+            channels_per_core: CHANNELS_PER_CORE,
+            queue_capacity: QUEUE_CAPACITY_WORDS,
+        }
+    }
+
+    /// The full TILE-Gx8036: 36 cores.
+    pub fn tile_gx8036() -> Self {
+        Self::new(36)
+    }
+
+    /// Overrides the per-queue capacity (useful for back-pressure tests).
+    pub fn with_queue_capacity(mut self, words: usize) -> Self {
+        self.queue_capacity = words;
+        self
+    }
+
+    /// Overrides the per-core multiplexing factor.
+    pub fn with_channels_per_core(mut self, channels: usize) -> Self {
+        self.channels_per_core = channels;
+        self
+    }
+}
+
+/// The emulated chip interconnect: owns every hardware queue.
+///
+/// Threads call [`Fabric::register`] (or [`Fabric::register_any`]) to obtain
+/// an [`Endpoint`] — the exclusive consumer handle for one hardware queue —
+/// mirroring the TILE-Gx requirement that "a thread must be pinned to a core
+/// and registered to use the UDN".
+pub struct Fabric {
+    queues: Box<[WordQueue]>,
+    registered: Box<[AtomicBool]>,
+    config: FabricConfig,
+}
+
+impl Fabric {
+    /// Builds a fabric with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(config: FabricConfig) -> Self {
+        assert!(config.cores > 0, "fabric needs at least one core");
+        assert!(config.channels_per_core > 0, "need at least one channel per core");
+        assert!(config.queue_capacity > 0, "queues need non-zero capacity");
+        let n = config.cores * config.channels_per_core;
+        let queues = (0..n).map(|_| WordQueue::new(config.queue_capacity)).collect();
+        let registered = (0..n).map(|_| AtomicBool::new(false)).collect();
+        Self {
+            queues,
+            registered,
+            config,
+        }
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// Total number of hardware queues (`cores × channels_per_core`).
+    pub fn endpoints(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn index(&self, core: usize, channel: usize) -> Result<usize, RegisterError> {
+        if core >= self.config.cores {
+            return Err(RegisterError::NoSuchCore {
+                core,
+                cores: self.config.cores,
+            });
+        }
+        if channel >= self.config.channels_per_core {
+            return Err(RegisterError::NoSuchChannel {
+                channel,
+                channels: self.config.channels_per_core,
+            });
+        }
+        Ok(core * self.config.channels_per_core + channel)
+    }
+
+    /// Registers the calling thread on `(core, channel)`, returning the
+    /// exclusive receive handle for that hardware queue.
+    pub fn register(self: &Arc<Self>, core: usize, channel: usize) -> Result<Endpoint, RegisterError> {
+        let idx = self.index(core, channel)?;
+        if self.registered[idx]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(RegisterError::Busy(EndpointId(idx as u32)));
+        }
+        Ok(Endpoint::new(Arc::clone(self), EndpointId(idx as u32)))
+    }
+
+    /// Registers on the first free hardware queue, scanning cores in
+    /// ascending order (the paper pins thread *i* to core *i*; this helper
+    /// reproduces that assignment when called from threads in spawn order).
+    pub fn register_any(self: &Arc<Self>) -> Result<Endpoint, RegisterError> {
+        for core in 0..self.config.cores {
+            for channel in 0..self.config.channels_per_core {
+                match self.register(core, channel) {
+                    Ok(ep) => return Ok(ep),
+                    Err(RegisterError::Busy(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(RegisterError::Exhausted)
+    }
+
+    /// A send-only handle that is not tied to any hardware queue (it cannot
+    /// receive). Useful for control planes, e.g. a shutdown signaller.
+    pub fn sender(self: &Arc<Self>) -> Sender {
+        Sender::new(Arc::clone(self))
+    }
+
+    pub(crate) fn queue(&self, id: EndpointId) -> Result<&WordQueue, SendError> {
+        self.queues
+            .get(id.0 as usize)
+            .ok_or(SendError::NoSuchEndpoint(id))
+    }
+
+    pub(crate) fn unregister(&self, id: EndpointId) {
+        self.registered[id.0 as usize].store(false, Ordering::Release);
+    }
+
+    /// Whether the given endpoint is currently registered.
+    pub fn is_registered(&self, id: EndpointId) -> bool {
+        self.registered
+            .get(id.0 as usize)
+            .is_some_and(|r| r.load(Ordering::Acquire))
+    }
+
+    /// Aggregate counters across all queues.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            endpoints: self.queues.len(),
+            words_pending: self.queues.iter().map(|q| q.len() as u64).sum(),
+            blocked_sends: self.queues.iter().map(|q| q.blocked_sends()).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("cores", &self.config.cores)
+            .field("channels_per_core", &self.config.channels_per_core)
+            .field("queue_capacity", &self.config.queue_capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_ascending_ids() {
+        let f = Arc::new(Fabric::new(FabricConfig::new(2).with_channels_per_core(2)));
+        let a = f.register_any().unwrap();
+        let b = f.register_any().unwrap();
+        assert_eq!(a.id().index(), 0);
+        assert_eq!(b.id().index(), 1);
+        assert_eq!(a.id().core(&f.config()), 0);
+        assert_eq!(b.id().core(&f.config()), 0);
+        let c = f.register_any().unwrap();
+        let d = f.register_any().unwrap();
+        assert_eq!(c.id().core(&f.config()), 1);
+        assert_eq!(d.id().core(&f.config()), 1);
+        assert!(matches!(f.register_any(), Err(RegisterError::Exhausted)));
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let f = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let _a = f.register(0, 0).unwrap();
+        assert!(matches!(f.register(0, 0), Err(RegisterError::Busy(_))));
+    }
+
+    #[test]
+    fn register_out_of_range() {
+        let f = Arc::new(Fabric::new(FabricConfig::new(1)));
+        assert!(matches!(f.register(5, 0), Err(RegisterError::NoSuchCore { .. })));
+        assert!(matches!(
+            f.register(0, 99),
+            Err(RegisterError::NoSuchChannel { .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_frees_queue_for_reuse() {
+        let f = Arc::new(Fabric::new(FabricConfig::new(1).with_channels_per_core(1)));
+        let a = f.register(0, 0).unwrap();
+        let id = a.id();
+        assert!(f.is_registered(id));
+        drop(a);
+        assert!(!f.is_registered(id));
+        let _b = f.register(0, 0).unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Software emulation of TILE-Gx-style *hardware message passing* (the User
+//! Dynamic Network, UDN).
+//!
+//! The PPoPP'14 paper "Leveraging Hardware Message Passing for Efficient
+//! Thread Synchronization" (Petrović, Ropars, Schiper) evaluates its
+//! algorithms on Tilera's TILE-Gx8036, whose cores exchange messages through
+//! dedicated hardware FIFOs. That hardware is not available on commodity
+//! machines, so this crate provides a faithful *functional* emulation of the
+//! interface the paper's system model (§2) and platform description (§5.1)
+//! rely on:
+//!
+//! * every registered thread owns an incoming FIFO **message queue** of
+//!   64-bit words;
+//! * each core's buffer is **4-way multiplexed** (four independent hardware
+//!   queues per core, so up to four threads can share a core);
+//! * a queue stores up to **118 words** (the TILE-Gx per-core buffer size);
+//! * [`Endpoint::send`] is **asynchronous**: it may return before the message
+//!   is consumed, and messages are never dropped — if the destination queue
+//!   is full the sender eventually **blocks** (back-pressure), exactly like
+//!   messages backing up into the mesh;
+//! * a multi-word message `v1, v2, …, vn` is delivered **contiguously and in
+//!   order** in the destination queue;
+//! * [`Endpoint::receive`] returns `k` words from the head of the local
+//!   queue, blocking until `k` words are available;
+//! * [`Endpoint::is_queue_empty`] reports whether the local queue is empty.
+//!
+//! # Fidelity caveat
+//!
+//! This emulation runs over the host's cache-coherent shared memory, so it
+//! *cannot* reproduce the performance property that makes hardware message
+//! passing attractive (receives that read a core-local buffer without any
+//! coherence traffic). It exists so that the synchronization algorithms built
+//! on top of it (`mpsync-core`) are a real, correct, testable library. The
+//! performance shape of the paper is reproduced separately by the `tilesim`
+//! discrete-event simulator.
+//!
+//! # Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mpsync_udn::{Fabric, FabricConfig};
+//!
+//! let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+//! let a = fabric.register_any().unwrap();
+//! let mut b = fabric.register_any().unwrap();
+//! let b_id = b.id();
+//!
+//! let t = std::thread::spawn(move || {
+//!     let mut buf = [0u64; 3];
+//!     b.receive(&mut buf);
+//!     buf
+//! });
+//! a.send(b_id, &[1, 2, 3]).unwrap();
+//! assert_eq!(t.join().unwrap(), [1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod endpoint;
+mod error;
+mod fabric;
+mod queue;
+mod stats;
+
+pub use endpoint::{Endpoint, EndpointId, Sender};
+pub use error::{RegisterError, SendError};
+pub use fabric::{Fabric, FabricConfig};
+pub use queue::WordQueue;
+pub use stats::{EndpointStats, FabricStats};
+
+/// Number of independent hardware queues multiplexed onto one core's message
+/// buffer on the TILE-Gx (§5.1: "4-way multiplexed").
+pub const CHANNELS_PER_CORE: usize = 4;
+
+/// Capacity, in 64-bit words, of one hardware message queue on the TILE-Gx
+/// (§5.1: "capable of storing up to 118 64-bit words").
+pub const QUEUE_CAPACITY_WORDS: usize = 118;

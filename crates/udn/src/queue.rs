@@ -1,0 +1,420 @@
+//! Bounded multi-producer single-consumer FIFO of 64-bit words.
+//!
+//! This is the building block for one "hardware queue": a generalized
+//! Vyukov-style bounded queue in which a producer reserves a *contiguous run*
+//! of cells with a single `fetch_add`, so that a multi-word message occupies
+//! consecutive positions (the UDN guarantee that the words of one message are
+//! placed in the destination queue in order, without interleaving).
+//!
+//! Cell protocol (all positions are monotonically increasing global indices,
+//! mapped onto the ring with `pos % capacity`):
+//!
+//! * `seq == pos`      — the cell is free for the producer that owns `pos`;
+//! * `seq == pos + 1`  — the cell holds the word written for `pos`;
+//! * after consuming `pos`, the consumer stores `seq = pos + capacity`,
+//!   which is the "free" state for the next lap.
+//!
+//! A producer that reserved positions not yet freed by the consumer spins:
+//! this is exactly the hardware back-pressure behaviour (§5.1: "if a hardware
+//! queue is full, subsequent incoming messages back up into the network and
+//! may cause the sender to block").
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// One ring cell: a publication sequence number plus the word payload.
+struct Cell {
+    seq: AtomicUsize,
+    value: UnsafeCell<u64>,
+}
+
+// The `UnsafeCell` is only written by the producer that owns the cell's
+// current sequence window and only read by the single consumer after the
+// producer published it with a `Release` store of `seq`.
+unsafe impl Sync for Cell {}
+
+/// A bounded MPSC FIFO of `u64` words with contiguous multi-word enqueue.
+///
+/// The single-consumer discipline is enforced by the caller
+/// ([`Endpoint`](crate::Endpoint) owns the consumer side exclusively); the
+/// queue itself only assumes it, it cannot check it.
+pub struct WordQueue {
+    buf: Box<[Cell]>,
+    /// Next position to be reserved by a producer.
+    tail: CachePadded<AtomicUsize>,
+    /// Next position to be consumed. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Number of times a producer had to wait for space (back-pressure).
+    blocked_sends: AtomicU64,
+}
+
+/// Outcome of [`WordQueue::try_reserve`].
+enum Reserve {
+    /// Positions `[start, start + n)` were reserved.
+    At(usize),
+    /// Not enough free space at the moment of the attempt.
+    Full,
+}
+
+impl WordQueue {
+    /// Creates a queue holding at most `capacity` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        let buf = (0..capacity)
+            .map(|i| Cell {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(0),
+            })
+            .collect();
+        Self {
+            buf,
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            head: CachePadded::new(AtomicUsize::new(0)),
+            blocked_sends: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of words the queue can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of words currently enqueued (reserved-but-unpublished words
+    /// count as enqueued; the value is a snapshot and may be stale by the
+    /// time it is observed).
+    #[inline]
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// `true` if no *published* word is available at the head.
+    ///
+    /// This is the consumer-side `is_queue_empty()` of the paper's system
+    /// model: it looks at the head cell's publication flag, so a message
+    /// whose reservation exists but whose first word has not been written
+    /// yet is reported as "not yet there" — matching a hardware FIFO, where
+    /// a word either arrived or did not.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let cell = &self.buf[head % self.buf.len()];
+        cell.seq.load(Ordering::Acquire) != head.wrapping_add(1)
+    }
+
+    /// Number of sends that observed a full queue and had to wait.
+    #[inline]
+    pub fn blocked_sends(&self) -> u64 {
+        self.blocked_sends.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to reserve `n` contiguous positions without blocking.
+    fn try_reserve(&self, n: usize) -> Reserve {
+        let cap = self.buf.len();
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if tail + n > head + cap {
+                return Reserve::Full;
+            }
+            match self.tail.compare_exchange_weak(
+                tail,
+                tail + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Reserve::At(tail),
+                Err(t) => tail = t,
+            }
+        }
+    }
+
+    /// Writes `words` into previously reserved positions starting at `start`.
+    fn publish(&self, start: usize, words: &[u64]) {
+        let cap = self.buf.len();
+        for (i, &w) in words.iter().enumerate() {
+            let pos = start + i;
+            let cell = &self.buf[pos % cap];
+            // Wait until the consumer has freed this cell from the previous
+            // lap. With a successful `try_reserve` this loop does not spin;
+            // with a blocking reservation it is the back-pressure point.
+            let mut spins = 0u32;
+            while cell.seq.load(Ordering::Acquire) != pos {
+                backoff(&mut spins);
+            }
+            // SAFETY: the cell at `pos` is exclusively owned by this producer
+            // between observing `seq == pos` and storing `seq == pos + 1`.
+            unsafe { *cell.value.get() = w };
+            cell.seq.store(pos + 1, Ordering::Release);
+        }
+    }
+
+    /// Enqueues all of `words` as one contiguous message, blocking while the
+    /// queue is full (hardware back-pressure semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` exceeds the queue capacity: such a message
+    /// could never fit and would deadlock real hardware too.
+    pub fn send_blocking(&self, words: &[u64]) {
+        assert!(
+            words.len() <= self.buf.len(),
+            "message of {} words cannot fit a queue of capacity {}",
+            words.len(),
+            self.buf.len()
+        );
+        if words.is_empty() {
+            return;
+        }
+        // Reserve unconditionally: the positions will become free once the
+        // consumer drains preceding words. `publish` waits per-cell.
+        let start = self.tail.fetch_add(words.len(), Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if start + words.len() > head + self.buf.len() {
+            self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+        }
+        self.publish(start, words);
+    }
+
+    /// Attempts to enqueue `words` without blocking.
+    ///
+    /// Returns `false` if the queue did not have room for the whole message
+    /// at the moment of the attempt (the message is *not* partially
+    /// enqueued).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len()` exceeds the queue capacity.
+    pub fn try_send(&self, words: &[u64]) -> bool {
+        assert!(
+            words.len() <= self.buf.len(),
+            "message of {} words cannot fit a queue of capacity {}",
+            words.len(),
+            self.buf.len()
+        );
+        if words.is_empty() {
+            return true;
+        }
+        match self.try_reserve(words.len()) {
+            Reserve::At(start) => {
+                self.publish(start, words);
+                true
+            }
+            Reserve::Full => {
+                self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Dequeues exactly `buf.len()` words from the head of the queue,
+    /// blocking until they are available.
+    ///
+    /// # Safety contract (single consumer)
+    ///
+    /// Must only be called by the unique consumer of this queue. The crate
+    /// upholds this by funnelling all receives through the owned
+    /// [`Endpoint`](crate::Endpoint).
+    pub(crate) fn receive_blocking(&self, buf: &mut [u64]) {
+        let cap = self.buf.len();
+        let head = self.head.load(Ordering::Relaxed);
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let pos = head + i;
+            let cell = &self.buf[pos % cap];
+            let mut spins = 0u32;
+            while cell.seq.load(Ordering::Acquire) != pos + 1 {
+                backoff(&mut spins);
+            }
+            // SAFETY: publication observed with Acquire; only this consumer
+            // reads the cell before marking it free.
+            *slot = unsafe { *cell.value.get() };
+            cell.seq.store(pos + cap, Ordering::Release);
+        }
+        self.head.store(head + buf.len(), Ordering::Release);
+    }
+
+    /// Dequeues up to `buf.len()` words without blocking; returns how many
+    /// words were read (a prefix of `buf` is filled).
+    pub(crate) fn try_receive(&self, buf: &mut [u64]) -> usize {
+        let cap = self.buf.len();
+        let head = self.head.load(Ordering::Relaxed);
+        let mut n = 0;
+        for slot in buf.iter_mut() {
+            let pos = head + n;
+            let cell = &self.buf[pos % cap];
+            if cell.seq.load(Ordering::Acquire) != pos + 1 {
+                break;
+            }
+            // SAFETY: as in `receive_blocking`.
+            *slot = unsafe { *cell.value.get() };
+            cell.seq.store(pos + cap, Ordering::Release);
+            n += 1;
+        }
+        if n > 0 {
+            self.head.store(head + n, Ordering::Release);
+        }
+        n
+    }
+}
+
+/// Spin with exponential escalation to `yield_now`, so that oversubscribed
+/// hosts (fewer hardware threads than emulated cores) still make progress.
+#[inline]
+pub(crate) fn backoff(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_words_fifo() {
+        let q = WordQueue::new(8);
+        for i in 0..5 {
+            q.send_blocking(&[i]);
+        }
+        let mut buf = [0u64; 5];
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn multiword_message_is_contiguous() {
+        let q = WordQueue::new(16);
+        q.send_blocking(&[10, 11, 12]);
+        q.send_blocking(&[20, 21, 22]);
+        let mut buf = [0u64; 6];
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let q = WordQueue::new(4);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        q.send_blocking(&[7]);
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+        let mut buf = [0u64; 1];
+        q.receive_blocking(&mut buf);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn try_send_full_queue() {
+        let q = WordQueue::new(4);
+        assert!(q.try_send(&[1, 2, 3, 4]));
+        assert!(!q.try_send(&[5]));
+        assert_eq!(q.blocked_sends(), 1);
+        let mut buf = [0u64; 2];
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [1, 2]);
+        assert!(q.try_send(&[5, 6]));
+        let mut rest = [0u64; 4];
+        q.receive_blocking(&mut rest);
+        assert_eq!(rest, [3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn try_send_rejects_partial_fit() {
+        let q = WordQueue::new(4);
+        assert!(q.try_send(&[1, 2, 3]));
+        // One slot free, three needed: must refuse without corrupting state.
+        assert!(!q.try_send(&[4, 5, 6]));
+        assert!(q.try_send(&[4]));
+        let mut buf = [0u64; 4];
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_receive_partial() {
+        let q = WordQueue::new(8);
+        q.send_blocking(&[1, 2]);
+        let mut buf = [0u64; 4];
+        assert_eq!(q.try_receive(&mut buf), 2);
+        assert_eq!(&buf[..2], &[1, 2]);
+        assert_eq!(q.try_receive(&mut buf), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn oversized_message_panics() {
+        let q = WordQueue::new(2);
+        q.send_blocking(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_length_send_is_noop() {
+        let q = WordQueue::new(2);
+        q.send_blocking(&[]);
+        assert!(q.try_send(&[]));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn blocking_send_backpressure() {
+        let q = Arc::new(WordQueue::new(2));
+        q.send_blocking(&[1, 2]);
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            // Blocks until the consumer below frees space.
+            q2.send_blocking(&[3, 4]);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut buf = [0u64; 2];
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [1, 2]);
+        t.join().unwrap();
+        q.receive_blocking(&mut buf);
+        assert_eq!(buf, [3, 4]);
+        assert!(q.blocked_sends() >= 1);
+    }
+
+    #[test]
+    fn concurrent_producers_preserve_per_sender_order() {
+        const PER_SENDER: u64 = 2_000;
+        const SENDERS: u64 = 4;
+        let q = Arc::new(WordQueue::new(64));
+        let mut handles = Vec::new();
+        for s in 0..SENDERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_SENDER {
+                    // Two-word message: (sender, seq). Contiguity means the
+                    // pair is never split by another sender's words.
+                    q.send_blocking(&[s, i]);
+                }
+            }));
+        }
+        let mut next = [0u64; SENDERS as usize];
+        let mut buf = [0u64; 2];
+        for _ in 0..(PER_SENDER * SENDERS) {
+            q.receive_blocking(&mut buf);
+            let (s, i) = (buf[0], buf[1]);
+            assert!(s < SENDERS, "corrupted sender id {s}");
+            assert_eq!(i, next[s as usize], "per-sender FIFO violated");
+            next[s as usize] += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+    }
+}

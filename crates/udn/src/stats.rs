@@ -1,0 +1,25 @@
+//! Lightweight observability counters for the emulated fabric.
+
+use crate::EndpointId;
+
+/// Counters for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Which endpoint these counters belong to.
+    pub id: EndpointId,
+    /// Messages sent *from* this handle (each `send` counts once).
+    pub messages_sent: u64,
+    /// Words received on this endpoint's queue.
+    pub words_received: u64,
+}
+
+/// Aggregate counters for a whole fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Number of hardware queues on the fabric.
+    pub endpoints: usize,
+    /// Words currently enqueued across all queues (snapshot).
+    pub words_pending: u64,
+    /// Total sends that observed a full destination queue.
+    pub blocked_sends: u64,
+}

@@ -1,0 +1,24 @@
+//! # mpsync — thread synchronization via hardware message passing
+//!
+//! Umbrella crate for the reproduction of *Leveraging Hardware Message
+//! Passing for Efficient Thread Synchronization* (Petrović, Ropars, Schiper —
+//! PPoPP 2014). It re-exports the component crates:
+//!
+//! * [`udn`] — software emulation of TILE-Gx-style hardware message queues;
+//! * [`sync`] — the paper's constructions: MP-SERVER and HYBCOMB, plus the
+//!   shared-memory baselines SHM-SERVER, CC-SYNCH, and classical locks;
+//! * [`objects`] — linearizable concurrent objects (counters, queues,
+//!   stacks) built on those constructions, plus the nonblocking comparators
+//!   (LCRQ, Treiber stack) from the paper's evaluation;
+//! * [`lincheck`] — the linearizability checker used by the test suite;
+//! * [`tilesim`] — a discrete-event simulator of a TILE-Gx-like hybrid
+//!   manycore used to regenerate the paper's figures.
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! reproduction methodology.
+
+pub use mpsync_core as sync;
+pub use mpsync_lincheck as lincheck;
+pub use mpsync_objects as objects;
+pub use mpsync_udn as udn;
+pub use tilesim;

@@ -1,0 +1,140 @@
+//! §6 "Additional Considerations": oversubscription and thread migration.
+//!
+//! The TILE-Gx multiplexes four hardware queues per core, so up to four
+//! threads can share a core and still own exclusive message queues; and a
+//! thread may migrate between requests as long as it keeps a valid endpoint
+//! while a request is pending. These tests exercise both properties on the
+//! emulated fabric.
+
+use std::sync::Arc;
+
+use mpsync::objects::counter::CsCounter;
+use mpsync::objects::seq::counter_dispatch;
+use mpsync::objects::Counter;
+use mpsync::sync::{ApplyOp, HybComb, MpServer};
+use mpsync::udn::{Fabric, FabricConfig};
+
+type CounterFn = fn(&mut u64, u64, u64) -> u64;
+
+/// Four clients multiplexed onto ONE core's four hardware queues, plus the
+/// server on another core: exactness must hold.
+#[test]
+fn four_threads_share_one_core() {
+    const OPS: u64 = 3_000;
+    let fabric = Arc::new(Fabric::new(FabricConfig::new(2)));
+    // Server takes core 0 channel 0.
+    let server = MpServer::spawn(
+        fabric.register(0, 1).unwrap(),
+        0u64,
+        counter_dispatch as CounterFn,
+    );
+    let mut joins = Vec::new();
+    // All four clients pinned to core 1's four channels.
+    for ch in 0..4 {
+        let mut c = CsCounter::new(server.client(fabric.register(1, ch).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+        }));
+    }
+    let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..4 * OPS).collect::<Vec<_>>());
+    assert_eq!(server.shutdown(), 4 * OPS);
+}
+
+/// A thread "migrates" between requests: it drops its endpoint and
+/// re-registers on a different core, creating a fresh client each time.
+/// Requests keep completing and the counter stays exact.
+#[test]
+fn migration_between_requests() {
+    const MIGRATIONS: u64 = 200;
+    let fabric = Arc::new(Fabric::new(FabricConfig::new(4)));
+    let server = Arc::new(MpServer::spawn(
+        fabric.register(0, 0).unwrap(),
+        0u64,
+        counter_dispatch as CounterFn,
+    ));
+    let mut joins = Vec::new();
+    for t in 0..2u64 {
+        let fabric = Arc::clone(&fabric);
+        let server = Arc::clone(&server);
+        joins.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            for i in 0..MIGRATIONS {
+                // Migrate: register on a core chosen by the iteration.
+                let core = 1 + ((t + i) % 3) as usize;
+                let ep = loop {
+                    // Another thread may transiently hold the channel.
+                    match fabric.register(core, t as usize) {
+                        Ok(ep) => break ep,
+                        Err(_) => std::thread::yield_now(),
+                    }
+                };
+                let mut c = server.client(ep);
+                got.push(c.apply(0, 0));
+                // Endpoint dropped here: unregisters, thread may migrate.
+            }
+            got
+        }));
+    }
+    let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..2 * MIGRATIONS).collect::<Vec<_>>());
+}
+
+/// HYBCOMB with all participants multiplexed on a single core (the most
+/// hostile pinning): still exact.
+#[test]
+fn hybcomb_single_core_multiplexed() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 2_000;
+    let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+    let hc = Arc::new(HybComb::new(
+        THREADS,
+        16,
+        0u64,
+        counter_dispatch as CounterFn,
+    ));
+    let mut joins = Vec::new();
+    for ch in 0..THREADS {
+        let mut c = CsCounter::new(hc.handle(fabric.register(0, ch).unwrap()));
+        joins.push(std::thread::spawn(move || {
+            (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
+        }));
+    }
+    let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
+}
+
+/// §6 deadlock discussion: "the message queue of MP-SERVER clients cannot
+/// overflow since it contains at most one message", and the server queue
+/// holds at most one request per client — with queues sized exactly at that
+/// bound, everything still completes.
+#[test]
+fn minimal_queues_no_deadlock() {
+    const THREADS: usize = 5;
+    const OPS: u64 = 1_000;
+    // 3 words per request, THREADS outstanding requests max.
+    let fabric = Arc::new(Fabric::new(
+        FabricConfig::new(2).with_queue_capacity(3 * THREADS),
+    ));
+    let server = MpServer::spawn(
+        fabric.register_any().unwrap(),
+        0u64,
+        counter_dispatch as CounterFn,
+    );
+    let mut joins = Vec::new();
+    for _ in 0..THREADS {
+        let mut c = server.client(fabric.register_any().unwrap());
+        joins.push(std::thread::spawn(move || {
+            for _ in 0..OPS {
+                c.apply(0, 0);
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(server.shutdown(), THREADS as u64 * OPS);
+}

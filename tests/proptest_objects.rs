@@ -1,0 +1,142 @@
+//! Property-based tests of the concurrent objects against their sequential
+//! models, plus executor-vs-model equivalence for arbitrary operation
+//! sequences.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use mpsync::objects::queue::{CsQueue, Lcrq};
+use mpsync::objects::seq::{queue_dispatch, stack_dispatch, SeqQueue, SeqStack};
+use mpsync::objects::stack::{CsStack, TreiberStack};
+use mpsync::objects::{ConcurrentQueue, ConcurrentStack};
+use mpsync::sync::{ApplyOp, CcSynch, HybComb, LockCs, McsLock, TicketLock};
+use mpsync::udn::{Fabric, FabricConfig};
+use proptest::prelude::*;
+
+type QueueFn = fn(&mut SeqQueue, u64, u64) -> u64;
+type StackFn = fn(&mut SeqStack, u64, u64) -> u64;
+
+/// An op in a generated sequence: `Some(v)` = insert v, `None` = remove.
+fn ops_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Some),
+            Just(None),
+        ],
+        0..200,
+    )
+}
+
+fn check_queue<Q: ConcurrentQueue>(q: &mut Q, ops: &[Option<u64>]) -> Result<(), TestCaseError> {
+    let mut model: VecDeque<u64> = VecDeque::new();
+    for op in ops {
+        match op {
+            Some(v) => {
+                q.enqueue(*v);
+                model.push_back(*v);
+            }
+            None => prop_assert_eq!(q.dequeue(), model.pop_front()),
+        }
+    }
+    // Drain and compare the remainder.
+    while let Some(expect) = model.pop_front() {
+        prop_assert_eq!(q.dequeue(), Some(expect));
+    }
+    prop_assert_eq!(q.dequeue(), None);
+    Ok(())
+}
+
+fn check_stack<S: ConcurrentStack>(s: &mut S, ops: &[Option<u64>]) -> Result<(), TestCaseError> {
+    let mut model: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            Some(v) => {
+                s.push(*v);
+                model.push(*v);
+            }
+            None => prop_assert_eq!(s.pop(), model.pop()),
+        }
+    }
+    while let Some(expect) = model.pop() {
+        prop_assert_eq!(s.pop(), Some(expect));
+    }
+    prop_assert_eq!(s.pop(), None);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lock_queue_matches_model(ops in ops_strategy()) {
+        let cs = LockCs::<SeqQueue, TicketLock, QueueFn>::new(
+            SeqQueue::new(),
+            queue_dispatch as QueueFn,
+        );
+        let mut q = CsQueue::new(cs.handle());
+        check_queue(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn hybcomb_queue_matches_model(ops in ops_strategy()) {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let hc = HybComb::new(1, 8, SeqQueue::new(), queue_dispatch as QueueFn);
+        let mut q = CsQueue::new(hc.handle(fabric.register_any().unwrap()));
+        check_queue(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn lcrq_matches_model(ops in ops_strategy()) {
+        let q = Arc::new(Lcrq::with_ring_order(4));
+        let mut h = q.handle();
+        check_queue(&mut h, &ops)?;
+    }
+
+    #[test]
+    fn cc_synch_stack_matches_model(ops in ops_strategy()) {
+        let cs = CcSynch::new(1, 8, SeqStack::new(), stack_dispatch as StackFn);
+        let mut s = CsStack::new(cs.handle());
+        check_stack(&mut s, &ops)?;
+    }
+
+    #[test]
+    fn treiber_matches_model(ops in ops_strategy()) {
+        let st = Arc::new(TreiberStack::new());
+        let mut s = st.handle();
+        check_stack(&mut s, &ops)?;
+    }
+
+    #[test]
+    fn mcs_lock_stack_matches_model(ops in ops_strategy()) {
+        let cs = LockCs::<SeqStack, McsLock, StackFn>::new(
+            SeqStack::new(),
+            stack_dispatch as StackFn,
+        );
+        let mut s = CsStack::new(cs.handle());
+        check_stack(&mut s, &ops)?;
+    }
+
+    /// Executors are universal: for any op/arg sequence, the protected
+    /// fold equals the sequential fold.
+    #[test]
+    fn executor_equals_sequential_fold(args in prop::collection::vec(0u64..1000, 0..100)) {
+        fn cs(state: &mut u64, op: u64, arg: u64) -> u64 {
+            match op {
+                0 => { *state = state.wrapping_add(arg); *state }
+                _ => { *state ^= arg.rotate_left(7); *state }
+            }
+        }
+        let cslock = LockCs::<u64, TicketLock, fn(&mut u64, u64, u64) -> u64>::new(
+            0,
+            cs as fn(&mut u64, u64, u64) -> u64,
+        );
+        let mut h = cslock.handle();
+        let mut model = 0u64;
+        for (i, &a) in args.iter().enumerate() {
+            let op = (i % 2) as u64;
+            let got = h.apply(op, a);
+            cs(&mut model, op, a);
+            prop_assert_eq!(got, model);
+        }
+    }
+}
