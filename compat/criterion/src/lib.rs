@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate, providing the subset this
+//! workspace uses: `Criterion::benchmark_group`, group tuning methods,
+//! `bench_function`/`Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: one warm-up loop, then `sample_size`
+//! timed samples whose iteration counts are sized to fill
+//! `measurement_time`, reporting min/median/max time per iteration. There
+//! is no statistical analysis, HTML report, or baseline storage — the goal
+//! is that `cargo bench` compiles, runs, and prints useful numbers in an
+//! offline environment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("== group: {name}");
+        let (sample_size, warm_up_time, measurement_time) =
+            (self.sample_size, self.warm_up_time, self.measurement_time);
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        }
+    }
+}
+
+/// A named group of benchmarks with shared tuning.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls `iter`.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut per_iter = b.samples;
+        if per_iter.is_empty() {
+            eprintln!("{}/{id}: no samples (iter was not called)", self.name);
+            return self;
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        eprintln!(
+            "{}/{id}: median {} per iter (min {}, max {}, {} samples)",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(per_iter[0]),
+            fmt_ns(*per_iter.last().unwrap()),
+            per_iter.len()
+        );
+        self
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to the closure given to `bench_function`; drives the timing loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive until after the clock stops
+    /// (so `Drop` cost is not attributed to the routine).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run for the configured duration, measuring speed to size
+        // the timed samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_iter_ns = (warm_elapsed.as_nanos() / u128::from(warm_iters.max(1))).max(1);
+        // Size each sample so the whole measurement fits the budget.
+        let budget_ns = self.measurement_time.as_nanos().max(1);
+        let iters_per_sample =
+            (budget_ns / (per_iter_ns * self.sample_size as u128)).clamp(1, u128::from(u64::MAX));
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            self.samples.push((elapsed / iters_per_sample).max(1));
+        }
+    }
+}
+
+/// Prevents the compiler from optimizing away a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip the timed
+            // loops there (matching upstream's cargo_bench_support gating).
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut count = 0u64;
+        g.bench_function("incr", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam-utils` crate, providing the subset
+//! this workspace actually uses: [`CachePadded`].
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! external dependencies are replaced by small in-repo implementations (see
+//! `compat/`). This one is API- and behavior-compatible with the
+//! upstream type for the operations the workspace performs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line (128 bytes — the
+/// conservative choice upstream uses on x86-64, covering the spatial
+/// prefetcher's pair-of-lines granularity).
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(t: T) -> CachePadded<T> {
+        CachePadded { value: t }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn deref_mut_mutates() {
+        let mut p = CachePadded::new(1u32);
+        *p += 1;
+        assert_eq!(*p, 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! The parallel sweep must be invisible in the output: `repro` at any
+//! `--jobs` value has to emit the same bytes as the serial `--jobs 1` run.
+
+use std::process::Command;
+
+fn repro_stdout(extra: &[&str]) -> Vec<u8> {
+    // A short horizon keeps the test fast; determinism does not depend on
+    // the horizon. fig3a + tab-cas share counter runs through the memo
+    // cache, exercising cross-experiment reuse under the pool.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["--quick", "--horizon", "50000", "fig3a", "tab-cas"]);
+    cmd.args(extra);
+    let out = cmd.output().expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let serial = repro_stdout(&["--jobs", "1"]);
+    assert!(!serial.is_empty(), "serial run produced no output");
+    for jobs in ["2", "4", "8"] {
+        let parallel = repro_stdout(&["--jobs", jobs]);
+        assert_eq!(
+            parallel, serial,
+            "--jobs {jobs} output differs from --jobs 1"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 //! Each function here is a *critical-section body*: it runs under the mutual
 //! exclusion provided by whichever executor protects the state. Opcodes are
 //! small integers (the paper's §5.2 opcode optimization), and results are
-//! single 64-bit words ([`EMPTY`](crate::EMPTY) encodes "nothing").
+//! single 64-bit words ([`EMPTY`] encodes "nothing").
 
 use std::collections::VecDeque;
 

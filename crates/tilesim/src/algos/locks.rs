@@ -15,7 +15,7 @@ use crate::stats::Metric;
 use super::{client_rng, exec_cs, local_work, record_op, AddrAlloc, RunSpec};
 
 /// Which lock model to install.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockKind {
     /// Test-and-test-and-set with exponential backoff.
     Tas,

@@ -8,7 +8,7 @@
 //! random number (at most 50) of empty loop iterations of local work — until
 //! the simulation horizon tears them down.
 //!
-//! Metrics recorded (see [`Metric`](crate::Metric)): every application proc
+//! Metrics recorded (see [`Metric`]): every application proc
 //! counts `Ops`/`LatSum`/`LatCount`; every servicing proc counts `Served`;
 //! combiners additionally count `Rounds`/`Combined`/`Orphans`, and HYBCOMB
 //! clients count `Cas`.
@@ -34,7 +34,7 @@ use crate::mem::{Addr, WORDS_PER_LINE};
 use crate::stats::Metric;
 
 /// Identifies one of the four constructions in workload drivers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Approach {
     /// MP-SERVER (§4.1): dedicated server, hardware messages.
     MpServer,

@@ -1,56 +1,68 @@
 //! The discrete-event engine.
 //!
 //! Each simulated core runs one *proc*: an OS thread executing a plain Rust
-//! closure that issues [`Request`]s through its [`Ctx`] handle and blocks
-//! until the engine answers. The engine processes exactly one proc at a
-//! time, in global simulated-time order (ties broken by core id), so the
-//! simulation is fully deterministic regardless of host scheduling —
-//! and, because effects apply in that single global order, the simulated
-//! memory is sequentially consistent, exactly the paper's §2 model.
+//! closure that issues requests through its [`Ctx`] handle and blocks until
+//! the engine answers. The engine processes exactly one proc at a time, in
+//! global simulated-time order (ties broken by core id), so the simulation
+//! is fully deterministic regardless of host scheduling — and, because
+//! effects apply in that single global order, the simulated memory is
+//! sequentially consistent, exactly the paper's §2 model.
+//!
+//! Proc↔engine handoffs go through a per-proc single-slot
+//! [`Mailbox`](crate::mailbox) — atomics with a spin-then-park wait and
+//! fixed-size inline word buffers — so the steady-state simulation loop is
+//! allocation-free and avoids the mutex/condvar round trips a channel pair
+//! would pay on every simulated operation. The handoff mechanism carries
+//! the *same* requests and responses in the same order as the previous
+//! `mpsc`-based design; simulated time, and therefore every figure, is
+//! unaffected. Host-side counters of the mechanism itself are reported in
+//! [`SimResult::host`].
 //!
 //! When the simulation horizon is reached, blocked and running procs are
-//! torn down by answering [`Response::Stopped`], which `Ctx` converts into a
+//! torn down by answering a `Stopped` response, which `Ctx` converts into a
 //! panic payload caught by the proc wrapper — so workload closures are
 //! written as infinite loops without any stop-flag plumbing.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::config::MachineConfig;
+use crate::mailbox::{Mailbox, INLINE_WORDS, ST_POISON};
 use crate::mem::{Addr, Memory};
-use crate::stats::{CoreStats, Metric, SimResult, N_METRICS};
+use crate::stats::{CoreStats, HostStats, Metric, SimResult, N_METRICS};
 
-/// A request a proc issues to the engine.
-#[derive(Debug)]
-enum Request {
-    Read(Addr),
-    Write(Addr, u64),
-    Faa(Addr, u64),
-    Cas(Addr, u64, u64),
-    Swap(Addr, u64),
-    Send { dest: usize, words: Vec<u64> },
-    Receive(usize),
-    IsQueueEmpty,
-    QueuePending,
-    Work(u64),
-    Now,
-    Record(Metric, u64),
-    Done { panic_msg: Option<String> },
-}
+// Request opcodes, written by `Ctx` and decoded by the engine. Payload
+// layout (inline words) is noted per opcode.
+const OP_READ: u32 = 0; //  [addr]
+const OP_WRITE: u32 = 1; // [addr, value]
+const OP_FAA: u32 = 2; //   [addr, delta]
+const OP_CAS: u32 = 3; //   [addr, expect, new]
+const OP_SWAP: u32 = 4; //  [addr, value]
+const OP_SEND: u32 = 5; //  [dest, msg...]; oversized: dest inline, msg on heap
+const OP_RECV: u32 = 6; //  [k]
+const OP_QEMPTY: u32 = 7; //  []
+const OP_QPEND: u32 = 8; //   []
+const OP_WORK: u32 = 9; //  [cycles]
+const OP_DONE: u32 = 10; // []; panic message in the mailbox side channel
 
-/// The engine's answer to a request.
-#[derive(Debug)]
-enum Response {
-    Value(u64),
-    Values(Vec<u64>),
-    Bool(bool),
-    Unit,
-    /// Simulation horizon reached: the proc must unwind.
-    Stopped,
-}
+// `Ctx::now` and `Ctx::record` have no opcode: both are answered locally,
+// without a handoff. `now` reads the clock the engine piggybacks on every
+// response; `record` buffers deltas that ride the next request. Neither
+// shortcut can reorder the simulation — the old round trips scheduled a
+// zero-latency event for the issuing proc, and such an event is always the
+// very next one popped (the heap holds nothing smaller at that point), so
+// no other proc could ever observe the difference.
+
+// Response kinds.
+const RESP_VALUE: u32 = 0; //  [value]
+const RESP_VALUES: u32 = 1; // [word; k] (heap when k > INLINE_WORDS)
+const RESP_BOOL: u32 = 2; //   [0|1]
+const RESP_UNIT: u32 = 3; //   []
+/// Simulation horizon reached: the proc must unwind.
+const RESP_STOPPED: u32 = 4;
 
 /// Panic payload used to unwind a proc at the simulation horizon.
 struct StopSim;
@@ -75,25 +87,52 @@ fn install_quiet_stop_hook() {
 /// All methods advance simulated time; see [`MachineConfig`] for costs.
 pub struct Ctx {
     core: usize,
-    req_tx: Sender<Request>,
-    resp_rx: Receiver<Response>,
+    mb: Arc<Mailbox>,
+    /// Metric deltas buffered by [`Ctx::record`], staged onto the next
+    /// request instead of paying their own handoffs.
+    metric_buf: [u64; N_METRICS],
+    dirty_mask: u32,
 }
 
 impl Ctx {
-    fn roundtrip(&mut self, req: Request) -> Response {
-        self.req_tx.send(req).expect("engine vanished");
-        let resp = self.resp_rx.recv().expect("engine vanished");
-        if matches!(resp, Response::Stopped) {
-            panic::panic_any(StopSim);
+    /// Stages buffered `record` deltas to ride the next request.
+    fn flush_records(&mut self) {
+        if self.dirty_mask != 0 {
+            self.mb.stage_records(self.dirty_mask, &self.metric_buf);
+            for i in 0..N_METRICS {
+                if self.dirty_mask & (1 << i) != 0 {
+                    self.metric_buf[i] = 0;
+                }
+            }
+            self.dirty_mask = 0;
         }
-        resp
     }
 
-    fn value(&mut self, req: Request) -> u64 {
-        match self.roundtrip(req) {
-            Response::Value(v) => v,
-            r => unreachable!("expected Value, got {r:?}"),
+    /// Publishes a request, blocks for the response, and returns its kind.
+    /// Payload words stay in the mailbox for the caller to read.
+    fn transact(&mut self, op: u32, payload: &[u64]) -> u32 {
+        self.flush_records();
+        assert!(self.mb.send_request(op, payload), "engine vanished");
+        if self.mb.wait_response() == ST_POISON {
+            panic!("engine vanished");
         }
+        let (kind, _) = self.resp_head();
+        if kind == RESP_STOPPED {
+            panic::panic_any(StopSim);
+        }
+        kind
+    }
+
+    /// Response kind and payload length (the mailbox `opcode`/`len` fields
+    /// hold the response while the proc owns the cell).
+    fn resp_head(&self) -> (u32, usize) {
+        self.mb.resp_fields()
+    }
+
+    fn value(&mut self, op: u32, payload: &[u64]) -> u64 {
+        let kind = self.transact(op, payload);
+        debug_assert_eq!(kind, RESP_VALUE);
+        self.mb.word(0)
     }
 
     /// The core this proc is pinned to.
@@ -103,64 +142,86 @@ impl Ctx {
 
     /// Reads a shared-memory word.
     pub fn read(&mut self, a: Addr) -> u64 {
-        self.value(Request::Read(a))
+        self.value(OP_READ, &[a])
     }
 
     /// Writes a shared-memory word.
     pub fn write(&mut self, a: Addr, v: u64) {
-        self.roundtrip(Request::Write(a, v));
+        self.transact(OP_WRITE, &[a, v]);
     }
 
     /// Fetch-and-add; returns the previous value.
     pub fn faa(&mut self, a: Addr, delta: u64) -> u64 {
-        self.value(Request::Faa(a, delta))
+        self.value(OP_FAA, &[a, delta])
     }
 
     /// Compare-and-set; returns whether the swap happened (the boolean
     /// variant, as in the paper's model).
     pub fn cas(&mut self, a: Addr, old: u64, new: u64) -> bool {
-        self.value(Request::Cas(a, old, new)) != 0
+        self.value(OP_CAS, &[a, old, new]) != 0
     }
 
     /// Atomic exchange; returns the previous value.
     pub fn swap(&mut self, a: Addr, v: u64) -> u64 {
-        self.value(Request::Swap(a, v))
+        self.value(OP_SWAP, &[a, v])
     }
 
     /// Sends `words` as one message to `dest`'s hardware queue
     /// (asynchronous; blocks only on back-pressure).
     pub fn send(&mut self, dest: usize, words: &[u64]) {
-        self.roundtrip(Request::Send {
-            dest,
-            words: words.to_vec(),
-        });
+        if words.len() < INLINE_WORDS {
+            let mut payload = [0u64; INLINE_WORDS];
+            payload[0] = dest as u64;
+            payload[1..=words.len()].copy_from_slice(words);
+            self.transact(OP_SEND, &payload[..words.len() + 1]);
+        } else {
+            // Oversized send: the message words ride on the heap; `dest`
+            // stays inline.
+            self.flush_records();
+            assert!(
+                self.mb.send_request_big(OP_SEND, dest as u64, words.to_vec()),
+                "engine vanished"
+            );
+            if self.mb.wait_response() == ST_POISON {
+                panic!("engine vanished");
+            }
+            let (kind, _) = self.resp_head();
+            if kind == RESP_STOPPED {
+                panic::panic_any(StopSim);
+            }
+        }
     }
 
     /// Receives exactly `k` words from the local queue, blocking as needed.
     pub fn receive(&mut self, k: usize) -> Vec<u64> {
-        match self.roundtrip(Request::Receive(k)) {
-            Response::Values(v) => v,
-            r => unreachable!("expected Values, got {r:?}"),
+        let kind = self.transact(OP_RECV, &[k as u64]);
+        debug_assert_eq!(kind, RESP_VALUES);
+        if k <= INLINE_WORDS {
+            (0..k).map(|i| self.mb.word(i)).collect()
+        } else {
+            self.mb.take_overflow().expect("oversized response payload")
         }
     }
 
-    /// Receives a single word.
+    /// Receives a single word (allocation-free).
     pub fn receive1(&mut self) -> u64 {
-        self.receive(1)[0]
+        let kind = self.transact(OP_RECV, &[1]);
+        debug_assert_eq!(kind, RESP_VALUES);
+        self.mb.word(0)
     }
 
-    /// Receives a three-word request `{sender, op, arg}`.
+    /// Receives a three-word request `{sender, op, arg}` (allocation-free).
     pub fn receive3(&mut self) -> [u64; 3] {
-        let v = self.receive(3);
-        [v[0], v[1], v[2]]
+        let kind = self.transact(OP_RECV, &[3]);
+        debug_assert_eq!(kind, RESP_VALUES);
+        [self.mb.word(0), self.mb.word(1), self.mb.word(2)]
     }
 
     /// `true` if the local hardware queue currently holds no arrived word.
     pub fn is_queue_empty(&mut self) -> bool {
-        match self.roundtrip(Request::IsQueueEmpty) {
-            Response::Bool(b) => b,
-            r => unreachable!("expected Bool, got {r:?}"),
-        }
+        let kind = self.transact(OP_QEMPTY, &[]);
+        debug_assert_eq!(kind, RESP_BOOL);
+        self.mb.word(0) != 0
     }
 
     /// `true` if any word is queued for this core, *including words still
@@ -173,27 +234,30 @@ impl Ctx {
     /// serving?" checks and [`Ctx::is_queue_empty`] for faithful hardware
     /// probes.
     pub fn has_pending_traffic(&mut self) -> bool {
-        match self.roundtrip(Request::QueuePending) {
-            Response::Bool(b) => b,
-            r => unreachable!("expected Bool, got {r:?}"),
-        }
+        let kind = self.transact(OP_QPEND, &[]);
+        debug_assert_eq!(kind, RESP_BOOL);
+        self.mb.word(0) != 0
     }
 
     /// Burns `cycles` of local computation.
     pub fn work(&mut self, cycles: u64) {
         if cycles > 0 {
-            self.roundtrip(Request::Work(cycles));
+            self.transact(OP_WORK, &[cycles]);
         }
     }
 
     /// Current simulated time in cycles (free).
     pub fn now(&mut self) -> u64 {
-        self.value(Request::Now)
+        // The engine piggybacks its clock on every response, and this
+        // proc's virtual time cannot advance between that response and its
+        // next request.
+        self.mb.resp_clock()
     }
 
     /// Adds `v` to this proc's `metric` accumulator (free).
     pub fn record(&mut self, metric: Metric, v: u64) {
-        self.roundtrip(Request::Record(metric, v));
+        self.metric_buf[metric as usize] += v;
+        self.dirty_mask |= 1 << (metric as usize);
     }
 }
 
@@ -213,11 +277,61 @@ enum ProcState {
     Finished,
 }
 
+/// A response waiting to be delivered when its proc's event fires. Inline
+/// payload as in the mailbox; only oversized receives allocate.
+struct PendingResp {
+    kind: u32,
+    len: u32,
+    words: [u64; INLINE_WORDS],
+    overflow: Option<Vec<u64>>,
+}
+
+impl PendingResp {
+    fn unit() -> Self {
+        Self {
+            kind: RESP_UNIT,
+            len: 0,
+            words: [0; INLINE_WORDS],
+            overflow: None,
+        }
+    }
+
+    fn value(v: u64) -> Self {
+        let mut words = [0; INLINE_WORDS];
+        words[0] = v;
+        Self {
+            kind: RESP_VALUE,
+            len: 1,
+            words,
+            overflow: None,
+        }
+    }
+
+    fn boolean(b: bool) -> Self {
+        let mut words = [0; INLINE_WORDS];
+        words[0] = b as u64;
+        Self {
+            kind: RESP_BOOL,
+            len: 1,
+            words,
+            overflow: None,
+        }
+    }
+
+    fn stopped() -> Self {
+        Self {
+            kind: RESP_STOPPED,
+            len: 0,
+            words: [0; INLINE_WORDS],
+            overflow: None,
+        }
+    }
+}
+
 struct ProcSlot {
     state: ProcState,
-    pending: Option<Response>,
-    req_rx: Receiver<Request>,
-    resp_tx: Sender<Response>,
+    pending: Option<PendingResp>,
+    mb: Arc<Mailbox>,
     join: Option<JoinHandle<()>>,
     stats: CoreStats,
     metrics: [u64; N_METRICS],
@@ -240,6 +354,7 @@ pub struct Engine {
     heap: BinaryHeap<Reverse<(u64, usize)>>,
     clock: u64,
     stopping: bool,
+    host: HostStats,
 }
 
 impl Engine {
@@ -260,6 +375,7 @@ impl Engine {
             heap: BinaryHeap::new(),
             clock: 0,
             stopping: false,
+            host: HostStats::default(),
         }
     }
 
@@ -287,40 +403,45 @@ impl Engine {
     {
         let core = self.procs.len();
         assert!(core < self.cfg.cores(), "machine has {} cores", self.cfg.cores());
-        let (req_tx, req_rx) = std::sync::mpsc::channel();
-        let (resp_tx, resp_rx) = std::sync::mpsc::channel();
+        let mb = Arc::new(Mailbox::new());
+        let proc_mb = Arc::clone(&mb);
         let join = std::thread::Builder::new()
             .name(format!("simproc-{core}"))
             .spawn(move || {
+                proc_mb.register_proc();
                 let mut ctx = Ctx {
                     core,
-                    req_tx,
-                    resp_rx,
+                    mb: proc_mb,
+                    metric_buf: [0; N_METRICS],
+                    dirty_mask: 0,
                 };
                 let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-                let panic_msg = match result {
-                    Ok(()) => None,
-                    Err(payload) => {
-                        if payload.downcast_ref::<StopSim>().is_some() {
-                            None
-                        } else if let Some(s) = payload.downcast_ref::<&str>() {
-                            Some((*s).to_string())
-                        } else if let Some(s) = payload.downcast_ref::<String>() {
-                            Some(s.clone())
-                        } else {
-                            Some("proc panicked".to_string())
-                        }
+                if let Err(payload) = result {
+                    let msg = if payload.downcast_ref::<StopSim>().is_some() {
+                        None
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        Some((*s).to_string())
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        Some(s.clone())
+                    } else {
+                        Some("proc panicked".to_string())
+                    };
+                    if let Some(msg) = msg {
+                        ctx.mb.set_panic_note(msg);
                     }
-                };
-                // The engine may already be gone if it panicked itself.
-                let _ = ctx.req_tx.send(Request::Done { panic_msg });
+                }
+                // Records buffered after the last request (including by a
+                // closure that then panicked) still ride with `Done`.
+                ctx.flush_records();
+                // The engine may already be gone if it panicked itself; the
+                // poisoned mailbox refuses the publish and we just exit.
+                let _ = ctx.mb.send_request(OP_DONE, &[]);
             })
             .expect("failed to spawn sim proc");
         self.procs.push(ProcSlot {
             state: ProcState::Runnable,
             pending: None,
-            req_rx,
-            resp_tx,
+            mb,
             join: Some(join),
             stats: CoreStats::default(),
             metrics: [0; N_METRICS],
@@ -330,7 +451,7 @@ impl Engine {
         core
     }
 
-    fn schedule(&mut self, proc: usize, at: u64, resp: Response) {
+    fn schedule(&mut self, proc: usize, at: u64, resp: PendingResp) {
         self.procs[proc].pending = Some(resp);
         self.procs[proc].state = ProcState::Runnable;
         self.heap.push(Reverse((at, proc)));
@@ -377,20 +498,36 @@ impl Engine {
 
     /// Pops `k` words for `core`'s proc and schedules its resume.
     fn complete_receive(&mut self, core: usize, k: usize, issued: u64) {
-        let mut vals = Vec::with_capacity(k);
+        let mut resp = PendingResp {
+            kind: RESP_VALUES,
+            len: k as u32,
+            words: [0; INLINE_WORDS],
+            overflow: None,
+        };
+        let mut big = if k > INLINE_WORDS {
+            self.host.heap_fallbacks += 1;
+            Some(Vec::with_capacity(k))
+        } else {
+            self.host.inline_payloads += 1;
+            None
+        };
         let mut last_arrival = issued;
-        for _ in 0..k {
+        for i in 0..k {
             let (arr, v) = self.queues[core].words.pop_front().expect("checked len");
             last_arrival = last_arrival.max(arr);
-            vals.push(v);
+            match &mut big {
+                Some(vec) => vec.push(v),
+                None => resp.words[i] = v,
+            }
         }
+        resp.overflow = big;
         let service = self.cfg.recv_base + self.cfg.recv_word * k as u64;
         let resume = last_arrival + service;
         let slot = &mut self.procs[core];
         slot.stats.busy += service;
         slot.stats.idle += last_arrival - issued;
         slot.stats.msgs_recv += 1;
-        self.schedule(core, resume, Response::Values(vals));
+        self.schedule(core, resume, resp);
         // Space freed: let blocked senders through (in arrival order).
         self.drain_blocked_senders(core, resume);
     }
@@ -410,31 +547,43 @@ impl Engine {
             self.deposit(sender, dest, &words, now);
             let resume = now + self.cfg.send_inject;
             self.procs[sender].stats.busy += self.cfg.send_inject;
-            self.schedule(sender, resume, Response::Unit);
+            self.schedule(sender, resume, PendingResp::unit());
         }
     }
 
-    fn handle_request(&mut self, proc: usize, req: Request) {
+    /// Services one decoded request. `words` holds the inline payload (the
+    /// first `len` words when `len <= INLINE_WORDS`); oversized send
+    /// payloads arrive in `overflow`.
+    fn service(
+        &mut self,
+        proc: usize,
+        op: u32,
+        len: usize,
+        words: &[u64; INLINE_WORDS],
+        overflow: Option<Vec<u64>>,
+    ) {
         let now = self.clock;
-        match req {
-            Request::Read(a) => {
-                let (v, acc) = self.mem.read(proc, a, now);
+        match op {
+            OP_READ => {
+                let (v, acc) = self.mem.read(proc, words[0], now);
                 self.charge_mem(proc, acc.latency);
-                self.schedule(proc, now + acc.latency, Response::Value(v));
+                self.schedule(proc, now + acc.latency, PendingResp::value(v));
             }
-            Request::Write(a, v) => {
-                let acc = self.mem.write(proc, a, v, now);
+            OP_WRITE => {
+                let acc = self.mem.write(proc, words[0], words[1], now);
                 self.charge_mem(proc, acc.latency);
-                self.schedule(proc, now + acc.latency, Response::Unit);
+                self.schedule(proc, now + acc.latency, PendingResp::unit());
             }
-            Request::Faa(a, d) => {
-                let (old, acc) = self.mem.atomic(proc, a, now, |v| v.wrapping_add(d));
+            OP_FAA => {
+                let d = words[1];
+                let (old, acc) = self.mem.atomic(proc, words[0], now, |v| v.wrapping_add(d));
                 self.charge_mem(proc, acc.latency);
-                self.schedule(proc, now + acc.latency, Response::Value(old));
+                self.schedule(proc, now + acc.latency, PendingResp::value(old));
             }
-            Request::Cas(a, expect, new) => {
+            OP_CAS => {
+                let (expect, new) = (words[1], words[2]);
                 let mut ok = false;
-                let (_, acc) = self.mem.atomic(proc, a, now, |v| {
+                let (_, acc) = self.mem.atomic(proc, words[0], now, |v| {
                     if v == expect {
                         ok = true;
                         new
@@ -443,33 +592,54 @@ impl Engine {
                     }
                 });
                 self.charge_mem(proc, acc.latency);
-                self.schedule(proc, now + acc.latency, Response::Value(ok as u64));
+                self.schedule(proc, now + acc.latency, PendingResp::value(ok as u64));
             }
-            Request::Swap(a, new) => {
-                let (old, acc) = self.mem.atomic(proc, a, now, |_| new);
+            OP_SWAP => {
+                let new = words[1];
+                let (old, acc) = self.mem.atomic(proc, words[0], now, |_| new);
                 self.charge_mem(proc, acc.latency);
-                self.schedule(proc, now + acc.latency, Response::Value(old));
+                self.schedule(proc, now + acc.latency, PendingResp::value(old));
             }
-            Request::Send { dest, words } => {
+            OP_SEND => {
+                let dest = words[0] as usize;
+                // Inline payload: [dest, msg...]; oversized: msg on heap.
+                let msg: &[u64] = match &overflow {
+                    Some(big) => {
+                        self.host.heap_fallbacks += 1;
+                        big
+                    }
+                    None => {
+                        self.host.inline_payloads += 1;
+                        &words[1..len]
+                    }
+                };
                 assert!(dest < self.queues.len(), "send to core {dest} out of range");
                 assert!(
-                    words.len() <= self.cfg.queue_capacity,
+                    msg.len() <= self.cfg.queue_capacity,
                     "message larger than a hardware queue"
                 );
-                if self.queue_has_room(dest, words.len()) {
-                    self.deposit(proc, dest, &words, now);
+                if self.queue_has_room(dest, msg.len()) {
+                    // `msg` borrows the caller's stack copy / the local
+                    // overflow vec, never `self`, so it can cross these
+                    // `&mut self` calls.
+                    self.deposit(proc, dest, msg, now);
                     self.procs[proc].stats.busy += self.cfg.send_inject;
-                    self.schedule(proc, now + self.cfg.send_inject, Response::Unit);
+                    self.schedule(proc, now + self.cfg.send_inject, PendingResp::unit());
                 } else {
+                    let owned = match overflow {
+                        Some(big) => big,
+                        None => words[1..len].to_vec(),
+                    };
                     self.procs[proc].state = ProcState::WaitSend {
                         dest,
-                        words,
+                        words: owned,
                         since: now,
                     };
                     self.queues[dest].blocked_senders.push_back(proc);
                 }
             }
-            Request::Receive(k) => {
+            OP_RECV => {
+                let k = words[0] as usize;
                 assert!(k > 0 && k <= self.cfg.queue_capacity, "bad receive size {k}");
                 if self.queues[proc].words.len() >= k {
                     self.complete_receive(proc, k, now);
@@ -477,36 +647,60 @@ impl Engine {
                     self.procs[proc].state = ProcState::WaitRecv { k, since: now };
                 }
             }
-            Request::IsQueueEmpty => {
+            OP_QEMPTY => {
                 let empty = self.queues[proc]
                     .words
                     .front()
                     .map(|&(arr, _)| arr > now)
                     .unwrap_or(true);
                 self.procs[proc].stats.busy += self.cfg.queue_probe;
-                self.schedule(proc, now + self.cfg.queue_probe, Response::Bool(empty));
+                self.schedule(proc, now + self.cfg.queue_probe, PendingResp::boolean(empty));
             }
-            Request::QueuePending => {
+            OP_QPEND => {
                 let pending = !self.queues[proc].words.is_empty();
                 self.procs[proc].stats.busy += self.cfg.queue_probe;
-                self.schedule(proc, now + self.cfg.queue_probe, Response::Bool(pending));
+                self.schedule(proc, now + self.cfg.queue_probe, PendingResp::boolean(pending));
             }
-            Request::Work(cycles) => {
+            OP_WORK => {
+                let cycles = words[0];
                 self.procs[proc].stats.busy += cycles;
-                self.schedule(proc, now + cycles, Response::Unit);
+                self.schedule(proc, now + cycles, PendingResp::unit());
             }
-            Request::Now => {
-                self.schedule(proc, now, Response::Value(now));
-            }
-            Request::Record(metric, v) => {
-                self.procs[proc].metrics[metric as usize] += v;
-                self.schedule(proc, now, Response::Unit);
-            }
-            Request::Done { panic_msg } => {
-                self.procs[proc].panic_msg = panic_msg;
+            OP_DONE => {
+                self.procs[proc].panic_msg = self.procs[proc].mb.take_panic_note();
                 self.procs[proc].state = ProcState::Finished;
             }
+            other => unreachable!("unknown opcode {other}"),
         }
+    }
+
+    /// Blocks for `proc`'s next request and services it.
+    fn recv_and_service(&mut self, proc: usize) {
+        let (op, len) = self.procs[proc].mb.wait_request();
+        self.host.handoffs += 1;
+        self.apply_staged_records(proc);
+        let mut words = [0u64; INLINE_WORDS];
+        let overflow = if len > INLINE_WORDS {
+            // Oversized send: only word 0 (the destination) is inline.
+            words[0] = self.procs[proc].mb.word(0);
+            Some(self.procs[proc].mb.take_overflow().expect("oversized request payload"))
+        } else {
+            for (i, w) in words.iter_mut().enumerate().take(len) {
+                *w = self.procs[proc].mb.word(i);
+            }
+            None
+        };
+        self.service(proc, op, len, &words, overflow);
+    }
+
+    /// Applies the metric deltas that rode in with a just-received request.
+    /// These were issued strictly before the request, so they count even if
+    /// the request itself ends up answered with `Stopped`.
+    fn apply_staged_records(&mut self, proc: usize) {
+        let slot = &mut self.procs[proc];
+        let metrics = &mut slot.metrics;
+        slot.mb
+            .drain_records(|i, d| metrics[Metric::from_index(i) as usize] += d);
     }
 
     /// Forces every blocked proc runnable with a `Stopped` response.
@@ -514,7 +708,7 @@ impl Engine {
         for i in 0..self.procs.len() {
             match self.procs[i].state {
                 ProcState::WaitRecv { .. } | ProcState::WaitSend { .. } => {
-                    self.schedule(i, self.clock, Response::Stopped);
+                    self.schedule(i, self.clock, PendingResp::stopped());
                 }
                 _ => {}
             }
@@ -532,6 +726,9 @@ impl Engine {
     /// Panics if a proc panicked (test failures propagate), or on deadlock
     /// (all procs blocked before the horizon).
     pub fn run(mut self, horizon: u64) -> SimResult {
+        for p in &self.procs {
+            p.mb.register_engine();
+        }
         loop {
             if self.procs.iter().all(|p| matches!(p.state, ProcState::Finished)) {
                 break;
@@ -562,24 +759,18 @@ impl Engine {
             // replaced by Stopped.
             if let Some(pending) = self.procs[proc].pending.take() {
                 let resp = if self.stopping {
-                    Response::Stopped
+                    PendingResp::stopped()
                 } else {
                     pending
                 };
-                if self.procs[proc].resp_tx.send(resp).is_err() {
-                    // Proc already exited (teardown race); reap below.
-                    self.procs[proc].state = ProcState::Finished;
-                    continue;
+                let mb = &self.procs[proc].mb;
+                mb.set_resp_clock(self.clock);
+                match resp.overflow {
+                    Some(big) => mb.send_response_big(resp.kind, big),
+                    None => mb.send_response(resp.kind, &resp.words[..resp.len as usize]),
                 }
             }
-            let req = match self.procs[proc].req_rx.recv() {
-                Ok(r) => r,
-                Err(_) => {
-                    self.procs[proc].state = ProcState::Finished;
-                    continue;
-                }
-            };
-            self.handle_request(proc, req);
+            self.recv_and_service(proc);
         }
         self.finish(horizon)
     }
@@ -591,18 +782,18 @@ impl Engine {
             if matches!(self.procs[i].state, ProcState::Finished) {
                 continue;
             }
-            match self.procs[i].req_rx.recv() {
-                Ok(Request::Done { panic_msg }) => {
-                    self.procs[i].panic_msg = panic_msg;
-                    self.procs[i].state = ProcState::Finished;
-                }
-                Ok(other) => {
-                    // A proc raced one more request in before seeing the
-                    // stop; answer Stopped and let it unwind.
-                    let _ = other;
-                    let _ = self.procs[i].resp_tx.send(Response::Stopped);
-                }
-                Err(_) => self.procs[i].state = ProcState::Finished,
+            let (op, _) = self.procs[i].mb.wait_request();
+            self.host.handoffs += 1;
+            self.apply_staged_records(i);
+            if op == OP_DONE {
+                self.procs[i].panic_msg = self.procs[i].mb.take_panic_note();
+                self.procs[i].state = ProcState::Finished;
+            } else {
+                // The proc raced one more request in before seeing the
+                // stop; answer Stopped and let it unwind (the outer loop
+                // comes back for its Done).
+                let _ = self.procs[i].mb.take_overflow();
+                self.procs[i].mb.send_response(RESP_STOPPED, &[]);
             }
         }
     }
@@ -633,12 +824,30 @@ impl Engine {
             })
             .collect();
         let metrics = self.procs.iter().map(|p| p.metrics).collect();
+        let mut host = self.host;
+        for p in &self.procs {
+            host.proc_parks += p.mb.proc_park_count();
+            host.engine_parks += p.mb.engine_park_count();
+        }
         SimResult {
             cfg: self.cfg,
             cycles: self.clock.min(horizon).max(1),
             end_clock: self.clock,
             per_core,
             metrics,
+            host,
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Normal completion joins every proc before the engine drops, so
+        // this only matters when the engine unwinds mid-run (its own panic,
+        // or a propagated proc panic): procs parked in their mailboxes must
+        // be woken and told the engine is gone or they would wait forever.
+        for p in &self.procs {
+            p.mb.poison();
         }
     }
 }
@@ -805,5 +1014,47 @@ mod tests {
             ctx.send(0, &[9]);
         });
         e.run(100_000);
+    }
+
+    #[test]
+    fn host_stats_count_handoffs_and_inline_payloads() {
+        let mut e = Engine::new(small_cfg());
+        e.add_proc(|ctx| {
+            let m = ctx.receive3();
+            ctx.send(1, &[m[0] + m[1] + m[2]]);
+        });
+        e.add_proc(|ctx| {
+            ctx.send(0, &[1, 2, 3]);
+            assert_eq!(ctx.receive1(), 6);
+        });
+        let r = e.run(100_000);
+        // 2 sends + 2 receives + 2 Done, at least.
+        assert!(r.host.handoffs >= 6, "handoffs {}", r.host.handoffs);
+        // Both sends and both receive-responses fit inline.
+        assert_eq!(r.host.heap_fallbacks, 0);
+        assert!(r.host.inline_payloads >= 4, "inline {}", r.host.inline_payloads);
+    }
+
+    #[test]
+    fn oversized_receive_falls_back_to_heap() {
+        let cfg = MachineConfig {
+            queue_capacity: 64,
+            ..small_cfg()
+        };
+        let mut e = Engine::new(cfg);
+        e.add_proc(|ctx| {
+            let words = ctx.receive(10);
+            assert_eq!(words, (0..10u64).collect::<Vec<_>>());
+            ctx.record(Metric::Ops, 1);
+        });
+        e.add_proc(|ctx| {
+            let msg: Vec<u64> = (0..10).collect();
+            ctx.send(0, &msg);
+        });
+        let r = e.run(100_000);
+        assert_eq!(r.metrics[0][Metric::Ops as usize], 1);
+        // The 10-word send and the 10-word response both exceed the inline
+        // buffer.
+        assert!(r.host.heap_fallbacks >= 2, "fallbacks {}", r.host.heap_fallbacks);
     }
 }

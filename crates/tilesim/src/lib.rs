@@ -60,6 +60,7 @@
 pub mod algos;
 mod config;
 mod engine;
+mod mailbox;
 pub mod mem;
 pub mod nonblocking;
 mod stats;
@@ -69,5 +70,5 @@ pub use config::MachineConfig;
 pub use engine::{Ctx, Engine};
 pub use mem::{line_of, Addr, WORDS_PER_LINE};
 pub use stats::{
-    lat_bucket, lat_bucket_bound, CoreStats, Metric, SimResult, LAT_BUCKETS, N_METRICS,
+    lat_bucket, lat_bucket_bound, CoreStats, HostStats, Metric, SimResult, LAT_BUCKETS, N_METRICS,
 };

@@ -1,0 +1,467 @@
+//! Single-slot proc↔engine mailbox: the simulator's hot-path handoff.
+//!
+//! Each proc owns one [`Mailbox`] shared with the engine. The protocol is a
+//! strict ping-pong — the proc publishes a request and waits; the engine
+//! consumes it, eventually publishes the response, and waits for the next
+//! request — so a single cell with one `state` word is enough:
+//!
+//! ```text
+//!   IDLE ──proc──▶ REQ ──engine──▶ RESP ──proc──▶ REQ ──▶ …
+//! ```
+//!
+//! Payloads travel in a fixed array of [`INLINE_WORDS`] atomic words
+//! (every request and almost every response in this simulator is ≤ 4
+//! words); only oversized payloads fall back to a heap `Vec` behind a
+//! mutex, making the steady-state handoff allocation-free. Waiting is
+//! spin-then-park: a bounded spin catches the common fast turnaround, and
+//! `std::thread::park` bounds CPU burn when the peer is slow. Parking uses
+//! the classic flag protocol — the waiter advertises itself in a "parked"
+//! flag before re-checking `state`, and the publisher stores `state` before
+//! checking the flag, both with `SeqCst`, so one side always sees the other
+//! and wakeups cannot be lost.
+//!
+//! Publishing while the peer still owns the cell is a protocol violation
+//! the ping-pong discipline rules out; nothing here checks for it.
+//!
+//! This replaces a pair of `std::sync::mpsc` channels per proc, which paid
+//! two mutex/condvar handoffs and at least one node allocation per
+//! simulated operation — at millions of operations per run, the dominant
+//! host cost of the whole simulator.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::Thread;
+
+use crate::stats::N_METRICS;
+
+/// Words carried inline in the cell; larger payloads go through the heap.
+pub(crate) const INLINE_WORDS: usize = 6;
+
+// The staged-record mask is a u32 bitmap over metric indices.
+const _: () = assert!(N_METRICS <= 32);
+
+/// No message in flight (initial state only; after the first request the
+/// cell alternates between `REQ` and `RESP`).
+pub(crate) const ST_IDLE: u32 = 0;
+/// A request is published; the engine owns the cell.
+pub(crate) const ST_REQ: u32 = 1;
+/// A response is published; the proc owns the cell.
+pub(crate) const ST_RESP: u32 = 2;
+/// The engine is gone (dropped mid-run, e.g. unwinding a panic); procs
+/// must abandon ship instead of waiting forever.
+pub(crate) const ST_POISON: u32 = 3;
+
+/// Waiting is three-phase: `pause`-spin (multi-CPU only), `yield_now`, then
+/// `park`. On a single-CPU host, spinning can never observe the flip — the
+/// peer needs the CPU to publish — so the pause phase is skipped entirely
+/// and a yield hands the core straight to the runnable peer, usually
+/// completing the handoff with no futex wait at all.
+struct WaitBudget {
+    spins: u32,
+    yields: u32,
+}
+
+/// Proc-side spin budget (the yield budget is adaptive, see
+/// [`Mailbox::wait_response`]). A proc's response arrives quickly only
+/// when few procs are runnable, so the static part stays small.
+fn proc_spins() -> u32 {
+    if single_cpu() {
+        0
+    } else {
+        500
+    }
+}
+
+/// Yield budget a proc uses while its last wait completed without parking.
+/// When the engine is idle-waiting on this very proc (single runnable
+/// proc — common in latency phases and server figures), the response is
+/// one scheduler hop away and the whole handoff completes futex-free.
+const PROC_YIELDS_EAGER: u32 = 2;
+
+/// Budget of the engine waiting for the next request. The engine is the
+/// serial bottleneck and it always waits for the proc it just resumed, so
+/// the request is at most one proc-wakeup away — worth waiting harder for.
+fn engine_budget() -> WaitBudget {
+    if single_cpu() {
+        WaitBudget { spins: 0, yields: 16 }
+    } else {
+        WaitBudget {
+            spins: 4_000,
+            yields: 64,
+        }
+    }
+}
+
+fn single_cpu() -> bool {
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() < 2)
+            .unwrap_or(true)
+    })
+}
+
+/// The shared request/response cell. See the module docs for the protocol.
+pub(crate) struct Mailbox {
+    state: AtomicU32,
+    /// Request opcode or response kind, depending on `state`.
+    opcode: AtomicU32,
+    /// Payload length in words; lengths above [`INLINE_WORDS`] mean the
+    /// payload is in `overflow`.
+    len: AtomicU32,
+    words: [AtomicU64; INLINE_WORDS],
+    overflow: Mutex<Option<Vec<u64>>>,
+    /// Side channel for a proc's panic message (rides with `Done`).
+    panic_note: Mutex<Option<String>>,
+    proc_parked: AtomicBool,
+    engine_parked: AtomicBool,
+    /// Adaptive proc-side yield budget: [`PROC_YIELDS_EAGER`] while waits
+    /// complete without parking, 0 once a wait had to park (the engine is
+    /// clearly busy with other procs; park immediately and save the churn).
+    proc_yields: AtomicU32,
+    /// Simulated clock at the moment the engine published the last
+    /// response — the proc's current virtual time. Lets `Ctx::now` answer
+    /// locally, without a handoff.
+    resp_clock: AtomicU64,
+    /// Bitmap of metric indices with staged deltas riding the next request
+    /// (set by the proc before publishing, drained by the engine on
+    /// receipt). Lets `Ctx::record` buffer locally, without a handoff.
+    records_mask: AtomicU32,
+    metric_deltas: [AtomicU64; N_METRICS],
+    proc_thread: OnceLock<Thread>,
+    engine_thread: OnceLock<Thread>,
+    proc_parks: AtomicU64,
+    engine_parks: AtomicU64,
+}
+
+/// Locks `m`, shrugging off poisoning: a panicking proc must still be able
+/// to hand its `Done` through the mailbox.
+fn lock_anyway<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Mailbox {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: AtomicU32::new(ST_IDLE),
+            opcode: AtomicU32::new(0),
+            len: AtomicU32::new(0),
+            words: Default::default(),
+            overflow: Mutex::new(None),
+            panic_note: Mutex::new(None),
+            proc_parked: AtomicBool::new(false),
+            engine_parked: AtomicBool::new(false),
+            proc_yields: AtomicU32::new(PROC_YIELDS_EAGER),
+            resp_clock: AtomicU64::new(0),
+            records_mask: AtomicU32::new(0),
+            metric_deltas: Default::default(),
+            proc_thread: OnceLock::new(),
+            engine_thread: OnceLock::new(),
+            proc_parks: AtomicU64::new(0),
+            engine_parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers the calling thread as the proc side (for unparking). Must
+    /// run before the proc's first request.
+    pub(crate) fn register_proc(&self) {
+        let _ = self.proc_thread.set(std::thread::current());
+    }
+
+    /// Registers the calling thread as the engine side. Must run before the
+    /// engine first waits on this mailbox.
+    pub(crate) fn register_engine(&self) {
+        let _ = self.engine_thread.set(std::thread::current());
+    }
+
+    /// Stores a payload and flips `state`, waking the peer if it advertised
+    /// itself as parked. The `Relaxed` payload stores are ordered before
+    /// the `SeqCst` state store, which the waiter's state load acquires.
+    fn publish(&self, new_state: u32, code: u32, payload: &[u64], overflow: Option<Vec<u64>>) {
+        self.opcode.store(code, Ordering::Relaxed);
+        if let Some(big) = overflow {
+            self.len.store(big.len() as u32, Ordering::Relaxed);
+            debug_assert!(big.len() > INLINE_WORDS);
+            *lock_anyway(&self.overflow) = Some(big);
+        } else {
+            debug_assert!(payload.len() <= INLINE_WORDS);
+            self.len.store(payload.len() as u32, Ordering::Relaxed);
+            for (slot, &w) in self.words.iter().zip(payload) {
+                slot.store(w, Ordering::Relaxed);
+            }
+        }
+        self.state.store(new_state, Ordering::SeqCst);
+        let (peer_parked, peer) = match new_state {
+            ST_REQ => (&self.engine_parked, &self.engine_thread),
+            _ => (&self.proc_parked, &self.proc_thread),
+        };
+        if peer_parked.load(Ordering::SeqCst) {
+            if let Some(t) = peer.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Spins, yields, then parks, until `state` becomes `want` (or
+    /// `POISON`). Returns the observed state and whether the wait had to
+    /// park at least once.
+    fn wait_state(
+        &self,
+        want: u32,
+        budget: WaitBudget,
+        me_parked: &AtomicBool,
+        parks: &AtomicU64,
+    ) -> (u32, bool) {
+        let mut s = self.state.load(Ordering::SeqCst);
+        if s == want || s == ST_POISON {
+            return (s, false);
+        }
+        for _ in 0..budget.spins {
+            std::hint::spin_loop();
+            s = self.state.load(Ordering::SeqCst);
+            if s == want || s == ST_POISON {
+                return (s, false);
+            }
+        }
+        for _ in 0..budget.yields {
+            std::thread::yield_now();
+            s = self.state.load(Ordering::SeqCst);
+            if s == want || s == ST_POISON {
+                return (s, false);
+            }
+        }
+        loop {
+            me_parked.store(true, Ordering::SeqCst);
+            s = self.state.load(Ordering::SeqCst);
+            if s == want || s == ST_POISON {
+                me_parked.store(false, Ordering::Relaxed);
+                return (s, true);
+            }
+            parks.fetch_add(1, Ordering::Relaxed);
+            std::thread::park();
+            me_parked.store(false, Ordering::SeqCst);
+        }
+    }
+
+    // ---- proc side -------------------------------------------------------
+
+    /// Publishes a request with an inline payload. Returns `false` (without
+    /// publishing) if the engine is gone.
+    pub(crate) fn send_request(&self, op: u32, payload: &[u64]) -> bool {
+        if self.state.load(Ordering::SeqCst) == ST_POISON {
+            return false;
+        }
+        self.publish(ST_REQ, op, payload, None);
+        true
+    }
+
+    /// Publishes a request whose payload exceeds the inline buffer.
+    /// `head` still rides inline (it is the destination word of a send).
+    pub(crate) fn send_request_big(&self, op: u32, head: u64, rest: Vec<u64>) -> bool {
+        if self.state.load(Ordering::SeqCst) == ST_POISON {
+            return false;
+        }
+        self.words[0].store(head, Ordering::Relaxed);
+        self.publish(ST_REQ, op, &[], Some(rest));
+        true
+    }
+
+    /// Stages buffered metric deltas to ride the next request: deltas for
+    /// every set bit of `mask`, then the mask itself. Proc side, called
+    /// while the proc owns the cell (before publishing); the subsequent
+    /// `SeqCst` state store orders these `Relaxed` stores for the engine.
+    pub(crate) fn stage_records(&self, mask: u32, deltas: &[u64; N_METRICS]) {
+        for (i, d) in deltas.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                self.metric_deltas[i].store(*d, Ordering::Relaxed);
+            }
+        }
+        self.records_mask.store(mask, Ordering::Relaxed);
+    }
+
+    /// The simulated time of the last response (proc side). Before the
+    /// first response this is 0 — which is when the simulation starts.
+    pub(crate) fn resp_clock(&self) -> u64 {
+        self.resp_clock.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a panic message to travel with a `Done` request.
+    pub(crate) fn set_panic_note(&self, msg: String) {
+        *lock_anyway(&self.panic_note) = Some(msg);
+    }
+
+    /// Blocks until the engine's response (or poison) and returns the
+    /// observed state (`ST_RESP` or `ST_POISON`).
+    pub(crate) fn wait_response(&self) -> u32 {
+        let budget = WaitBudget {
+            spins: proc_spins(),
+            yields: self.proc_yields.load(Ordering::Relaxed),
+        };
+        let (s, parked) = self.wait_state(ST_RESP, budget, &self.proc_parked, &self.proc_parks);
+        self.proc_yields.store(
+            if parked { 0 } else { PROC_YIELDS_EAGER },
+            Ordering::Relaxed,
+        );
+        s
+    }
+
+    // ---- engine side -----------------------------------------------------
+
+    /// Blocks until the proc's next request and returns its opcode and
+    /// payload length. (Procs never poison; only `ST_REQ` returns.)
+    pub(crate) fn wait_request(&self) -> (u32, usize) {
+        let (s, _) =
+            self.wait_state(ST_REQ, engine_budget(), &self.engine_parked, &self.engine_parks);
+        debug_assert_eq!(s, ST_REQ);
+        (
+            self.opcode.load(Ordering::Relaxed),
+            self.len.load(Ordering::Relaxed) as usize,
+        )
+    }
+
+    /// Drains the metric deltas staged with the request the engine just
+    /// received, handing each `(metric index, delta)` to `apply`. Engine
+    /// side, after [`Mailbox::wait_request`].
+    pub(crate) fn drain_records(&self, mut apply: impl FnMut(usize, u64)) {
+        let mask = self.records_mask.swap(0, Ordering::Relaxed);
+        if mask == 0 {
+            return;
+        }
+        for i in 0..N_METRICS {
+            if mask & (1 << i) != 0 {
+                apply(i, self.metric_deltas[i].load(Ordering::Relaxed));
+            }
+        }
+    }
+
+    /// Records the simulated time a response is published at (engine side,
+    /// called before `send_response`; ordered by the state store).
+    pub(crate) fn set_resp_clock(&self, t: u64) {
+        self.resp_clock.store(t, Ordering::Relaxed);
+    }
+
+    /// Response kind and payload length (valid on the proc side after
+    /// [`Mailbox::wait_response`] returned `ST_RESP`).
+    pub(crate) fn resp_fields(&self) -> (u32, usize) {
+        (
+            self.opcode.load(Ordering::Relaxed),
+            self.len.load(Ordering::Relaxed) as usize,
+        )
+    }
+
+    /// Publishes a response with an inline payload.
+    pub(crate) fn send_response(&self, kind: u32, payload: &[u64]) {
+        self.publish(ST_RESP, kind, payload, None);
+    }
+
+    /// Publishes a response whose payload exceeds the inline buffer.
+    pub(crate) fn send_response_big(&self, kind: u32, payload: Vec<u64>) {
+        self.publish(ST_RESP, kind, &[], Some(payload));
+    }
+
+    /// Marks the engine as gone and wakes the proc so it can unwind instead
+    /// of waiting forever. Idempotent; harmless after the proc exited.
+    pub(crate) fn poison(&self) {
+        self.state.store(ST_POISON, Ordering::SeqCst);
+        if let Some(t) = self.proc_thread.get() {
+            t.unpark();
+        }
+    }
+
+    // ---- payload access (valid while the caller owns the cell) ----------
+
+    /// Reads inline payload word `i`.
+    pub(crate) fn word(&self, i: usize) -> u64 {
+        self.words[i].load(Ordering::Relaxed)
+    }
+
+    /// Takes the heap payload of an oversized request/response.
+    pub(crate) fn take_overflow(&self) -> Option<Vec<u64>> {
+        lock_anyway(&self.overflow).take()
+    }
+
+    /// Takes the panic message riding with `Done`.
+    pub(crate) fn take_panic_note(&self) -> Option<String> {
+        lock_anyway(&self.panic_note).take()
+    }
+
+    /// How many times the proc side parked (host-scheduling dependent).
+    pub(crate) fn proc_park_count(&self) -> u64 {
+        self.proc_parks.load(Ordering::Relaxed)
+    }
+
+    /// How many times the engine side parked on this mailbox.
+    pub(crate) fn engine_park_count(&self) -> u64 {
+        self.engine_parks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pingpong_roundtrips_inline_payload() {
+        let mb = Arc::new(Mailbox::new());
+        mb.register_engine();
+        let proc_mb = Arc::clone(&mb);
+        let j = std::thread::spawn(move || {
+            proc_mb.register_proc();
+            for i in 0..10_000u64 {
+                assert!(proc_mb.send_request(7, &[i, i * 2, i * 3]));
+                assert_eq!(proc_mb.wait_response(), ST_RESP);
+                assert_eq!(proc_mb.word(0), i + 1);
+            }
+        });
+        for _ in 0..10_000u64 {
+            let (op, len) = mb.wait_request();
+            assert_eq!(op, 7);
+            assert_eq!(len, 3);
+            let x = mb.word(0);
+            assert_eq!(mb.word(1), x * 2);
+            mb.send_response(0, &[x + 1]);
+        }
+        j.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_payload_takes_heap_path() {
+        let mb = Arc::new(Mailbox::new());
+        mb.register_engine();
+        let proc_mb = Arc::clone(&mb);
+        let big: Vec<u64> = (0..100).collect();
+        let expect = big.clone();
+        let j = std::thread::spawn(move || {
+            proc_mb.register_proc();
+            assert!(proc_mb.send_request_big(5, 42, big));
+            assert_eq!(proc_mb.wait_response(), ST_RESP);
+            let back = proc_mb.take_overflow().expect("big response");
+            assert_eq!(back.len(), 100);
+        });
+        let (op, len) = mb.wait_request();
+        assert_eq!((op, len), (5, 100));
+        assert_eq!(mb.word(0), 42);
+        let got = mb.take_overflow().expect("big request");
+        assert_eq!(got, expect);
+        mb.send_response_big(1, got);
+        j.join().unwrap();
+    }
+
+    #[test]
+    fn poison_unblocks_a_waiting_proc() {
+        let mb = Arc::new(Mailbox::new());
+        let proc_mb = Arc::clone(&mb);
+        let j = std::thread::spawn(move || {
+            proc_mb.register_proc();
+            assert!(proc_mb.send_request(1, &[0]));
+            proc_mb.wait_response() // must return ST_POISON, not hang
+        });
+        // Give the proc time to publish and park.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        mb.poison();
+        assert_eq!(j.join().unwrap(), ST_POISON);
+        // Further requests are refused.
+        assert!(!mb.send_request(1, &[0]));
+    }
+}

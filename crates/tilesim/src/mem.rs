@@ -11,6 +11,7 @@
 //! controllers, as on the TILE-Gx.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::config::MachineConfig;
 
@@ -25,6 +26,37 @@ pub type Addr = u64;
 pub fn line_of(addr: Addr) -> u64 {
     addr / WORDS_PER_LINE
 }
+
+/// Multiply-mix hasher for the `u64` keys of the two hot maps below. Both
+/// map lookups sit on the per-access critical path of every simulated memory
+/// operation; the default SipHash dominates their cost while word addresses
+/// need no DoS resistance.
+#[derive(Default)]
+struct WordHasher(u64);
+
+impl Hasher for WordHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        // Fibonacci multiply then fold the high bits down: HashMap derives
+        // both the bucket index (low bits) and control byte (high bits) from
+        // this, so both halves must be mixed.
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type WordMap<V> = HashMap<u64, V, BuildHasherDefault<WordHasher>>;
 
 /// Coherence state of one line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,8 +99,8 @@ pub struct Access {
 /// The memory system shared by all simulated cores.
 pub struct Memory {
     cfg: MachineConfig,
-    values: HashMap<Addr, u64>,
-    lines: HashMap<u64, Line>,
+    values: WordMap<u64>,
+    lines: WordMap<Line>,
     /// Each controller is busy until the given cycle (serialization point
     /// for atomics).
     ctrl_busy_until: Vec<u64>,
@@ -91,8 +123,8 @@ impl Memory {
         let cores = cfg.cores();
         Self {
             cfg,
-            values: HashMap::new(),
-            lines: HashMap::new(),
+            values: WordMap::default(),
+            lines: WordMap::default(),
             ctrl_busy_until: vec![0; cfg.controllers],
             ctrl_last_line: vec![None; cfg.controllers],
             home_busy_until: vec![0; cores],

@@ -91,6 +91,75 @@ impl Metric {
         Metric::LatB6,
         Metric::LatB7,
     ];
+
+    /// Every metric, indexed by its discriminant (so
+    /// `Metric::ALL[m as usize] == m`).
+    pub const ALL: [Metric; N_METRICS] = [
+        Metric::Ops,
+        Metric::LatSum,
+        Metric::LatCount,
+        Metric::Cas,
+        Metric::Rounds,
+        Metric::Combined,
+        Metric::Orphans,
+        Metric::Served,
+        Metric::CasFail,
+        Metric::CustomA,
+        Metric::CustomB,
+        Metric::CustomC,
+        Metric::LatB0,
+        Metric::LatB1,
+        Metric::LatB2,
+        Metric::LatB3,
+        Metric::LatB4,
+        Metric::LatB5,
+        Metric::LatB6,
+        Metric::LatB7,
+    ];
+
+    /// The metric with discriminant `i` (inverse of `m as usize`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_METRICS`.
+    pub fn from_index(i: usize) -> Metric {
+        Metric::ALL[i]
+    }
+}
+
+/// Host-side execution counters of one simulation run: how the simulator
+/// itself behaved on the machine running it, as opposed to the simulated
+/// machine's counters in [`CoreStats`].
+///
+/// `handoffs`, `inline_payloads`, and `heap_fallbacks` are deterministic
+/// functions of the simulated trace; `engine_parks` and `proc_parks` depend
+/// on host scheduling and vary run to run. None of these may feed figure
+/// values — they exist for the harness's `--timing` self-measurement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Proc→engine request/response round trips served through the mailbox.
+    pub handoffs: u64,
+    /// Times the engine thread parked waiting for a proc's next request.
+    pub engine_parks: u64,
+    /// Times a proc thread parked waiting for the engine's response.
+    pub proc_parks: u64,
+    /// Request/response payloads carried in the mailbox's inline word
+    /// buffer — each one an allocation the previous channel-based handoff
+    /// design would have made.
+    pub inline_payloads: u64,
+    /// Oversized payloads that fell back to a heap allocation.
+    pub heap_fallbacks: u64,
+}
+
+impl HostStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &HostStats) {
+        self.handoffs += other.handoffs;
+        self.engine_parks += other.engine_parks;
+        self.proc_parks += other.proc_parks;
+        self.inline_payloads += other.inline_payloads;
+        self.heap_fallbacks += other.heap_fallbacks;
+    }
 }
 
 /// Cycle accounting for one core.
@@ -131,6 +200,9 @@ pub struct SimResult {
     pub per_core: Vec<CoreStats>,
     /// Per-proc metric accumulators.
     pub metrics: Vec<[u64; N_METRICS]>,
+    /// Host-side simulator execution counters (see [`HostStats`]); not part
+    /// of the simulated machine's state and never used in figure values.
+    pub host: HostStats,
 }
 
 impl SimResult {
@@ -253,6 +325,7 @@ mod tests {
             end_clock: 1_200_000,
             per_core,
             metrics,
+            host: HostStats::default(),
         }
     }
 

@@ -138,16 +138,23 @@ impl WordQueue {
     }
 
     /// Writes `words` into previously reserved positions starting at `start`.
-    fn publish(&self, start: usize, words: &[u64]) {
+    ///
+    /// Returns `true` if any cell was still held by the consumer when first
+    /// examined — i.e. the producer genuinely waited for space. With a
+    /// successful `try_reserve` this never happens (the reservation proved
+    /// every cell free); with a blocking reservation it is the back-pressure
+    /// point.
+    fn publish(&self, start: usize, words: &[u64]) -> bool {
         let cap = self.buf.len();
+        let mut waited = false;
         for (i, &w) in words.iter().enumerate() {
             let pos = start + i;
             let cell = &self.buf[pos % cap];
             // Wait until the consumer has freed this cell from the previous
-            // lap. With a successful `try_reserve` this loop does not spin;
-            // with a blocking reservation it is the back-pressure point.
+            // lap.
             let mut spins = 0u32;
             while cell.seq.load(Ordering::Acquire) != pos {
+                waited = true;
                 backoff(&mut spins);
             }
             // SAFETY: the cell at `pos` is exclusively owned by this producer
@@ -155,6 +162,7 @@ impl WordQueue {
             unsafe { *cell.value.get() = w };
             cell.seq.store(pos + 1, Ordering::Release);
         }
+        waited
     }
 
     /// Enqueues all of `words` as one contiguous message, blocking while the
@@ -175,13 +183,14 @@ impl WordQueue {
             return;
         }
         // Reserve unconditionally: the positions will become free once the
-        // consumer drains preceding words. `publish` waits per-cell.
+        // consumer drains preceding words. `publish` waits per-cell and
+        // reports whether this send actually had to wait — a head snapshot
+        // taken here instead would already be stale by the time the cells
+        // are examined, counting sends the consumer drained in time.
         let start = self.tail.fetch_add(words.len(), Ordering::Relaxed);
-        let head = self.head.load(Ordering::Acquire);
-        if start + words.len() > head + self.buf.len() {
+        if self.publish(start, words) {
             self.blocked_sends.fetch_add(1, Ordering::Relaxed);
         }
-        self.publish(start, words);
     }
 
     /// Attempts to enqueue `words` without blocking.
@@ -205,7 +214,10 @@ impl WordQueue {
         }
         match self.try_reserve(words.len()) {
             Reserve::At(start) => {
-                self.publish(start, words);
+                // A successful reservation proved the space free, so this
+                // publish never waits and counts no back-pressure.
+                let waited = self.publish(start, words);
+                debug_assert!(!waited, "try_send publish waited after a proven reservation");
                 true
             }
             Reserve::Full => {
@@ -366,6 +378,19 @@ mod tests {
         q.send_blocking(&[]);
         assert!(q.try_send(&[]));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn uncontended_sends_count_no_backpressure() {
+        let q = WordQueue::new(4);
+        q.send_blocking(&[1]);
+        q.send_blocking(&[2, 3]);
+        let mut buf = [0u64; 3];
+        q.receive_blocking(&mut buf);
+        // Refill after the drain: the ring wraps, but no send ever waits on
+        // the consumer, so nothing may be attributed to back-pressure.
+        q.send_blocking(&[4, 5, 6, 7]);
+        assert_eq!(q.blocked_sends(), 0);
     }
 
     #[test]
