@@ -78,7 +78,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark: `f` receives a [`Bencher`] and calls `iter`.
-    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let id = id.into();
         let mut b = Bencher {
             warm_up_time: self.warm_up_time,

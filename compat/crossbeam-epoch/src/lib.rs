@@ -451,7 +451,7 @@ mod tests {
         let err = lost.err().expect("must fail");
         assert!(err.current == cur);
         drop(err.new); // returned allocation freed normally
-        // Clean up the stored node.
+                       // Clean up the stored node.
         let p = a.load(Ordering::SeqCst, &g);
         a.store(Shared::null(), Ordering::SeqCst);
         drop(unsafe { p.into_owned() });

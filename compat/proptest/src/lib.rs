@@ -240,7 +240,10 @@ pub fn run_property(
             Ok(()) => {}
             Err(TestCaseError::Reject(_)) => rejected += 1,
             Err(TestCaseError::Fail(reason)) => {
-                panic!("property '{test_name}' failed at case {i}/{}: {reason}", config.cases)
+                panic!(
+                    "property '{test_name}' failed at case {i}/{}: {reason}",
+                    config.cases
+                )
             }
         }
     }

@@ -250,8 +250,7 @@ pub trait SampleUniform: Sized + Copy {
     fn gen_full<R: RngCore + ?Sized>(rng: &mut R) -> Self;
     /// Samples uniformly from `[low, high_inclusive]` using the rand 0.8
     /// `UniformInt::sample_single_inclusive` algorithm.
-    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self)
-        -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_inclusive: Self) -> Self;
 }
 
 /// Implements [`SampleUniform`] for an integer type, widening to `$large`
@@ -271,9 +270,9 @@ macro_rules! uniform_int_impl {
                 high_inclusive: Self,
             ) -> Self {
                 debug_assert!(low <= high_inclusive);
-                let range =
-                    (high_inclusive as $unsigned).wrapping_sub(low as $unsigned)
-                        .wrapping_add(1) as $large;
+                let range = (high_inclusive as $unsigned)
+                    .wrapping_sub(low as $unsigned)
+                    .wrapping_add(1) as $large;
                 if range == 0 {
                     // Full integer range: any value is in range.
                     return rng.$next() as $ty;
@@ -291,10 +290,7 @@ macro_rules! uniform_int_impl {
                 fn wmul(a: $large, b: $large) -> ($large, $large) {
                     type Wide = <$large as WidenTo>::Wide;
                     let full = (a as Wide) * (b as Wide);
-                    (
-                        (full >> <$large>::BITS) as $large,
-                        full as $large,
-                    )
+                    ((full >> <$large>::BITS) as $large, full as $large)
                 }
             }
         }

@@ -7,8 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpsync_core::{LockCs, TicketLock};
 use mpsync_objects::queue::{
-    deq_dispatch, enq_dispatch, CsQueue, DeqSide, EnqSide, Lcrq, TwoLockQueue,
-    TwoLockQueueHandle,
+    deq_dispatch, enq_dispatch, CsQueue, DeqSide, EnqSide, Lcrq, TwoLockQueue, TwoLockQueueHandle,
 };
 use mpsync_objects::seq::{queue_dispatch, SeqQueue};
 use mpsync_objects::ConcurrentQueue;

@@ -1,5 +1,7 @@
 //! Native companion to Figure 5b: push+pop pair cost for the stack
-//! implementations on the host machine.
+//! implementations on the host machine — single-threaded latency plus a
+//! contended multithreaded section where the elimination-backoff stack's
+//! pairing actually gets exercised.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,5 +63,68 @@ fn bench_stacks(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stacks);
+/// Threads in the contended section (matched to the CI host's cores).
+const CONTEND_THREADS: usize = 2;
+/// Push+pop pairs per thread per measured iteration.
+const CONTEND_PAIRS: u64 = 256;
+
+/// Runs `CONTEND_PAIRS` push+pop pairs on every handle concurrently.
+/// Concurrent pushers and poppers are exactly the traffic the elimination
+/// layer pairs off without touching the underlying stack.
+fn hammer_pairs<H: ConcurrentStack + Send>(handles: &mut [H]) {
+    std::thread::scope(|scope| {
+        for h in handles.iter_mut() {
+            scope.spawn(move || {
+                for i in 0..CONTEND_PAIRS {
+                    h.push(i + 1);
+                    h.pop();
+                }
+            });
+        }
+    });
+}
+
+fn bench_stacks_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_push_pop_pair_contended");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    // Coarse-lock sequential stack: every pair serializes on the lock.
+    {
+        let cs = Arc::new(LockCs::<SeqStack, TicketLock, StackFn>::new(
+            SeqStack::new(),
+            stack_dispatch as StackFn,
+        ));
+        let mut handles: Vec<_> = (0..CONTEND_THREADS)
+            .map(|_| CsStack::new(cs.handle()))
+            .collect();
+        g.bench_function(format!("coarse_ticket/t={CONTEND_THREADS}"), |b| {
+            b.iter(|| hammer_pairs(&mut handles))
+        });
+    }
+
+    // Treiber nonblocking stack: pairs contend on the top-of-stack CAS.
+    {
+        let s = Arc::new(TreiberStack::new());
+        let mut handles: Vec<_> = (0..CONTEND_THREADS).map(|_| s.handle()).collect();
+        g.bench_function(format!("treiber/t={CONTEND_THREADS}"), |b| {
+            b.iter(|| hammer_pairs(&mut handles))
+        });
+    }
+
+    // Elimination-backoff stack: colliding push/pop pairs cancel in the
+    // exchanger array instead of serializing on the top-of-stack.
+    {
+        let s = Arc::new(EliminationStack::new(4));
+        let mut handles: Vec<_> = (0..CONTEND_THREADS).map(|_| s.handle()).collect();
+        g.bench_function(format!("elimination/t={CONTEND_THREADS}"), |b| {
+            b.iter(|| hammer_pairs(&mut handles))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stacks, bench_stacks_contended);
 criterion_main!(benches);

@@ -41,8 +41,5 @@ fn main() {
             );
         }
     }
-    println!(
-        "\ntotal served {} over {} cycles",
-        total_served, r.cycles
-    );
+    println!("\ntotal served {} over {} cycles", total_served, r.cycles);
 }

@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--quick] [--horizon CYCLES] [--seed N] [--jobs N] [--timing]
 //!       [--baseline-ms MS] [--check-baseline PATH] <experiment>... | all
+//! repro --list
 //! ```
 //!
 //! Experiments: `fig3a fig3b fig3c fig4a fig4b fig4c fig5a fig5b
@@ -105,6 +106,10 @@ fn main() {
                 print_usage();
                 return;
             }
+            "--list" => {
+                print_list();
+                return;
+            }
             other => experiments.push(other.to_string()),
         }
     }
@@ -118,7 +123,10 @@ fn main() {
     for e in &experiments {
         if !ALL.contains(&e.as_str()) {
             eprintln!("unknown experiment {e:?}");
-            print_usage();
+            if let Some(close) = closest_experiment(e) {
+                eprintln!("did you mean {close:?}?");
+            }
+            eprintln!("run `repro --list` for every experiment and what it reproduces");
             std::process::exit(2);
         }
     }
@@ -197,17 +205,137 @@ fn main() {
 }
 
 const ALL: &[&str] = &[
-    "fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "tab-cas",
-    "tab-fair", "tab-x86", "abl-swap", "abl-nodrain", "ext-locks", "ext-tail",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig5a",
+    "fig5b",
+    "tab-cas",
+    "tab-fair",
+    "tab-x86",
+    "abl-swap",
+    "abl-nodrain",
+    "ext-locks",
+    "ext-tail",
     "ext-imbalance",
 ];
+
+/// One-line description per experiment id, same order as [`ALL`]
+/// (summarized from the experiment table in DESIGN.md §4).
+const DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        "fig3a",
+        "counter throughput vs app threads: MP-SERVER, HYBCOMB, SHM-SERVER, CC-SYNCH",
+    ),
+    (
+        "fig3b",
+        "average request latency (cycles) vs threads, same four constructions",
+    ),
+    (
+        "fig3c",
+        "max throughput vs the MAX_OPS combining bound, HYBCOMB and CC-SYNCH",
+    ),
+    (
+        "fig4a",
+        "stalled vs total cycles per op on the servicing thread (fixed combiner)",
+    ),
+    (
+        "fig4b",
+        "actual combining rate vs threads, HYBCOMB and CC-SYNCH",
+    ),
+    (
+        "fig4c",
+        "cycles per critical section vs CS length, with the ideal line",
+    ),
+    (
+        "fig5a",
+        "queue throughput vs clients: one-/two-lock MS queues and LCRQ",
+    ),
+    (
+        "fig5b",
+        "stack throughput vs clients: coarse-lock stacks and Treiber",
+    ),
+    (
+        "tab-cas",
+        "in-text claim: CAS executions per apply_op under HYBCOMB",
+    ),
+    (
+        "tab-fair",
+        "in-text claim: per-thread fairness ratios of HYBCOMB and MP-SERVER",
+    ),
+    (
+        "tab-x86",
+        "stall fraction as RMR cost grows (the paper's x86 discussion, 5.5)",
+    ),
+    (
+        "abl-swap",
+        "ablation: CAS vs SWAP combiner registration in HYBCOMB",
+    ),
+    (
+        "abl-nodrain",
+        "ablation: HYBCOMB without the eager message-drain loop",
+    ),
+    (
+        "ext-locks",
+        "extension: counter under TAS/ticket/MCS locks vs MP-SERVER",
+    ),
+    (
+        "ext-tail",
+        "extension: latency percentiles (the paper's 'sporadic hiccups')",
+    ),
+    (
+        "ext-imbalance",
+        "extension: asymmetric enqueue/dequeue mixes on the one-lock queue",
+    ),
+];
+
+fn print_list() {
+    println!(
+        "experiments ({} total; `repro all` runs every one):",
+        ALL.len()
+    );
+    for (id, desc) in DESCRIPTIONS {
+        println!("  {id:<14} {desc}");
+    }
+}
+
+/// Nearest experiment id by edit distance, if anything is plausibly close
+/// (distance ≤ 3) — catches the common `fig3A` / `fig-3a` / `tab_cas` typos.
+fn closest_experiment(input: &str) -> Option<&'static str> {
+    let lower = input.to_ascii_lowercase();
+    ALL.iter()
+        .map(|&id| (edit_distance(&lower, id), id))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, id)| id)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
 
 fn print_usage() {
     eprintln!(
         "usage: repro [--quick] [--horizon CYCLES] [--seed N] [--jobs N] [--timing] \
          [--baseline-ms MS] [--check-baseline PATH] <experiment>...|all"
     );
-    eprintln!("experiments: {}", ALL.join(" "));
+    eprintln!(
+        "experiments: {} (describe with `repro --list`)",
+        ALL.join(" ")
+    );
 }
 
 fn cfg() -> MachineConfig {
@@ -219,57 +347,119 @@ fn cfg() -> MachineConfig {
 /// so they are not part of the key.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Task {
-    Counter { a: Approach, threads: usize, max_ops: u64 },
-    CounterFixed { x86: bool, a: Approach, threads: usize },
-    CounterHyb { threads: usize, max_ops: u64, use_swap: bool, eager_drain: bool },
-    CounterLock { kind: LockKind, threads: usize },
-    Array { a: Approach, threads: usize, iters: u64, max_ops: u64 },
-    QueueOnelock { a: Approach, threads: usize, max_ops: u64 },
-    QueueLcrq { threads: usize },
-    QueueMp2 { threads: usize },
-    QueueMixed { a: Approach, threads: usize, enq: usize, max_ops: u64 },
-    Stack { a: Approach, threads: usize, max_ops: u64 },
-    StackTreiber { threads: usize },
+    Counter {
+        a: Approach,
+        threads: usize,
+        max_ops: u64,
+    },
+    CounterFixed {
+        x86: bool,
+        a: Approach,
+        threads: usize,
+    },
+    CounterHyb {
+        threads: usize,
+        max_ops: u64,
+        use_swap: bool,
+        eager_drain: bool,
+    },
+    CounterLock {
+        kind: LockKind,
+        threads: usize,
+    },
+    Array {
+        a: Approach,
+        threads: usize,
+        iters: u64,
+        max_ops: u64,
+    },
+    QueueOnelock {
+        a: Approach,
+        threads: usize,
+        max_ops: u64,
+    },
+    QueueLcrq {
+        threads: usize,
+    },
+    QueueMp2 {
+        threads: usize,
+    },
+    QueueMixed {
+        a: Approach,
+        threads: usize,
+        enq: usize,
+        max_ops: u64,
+    },
+    Stack {
+        a: Approach,
+        threads: usize,
+        max_ops: u64,
+    },
+    StackTreiber {
+        threads: usize,
+    },
 }
 
 impl Task {
     fn run(&self, o: &Opts) -> SimResult {
         let (h, s) = (o.horizon, o.seed);
         match *self {
-            Task::Counter { a, threads, max_ops } => {
-                workload::run_counter(cfg(), a, threads, max_ops, h, s)
-            }
+            Task::Counter {
+                a,
+                threads,
+                max_ops,
+            } => workload::run_counter(cfg(), a, threads, max_ops, h, s),
             Task::CounterFixed { x86, a, threads } => {
-                let c = if x86 { MachineConfig::x86_like() } else { cfg() };
+                let c = if x86 {
+                    MachineConfig::x86_like()
+                } else {
+                    cfg()
+                };
                 workload::run_counter_fixed(c, a, threads, h, s)
             }
-            Task::CounterHyb { threads, max_ops, use_swap, eager_drain } => {
-                workload::run_counter_hybcomb_opts(
-                    cfg(),
-                    threads,
-                    max_ops,
-                    h,
-                    s,
-                    HybOptions { use_swap, eager_drain },
-                )
-            }
+            Task::CounterHyb {
+                threads,
+                max_ops,
+                use_swap,
+                eager_drain,
+            } => workload::run_counter_hybcomb_opts(
+                cfg(),
+                threads,
+                max_ops,
+                h,
+                s,
+                HybOptions {
+                    use_swap,
+                    eager_drain,
+                },
+            ),
             Task::CounterLock { kind, threads } => {
                 workload::run_counter_lock(cfg(), kind, threads, h, s)
             }
-            Task::Array { a, threads, iters, max_ops } => {
-                workload::run_array(cfg(), a, threads, iters, max_ops, h, s)
-            }
-            Task::QueueOnelock { a, threads, max_ops } => {
-                workload::run_queue_onelock(cfg(), a, threads, max_ops, h, s)
-            }
+            Task::Array {
+                a,
+                threads,
+                iters,
+                max_ops,
+            } => workload::run_array(cfg(), a, threads, iters, max_ops, h, s),
+            Task::QueueOnelock {
+                a,
+                threads,
+                max_ops,
+            } => workload::run_queue_onelock(cfg(), a, threads, max_ops, h, s),
             Task::QueueLcrq { threads } => workload::run_queue_lcrq(cfg(), threads, h, s),
             Task::QueueMp2 { threads } => workload::run_queue_mp2(cfg(), threads, h, s),
-            Task::QueueMixed { a, threads, enq, max_ops } => {
-                workload::run_queue_mixed(cfg(), a, threads, enq, max_ops, h, s)
-            }
-            Task::Stack { a, threads, max_ops } => {
-                workload::run_stack(cfg(), a, threads, max_ops, h, s)
-            }
+            Task::QueueMixed {
+                a,
+                threads,
+                enq,
+                max_ops,
+            } => workload::run_queue_mixed(cfg(), a, threads, enq, max_ops, h, s),
+            Task::Stack {
+                a,
+                threads,
+                max_ops,
+            } => workload::run_stack(cfg(), a, threads, max_ops, h, s),
             Task::StackTreiber { threads } => workload::run_stack_treiber(cfg(), threads, h, s),
         }
     }
@@ -295,7 +485,14 @@ impl Cache {
     }
 
     fn counter(&self, o: &Opts, a: Approach, threads: usize, max_ops: u64) -> SimResult {
-        self.get(o, &Task::Counter { a, threads, max_ops })
+        self.get(
+            o,
+            &Task::Counter {
+                a,
+                threads,
+                max_ops,
+            },
+        )
     }
 
     /// (distinct runs executed, host counters summed over them).
@@ -320,34 +517,63 @@ fn tasks_for(name: &str, o: &Opts) -> Vec<Task> {
         "fig3a" | "fig3b" => {
             for &n in &thread_sweep(o.quick) {
                 for a in Approach::ALL {
-                    t.push(Task::Counter { a, threads: n, max_ops: 200 });
+                    t.push(Task::Counter {
+                        a,
+                        threads: n,
+                        max_ops: 200,
+                    });
                 }
             }
         }
         "fig3c" => {
             let n = 35.min(workload::max_threads(&cfg(), Approach::HybComb));
             for &m in &max_ops_sweep(o.quick) {
-                t.push(Task::Counter { a: Approach::HybComb, threads: n, max_ops: m });
-                t.push(Task::Counter { a: Approach::CcSynch, threads: n, max_ops: m });
+                t.push(Task::Counter {
+                    a: Approach::HybComb,
+                    threads: n,
+                    max_ops: m,
+                });
+                t.push(Task::Counter {
+                    a: Approach::CcSynch,
+                    threads: n,
+                    max_ops: m,
+                });
             }
         }
         "fig4a" => {
             let n = 35.min(cfg().cores() - 1);
             for a in Approach::ALL {
-                t.push(Task::CounterFixed { x86: false, a, threads: n });
+                t.push(Task::CounterFixed {
+                    x86: false,
+                    a,
+                    threads: n,
+                });
             }
         }
         "fig4b" => {
             for &n in &thread_sweep(o.quick) {
-                t.push(Task::Counter { a: Approach::HybComb, threads: n, max_ops: 200 });
-                t.push(Task::Counter { a: Approach::CcSynch, threads: n, max_ops: 200 });
+                t.push(Task::Counter {
+                    a: Approach::HybComb,
+                    threads: n,
+                    max_ops: 200,
+                });
+                t.push(Task::Counter {
+                    a: Approach::CcSynch,
+                    threads: n,
+                    max_ops: 200,
+                });
             }
         }
         "fig4c" => {
             let n = 14.min(cfg().cores() - 1);
             for &iters in &fig4c_iters(o) {
                 for a in Approach::ALL {
-                    t.push(Task::Array { a, threads: n, iters, max_ops: 200 });
+                    t.push(Task::Array {
+                        a,
+                        threads: n,
+                        iters,
+                        max_ops: 200,
+                    });
                 }
             }
         }
@@ -355,7 +581,11 @@ fn tasks_for(name: &str, o: &Opts) -> Vec<Task> {
             for &n in &thread_sweep(o.quick) {
                 let t2 = n.min(cfg().cores() - 2);
                 for a in Approach::ALL {
-                    t.push(Task::QueueOnelock { a, threads: n, max_ops: 200 });
+                    t.push(Task::QueueOnelock {
+                        a,
+                        threads: n,
+                        max_ops: 200,
+                    });
                 }
                 t.push(Task::QueueLcrq { threads: n });
                 t.push(Task::QueueMp2 { threads: t2 });
@@ -364,14 +594,22 @@ fn tasks_for(name: &str, o: &Opts) -> Vec<Task> {
         "fig5b" => {
             for &n in &thread_sweep(o.quick) {
                 for a in Approach::ALL {
-                    t.push(Task::Stack { a, threads: n, max_ops: 200 });
+                    t.push(Task::Stack {
+                        a,
+                        threads: n,
+                        max_ops: 200,
+                    });
                 }
                 t.push(Task::StackTreiber { threads: n });
             }
         }
         "tab-cas" => {
             for &n in &thread_sweep(o.quick) {
-                t.push(Task::Counter { a: Approach::HybComb, threads: n, max_ops: 200 });
+                t.push(Task::Counter {
+                    a: Approach::HybComb,
+                    threads: n,
+                    max_ops: 200,
+                });
             }
         }
         "tab-fair" => {
@@ -379,14 +617,30 @@ fn tasks_for(name: &str, o: &Opts) -> Vec<Task> {
                 if n < 2 {
                     continue;
                 }
-                t.push(Task::Counter { a: Approach::HybComb, threads: n, max_ops: 200 });
-                t.push(Task::Counter { a: Approach::MpServer, threads: n, max_ops: 200 });
+                t.push(Task::Counter {
+                    a: Approach::HybComb,
+                    threads: n,
+                    max_ops: 200,
+                });
+                t.push(Task::Counter {
+                    a: Approach::MpServer,
+                    threads: n,
+                    max_ops: 200,
+                });
             }
         }
         "tab-x86" => {
             for a in [Approach::ShmServer, Approach::CcSynch, Approach::MpServer] {
-                t.push(Task::CounterFixed { x86: false, a, threads: 10 });
-                t.push(Task::CounterFixed { x86: true, a, threads: 10 });
+                t.push(Task::CounterFixed {
+                    x86: false,
+                    a,
+                    threads: 10,
+                });
+                t.push(Task::CounterFixed {
+                    x86: true,
+                    a,
+                    threads: 10,
+                });
             }
         }
         "abl-swap" => {
@@ -418,18 +672,31 @@ fn tasks_for(name: &str, o: &Opts) -> Vec<Task> {
                 for kind in LockKind::ALL {
                     t.push(Task::CounterLock { kind, threads: n });
                 }
-                t.push(Task::Counter { a: Approach::MpServer, threads: n, max_ops: 200 });
+                t.push(Task::Counter {
+                    a: Approach::MpServer,
+                    threads: n,
+                    max_ops: 200,
+                });
             }
         }
         "ext-tail" => {
             for a in Approach::ALL {
-                t.push(Task::Counter { a, threads: 20, max_ops: 200 });
+                t.push(Task::Counter {
+                    a,
+                    threads: 20,
+                    max_ops: 200,
+                });
             }
         }
         "ext-imbalance" => {
             for enq in 1..=3usize {
                 for a in Approach::ALL {
-                    t.push(Task::QueueMixed { a, threads: 20, enq, max_ops: 200 });
+                    t.push(Task::QueueMixed {
+                        a,
+                        threads: 20,
+                        enq,
+                        max_ops: 200,
+                    });
                 }
             }
         }
@@ -471,7 +738,13 @@ fn render(name: &str, o: &Opts, c: &Cache) {
 /// Figure 3a: counter throughput (Mops/s) vs. application threads.
 fn fig3a(o: &Opts, c: &Cache) {
     println!("# fig3a: counter throughput vs threads (paper: mp-server up to ~115 Mops/s, 4.3x over shm-server; HybComb ~2.5x over CC-Synch at high concurrency)");
-    row(&["threads".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    row(&[
+        "threads".into(),
+        "mp-server".into(),
+        "HybComb".into(),
+        "shm-server".into(),
+        "CC-Synch".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
         let mut cells = vec![t.to_string()];
         for a in Approach::ALL {
@@ -485,7 +758,13 @@ fn fig3a(o: &Opts, c: &Cache) {
 /// Figure 3b: average request latency (cycles) vs. application threads.
 fn fig3b(o: &Opts, c: &Cache) {
     println!("# fig3b: counter request latency (cycles) vs threads (paper: mp-server lowest; combining latency dips when combining kicks in, then grows)");
-    row(&["threads".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    row(&[
+        "threads".into(),
+        "mp-server".into(),
+        "HybComb".into(),
+        "shm-server".into(),
+        "CC-Synch".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
         let mut cells = vec![t.to_string()];
         for a in Approach::ALL {
@@ -512,10 +791,22 @@ fn fig3c(o: &Opts, c: &Cache) {
 /// maximum load, fixed combiner (MAX_OPS = ∞).
 fn fig4a(o: &Opts, c: &Cache) {
     println!("# fig4a: servicing-thread cycles/op under max load, fixed combiner (paper: mp-server/HybComb ~no stalls; >50% stalls for shm-server/CC-Synch)");
-    row(&["approach".into(), "stalled".into(), "total".into(), "stall_frac".into()]);
+    row(&[
+        "approach".into(),
+        "stalled".into(),
+        "total".into(),
+        "stall_frac".into(),
+    ]);
     let t = 35.min(cfg().cores() - 1);
     for a in Approach::ALL {
-        let r = c.get(o, &Task::CounterFixed { x86: false, a, threads: t });
+        let r = c.get(
+            o,
+            &Task::CounterFixed {
+                x86: false,
+                a,
+                threads: t,
+            },
+        );
         let core = servicing_core(&r);
         let stalled = r.stalls_per_served_op(core);
         let total = r.cycles_per_served_op(core);
@@ -531,7 +822,12 @@ fn fig4a(o: &Opts, c: &Cache) {
 /// Figure 4b: actual combining rate vs. threads.
 fn fig4b(o: &Opts, c: &Cache) {
     println!("# fig4b: actual combining rate vs threads, MAX_OPS=200 (paper: ~threads-1 at low concurrency, sharp rise, CC-Synch reaches 200, HybComb slightly below)");
-    row(&["threads".into(), "HybComb".into(), "CC-Synch".into(), "HybComb_orphan_frac".into()]);
+    row(&[
+        "threads".into(),
+        "HybComb".into(),
+        "CC-Synch".into(),
+        "HybComb_orphan_frac".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
         let hyb = c.counter(o, Approach::HybComb, t, 200);
         let cc = c.counter(o, Approach::CcSynch, t, 200);
@@ -552,12 +848,27 @@ fn fig4b(o: &Opts, c: &Cache) {
 /// Figure 4c: cycles per CS execution vs. CS length (array iterations).
 fn fig4c(o: &Opts, c: &Cache) {
     println!("# fig4c: cycles per CS vs CS length (paper: constant overhead for mp-server/HybComb; shm-server/CC-Synch overhead shrinks as RMRs overlap; ~10% gap at 15 iters)");
-    row(&["iters".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into(), "ideal".into()]);
+    row(&[
+        "iters".into(),
+        "mp-server".into(),
+        "HybComb".into(),
+        "shm-server".into(),
+        "CC-Synch".into(),
+        "ideal".into(),
+    ]);
     let t = 14.min(cfg().cores() - 1);
     for &iters in &fig4c_iters(o) {
         let mut cells = vec![iters.to_string()];
         for a in Approach::ALL {
-            let r = c.get(o, &Task::Array { a, threads: t, iters, max_ops: 200 });
+            let r = c.get(
+                o,
+                &Task::Array {
+                    a,
+                    threads: t,
+                    iters,
+                    max_ops: 200,
+                },
+            );
             let ops = r.metric_sum(Metric::Ops).max(1);
             cells.push(f(r.cycles as f64 / ops as f64));
         }
@@ -582,7 +893,14 @@ fn fig5a(o: &Opts, c: &Cache) {
         let t2 = t.min(cfg().cores() - 2);
         let mut cells = vec![t.to_string()];
         for a in Approach::ALL {
-            let r = c.get(o, &Task::QueueOnelock { a, threads: t, max_ops: 200 });
+            let r = c.get(
+                o,
+                &Task::QueueOnelock {
+                    a,
+                    threads: t,
+                    max_ops: 200,
+                },
+            );
             cells.push(f(r.mops()));
         }
         cells.push(f(c.get(o, &Task::QueueLcrq { threads: t }).mops()));
@@ -605,7 +923,14 @@ fn fig5b(o: &Opts, c: &Cache) {
     for &t in &thread_sweep(o.quick) {
         let mut cells = vec![t.to_string()];
         for a in Approach::ALL {
-            let r = c.get(o, &Task::Stack { a, threads: t, max_ops: 200 });
+            let r = c.get(
+                o,
+                &Task::Stack {
+                    a,
+                    threads: t,
+                    max_ops: 200,
+                },
+            );
             cells.push(f(r.mops()));
         }
         cells.push(f(c.get(o, &Task::StackTreiber { threads: t }).mops()));
@@ -633,7 +958,11 @@ fn tab_fair(o: &Opts, c: &Cache) {
         }
         let hyb = c.counter(o, Approach::HybComb, t, 200);
         let mp = c.counter(o, Approach::MpServer, t, 200);
-        row(&[t.to_string(), f(hyb.fairness_ratio()), f(mp.fairness_ratio())]);
+        row(&[
+            t.to_string(),
+            f(hyb.fairness_ratio()),
+            f(mp.fairness_ratio()),
+        ]);
     }
 }
 
@@ -641,7 +970,11 @@ fn tab_fair(o: &Opts, c: &Cache) {
 /// (x86-like costs).
 fn tab_x86(o: &Opts, c: &Cache) {
     println!("# tab-x86: servicing-thread stall fraction, TILE-Gx-like vs x86-like RMR costs (paper §5.5: proportionally more stalls on x86 => larger improvement potential)");
-    row(&["approach".into(), "tile_stall_frac".into(), "x86_stall_frac".into()]);
+    row(&[
+        "approach".into(),
+        "tile_stall_frac".into(),
+        "x86_stall_frac".into(),
+    ]);
     let t = 10;
     for a in [Approach::ShmServer, Approach::CcSynch, Approach::MpServer] {
         let frac = |x86: bool| {
@@ -657,10 +990,34 @@ fn tab_x86(o: &Opts, c: &Cache) {
 /// Ablation: CAS vs SWAP combiner registration (§4.2's design discussion).
 fn abl_swap(o: &Opts, c: &Cache) {
     println!("# abl-swap: HybComb with CAS (paper's choice) vs SWAP registration (paper: SWAP lets several threads become combiners with only their own request)");
-    row(&["threads".into(), "cas_mops".into(), "swap_mops".into(), "cas_rate".into(), "swap_rate".into(), "cas_orphans".into(), "swap_orphans".into()]);
+    row(&[
+        "threads".into(),
+        "cas_mops".into(),
+        "swap_mops".into(),
+        "cas_rate".into(),
+        "swap_rate".into(),
+        "cas_orphans".into(),
+        "swap_orphans".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
-        let cas = c.get(o, &Task::CounterHyb { threads: t, max_ops: 200, use_swap: false, eager_drain: true });
-        let swap = c.get(o, &Task::CounterHyb { threads: t, max_ops: 200, use_swap: true, eager_drain: true });
+        let cas = c.get(
+            o,
+            &Task::CounterHyb {
+                threads: t,
+                max_ops: 200,
+                use_swap: false,
+                eager_drain: true,
+            },
+        );
+        let swap = c.get(
+            o,
+            &Task::CounterHyb {
+                threads: t,
+                max_ops: 200,
+                use_swap: true,
+                eager_drain: true,
+            },
+        );
         let orphans = |r: &SimResult| {
             if r.metric_sum(Metric::Rounds) == 0 {
                 0.0
@@ -684,7 +1041,13 @@ fn abl_swap(o: &Opts, c: &Cache) {
 /// against MP-SERVER — why delegation wins even over a queue lock.
 fn ext_locks(o: &Opts, c: &Cache) {
     println!("# ext-locks: counter throughput under classical locks vs mp-server (paper §3: locks pay O(1) RMRs per acquisition *plus* data migration)");
-    row(&["threads".into(), "tas".into(), "ticket".into(), "mcs".into(), "mp-server".into()]);
+    row(&[
+        "threads".into(),
+        "tas".into(),
+        "ticket".into(),
+        "mcs".into(),
+        "mp-server".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
         let mut cells = vec![t.to_string()];
         for kind in LockKind::ALL {
@@ -701,7 +1064,13 @@ fn ext_locks(o: &Opts, c: &Cache) {
 /// requests (when the requesting thread becomes a combiner)".
 fn ext_tail(o: &Opts, c: &Cache) {
     println!("# ext-tail: request latency percentiles (cycles; bucketed) at 20 threads (paper §5.3: HybComb trades throughput for sporadic combiner-duty hiccups; mp-server has no such mode)");
-    row(&["approach".into(), "avg".into(), "p50".into(), "p90".into(), "p99".into()]);
+    row(&[
+        "approach".into(),
+        "avg".into(),
+        "p50".into(),
+        "p90".into(),
+        "p99".into(),
+    ]);
     let t = 20;
     for a in Approach::ALL {
         let r = c.counter(o, a, t, 200);
@@ -718,12 +1087,26 @@ fn ext_tail(o: &Opts, c: &Cache) {
 /// Extension: asymmetric queue mixes (1–3 enqueues per 4 operations).
 fn ext_imbalance(o: &Opts, c: &Cache) {
     println!("# ext-imbalance: one-lock queue throughput under asymmetric mixes at 20 threads (1/4 = dequeue-heavy, mostly-empty; 3/4 = enqueue-heavy, drifts full; balanced load is fig5a)");
-    row(&["enq_per_4".into(), "mp-server".into(), "HybComb".into(), "shm-server".into(), "CC-Synch".into()]);
+    row(&[
+        "enq_per_4".into(),
+        "mp-server".into(),
+        "HybComb".into(),
+        "shm-server".into(),
+        "CC-Synch".into(),
+    ]);
     let t = 20;
     for enq in 1..=3usize {
         let mut cells = vec![format!("{enq}/4")];
         for a in Approach::ALL {
-            let r = c.get(o, &Task::QueueMixed { a, threads: t, enq, max_ops: 200 });
+            let r = c.get(
+                o,
+                &Task::QueueMixed {
+                    a,
+                    threads: t,
+                    enq,
+                    max_ops: 200,
+                },
+            );
             cells.push(f(r.mops()));
         }
         row(&cells);
@@ -733,10 +1116,32 @@ fn ext_imbalance(o: &Opts, c: &Cache) {
 /// Ablation: the eager drain loop (Algorithm 1 lines 25–28).
 fn abl_nodrain(o: &Opts, c: &Cache) {
     println!("# abl-nodrain: HybComb with vs without the eager drain loop (paper: the loop is not needed for correctness but increases combining potential)");
-    row(&["threads".into(), "drain_mops".into(), "nodrain_mops".into(), "drain_rate".into(), "nodrain_rate".into()]);
+    row(&[
+        "threads".into(),
+        "drain_mops".into(),
+        "nodrain_mops".into(),
+        "drain_rate".into(),
+        "nodrain_rate".into(),
+    ]);
     for &t in &thread_sweep(o.quick) {
-        let drain = c.get(o, &Task::CounterHyb { threads: t, max_ops: 200, use_swap: false, eager_drain: true });
-        let nodrain = c.get(o, &Task::CounterHyb { threads: t, max_ops: 200, use_swap: false, eager_drain: false });
+        let drain = c.get(
+            o,
+            &Task::CounterHyb {
+                threads: t,
+                max_ops: 200,
+                use_swap: false,
+                eager_drain: true,
+            },
+        );
+        let nodrain = c.get(
+            o,
+            &Task::CounterHyb {
+                threads: t,
+                max_ops: 200,
+                use_swap: false,
+                eager_drain: false,
+            },
+        );
         row(&[
             t.to_string(),
             f(drain.mops()),
@@ -744,5 +1149,24 @@ fn abl_nodrain(o: &Opts, c: &Cache) {
             f(drain.combining_rate()),
             f(nodrain.combining_rate()),
         ]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_is_described() {
+        let described: Vec<&str> = DESCRIPTIONS.iter().map(|(id, _)| *id).collect();
+        assert_eq!(described, ALL, "DESCRIPTIONS must mirror ALL, in order");
+    }
+
+    #[test]
+    fn typos_resolve_to_a_suggestion() {
+        assert_eq!(closest_experiment("fig3A"), Some("fig3a"));
+        assert_eq!(closest_experiment("tab_cas"), Some("tab-cas"));
+        assert_eq!(closest_experiment("ext-imbalnce"), Some("ext-imbalance"));
+        assert_eq!(closest_experiment("completely-wrong"), None);
     }
 }

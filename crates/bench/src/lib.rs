@@ -122,7 +122,10 @@ impl TimingReport {
         s.push_str(&format!("    \"handoffs\": {},\n", h.handoffs));
         s.push_str(&format!("    \"engine_parks\": {},\n", h.engine_parks));
         s.push_str(&format!("    \"proc_parks\": {},\n", h.proc_parks));
-        s.push_str(&format!("    \"inline_payloads\": {},\n", h.inline_payloads));
+        s.push_str(&format!(
+            "    \"inline_payloads\": {},\n",
+            h.inline_payloads
+        ));
         s.push_str(&format!("    \"heap_fallbacks\": {}\n", h.heap_fallbacks));
         s.push_str("  }\n}\n");
         s
@@ -135,7 +138,9 @@ impl TimingReport {
 pub fn baseline_figure_ms(json: &str, name: &str) -> Option<u64> {
     let pat = format!("\"{name}\": {{ \"ms\": ");
     let rest = &json[json.find(&pat)? + pat.len()..];
-    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
     rest[..end].parse().ok()
 }
 

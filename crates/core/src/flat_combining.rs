@@ -182,9 +182,7 @@ where
                 return rec.ret.load(Ordering::Relaxed);
             }
             // Try to become the combiner (test-and-test-and-set).
-            if !sh.lock.load(Ordering::Relaxed)
-                && !sh.lock.swap(true, Ordering::Acquire)
-            {
+            if !sh.lock.load(Ordering::Relaxed) && !sh.lock.swap(true, Ordering::Acquire) {
                 let served = self.combine();
                 sh.lock.store(false, Ordering::Release);
                 sh.rounds.fetch_add(1, Ordering::Relaxed);
@@ -239,10 +237,7 @@ mod tests {
                 (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
         assert!(fc.combining_rate() >= 1.0);

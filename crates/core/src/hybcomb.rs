@@ -344,7 +344,8 @@ where
 
         // Stats before departing (still in mutual exclusion, cheap).
         sh.rounds.fetch_add(1, Ordering::Relaxed);
-        sh.combined_ops.fetch_add(ops_completed + 1, Ordering::Relaxed);
+        sh.combined_ops
+            .fetch_add(ops_completed + 1, Ordering::Relaxed);
         if ops_completed == 0 {
             sh.orphan_rounds.fetch_add(1, Ordering::Relaxed);
         }
@@ -470,10 +471,7 @@ mod tests {
                 (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
         let stats = hc.stats();
@@ -495,10 +493,7 @@ mod tests {
                 (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
     }
@@ -522,10 +517,7 @@ mod tests {
                 (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
     }
@@ -554,7 +546,10 @@ mod tests {
         assert_eq!(s.combined_ops, THREADS as u64 * OPS);
         assert!(s.combining_rate() >= 1.0);
         assert!(s.combining_rate() <= 30.0 + 1.0);
-        assert!(s.cas_attempts >= s.rounds, "every round needs a successful CAS");
+        assert!(
+            s.cas_attempts >= s.rounds,
+            "every round needs a successful CAS"
+        );
         assert_eq!(s.cas_attempts - s.cas_failures, s.rounds);
     }
 

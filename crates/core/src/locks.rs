@@ -278,10 +278,7 @@ mod tests {
                 (0..OPS).map(|_| h.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
         assert_eq!(cs.into_state(), THREADS as u64 * OPS);

@@ -208,10 +208,7 @@ mod tests {
                 seen
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         // Fetch-and-increment results must be a permutation of 0..N — the
         // strongest possible evidence of mutual exclusion and atomicity.

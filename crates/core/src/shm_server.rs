@@ -205,11 +205,7 @@ mod tests {
 
     #[test]
     fn single_client_roundtrip() {
-        let server = ShmServer::spawn(
-            2,
-            0u64,
-            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
-        );
+        let server = ShmServer::spawn(2, 0u64, counter_dispatch as fn(&mut u64, u64, u64) -> u64);
         let mut c = server.client();
         assert_eq!(c.apply(0, 0), 0);
         assert_eq!(c.apply(0, 0), 1);
@@ -232,10 +228,7 @@ mod tests {
                 (0..OPS).map(|_| c.apply(0, 0)).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..THREADS as u64 * OPS).collect::<Vec<_>>());
         assert_eq!(server.shutdown(), THREADS as u64 * OPS);
@@ -244,25 +237,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "client channels")]
     fn too_many_clients_panics() {
-        let server = ShmServer::spawn(
-            1,
-            0u64,
-            counter_dispatch as fn(&mut u64, u64, u64) -> u64,
-        );
+        let server = ShmServer::spawn(1, 0u64, counter_dispatch as fn(&mut u64, u64, u64) -> u64);
         let _a = server.client();
         let _b = server.client();
     }
 
     #[test]
     fn shutdown_returns_state() {
-        let server = ShmServer::spawn(
-            1,
-            String::new(),
-            |s: &mut String, _op: u64, arg: u64| {
-                s.push((b'a' + arg as u8) as char);
-                s.len() as u64
-            },
-        );
+        let server = ShmServer::spawn(1, String::new(), |s: &mut String, _op: u64, arg: u64| {
+            s.push((b'a' + arg as u8) as char);
+            s.len() as u64
+        });
         let mut c = server.client();
         for i in 0..3 {
             c.apply(0, i);

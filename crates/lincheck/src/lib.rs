@@ -207,7 +207,14 @@ fn dfs<S: SeqSpec>(
             continue;
         }
         witness.push(i);
-        if dfs(spec, ops, remaining & !(1 << i), &next_state, visited, witness) {
+        if dfs(
+            spec,
+            ops,
+            remaining & !(1 << i),
+            &next_state,
+            visited,
+            witness,
+        ) {
             return true;
         }
         witness.pop();
@@ -291,7 +298,7 @@ impl<O, R> RecorderHandle<O, R> {
 
 #[cfg(test)]
 mod tests {
-    use super::specs::{QueueOp, QueueSpec, RegisterOp, RegisterSpec, CounterSpec};
+    use super::specs::{CounterSpec, QueueOp, QueueSpec, RegisterOp, RegisterSpec};
     use super::*;
 
     fn op<O, R>(thread: usize, op: O, ret: R, invoked: u64, returned: u64) -> Operation<O, R> {

@@ -184,8 +184,7 @@ mod tests {
                     (0..OPS).map(|_| c.fetch_inc()).collect::<Vec<_>>()
                 }));
             }
-            let all: Vec<u64> =
-                joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+            let all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
             check_permutation(all, THREADS as u64 * OPS);
         }
         run::<TicketLock>();

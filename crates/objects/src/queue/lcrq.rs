@@ -149,9 +149,9 @@ impl Crq {
                 && cell
                     .compare_exchange(old, pack(true, t, v), Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
-                {
-                    return true;
-                }
+            {
+                return true;
+            }
             // Deposit failed: close if full or starving.
             let h = self.head.0.load(Ordering::Acquire);
             tries += 1;

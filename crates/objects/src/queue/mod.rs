@@ -15,6 +15,4 @@ mod twolock;
 
 pub use lcrq::{Lcrq, LcrqHandle, LCRQ_RING_ORDER};
 pub use onelock::CsQueue;
-pub use twolock::{
-    enq_dispatch, deq_dispatch, DeqSide, EnqSide, TwoLockQueue, TwoLockQueueHandle,
-};
+pub use twolock::{deq_dispatch, enq_dispatch, DeqSide, EnqSide, TwoLockQueue, TwoLockQueueHandle};

@@ -253,10 +253,7 @@ mod tests {
             }));
         }
 
-        let mut all: Vec<u64> = joins
-            .into_iter()
-            .flat_map(|j| j.join().unwrap())
-            .collect();
+        let mut all: Vec<u64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         assert_eq!(all.len() as u64, total);
         all.sort_unstable();
         all.dedup();

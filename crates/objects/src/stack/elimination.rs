@@ -152,8 +152,7 @@ impl EliminationStack {
     pub fn handle(self: &Arc<Self>) -> EliminationHandle {
         EliminationHandle {
             stack: Arc::clone(self),
-            hint: 0x9E37_79B9_7F4A_7C15u64
-                .wrapping_mul(Arc::strong_count(self) as u64),
+            hint: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(Arc::strong_count(self) as u64),
         }
     }
 }

@@ -1,0 +1,163 @@
+//! Runtime configuration: shard count, backend choice, combining degree,
+//! and admission control.
+
+/// Which critical-section executor serves each shard.
+///
+/// All four run the *same* shard workload behind the same
+/// [`Session`](crate::Session) API — the runtime is generic over the paper's
+/// [`ApplyOp`](mpsync_core::ApplyOp) executors, so deployments can pick the
+/// construction that fits their machine (message-passing delegation,
+/// combining, or a plain lock) without touching application code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// A dedicated batched server thread per shard over `udn` message
+    /// queues (the paper's MP-SERVER shape, §4.1, plus runtime batching).
+    MpServer,
+    /// HYBCOMB combining per shard (§4.2): sessions take combiner duty,
+    /// no dedicated threads.
+    HybComb,
+    /// CC-SYNCH combining per shard (shared-memory baseline).
+    CcSynch,
+    /// A plain MCS-lock critical section per shard (classical baseline).
+    Lock,
+}
+
+impl Backend {
+    /// Every backend, in the order benches sweep them.
+    pub const ALL: [Backend; 4] = [
+        Backend::MpServer,
+        Backend::HybComb,
+        Backend::CcSynch,
+        Backend::Lock,
+    ];
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::MpServer => "mp-server",
+            Backend::HybComb => "hybcomb",
+            Backend::CcSynch => "cc-synch",
+            Backend::Lock => "lock",
+        }
+    }
+}
+
+/// What a session does when its target shard's submission window is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitPolicy {
+    /// Wait (spin → yield) for a slot; the call never fails with `Busy`.
+    Block,
+    /// Fail fast with [`RuntimeError::Busy`](crate::RuntimeError::Busy) so
+    /// the caller can shed load or retry with its own policy.
+    Fail,
+}
+
+/// Configuration for a [`Runtime`](crate::Runtime).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Number of delegation shards (key partitions). Each shard owns the
+    /// keys [`shard_for`](crate::shard_for) routes to it.
+    pub shards: usize,
+    /// Executor backend serving every shard.
+    pub backend: Backend,
+    /// Maximum operations a shard services per batch/combining round — the
+    /// paper's `MAX_OPS` knob (§5.1, Figure 3c) surfaced as runtime config.
+    pub max_batch: u64,
+    /// Maximum operations admitted-but-incomplete per shard. Submissions
+    /// beyond this bound block or fail per [`RuntimeConfig::submit`]; the
+    /// runtime never queues unboundedly.
+    pub queue_depth: usize,
+    /// Maximum concurrently live [`Session`](crate::Session)s. Sizes the
+    /// message fabric and the combining constructions up front.
+    pub max_sessions: usize,
+    /// Behaviour when a shard's submission window is full.
+    pub submit: SubmitPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            backend: Backend::MpServer,
+            max_batch: 64,
+            queue_depth: 32,
+            max_sessions: 8,
+            submit: SubmitPolicy::Block,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Default configuration with the given shard count.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Selects the executor backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the per-shard batching bound (`MAX_OPS`).
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the per-shard submission window.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the session capacity.
+    pub fn with_max_sessions(mut self, sessions: usize) -> Self {
+        self.max_sessions = sessions;
+        self
+    }
+
+    /// Sets the full-window submission policy.
+    pub fn with_submit(mut self, submit: SubmitPolicy) -> Self {
+        self.submit = submit;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.shards > 0, "runtime needs at least one shard");
+        assert!(self.max_batch > 0, "max_batch must be positive");
+        assert!(self.queue_depth > 0, "queue_depth must be positive");
+        assert!(self.max_sessions > 0, "runtime needs session capacity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = RuntimeConfig::new(8)
+            .with_backend(Backend::HybComb)
+            .with_max_batch(200)
+            .with_queue_depth(16)
+            .with_max_sessions(4)
+            .with_submit(SubmitPolicy::Fail);
+        assert_eq!(c.shards, 8);
+        assert_eq!(c.backend, Backend::HybComb);
+        assert_eq!(c.max_batch, 200);
+        assert_eq!(c.queue_depth, 16);
+        assert_eq!(c.max_sessions, 4);
+        assert_eq!(c.submit, SubmitPolicy::Fail);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        RuntimeConfig::new(0).validate();
+    }
+}

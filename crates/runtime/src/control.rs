@@ -1,0 +1,253 @@
+//! Admission control and per-shard accounting.
+//!
+//! The control plane is deliberately backend-independent: every submission,
+//! whatever executor ends up running it, first claims a slot in its target
+//! shard's bounded window here. That is what makes the runtime's
+//! backpressure and its exactly-once shutdown guarantee uniform across
+//! MP-SERVER, HYBCOMB, CC-SYNCH and plain locks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::config::SubmitPolicy;
+
+/// Number of power-of-two buckets in the batch-size histogram
+/// (bucket *i* counts batches of `2^i ..= 2^(i+1)-1` operations; the last
+/// bucket is open-ended).
+pub const BATCH_BUCKETS: usize = 8;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The runtime is shutting down; no new operations are admitted.
+    Closed,
+    /// The target shard's submission window is full and the runtime is
+    /// configured with [`SubmitPolicy::Fail`](crate::SubmitPolicy::Fail).
+    Busy,
+    /// The session budget
+    /// ([`max_sessions`](crate::RuntimeConfig::max_sessions)) is exhausted.
+    SessionsExhausted,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Closed => write!(f, "runtime is closed"),
+            RuntimeError::Busy => write!(f, "shard submission window is full"),
+            RuntimeError::SessionsExhausted => write!(f, "session budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Per-shard counters. One cache line each so shards don't false-share.
+#[derive(Debug, Default)]
+pub(crate) struct ShardMetrics {
+    /// Operations executed by the shard's dispatcher.
+    pub ops: AtomicU64,
+    /// Operations admitted through [`Control::admit`].
+    pub submitted: AtomicU64,
+    /// Submissions refused with [`RuntimeError::Busy`].
+    pub rejected: AtomicU64,
+    /// Submissions that found the window full at least once before being
+    /// admitted (Block policy).
+    pub retried: AtomicU64,
+    /// Admitted-but-incomplete operations (bounded by `queue_depth`).
+    pub inflight: AtomicUsize,
+    /// Service batches/combining rounds observed.
+    pub batches: AtomicU64,
+    /// Log2 histogram of batch sizes (see [`BATCH_BUCKETS`]).
+    pub batch_hist: [AtomicU64; BATCH_BUCKETS],
+}
+
+fn spin(spins: &mut u32) {
+    *spins = spins.saturating_add(1);
+    if *spins < 128 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// The runtime's shared control block: closed flag, session accounting, and
+/// the per-shard windows. Backend-independent and non-generic, so sessions
+/// can hold it without dragging the state type along.
+pub(crate) struct Control {
+    /// Once `true`, no submission passes [`Control::admit`]. SeqCst on both
+    /// sides (see `admit`) so shutdown's in-flight drain cannot miss an
+    /// admitted operation.
+    closed: AtomicBool,
+    /// Currently live sessions (shutdown waits for zero).
+    pub sessions_live: AtomicUsize,
+    /// Sessions ever created (the budget for backends whose per-thread
+    /// executor slots are not recycled).
+    pub sessions_created: AtomicUsize,
+    queue_depth: usize,
+    submit: SubmitPolicy,
+    pub shards: Box<[CachePadded<ShardMetrics>]>,
+}
+
+impl Control {
+    pub fn new(shards: usize, queue_depth: usize, submit: SubmitPolicy) -> Self {
+        Self {
+            closed: AtomicBool::new(false),
+            sessions_live: AtomicUsize::new(0),
+            sessions_created: AtomicUsize::new(0),
+            queue_depth,
+            submit,
+            shards: (0..shards).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Claims an in-flight slot on `shard`, enforcing the bounded window.
+    ///
+    /// Exactly-once shutdown hinges on the re-check after the CAS: `close()`
+    /// stores `closed` with SeqCst and then polls `inflight`. If this
+    /// submission's SeqCst load below still reads `closed == false`, the
+    /// load is ordered before the store in the single total order, hence so
+    /// is our increment — the drain loop must observe the slot until
+    /// [`Control::complete`] releases it, i.e. until the operation has been
+    /// applied and answered. If the load reads `true`, we back out and the
+    /// operation is never sent.
+    pub fn admit(&self, shard: usize) -> Result<(), RuntimeError> {
+        let m = &self.shards[shard];
+        let mut counted_retry = false;
+        let mut spins = 0u32;
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(RuntimeError::Closed);
+            }
+            let cur = m.inflight.load(Ordering::Acquire);
+            if cur < self.queue_depth {
+                if m.inflight
+                    .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    if self.closed.load(Ordering::SeqCst) {
+                        m.inflight.fetch_sub(1, Ordering::AcqRel);
+                        return Err(RuntimeError::Closed);
+                    }
+                    m.submitted.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                continue; // lost the CAS race; re-read
+            }
+            match self.submit {
+                SubmitPolicy::Fail => {
+                    m.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(RuntimeError::Busy);
+                }
+                SubmitPolicy::Block => {
+                    if !counted_retry {
+                        m.retried.fetch_add(1, Ordering::Relaxed);
+                        counted_retry = true;
+                    }
+                    spin(&mut spins);
+                }
+            }
+        }
+    }
+
+    /// Releases the in-flight slot claimed by [`Control::admit`]. Called
+    /// after the operation's response has been received.
+    pub fn complete(&self, shard: usize) {
+        self.shards[shard].inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Records one service batch of `n` operations on `shard`.
+    pub fn record_batch(&self, shard: usize, n: u64) {
+        debug_assert!(n > 0);
+        let m = &self.shards[shard];
+        m.batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = (63 - n.leading_zeros() as usize).min(BATCH_BUCKETS - 1);
+        m.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until every shard's window is empty. Only meaningful after
+    /// [`Control::close`] (otherwise new submissions keep arriving).
+    pub fn drain_inflight(&self) {
+        for m in self.shards.iter() {
+            let mut spins = 0u32;
+            while m.inflight.load(Ordering::SeqCst) != 0 {
+                spin(&mut spins);
+            }
+        }
+    }
+
+    /// Blocks until every session has been dropped.
+    pub fn wait_sessions(&self) {
+        let mut spins = 0u32;
+        while self.sessions_live.load(Ordering::Acquire) != 0 {
+            spin(&mut spins);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_respects_window() {
+        let c = Control::new(1, 2, SubmitPolicy::Fail);
+        assert!(c.admit(0).is_ok());
+        assert!(c.admit(0).is_ok());
+        assert_eq!(c.admit(0), Err(RuntimeError::Busy));
+        c.complete(0);
+        assert!(c.admit(0).is_ok());
+        let m = &c.shards[0];
+        assert_eq!(m.submitted.load(Ordering::Relaxed), 3);
+        assert_eq!(m.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn closed_rejects_everything() {
+        let c = Control::new(2, 8, SubmitPolicy::Block);
+        assert!(c.admit(1).is_ok());
+        c.close();
+        assert_eq!(c.admit(0), Err(RuntimeError::Closed));
+        assert_eq!(c.admit(1), Err(RuntimeError::Closed));
+        // The pre-close admission still holds its slot until completed.
+        assert_eq!(c.shards[1].inflight.load(Ordering::SeqCst), 1);
+        c.complete(1);
+        c.drain_inflight();
+    }
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let c = Control::new(1, 1, SubmitPolicy::Fail);
+        for n in [1, 2, 3, 4, 127, 128, 1000] {
+            c.record_batch(0, n);
+        }
+        let hist: Vec<u64> = c.shards[0]
+            .batch_hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(hist, vec![1, 2, 1, 0, 0, 0, 1, 2]);
+        assert_eq!(c.shards[0].batches.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn block_policy_waits_for_slot() {
+        use std::sync::Arc;
+        let c = Arc::new(Control::new(1, 1, SubmitPolicy::Block));
+        assert!(c.admit(0).is_ok());
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.admit(0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        c.complete(0);
+        assert_eq!(t.join().unwrap(), Ok(()));
+        assert_eq!(c.shards[0].retried.load(Ordering::Relaxed), 1);
+    }
+}

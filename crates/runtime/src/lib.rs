@@ -1,0 +1,63 @@
+//! A sharded, batched delegation runtime serving concurrent-object traffic
+//! over the PPoPP'14 critical-section executors.
+//!
+//! `mpsync-core` reproduces the paper's *constructions* — MP-SERVER,
+//! HYBCOMB, CC-SYNCH, locks — each protecting a single state. This crate
+//! asks the systems question one level up: what does a *service* built from
+//! those parts look like? The answer mirrors how the paper scales past one
+//! servicing core (§5.4 stripes a counter across its two memory
+//! controllers):
+//!
+//! * **sharding** — keys are hash-striped across N delegation shards
+//!   ([`shard_for`]); each shard owns a partition of the key space and one
+//!   copy of the sequential state, so per-key operations are linearizable
+//!   and sessions see their own per-key order preserved;
+//! * **one API, four backends** — each shard is served by any [`Backend`]:
+//!   a dedicated batched MP-SERVER thread, HYBCOMB or CC-SYNCH combining,
+//!   or a plain MCS lock. Application code is identical across them;
+//! * **adaptive batching** — the paper's `MAX_OPS` combining degree (§5.1)
+//!   becomes runtime configuration ([`RuntimeConfig::max_batch`]); the
+//!   MP-SERVER backend drains up to that many queued requests per service
+//!   round and the achieved batch sizes are reported in [`RuntimeStats`];
+//! * **bounded submission** — every shard has a bounded in-flight window
+//!   ([`RuntimeConfig::queue_depth`]); beyond it, submissions block or fail
+//!   ([`SubmitPolicy`]) — never queue unboundedly;
+//! * **graceful shutdown** — [`Runtime::shutdown`] closes admissions,
+//!   drains every in-flight operation (applied exactly once), then stops
+//!   the executors and hands back the final shard states.
+//!
+//! Two ready-made services ship in [`objects`]: [`ShardedCounter`] and
+//! [`ShardedKvStore`].
+//!
+//! ```
+//! use mpsync_runtime::{Backend, RuntimeConfig, ShardedCounter};
+//!
+//! let svc = ShardedCounter::new(
+//!     RuntimeConfig::new(2).with_backend(Backend::MpServer),
+//! );
+//! let mut a = svc.session().unwrap();
+//! a.fetch_inc(7).unwrap();
+//! a.fetch_inc(7).unwrap();
+//! drop(a);
+//! let (totals, stats) = svc.shutdown();
+//! assert_eq!(totals[&7], 2);
+//! assert_eq!(stats.total_ops(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod config;
+mod control;
+pub mod objects;
+mod router;
+mod runtime;
+mod shard;
+mod stats;
+
+pub use config::{Backend, RuntimeConfig, SubmitPolicy};
+pub use control::{RuntimeError, BATCH_BUCKETS};
+pub use objects::{BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore};
+pub use router::{pack, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};
+pub use runtime::{KeyedDispatch, Runtime, Session, ShutdownReport};
+pub use stats::{RuntimeStats, ShardStats};

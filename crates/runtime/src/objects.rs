@@ -1,0 +1,273 @@
+//! Ready-made sharded objects on top of the runtime: a keyed counter
+//! service and a key-value store.
+
+use std::collections::HashMap;
+
+use mpsync_objects::seq::{
+    keyed_counter_dispatch, keyed_counter_ops, kv_dispatch, kv_ops, KeyedCounters, KvMap,
+};
+use mpsync_objects::{Counter, EMPTY};
+
+use crate::runtime::{Runtime, Session, ShutdownReport};
+use crate::stats::RuntimeStats;
+use crate::{RuntimeConfig, RuntimeError};
+
+type KeyedCounterFn = fn(&mut KeyedCounters, u64, u64, u64) -> u64;
+type KvFn = fn(&mut KvMap, u64, u64, u64) -> u64;
+
+/// A sharded family of named `u64` counters: the runtime serving
+/// [`keyed_counter_dispatch`], one `KeyedCounters` map per shard.
+pub struct ShardedCounter {
+    runtime: Runtime<KeyedCounters, KeyedCounterFn>,
+}
+
+impl ShardedCounter {
+    /// Builds the counter service.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self {
+            runtime: Runtime::new(config, |_| KeyedCounters::new(), keyed_counter_dispatch),
+        }
+    }
+
+    /// Opens a client session.
+    pub fn session(&self) -> Result<CounterSession, RuntimeError> {
+        Ok(CounterSession {
+            inner: self.runtime.session()?,
+        })
+    }
+
+    /// Counter snapshot (delegates to [`Runtime::stats`]).
+    pub fn stats(&self) -> RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Stops admissions (delegates to [`Runtime::close`]).
+    pub fn close(&self) {
+        self.runtime.close();
+    }
+
+    /// Shuts down and returns every counter's final value, merged across
+    /// shards, plus the stats snapshot.
+    pub fn shutdown(self) -> (HashMap<u64, u64>, RuntimeStats) {
+        let ShutdownReport { states, stats } = self.runtime.shutdown();
+        let mut merged = HashMap::new();
+        for shard in states {
+            merged.extend(shard);
+        }
+        (merged, stats)
+    }
+}
+
+/// A client session of a [`ShardedCounter`].
+pub struct CounterSession {
+    inner: Session,
+}
+
+impl CounterSession {
+    /// Fetch-and-increments `key`'s counter; returns the previous value.
+    pub fn fetch_inc(&mut self, key: u64) -> Result<u64, RuntimeError> {
+        self.inner.submit(key, keyed_counter_ops::INC, 0)
+    }
+
+    /// Adds `delta` to `key`'s counter; returns the new value.
+    pub fn add(&mut self, key: u64, delta: u64) -> Result<u64, RuntimeError> {
+        self.inner.submit(key, keyed_counter_ops::ADD, delta)
+    }
+
+    /// Reads `key`'s counter (0 if never touched).
+    pub fn get(&mut self, key: u64) -> Result<u64, RuntimeError> {
+        self.inner.submit(key, keyed_counter_ops::GET, 0)
+    }
+
+    /// Pins the session to one key, yielding a handle that implements the
+    /// plain [`Counter`] trait (so lincheck's counter specification and the
+    /// generic benches apply unchanged).
+    pub fn bind(self, key: u64) -> BoundCounter {
+        BoundCounter { session: self, key }
+    }
+}
+
+/// A [`CounterSession`] pinned to a single key; implements [`Counter`].
+pub struct BoundCounter {
+    session: CounterSession,
+    key: u64,
+}
+
+impl BoundCounter {
+    /// The key this handle operates on.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl Counter for BoundCounter {
+    fn fetch_inc(&mut self) -> u64 {
+        self.session
+            .fetch_inc(self.key)
+            .expect("runtime closed under a live BoundCounter")
+    }
+}
+
+/// A sharded `u64 → u64` key-value store: the runtime serving
+/// [`kv_dispatch`], one [`KvMap`] per shard.
+pub struct ShardedKvStore {
+    runtime: Runtime<KvMap, KvFn>,
+}
+
+impl ShardedKvStore {
+    /// Builds the store.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self {
+            runtime: Runtime::new(config, |_| KvMap::new(), kv_dispatch),
+        }
+    }
+
+    /// Opens a client session.
+    pub fn session(&self) -> Result<KvSession, RuntimeError> {
+        Ok(KvSession {
+            inner: self.runtime.session()?,
+        })
+    }
+
+    /// Counter snapshot (delegates to [`Runtime::stats`]).
+    pub fn stats(&self) -> RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Stops admissions (delegates to [`Runtime::close`]).
+    pub fn close(&self) {
+        self.runtime.close();
+    }
+
+    /// Shuts down and returns the whole map, merged across shards, plus the
+    /// stats snapshot.
+    pub fn shutdown(self) -> (HashMap<u64, u64>, RuntimeStats) {
+        let ShutdownReport { states, stats } = self.runtime.shutdown();
+        let mut merged = HashMap::new();
+        for shard in states {
+            merged.extend(shard);
+        }
+        (merged, stats)
+    }
+}
+
+/// A client session of a [`ShardedKvStore`].
+pub struct KvSession {
+    inner: Session,
+}
+
+impl KvSession {
+    /// Reads `key`.
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>, RuntimeError> {
+        Ok(decode(self.inner.submit(key, kv_ops::GET, 0)?))
+    }
+
+    /// Stores `value` under `key`; returns the previous value.
+    pub fn put(&mut self, key: u64, value: u64) -> Result<Option<u64>, RuntimeError> {
+        assert_ne!(value, EMPTY, "EMPTY sentinel is not storable");
+        Ok(decode(self.inner.submit(key, kv_ops::PUT, value)?))
+    }
+
+    /// Removes `key`; returns the removed value.
+    pub fn del(&mut self, key: u64) -> Result<Option<u64>, RuntimeError> {
+        Ok(decode(self.inner.submit(key, kv_ops::DEL, 0)?))
+    }
+
+    /// Adds `delta` to `key`'s value (missing keys start at 0); returns the
+    /// new value.
+    pub fn add(&mut self, key: u64, delta: u64) -> Result<u64, RuntimeError> {
+        self.inner.submit(key, kv_ops::ADD, delta)
+    }
+
+    /// Moves `amount` from `from` to `to` via a cross-shard fan-out
+    /// (SUB then ADD in deterministic shard order); returns the two new
+    /// balances. Not transactional — see [`Session::apply_fanout`].
+    pub fn transfer(
+        &mut self,
+        from: u64,
+        to: u64,
+        amount: u64,
+    ) -> Result<(u64, u64), RuntimeError> {
+        let res = self
+            .inner
+            .apply_fanout(&[(from, kv_ops::SUB, amount), (to, kv_ops::ADD, amount)])?;
+        Ok((res[0], res[1]))
+    }
+
+    /// Reads many keys in one fan-out; results in input order.
+    pub fn multi_get(&mut self, keys: &[u64]) -> Result<Vec<Option<u64>>, RuntimeError> {
+        let ops: Vec<(u64, u64, u64)> = keys.iter().map(|&k| (k, kv_ops::GET, 0)).collect();
+        Ok(self
+            .inner
+            .apply_fanout(&ops)?
+            .into_iter()
+            .map(decode)
+            .collect())
+    }
+}
+
+fn decode(word: u64) -> Option<u64> {
+    (word != EMPTY).then_some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Backend;
+
+    fn small(backend: Backend) -> RuntimeConfig {
+        RuntimeConfig::new(2)
+            .with_backend(backend)
+            .with_max_sessions(2)
+            .with_queue_depth(4)
+    }
+
+    #[test]
+    fn counter_roundtrip_every_backend() {
+        for backend in Backend::ALL {
+            let svc = ShardedCounter::new(small(backend));
+            let mut s = svc.session().unwrap();
+            assert_eq!(s.fetch_inc(5).unwrap(), 0, "{backend:?}");
+            assert_eq!(s.fetch_inc(5).unwrap(), 1);
+            assert_eq!(s.add(9, 10).unwrap(), 10);
+            assert_eq!(s.get(5).unwrap(), 2);
+            drop(s);
+            let (totals, stats) = svc.shutdown();
+            assert_eq!(totals.get(&5), Some(&2), "{backend:?}");
+            assert_eq!(totals.get(&9), Some(&10));
+            assert_eq!(stats.total_ops(), 4);
+        }
+    }
+
+    #[test]
+    fn kv_store_roundtrip_and_fanout() {
+        let store = ShardedKvStore::new(small(Backend::MpServer));
+        let mut s = store.session().unwrap();
+        assert_eq!(s.get(1).unwrap(), None);
+        assert_eq!(s.put(1, 100).unwrap(), None);
+        assert_eq!(s.put(2, 50).unwrap(), None);
+        assert_eq!(s.transfer(1, 2, 30).unwrap(), (70, 80));
+        assert_eq!(
+            s.multi_get(&[1, 2, 3]).unwrap(),
+            vec![Some(70), Some(80), None]
+        );
+        assert_eq!(s.del(1).unwrap(), Some(70));
+        drop(s);
+        let (map, _) = store.shutdown();
+        assert_eq!(map.get(&2), Some(&80));
+        assert_eq!(map.get(&1), None);
+    }
+
+    #[test]
+    fn bound_counter_implements_counter_trait() {
+        let svc = ShardedCounter::new(small(Backend::Lock));
+        let mut bound = svc.session().unwrap().bind(42);
+        for i in 0..5 {
+            assert_eq!(Counter::fetch_inc(&mut bound), i);
+        }
+        assert_eq!(bound.key(), 42);
+        drop(bound);
+        let (totals, _) = svc.shutdown();
+        assert_eq!(totals.get(&42), Some(&5));
+    }
+}

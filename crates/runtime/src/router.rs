@@ -1,0 +1,107 @@
+//! Key → shard routing and the packed request-word encoding.
+//!
+//! The paper's platform stripes atomic operations across its two memory
+//! controllers by address hash (§5.4); the runtime generalizes that idea to
+//! N delegation shards: every key deterministically maps to one shard, so
+//! all operations on a key execute on the same servicing unit and per-key
+//! ordering follows from each shard's mutual exclusion.
+
+/// Number of low bits of the packed request word carrying the opcode.
+pub const OP_BITS: u32 = 8;
+
+/// Maximum opcode a runtime operation may use (exclusive).
+pub const MAX_OPCODE: u64 = 1 << OP_BITS;
+
+/// Maximum key the runtime can route (exclusive): keys are 56-bit so that
+/// `(key, op)` packs into the single request word the executors carry.
+pub const MAX_KEY: u64 = 1 << (64 - OP_BITS);
+
+/// Maps a key to its owning shard.
+///
+/// Fibonacci multiplicative hashing followed by a multiply-shift range
+/// reduction: uniform for sequential keys (the common "hot object per id"
+/// pattern) and branch-free. Stable across the process — routing never
+/// changes while a runtime is alive, which is what makes per-key ordering
+/// meaningful.
+#[inline]
+pub fn shard_for(key: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    ((h * shards as u64) >> 32) as usize
+}
+
+/// Packs `(key, op)` into the single `op` word submitted through
+/// [`ApplyOp`](mpsync_core::ApplyOp).
+///
+/// # Panics
+///
+/// Panics if `key >= MAX_KEY` or `op >= MAX_OPCODE`.
+#[inline]
+pub fn pack(key: u64, op: u64) -> u64 {
+    assert!(
+        key < MAX_KEY,
+        "runtime keys are {}-bit (got {key:#x})",
+        64 - OP_BITS
+    );
+    assert!(
+        op < MAX_OPCODE,
+        "runtime opcodes are {OP_BITS}-bit (got {op})"
+    );
+    (key << OP_BITS) | op
+}
+
+/// Inverse of [`pack`].
+#[inline]
+pub fn unpack(word: u64) -> (u64, u64) {
+    (word >> OP_BITS, word & (MAX_OPCODE - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for &(k, op) in &[(0, 0), (1, 255), (MAX_KEY - 1, 7), (12345, 3)] {
+            assert_eq!(unpack(pack(k, op)), (k, op));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "56-bit")]
+    fn oversized_key_rejected() {
+        pack(MAX_KEY, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit")]
+    fn oversized_opcode_rejected() {
+        pack(0, 256);
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            for key in 0..1000u64 {
+                let s = shard_for(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(key, shards), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_shards() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for key in 0..10_000u64 {
+            counts[shard_for(key, shards)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 10_000 / shards / 2,
+                "shard {i} starved: {counts:?} — striping is badly skewed"
+            );
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The sharded delegation runtime: N key-partitioned shards, each protected
+//! by one critical-section executor, multiplexing many client sessions.
+
+use std::sync::Arc;
+
+use mpsync_core::{ApplyOp, CcSynch, Dispatcher, HybComb, LockCs, McsLock};
+use mpsync_udn::{
+    Endpoint, EndpointId, Fabric, FabricConfig, CHANNELS_PER_CORE, QUEUE_CAPACITY_WORDS,
+};
+
+use crate::config::{Backend, RuntimeConfig};
+use crate::control::Control;
+use crate::router::{pack, shard_for};
+use crate::shard::ShardServer;
+use crate::stats::RuntimeStats;
+use crate::RuntimeError;
+
+/// The keyed critical-section body a runtime executes: `(state, key, op,
+/// arg) → result`. The runtime routes by `key`, so unlike the two-word
+/// [`Dispatcher`] bodies of `mpsync-core`, the key reaches the body as an
+/// explicit word.
+///
+/// Implemented by every `Fn(&mut S, u64, u64, u64) -> u64` that is `Clone +
+/// Send + Sync + 'static` (each shard gets its own copy).
+pub trait KeyedDispatch<S>:
+    Fn(&mut S, u64, u64, u64) -> u64 + Clone + Send + Sync + 'static
+{
+}
+
+impl<S, F> KeyedDispatch<S> for F where
+    F: Fn(&mut S, u64, u64, u64) -> u64 + Clone + Send + Sync + 'static
+{
+}
+
+/// The per-shard [`Dispatcher`] adapter: unpacks the `(key, op)` request
+/// word, counts the execution, and calls the keyed body.
+pub(crate) struct RtDispatch<F> {
+    f: F,
+    control: Arc<Control>,
+    shard: usize,
+}
+
+impl<S, F> Dispatcher<S> for RtDispatch<F>
+where
+    F: KeyedDispatch<S>,
+    S: 'static,
+{
+    #[inline]
+    fn dispatch(&self, state: &mut S, word: u64, arg: u64) -> u64 {
+        let (key, op) = crate::router::unpack(word);
+        self.control.shards[self.shard]
+            .ops
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (self.f)(state, key, op, arg)
+    }
+}
+
+/// One executor per shard, behind the backend chosen at construction.
+enum Executors<S, F: KeyedDispatch<S>>
+where
+    S: Send + 'static,
+{
+    Mp {
+        fabric: Arc<Fabric>,
+        servers: Vec<ShardServer<S>>,
+        server_ids: Arc<[EndpointId]>,
+    },
+    Hyb {
+        fabric: Arc<Fabric>,
+        combs: Vec<HybComb<S, RtDispatch<F>>>,
+    },
+    Cc {
+        execs: Vec<CcSynch<S, RtDispatch<F>>>,
+    },
+    Lock {
+        execs: Vec<LockCs<S, McsLock, RtDispatch<F>>>,
+    },
+}
+
+/// A sharded, batched delegation runtime.
+///
+/// `Runtime` owns `shards` copies of a sequential state `S`, each protected
+/// by its own critical-section executor (the [`Backend`] chosen in
+/// [`RuntimeConfig`]), and routes every keyed operation to the shard that
+/// owns its key — the generalization of the paper's two-memory-controller
+/// address striping (§5.4) to N servicing units. Because a key's operations
+/// all execute on one shard and each shard executes in mutual exclusion,
+/// per-key operations are linearizable and their per-session order is
+/// preserved.
+///
+/// Clients interact through [`Session`]s (see [`Runtime::session`]); each
+/// session may be moved to its own thread.
+///
+/// ```
+/// use mpsync_runtime::{Runtime, RuntimeConfig, Backend};
+/// use mpsync_objects::seq::{keyed_counter_dispatch, KeyedCounters};
+///
+/// let rt = Runtime::new(
+///     RuntimeConfig::new(2).with_backend(Backend::Lock),
+///     |_shard| KeyedCounters::new(),
+///     keyed_counter_dispatch,
+/// );
+/// let mut s = rt.session().unwrap();
+/// assert_eq!(s.submit(7, 0, 0).unwrap(), 0); // fetch-inc key 7
+/// assert_eq!(s.submit(7, 0, 0).unwrap(), 1);
+/// drop(s);
+/// let report = rt.shutdown();
+/// assert_eq!(report.stats.total_ops(), 2);
+/// ```
+pub struct Runtime<S, F>
+where
+    S: Send + 'static,
+    F: KeyedDispatch<S>,
+{
+    config: RuntimeConfig,
+    control: Arc<Control>,
+    executors: Executors<S, F>,
+}
+
+impl<S, F> Runtime<S, F>
+where
+    S: Send + 'static,
+    F: KeyedDispatch<S>,
+{
+    /// Builds the runtime: `init(shard)` produces each shard's initial
+    /// state, `f` is the keyed critical-section body every shard runs.
+    pub fn new(config: RuntimeConfig, mut init: impl FnMut(usize) -> S, f: F) -> Self {
+        config.validate();
+        let control = Arc::new(Control::new(
+            config.shards,
+            config.queue_depth,
+            config.submit,
+        ));
+        let dispatch = |shard: usize| RtDispatch {
+            f: f.clone(),
+            control: Arc::clone(&control),
+            shard,
+        };
+        let executors = match config.backend {
+            Backend::MpServer => {
+                let fabric = sized_fabric(&config, config.shards + config.max_sessions);
+                let mut servers = Vec::with_capacity(config.shards);
+                let mut server_ids = Vec::with_capacity(config.shards);
+                for i in 0..config.shards {
+                    let ep = fabric.register_any().expect("fabric sized for shards");
+                    server_ids.push(ep.id());
+                    servers.push(ShardServer::spawn(
+                        ep,
+                        init(i),
+                        dispatch(i),
+                        Arc::clone(&control),
+                        i,
+                        config.max_batch,
+                    ));
+                }
+                Executors::Mp {
+                    fabric,
+                    servers,
+                    server_ids: server_ids.into(),
+                }
+            }
+            Backend::HybComb => {
+                let fabric = sized_fabric(&config, config.shards * config.max_sessions);
+                let combs = (0..config.shards)
+                    .map(|i| {
+                        HybComb::new(config.max_sessions, config.max_batch, init(i), dispatch(i))
+                    })
+                    .collect();
+                Executors::Hyb { fabric, combs }
+            }
+            Backend::CcSynch => Executors::Cc {
+                execs: (0..config.shards)
+                    .map(|i| {
+                        CcSynch::new(config.max_sessions, config.max_batch, init(i), dispatch(i))
+                    })
+                    .collect(),
+            },
+            Backend::Lock => Executors::Lock {
+                execs: (0..config.shards)
+                    .map(|i| LockCs::new(init(i), dispatch(i)))
+                    .collect(),
+            },
+        };
+        Self {
+            config,
+            control,
+            executors,
+        }
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The shard that owns `key` under this runtime's striping.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_for(key, self.config.shards)
+    }
+
+    /// Opens a client session.
+    ///
+    /// At most [`RuntimeConfig::max_sessions`] sessions may be live at once.
+    /// For the combining backends (`HybComb`, `CcSynch`) the bound is on
+    /// sessions *ever created* — their per-thread executor slots are not
+    /// recycled when a session drops.
+    pub fn session(&self) -> Result<Session, RuntimeError> {
+        use std::sync::atomic::Ordering;
+        if self.control.is_closed() {
+            return Err(RuntimeError::Closed);
+        }
+        let max = self.config.max_sessions;
+        match self.config.backend {
+            Backend::HybComb | Backend::CcSynch => {
+                // Lifetime budget: executor handle slots are consumed forever.
+                if self
+                    .control
+                    .sessions_created
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < max).then_some(n + 1)
+                    })
+                    .is_err()
+                {
+                    return Err(RuntimeError::SessionsExhausted);
+                }
+                self.control.sessions_live.fetch_add(1, Ordering::AcqRel);
+            }
+            Backend::MpServer | Backend::Lock => {
+                // Concurrency budget: slots are returned on session drop.
+                if self
+                    .control
+                    .sessions_live
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < max).then_some(n + 1)
+                    })
+                    .is_err()
+                {
+                    return Err(RuntimeError::SessionsExhausted);
+                }
+                self.control
+                    .sessions_created
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let transport = match &self.executors {
+            Executors::Mp {
+                fabric, server_ids, ..
+            } => Transport::Mp {
+                endpoint: fabric
+                    .register_any()
+                    .expect("fabric sized for session budget"),
+                servers: Arc::clone(server_ids),
+            },
+            Executors::Hyb { fabric, combs } => Transport::Inline {
+                handles: combs
+                    .iter()
+                    .map(|c| {
+                        let ep = fabric
+                            .register_any()
+                            .expect("fabric sized for session budget");
+                        Box::new(c.handle(ep)) as Box<dyn ApplyOp + Send>
+                    })
+                    .collect(),
+            },
+            Executors::Cc { execs } => Transport::Inline {
+                handles: execs
+                    .iter()
+                    .map(|e| Box::new(e.handle()) as Box<dyn ApplyOp + Send>)
+                    .collect(),
+            },
+            Executors::Lock { execs } => Transport::Inline {
+                handles: execs
+                    .iter()
+                    .map(|e| Box::new(e.handle()) as Box<dyn ApplyOp + Send>)
+                    .collect(),
+            },
+        };
+        Ok(Session {
+            control: Arc::clone(&self.control),
+            shards: self.config.shards,
+            transport,
+        })
+    }
+
+    /// Stops admitting new operations. Operations already admitted still
+    /// complete; subsequent submissions fail with
+    /// [`RuntimeError::Closed`].
+    pub fn close(&self) {
+        self.control.close();
+    }
+
+    /// Snapshot of the runtime's counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut stats = RuntimeStats::from_control(&self.control);
+        match &self.executors {
+            Executors::Mp { .. } => {
+                for s in &mut stats.shards {
+                    if s.batches > 0 {
+                        s.avg_batch = s.ops as f64 / s.batches as f64;
+                    }
+                }
+            }
+            Executors::Hyb { combs, .. } => {
+                for (s, c) in stats.shards.iter_mut().zip(combs) {
+                    let hs = c.stats();
+                    s.batches = hs.rounds;
+                    s.avg_batch = hs.combining_rate();
+                }
+            }
+            Executors::Cc { execs } => {
+                for (s, e) in stats.shards.iter_mut().zip(execs) {
+                    s.avg_batch = e.combining_rate();
+                }
+            }
+            Executors::Lock { .. } => {
+                for s in &mut stats.shards {
+                    s.batches = s.ops;
+                    if s.ops > 0 {
+                        s.avg_batch = 1.0;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Gracefully shuts the runtime down and returns the final shard states.
+    ///
+    /// The sequence is: close admissions → drain every in-flight operation
+    /// (each admitted operation is applied and answered exactly once) →
+    /// wait for every [`Session`] to be dropped → stop the executors.
+    ///
+    /// Blocks until all sessions are dropped; call from a thread that does
+    /// not itself hold one.
+    pub fn shutdown(self) -> ShutdownReport<S> {
+        self.control.close();
+        self.control.drain_inflight();
+        self.control.wait_sessions();
+        let stats = self.stats();
+        let states = match self.executors {
+            Executors::Mp { servers, .. } => servers.into_iter().map(ShardServer::stop).collect(),
+            Executors::Hyb { combs, .. } => combs.into_iter().map(HybComb::into_state).collect(),
+            Executors::Cc { execs } => execs.into_iter().map(CcSynch::into_state).collect(),
+            Executors::Lock { execs } => execs.into_iter().map(LockCs::into_state).collect(),
+        };
+        ShutdownReport { states, stats }
+    }
+}
+
+/// Sizes the emulated fabric for `endpoints` registrations, with queues deep
+/// enough that neither a shard's full admission window nor every session
+/// sending at once can deadlock a hardware queue.
+fn sized_fabric(config: &RuntimeConfig, endpoints: usize) -> Arc<Fabric> {
+    let cores = endpoints.div_ceil(CHANNELS_PER_CORE).max(1);
+    let words = 3 * (config.queue_depth + config.max_sessions) + 3;
+    Arc::new(Fabric::new(
+        FabricConfig::new(cores).with_queue_capacity(words.max(QUEUE_CAPACITY_WORDS)),
+    ))
+}
+
+/// What [`Runtime::shutdown`] returns.
+pub struct ShutdownReport<S> {
+    /// Final shard states, in shard order.
+    pub states: Vec<S>,
+    /// Counter snapshot taken after the drain, before executor teardown.
+    pub stats: RuntimeStats,
+}
+
+/// How a session reaches the shard executors.
+enum Transport {
+    /// MP-SERVER backend: one private response endpoint, requests addressed
+    /// to the per-shard server queues. One endpoint suffices for all shards
+    /// because a session submits one operation at a time.
+    Mp {
+        endpoint: Endpoint,
+        servers: Arc<[EndpointId]>,
+    },
+    /// Inline backends (HybComb / CcSynch / Lock): one executor handle per
+    /// shard; the session's own thread runs or delegates the critical
+    /// section through it.
+    Inline {
+        handles: Vec<Box<dyn ApplyOp + Send>>,
+    },
+}
+
+/// A client connection to a [`Runtime`]. Sessions are `Send` — move each to
+/// its own thread — and submit one operation at a time.
+pub struct Session {
+    control: Arc<Control>,
+    shards: usize,
+    transport: Transport,
+}
+
+impl Session {
+    /// The shard that owns `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        shard_for(key, self.shards)
+    }
+
+    /// Executes `(op, arg)` against `key`'s shard and returns the result.
+    ///
+    /// Blocks or fails under backpressure according to the runtime's
+    /// [`SubmitPolicy`](crate::SubmitPolicy); fails with
+    /// [`RuntimeError::Closed`] once the runtime is shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` exceeds 56 bits or `op` exceeds 8 bits (see
+    /// [`pack`]).
+    pub fn submit(&mut self, key: u64, op: u64, arg: u64) -> Result<u64, RuntimeError> {
+        let word = pack(key, op); // validate before claiming a slot
+        let shard = shard_for(key, self.shards);
+        self.control.admit(shard)?;
+        let ret = self.apply_on(shard, word, arg);
+        self.control.complete(shard);
+        Ok(ret)
+    }
+
+    /// Executes a multi-key fan-out: each `(key, op, arg)` runs on its own
+    /// shard, in deterministic order (ascending shard, then input order),
+    /// and the results come back in input order.
+    ///
+    /// Not transactional: operations on different shards execute
+    /// independently, and on error (`Busy`/`Closed` mid-fanout) the
+    /// operations already executed stay executed.
+    pub fn apply_fanout(&mut self, ops: &[(u64, u64, u64)]) -> Result<Vec<u64>, RuntimeError> {
+        let mut order: Vec<usize> = (0..ops.len()).collect();
+        order.sort_by_key(|&i| (shard_for(ops[i].0, self.shards), i));
+        let mut results = vec![0u64; ops.len()];
+        for i in order {
+            let (key, op, arg) = ops[i];
+            results[i] = self.submit(key, op, arg)?;
+        }
+        Ok(results)
+    }
+
+    fn apply_on(&mut self, shard: usize, word: u64, arg: u64) -> u64 {
+        match &mut self.transport {
+            Transport::Mp { endpoint, servers } => {
+                endpoint
+                    .send(servers[shard], &[endpoint.id().to_word(), word, arg])
+                    .expect("shard server vanished");
+                endpoint.receive1()
+            }
+            Transport::Inline { handles } => handles[shard].apply(word, arg),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.control
+            .sessions_live
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+}

@@ -1,0 +1,168 @@
+//! Observability: per-shard and runtime-wide counters.
+
+use crate::control::{Control, BATCH_BUCKETS};
+use std::sync::atomic::Ordering;
+
+/// Snapshot of one shard's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Operations executed by the shard's dispatcher.
+    pub ops: u64,
+    /// Operations admitted into the shard's window.
+    pub submitted: u64,
+    /// Submissions refused with [`RuntimeError::Busy`](crate::RuntimeError::Busy).
+    pub rejected: u64,
+    /// Blocking submissions that found the window full at least once.
+    pub retried: u64,
+    /// Admitted-but-incomplete operations at snapshot time.
+    pub inflight: usize,
+    /// Service batches / combining rounds observed. Zero for backends that
+    /// do not expose round counts (CC-SYNCH).
+    pub batches: u64,
+    /// Log2 histogram of batch sizes: bucket *i* counts batches of
+    /// `2^i ..= 2^(i+1)-1` operations (last bucket open-ended). Only the
+    /// MP-SERVER backend fills this — it is the one with a runtime-owned
+    /// serving loop; combining backends report averages instead.
+    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Average operations per service batch (the achieved combining
+    /// degree; 1.0 for the lock backend by construction).
+    pub avg_batch: f64,
+}
+
+/// Snapshot of the whole runtime's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RuntimeStats {
+    /// Total operations executed across shards.
+    pub fn total_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops).sum()
+    }
+
+    /// Total submissions refused with `Busy`.
+    pub fn total_rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Operation-weighted average batch size across shards.
+    pub fn avg_batch(&self) -> f64 {
+        let ops = self.total_ops();
+        if ops == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self.shards.iter().map(|s| s.avg_batch * s.ops as f64).sum();
+        weighted / ops as f64
+    }
+
+    /// Batch-size histogram summed across shards.
+    pub fn batch_hist(&self) -> [u64; BATCH_BUCKETS] {
+        let mut out = [0u64; BATCH_BUCKETS];
+        for s in &self.shards {
+            for (o, b) in out.iter_mut().zip(s.batch_hist.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    pub(crate) fn from_control(control: &Control) -> Self {
+        let shards = control
+            .shards
+            .iter()
+            .map(|m| {
+                let mut batch_hist = [0u64; BATCH_BUCKETS];
+                for (o, b) in batch_hist.iter_mut().zip(m.batch_hist.iter()) {
+                    *o = b.load(Ordering::Relaxed);
+                }
+                ShardStats {
+                    ops: m.ops.load(Ordering::Relaxed),
+                    submitted: m.submitted.load(Ordering::Relaxed),
+                    rejected: m.rejected.load(Ordering::Relaxed),
+                    retried: m.retried.load(Ordering::Relaxed),
+                    inflight: m.inflight.load(Ordering::Relaxed),
+                    batches: m.batches.load(Ordering::Relaxed),
+                    batch_hist,
+                    avg_batch: 0.0,
+                }
+            })
+            .collect();
+        Self { shards }
+    }
+}
+
+impl std::fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>5} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
+            "shard", "ops", "submitted", "rejected", "retried", "batches", "avg_batch"
+        )?;
+        for (i, s) in self.shards.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>5} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9.2}",
+                i, s.ops, s.submitted, s.rejected, s.retried, s.batches, s.avg_batch
+            )?;
+        }
+        let hist = self.batch_hist();
+        if hist.iter().any(|&h| h != 0) {
+            write!(f, "batch sizes:")?;
+            for (i, h) in hist.iter().enumerate() {
+                if *h != 0 {
+                    let lo = 1u64 << i;
+                    if i == BATCH_BUCKETS - 1 {
+                        write!(f, " [{lo}+]={h}")?;
+                    } else {
+                        write!(f, " [{lo}..{}]={h}", (lo << 1) - 1)?;
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_shards() {
+        let stats = RuntimeStats {
+            shards: vec![
+                ShardStats {
+                    ops: 100,
+                    rejected: 1,
+                    avg_batch: 2.0,
+                    batch_hist: [1, 0, 0, 0, 0, 0, 0, 0],
+                    ..Default::default()
+                },
+                ShardStats {
+                    ops: 300,
+                    rejected: 2,
+                    avg_batch: 4.0,
+                    batch_hist: [0, 2, 0, 0, 0, 0, 0, 1],
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(stats.total_ops(), 400);
+        assert_eq!(stats.total_rejected(), 3);
+        assert!((stats.avg_batch() - 3.5).abs() < 1e-9);
+        assert_eq!(stats.batch_hist(), [1, 2, 0, 0, 0, 0, 0, 1]);
+        let shown = stats.to_string();
+        assert!(shown.contains("avg_batch"));
+        assert!(shown.contains("[128+]=1"));
+    }
+
+    #[test]
+    fn empty_stats_are_quiet() {
+        let stats = RuntimeStats { shards: vec![] };
+        assert_eq!(stats.total_ops(), 0);
+        assert_eq!(stats.avg_batch(), 0.0);
+    }
+}

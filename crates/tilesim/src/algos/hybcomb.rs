@@ -322,19 +322,29 @@ mod tests {
 
     #[test]
     fn swap_variant_correct() {
-        let r = run(6, 50, 100_000, HybOptions {
-            use_swap: true,
-            ..HybOptions::default()
-        });
+        let r = run(
+            6,
+            50,
+            100_000,
+            HybOptions {
+                use_swap: true,
+                ..HybOptions::default()
+            },
+        );
         assert!(r.metric_sum(Metric::Ops) > 500);
     }
 
     #[test]
     fn nodrain_variant_correct() {
-        let r = run(6, 50, 100_000, HybOptions {
-            eager_drain: false,
-            ..HybOptions::default()
-        });
+        let r = run(
+            6,
+            50,
+            100_000,
+            HybOptions {
+                eager_drain: false,
+                ..HybOptions::default()
+            },
+        );
         assert!(r.metric_sum(Metric::Ops) > 500);
     }
 

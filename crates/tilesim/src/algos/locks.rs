@@ -211,7 +211,11 @@ mod tests {
         for kind in LockKind::ALL {
             let (r, _) = run(kind, 6, 150_000);
             let ops = r.metric_sum(Metric::Ops);
-            assert!(ops > 300, "{} made too little progress: {ops}", kind.label());
+            assert!(
+                ops > 300,
+                "{} made too little progress: {ops}",
+                kind.label()
+            );
             // Every completed op executed exactly one CS.
             let served = r.metric_sum(Metric::Served);
             assert!(served >= ops && served <= ops + 6);

@@ -371,10 +371,7 @@ pub(crate) fn record_op(ctx: &mut Ctx, t0: u64) {
     ctx.record(Metric::Ops, 1);
     ctx.record(Metric::LatSum, lat);
     ctx.record(Metric::LatCount, 1);
-    ctx.record(
-        Metric::LAT_HISTOGRAM[crate::stats::lat_bucket(lat)],
-        1,
-    );
+    ctx.record(Metric::LAT_HISTOGRAM[crate::stats::lat_bucket(lat)], 1);
 }
 
 #[cfg(test)]

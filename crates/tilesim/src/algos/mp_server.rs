@@ -8,7 +8,7 @@
 use crate::engine::{Ctx, Engine};
 use crate::stats::Metric;
 
-use super::{exec_cs, local_work, record_op, client_rng, CsBody, RunSpec};
+use super::{client_rng, exec_cs, local_work, record_op, CsBody, RunSpec};
 
 /// Installs an MP-SERVER run: the server on the engine's next core, then
 /// `spec.threads` client procs. Returns the server's core id.
@@ -89,10 +89,7 @@ mod tests {
         install_mp_server(&mut e, spec);
         let r = e.run(100_000);
         assert!(r.avg_latency() > 0.0);
-        assert_eq!(
-            r.metric_sum(Metric::LatCount),
-            r.metric_sum(Metric::Ops)
-        );
+        assert_eq!(r.metric_sum(Metric::LatCount), r.metric_sum(Metric::Ops));
     }
 
     #[test]

@@ -28,17 +28,15 @@ pub fn install_shm_server(engine: &mut Engine, spec: RunSpec, alloc: &mut AddrAl
     let channels: Vec<Addr> = (0..spec.threads).map(|_| alloc.line()).collect();
     let body = spec.body;
     let server_channels = channels.clone();
-    let server_core = engine.add_proc(move |ctx| {
-        loop {
-            for &ch in &server_channels {
-                if ctx.read(ch + STATUS) == REQ {
-                    let op = ctx.read(ch + OP);
-                    let arg = ctx.read(ch + ARG);
-                    let ret = exec_cs(ctx, &body, op, arg);
-                    ctx.write(ch + RET, ret);
-                    ctx.write(ch + STATUS, DONE);
-                    ctx.record(Metric::Served, 1);
-                }
+    let server_core = engine.add_proc(move |ctx| loop {
+        for &ch in &server_channels {
+            if ctx.read(ch + STATUS) == REQ {
+                let op = ctx.read(ch + OP);
+                let arg = ctx.read(ch + ARG);
+                let ret = exec_cs(ctx, &body, op, arg);
+                ctx.write(ch + RET, ret);
+                ctx.write(ch + STATUS, DONE);
+                ctx.record(Metric::Served, 1);
             }
         }
     });

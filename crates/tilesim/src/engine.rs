@@ -179,7 +179,8 @@ impl Ctx {
             // stays inline.
             self.flush_records();
             assert!(
-                self.mb.send_request_big(OP_SEND, dest as u64, words.to_vec()),
+                self.mb
+                    .send_request_big(OP_SEND, dest as u64, words.to_vec()),
                 "engine vanished"
             );
             if self.mb.wait_response() == ST_POISON {
@@ -267,7 +268,10 @@ enum ProcState {
     /// Scheduled in the event heap; `pending` is delivered on resume.
     Runnable,
     /// Blocked on `receive(k)` since the given cycle.
-    WaitRecv { k: usize, since: u64 },
+    WaitRecv {
+        k: usize,
+        since: u64,
+    },
     /// Blocked sending `words` to `dest` since the given cycle.
     WaitSend {
         dest: usize,
@@ -402,7 +406,11 @@ impl Engine {
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         let core = self.procs.len();
-        assert!(core < self.cfg.cores(), "machine has {} cores", self.cfg.cores());
+        assert!(
+            core < self.cfg.cores(),
+            "machine has {} cores",
+            self.cfg.cores()
+        );
         let mb = Arc::new(Mailbox::new());
         let proc_mb = Arc::clone(&mb);
         let join = std::thread::Builder::new()
@@ -640,7 +648,10 @@ impl Engine {
             }
             OP_RECV => {
                 let k = words[0] as usize;
-                assert!(k > 0 && k <= self.cfg.queue_capacity, "bad receive size {k}");
+                assert!(
+                    k > 0 && k <= self.cfg.queue_capacity,
+                    "bad receive size {k}"
+                );
                 if self.queues[proc].words.len() >= k {
                     self.complete_receive(proc, k, now);
                 } else {
@@ -654,12 +665,20 @@ impl Engine {
                     .map(|&(arr, _)| arr > now)
                     .unwrap_or(true);
                 self.procs[proc].stats.busy += self.cfg.queue_probe;
-                self.schedule(proc, now + self.cfg.queue_probe, PendingResp::boolean(empty));
+                self.schedule(
+                    proc,
+                    now + self.cfg.queue_probe,
+                    PendingResp::boolean(empty),
+                );
             }
             OP_QPEND => {
                 let pending = !self.queues[proc].words.is_empty();
                 self.procs[proc].stats.busy += self.cfg.queue_probe;
-                self.schedule(proc, now + self.cfg.queue_probe, PendingResp::boolean(pending));
+                self.schedule(
+                    proc,
+                    now + self.cfg.queue_probe,
+                    PendingResp::boolean(pending),
+                );
             }
             OP_WORK => {
                 let cycles = words[0];
@@ -683,7 +702,12 @@ impl Engine {
         let overflow = if len > INLINE_WORDS {
             // Oversized send: only word 0 (the destination) is inline.
             words[0] = self.procs[proc].mb.word(0);
-            Some(self.procs[proc].mb.take_overflow().expect("oversized request payload"))
+            Some(
+                self.procs[proc]
+                    .mb
+                    .take_overflow()
+                    .expect("oversized request payload"),
+            )
         } else {
             for (i, w) in words.iter_mut().enumerate().take(len) {
                 *w = self.procs[proc].mb.word(i);
@@ -730,7 +754,11 @@ impl Engine {
             p.mb.register_engine();
         }
         loop {
-            if self.procs.iter().all(|p| matches!(p.state, ProcState::Finished)) {
+            if self
+                .procs
+                .iter()
+                .all(|p| matches!(p.state, ProcState::Finished))
+            {
                 break;
             }
             let Some(Reverse((t, proc))) = self.heap.pop() else {
@@ -1032,7 +1060,11 @@ mod tests {
         assert!(r.host.handoffs >= 6, "handoffs {}", r.host.handoffs);
         // Both sends and both receive-responses fit inline.
         assert_eq!(r.host.heap_fallbacks, 0);
-        assert!(r.host.inline_payloads >= 4, "inline {}", r.host.inline_payloads);
+        assert!(
+            r.host.inline_payloads >= 4,
+            "inline {}",
+            r.host.inline_payloads
+        );
     }
 
     #[test]
@@ -1055,6 +1087,10 @@ mod tests {
         assert_eq!(r.metrics[0][Metric::Ops as usize], 1);
         // The 10-word send and the 10-word response both exceed the inline
         // buffer.
-        assert!(r.host.heap_fallbacks >= 2, "fallbacks {}", r.host.heap_fallbacks);
+        assert!(
+            r.host.heap_fallbacks >= 2,
+            "fallbacks {}",
+            r.host.heap_fallbacks
+        );
     }
 }

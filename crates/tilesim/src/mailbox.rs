@@ -83,7 +83,10 @@ const PROC_YIELDS_EAGER: u32 = 2;
 /// the request is at most one proc-wakeup away — worth waiting harder for.
 fn engine_budget() -> WaitBudget {
     if single_cpu() {
-        WaitBudget { spins: 0, yields: 16 }
+        WaitBudget {
+            spins: 0,
+            yields: 16,
+        }
     } else {
         WaitBudget {
             spins: 4_000,
@@ -310,8 +313,12 @@ impl Mailbox {
     /// Blocks until the proc's next request and returns its opcode and
     /// payload length. (Procs never poison; only `ST_REQ` returns.)
     pub(crate) fn wait_request(&self) -> (u32, usize) {
-        let (s, _) =
-            self.wait_state(ST_REQ, engine_budget(), &self.engine_parked, &self.engine_parks);
+        let (s, _) = self.wait_state(
+            ST_REQ,
+            engine_budget(),
+            &self.engine_parked,
+            &self.engine_parks,
+        );
         debug_assert_eq!(s, ST_REQ);
         (
             self.opcode.load(Ordering::Relaxed),

@@ -347,10 +347,7 @@ mod tests {
         let mut b = [0u64; N_METRICS];
         b[Metric::Ops as usize] = 80;
         let zero = [0u64; N_METRICS];
-        let r = result_with(
-            vec![a, b, zero],
-            vec![CoreStats::default(); 3],
-        );
+        let r = result_with(vec![a, b, zero], vec![CoreStats::default(); 3]);
         assert!((r.fairness_ratio() - 1.25).abs() < 1e-9);
     }
 

@@ -7,9 +7,9 @@
 //! the papers' x-axes.
 
 use crate::algos::{
-    install_cc_synch, install_cc_synch_fixed, install_hybcomb, install_hybcomb_fixed,
-    install_lock, install_mp_server, install_shm_server, AddrAlloc, Approach, CsBody,
-    HybOptions, LockKind, OpGen, RunSpec,
+    install_cc_synch, install_cc_synch_fixed, install_hybcomb, install_hybcomb_fixed, install_lock,
+    install_mp_server, install_shm_server, AddrAlloc, Approach, CsBody, HybOptions, LockKind,
+    OpGen, RunSpec,
 };
 use crate::engine::Engine;
 use crate::nonblocking::{install_lcrq, install_treiber};
@@ -25,12 +25,7 @@ pub const DEFAULT_HORIZON: u64 = 300_000;
 /// occupancy under the balanced workload).
 const NODE_RING: u64 = 1024;
 
-fn install(
-    engine: &mut Engine,
-    approach: Approach,
-    spec: RunSpec,
-    alloc: &mut AddrAlloc,
-) {
+fn install(engine: &mut Engine, approach: Approach, spec: RunSpec, alloc: &mut AddrAlloc) {
     match approach {
         Approach::MpServer => {
             install_mp_server(engine, spec);
@@ -90,9 +85,7 @@ pub fn run_counter_fixed(
         Approach::ShmServer => {
             install_shm_server(&mut e, spec, &mut alloc);
         }
-        Approach::HybComb => {
-            install_hybcomb_fixed(&mut e, spec, &mut alloc, HybOptions::default())
-        }
+        Approach::HybComb => install_hybcomb_fixed(&mut e, spec, &mut alloc, HybOptions::default()),
         Approach::CcSynch => install_cc_synch_fixed(&mut e, spec, &mut alloc),
     }
     e.run(horizon)
@@ -203,12 +196,7 @@ pub fn run_queue_onelock(
 
 /// Figure 5a's `mp-server-2`: the two-lock MS queue with one MP-SERVER per
 /// lock (enqueue server on core 0, dequeue server on core 1).
-pub fn run_queue_mp2(
-    cfg: MachineConfig,
-    threads: usize,
-    horizon: u64,
-    seed: u64,
-) -> SimResult {
+pub fn run_queue_mp2(cfg: MachineConfig, threads: usize, horizon: u64, seed: u64) -> SimResult {
     let mut alloc = AddrAlloc::new();
     let nodes = alloc.lines(NODE_RING);
     let tail = alloc.line();
@@ -272,7 +260,10 @@ pub fn run_queue_mixed(
     horizon: u64,
     seed: u64,
 ) -> SimResult {
-    assert!((1..=3).contains(&enq_per_4), "mix must be 1..=3 enqueues per 4 ops");
+    assert!(
+        (1..=3).contains(&enq_per_4),
+        "mix must be 1..=3 enqueues per 4 ops"
+    );
     let mut alloc = AddrAlloc::new();
     let body = CsBody::SeqQueue {
         head: alloc.line(),
@@ -298,12 +289,7 @@ pub fn run_queue_mixed(
 }
 
 /// Figure 5a's LCRQ line.
-pub fn run_queue_lcrq(
-    cfg: MachineConfig,
-    threads: usize,
-    horizon: u64,
-    seed: u64,
-) -> SimResult {
+pub fn run_queue_lcrq(cfg: MachineConfig, threads: usize, horizon: u64, seed: u64) -> SimResult {
     let mut alloc = AddrAlloc::new();
     let mut e = Engine::new(cfg);
     install_lcrq(&mut e, threads, NODE_RING, seed, 50, &mut alloc);
@@ -342,12 +328,7 @@ pub fn run_stack(
 }
 
 /// Figure 5b's Treiber-stack line.
-pub fn run_stack_treiber(
-    cfg: MachineConfig,
-    threads: usize,
-    horizon: u64,
-    seed: u64,
-) -> SimResult {
+pub fn run_stack_treiber(cfg: MachineConfig, threads: usize, horizon: u64, seed: u64) -> SimResult {
     let mut alloc = AddrAlloc::new();
     let mut e = Engine::new(cfg);
     install_treiber(&mut e, threads, seed, 50, &mut alloc);
@@ -470,24 +451,22 @@ mod tests {
 
     #[test]
     fn latency_histogram_populated() {
-        let r = run_counter(MachineConfig::tile_gx8036(), Approach::MpServer, 6, 200, H, 1);
-        let hist_total: u64 = Metric::LAT_HISTOGRAM
-            .iter()
-            .map(|&m| r.metric_sum(m))
-            .sum();
+        let r = run_counter(
+            MachineConfig::tile_gx8036(),
+            Approach::MpServer,
+            6,
+            200,
+            H,
+            1,
+        );
+        let hist_total: u64 = Metric::LAT_HISTOGRAM.iter().map(|&m| r.metric_sum(m)).sum();
         assert_eq!(hist_total, r.metric_sum(Metric::LatCount));
         assert!(r.latency_percentile(0.99) >= r.latency_percentile(0.50));
     }
 
     #[test]
     fn x86_like_machine_stalls_more() {
-        let tile = run_counter_fixed(
-            MachineConfig::tile_gx8036(),
-            Approach::ShmServer,
-            10,
-            H,
-            1,
-        );
+        let tile = run_counter_fixed(MachineConfig::tile_gx8036(), Approach::ShmServer, 10, H, 1);
         let x86 = run_counter_fixed(MachineConfig::x86_like(), Approach::ShmServer, 10, H, 1);
         let frac = |r: &SimResult| {
             let c = servicing_core(r);

@@ -70,10 +70,15 @@ impl Fabric {
     /// Panics if any dimension is zero.
     pub fn new(config: FabricConfig) -> Self {
         assert!(config.cores > 0, "fabric needs at least one core");
-        assert!(config.channels_per_core > 0, "need at least one channel per core");
+        assert!(
+            config.channels_per_core > 0,
+            "need at least one channel per core"
+        );
         assert!(config.queue_capacity > 0, "queues need non-zero capacity");
         let n = config.cores * config.channels_per_core;
-        let queues = (0..n).map(|_| WordQueue::new(config.queue_capacity)).collect();
+        let queues = (0..n)
+            .map(|_| WordQueue::new(config.queue_capacity))
+            .collect();
         let registered = (0..n).map(|_| AtomicBool::new(false)).collect();
         Self {
             queues,
@@ -110,7 +115,11 @@ impl Fabric {
 
     /// Registers the calling thread on `(core, channel)`, returning the
     /// exclusive receive handle for that hardware queue.
-    pub fn register(self: &Arc<Self>, core: usize, channel: usize) -> Result<Endpoint, RegisterError> {
+    pub fn register(
+        self: &Arc<Self>,
+        core: usize,
+        channel: usize,
+    ) -> Result<Endpoint, RegisterError> {
         let idx = self.index(core, channel)?;
         if self.registered[idx]
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -210,7 +219,10 @@ mod tests {
     #[test]
     fn register_out_of_range() {
         let f = Arc::new(Fabric::new(FabricConfig::new(1)));
-        assert!(matches!(f.register(5, 0), Err(RegisterError::NoSuchCore { .. })));
+        assert!(matches!(
+            f.register(5, 0),
+            Err(RegisterError::NoSuchCore { .. })
+        ));
         assert!(matches!(
             f.register(0, 99),
             Err(RegisterError::NoSuchChannel { .. })

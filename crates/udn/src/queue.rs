@@ -21,6 +21,7 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crossbeam_utils::CachePadded;
 
@@ -217,7 +218,10 @@ impl WordQueue {
                 // A successful reservation proved the space free, so this
                 // publish never waits and counts no back-pressure.
                 let waited = self.publish(start, words);
-                debug_assert!(!waited, "try_send publish waited after a proven reservation");
+                debug_assert!(
+                    !waited,
+                    "try_send publish waited after a proven reservation"
+                );
                 true
             }
             Reserve::Full => {
@@ -251,6 +255,37 @@ impl WordQueue {
             cell.seq.store(pos + cap, Ordering::Release);
         }
         self.head.store(head + buf.len(), Ordering::Release);
+    }
+
+    /// Like [`WordQueue::receive_blocking`], but gives up — returning
+    /// `false` and consuming nothing — if no word has been published at the
+    /// head by `deadline`.
+    ///
+    /// The deadline only gates the *first* word: once any word of a message
+    /// is available the receive commits and blocks for the remaining
+    /// `buf.len() - 1` words regardless of the deadline. Multi-word messages
+    /// are published contiguously, so the remainder is already in flight and
+    /// the committed wait is bounded; aborting midway, in contrast, would
+    /// tear a message (consumed words cannot be re-queued).
+    ///
+    /// # Safety contract (single consumer)
+    ///
+    /// As for [`WordQueue::receive_blocking`].
+    pub(crate) fn receive_deadline(&self, buf: &mut [u64], deadline: Instant) -> bool {
+        if buf.is_empty() {
+            return true;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let cell = &self.buf[head % self.buf.len()];
+        let mut spins = 0u32;
+        while cell.seq.load(Ordering::Acquire) != head + 1 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            backoff(&mut spins);
+        }
+        self.receive_blocking(buf);
+        true
     }
 
     /// Dequeues up to `buf.len()` words without blocking; returns how many

@@ -11,8 +11,7 @@ use std::time::Instant;
 use mpsync::objects::counter::{AtomicCounter, CsCounter};
 use mpsync::objects::Counter;
 use mpsync::sync::{
-    CcSynch, FlatCombining, HybComb, LockCs, McsLock, MpServer, ShmServer, TasLock,
-    TicketLock,
+    CcSynch, FlatCombining, HybComb, LockCs, McsLock, MpServer, ShmServer, TasLock, TicketLock,
 };
 use mpsync::udn::{Fabric, FabricConfig};
 

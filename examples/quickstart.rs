@@ -47,9 +47,7 @@ fn main() {
         j.join().unwrap();
     }
     let final_count = server.shutdown();
-    println!(
-        "MP-SERVER : {THREADS} threads x {OPS_PER_THREAD} increments -> {final_count}"
-    );
+    println!("MP-SERVER : {THREADS} threads x {OPS_PER_THREAD} increments -> {final_count}");
     assert_eq!(final_count, THREADS as u64 * OPS_PER_THREAD);
 
     // --- HYBCOMB: no dedicated core; the combiner role floats. ----------
@@ -72,12 +70,9 @@ fn main() {
         j.join().unwrap();
     }
     let stats = hybcomb.stats();
-    let hybcomb = Arc::try_unwrap(hybcomb)
-        .unwrap_or_else(|_| panic!("handles still alive"));
+    let hybcomb = Arc::try_unwrap(hybcomb).unwrap_or_else(|_| panic!("handles still alive"));
     let final_count = hybcomb.into_state();
-    println!(
-        "HYBCOMB   : {THREADS} threads x {OPS_PER_THREAD} increments -> {final_count}"
-    );
+    println!("HYBCOMB   : {THREADS} threads x {OPS_PER_THREAD} increments -> {final_count}");
     println!(
         "            combining rate {:.1} ops/round, {:.2} CAS/op over {} rounds",
         stats.combining_rate(),

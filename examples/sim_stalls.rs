@@ -15,8 +15,14 @@ fn main() {
     let threads = 10;
     let horizon = 300_000;
 
-    println!("simulated {}-core TILE-Gx-like machine, {threads} app threads, counter CS", cfg.cores());
-    println!("{:<12} {:>10} {:>10} {:>10} {:>12}", "approach", "stall/op", "total/op", "stall %", "served ops");
+    println!(
+        "simulated {}-core TILE-Gx-like machine, {threads} app threads, counter CS",
+        cfg.cores()
+    );
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12}",
+        "approach", "stall/op", "total/op", "stall %", "served ops"
+    );
     for a in Approach::ALL {
         let r = run_counter_fixed(cfg, a, threads, horizon, 7);
         let core = servicing_core(&r);

@@ -10,6 +10,8 @@
 //! * [`objects`] — linearizable concurrent objects (counters, queues,
 //!   stacks) built on those constructions, plus the nonblocking comparators
 //!   (LCRQ, Treiber stack) from the paper's evaluation;
+//! * [`runtime`] — a sharded, batched delegation runtime that serves keyed
+//!   object traffic over any of the constructions;
 //! * [`lincheck`] — the linearizability checker used by the test suite;
 //! * [`tilesim`] — a discrete-event simulator of a TILE-Gx-like hybrid
 //!   manycore used to regenerate the paper's figures.
@@ -20,5 +22,6 @@
 pub use mpsync_core as sync;
 pub use mpsync_lincheck as lincheck;
 pub use mpsync_objects as objects;
+pub use mpsync_runtime as runtime;
 pub use mpsync_udn as udn;
 pub use tilesim;

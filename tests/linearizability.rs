@@ -87,7 +87,12 @@ fn shm_server_counter_linearizable() {
 fn hybcomb_counter_linearizable() {
     check_counter_impl(|| {
         let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
-        let hc = Arc::new(HybComb::new(THREADS, 8, 0u64, counter_dispatch as CounterFn));
+        let hc = Arc::new(HybComb::new(
+            THREADS,
+            8,
+            0u64,
+            counter_dispatch as CounterFn,
+        ));
         move |_t| {
             let mut c = hc.handle(fabric.register_any().unwrap());
             Box::new(move || c.apply(0, 0))
@@ -98,7 +103,12 @@ fn hybcomb_counter_linearizable() {
 #[test]
 fn cc_synch_counter_linearizable() {
     check_counter_impl(|| {
-        let cs = Arc::new(CcSynch::new(THREADS, 8, 0u64, counter_dispatch as CounterFn));
+        let cs = Arc::new(CcSynch::new(
+            THREADS,
+            8,
+            0u64,
+            counter_dispatch as CounterFn,
+        ));
         move |_t| {
             let mut c = cs.handle();
             Box::new(move || c.apply(0, 0))

@@ -19,10 +19,7 @@ type StackFn = fn(&mut SeqStack, u64, u64) -> u64;
 /// An op in a generated sequence: `Some(v)` = insert v, `None` = remove.
 fn ops_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
     prop::collection::vec(
-        prop_oneof![
-            (0u64..1_000_000).prop_map(Some),
-            Just(None),
-        ],
+        prop_oneof![(0u64..1_000_000).prop_map(Some), Just(None),],
         0..200,
     )
 }

@@ -1,0 +1,260 @@
+//! Integration tests of the sharded delegation runtime: per-key operation
+//! order end-to-end, linearizability of the sharded counter, and
+//! exactly-once application across graceful shutdown — each across every
+//! executor backend.
+
+use std::sync::Arc;
+
+use mpsync::lincheck::specs::CounterSpec;
+use mpsync::lincheck::{check, Recorder};
+use mpsync::objects::seq::{keyed_counter_dispatch, keyed_counter_ops, KeyedCounters};
+use mpsync::runtime::{
+    Backend, Runtime, RuntimeConfig, RuntimeError, ShardedCounter, SubmitPolicy,
+};
+use proptest::prelude::*;
+
+/// Small config sized for the CI host (2 cores): few sessions, shallow
+/// windows, modest batches.
+fn small(backend: Backend, shards: usize, sessions: usize) -> RuntimeConfig {
+    RuntimeConfig::new(shards)
+        .with_backend(backend)
+        .with_max_sessions(sessions)
+        .with_queue_depth(4)
+        .with_max_batch(8)
+}
+
+// ---------------------------------------------------------------------------
+// Per-key order: a session's operations on one key execute in submission
+// order, end-to-end, whatever shard the key routes to and whatever backend
+// serves it.
+// ---------------------------------------------------------------------------
+
+/// Each session owns a disjoint set of keys and applies ADD deltas to them.
+/// Because all of a key's operations land on one shard, executed under
+/// mutual exclusion, and a session submits one op at a time, the values the
+/// session gets back for its own key must be exactly that key's running
+/// prefix sums — any reordering, loss, or duplication breaks the equality.
+fn run_per_key_order(backend: Backend, shards: usize, per_session: &[Vec<(u64, u64)>]) {
+    let rt = Runtime::new(
+        small(backend, shards, per_session.len().max(1)),
+        |_| KeyedCounters::new(),
+        keyed_counter_dispatch,
+    );
+    let mut joins = Vec::new();
+    for (t, ops) in per_session.iter().enumerate() {
+        let mut session = rt.session().expect("session budget");
+        // Session t owns keys ≡ t (mod sessions): disjoint across sessions.
+        let ops: Vec<(u64, u64)> = ops
+            .iter()
+            .map(|&(key, delta)| (key * per_session.len() as u64 + t as u64, delta))
+            .collect();
+        joins.push(std::thread::spawn(move || {
+            let mut expected: std::collections::HashMap<u64, u64> = Default::default();
+            for (key, delta) in ops {
+                let want = expected.entry(key).or_insert(0);
+                *want = want.wrapping_add(delta);
+                let got = session
+                    .submit(key, keyed_counter_ops::ADD, delta)
+                    .expect("runtime open");
+                assert_eq!(
+                    got, *want,
+                    "key {key}: per-key order violated (expected running sum)"
+                );
+            }
+            // End-to-end read-back: the shard's final value matches.
+            for (key, want) in expected {
+                assert_eq!(
+                    session.submit(key, keyed_counter_ops::GET, 0).unwrap(),
+                    want
+                );
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    rt.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn per_key_order_preserved_across_shards_and_backends(
+        shards in 1usize..4,
+        ops_a in prop::collection::vec(
+            (0u64..6_000).prop_map(|x| (x % 6, 1 + x / 6)), 1..12),
+        ops_b in prop::collection::vec(
+            (0u64..6_000).prop_map(|x| (x % 6, 1 + x / 6)), 1..12),
+    ) {
+        for backend in Backend::ALL {
+            run_per_key_order(backend, shards, &[ops_a.clone(), ops_b.clone()]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linearizability: concurrent fetch-inc histories on one hot key of a
+// ShardedCounter check out against the sequential counter specification.
+// ---------------------------------------------------------------------------
+
+fn check_sharded_counter_linearizable(backend: Backend) {
+    const ROUNDS: usize = 10;
+    const THREADS: usize = 3;
+    const OPS_PER_THREAD: usize = 4;
+    const HOT_KEY: u64 = 17;
+    for _ in 0..ROUNDS {
+        let svc = ShardedCounter::new(small(backend, 2, THREADS));
+        let rec: Recorder<(), u64> = Recorder::new();
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mut h = rec.handle(t);
+            let mut bound = svc.session().expect("session budget").bind(HOT_KEY);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    h.record((), || mpsync::objects::Counter::fetch_inc(&mut bound));
+                }
+                h
+            }));
+        }
+        let handles: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let history = rec.collect(handles);
+        check(&CounterSpec, &history).expect("sharded counter history not linearizable");
+        let (totals, _) = svc.shutdown();
+        assert_eq!(
+            totals.get(&HOT_KEY),
+            Some(&((THREADS * OPS_PER_THREAD) as u64))
+        );
+    }
+}
+
+#[test]
+fn sharded_counter_linearizable_mp_server() {
+    check_sharded_counter_linearizable(Backend::MpServer);
+}
+
+#[test]
+fn sharded_counter_linearizable_hybcomb() {
+    check_sharded_counter_linearizable(Backend::HybComb);
+}
+
+#[test]
+fn sharded_counter_linearizable_cc_synch() {
+    check_sharded_counter_linearizable(Backend::CcSynch);
+}
+
+#[test]
+fn sharded_counter_linearizable_lock() {
+    check_sharded_counter_linearizable(Backend::Lock);
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once shutdown: every operation the runtime accepted (Ok) is
+// applied exactly once; everything after close() is refused.
+// ---------------------------------------------------------------------------
+
+fn run_exactly_once_shutdown(backend: Backend) {
+    const THREADS: usize = 2;
+    const KEYS: u64 = 5;
+    const MAX_OPS: usize = 200_000;
+    let svc = Arc::new(ShardedCounter::new(
+        small(backend, 2, THREADS).with_submit(SubmitPolicy::Block),
+    ));
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let mut session = svc.session().expect("session budget");
+        joins.push(std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            for i in 0..MAX_OPS {
+                match session.fetch_inc((t as u64 + i as u64) % KEYS) {
+                    Ok(_) => accepted += 1,
+                    Err(RuntimeError::Closed) => break,
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+            accepted
+        }));
+    }
+    // Let the workers race ahead, then close mid-stream: the interesting
+    // window is operations admitted but not yet applied at close time.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    svc.close();
+    let accepted: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    let svc = Arc::into_inner(svc).expect("sessions dropped with their threads");
+    let (totals, stats) = svc.shutdown();
+    let applied: u64 = totals.values().sum();
+    assert_eq!(
+        applied, accepted,
+        "{backend:?}: every accepted op must be applied exactly once"
+    );
+    assert_eq!(stats.total_ops(), accepted, "stats agree with state");
+    assert!(accepted > 0, "workers should get some ops in before close");
+}
+
+#[test]
+fn shutdown_applies_accepted_ops_exactly_once_mp_server() {
+    run_exactly_once_shutdown(Backend::MpServer);
+}
+
+#[test]
+fn shutdown_applies_accepted_ops_exactly_once_hybcomb() {
+    run_exactly_once_shutdown(Backend::HybComb);
+}
+
+#[test]
+fn shutdown_applies_accepted_ops_exactly_once_cc_synch() {
+    run_exactly_once_shutdown(Backend::CcSynch);
+}
+
+#[test]
+fn shutdown_applies_accepted_ops_exactly_once_lock() {
+    run_exactly_once_shutdown(Backend::Lock);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure and session budget behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fail_policy_rejects_only_when_window_full() {
+    // queue_depth 1 with a single in-order session never overlaps itself,
+    // so nothing is rejected and everything is applied.
+    let svc = ShardedCounter::new(
+        small(Backend::MpServer, 1, 1)
+            .with_queue_depth(1)
+            .with_submit(SubmitPolicy::Fail),
+    );
+    let mut s = svc.session().unwrap();
+    for _ in 0..100 {
+        s.fetch_inc(1).unwrap();
+    }
+    drop(s);
+    let (totals, stats) = svc.shutdown();
+    assert_eq!(totals.get(&1), Some(&100));
+    assert_eq!(stats.total_rejected(), 0);
+}
+
+#[test]
+fn session_budget_is_enforced() {
+    let svc = ShardedCounter::new(small(Backend::Lock, 1, 2));
+    let a = svc.session().unwrap();
+    let _b = svc.session().unwrap();
+    assert!(matches!(
+        svc.session(),
+        Err(RuntimeError::SessionsExhausted)
+    ));
+    drop(a); // Lock backend recycles slots on drop
+    let _c = svc.session().unwrap();
+}
+
+#[test]
+fn submits_after_close_are_refused() {
+    let svc = ShardedCounter::new(small(Backend::CcSynch, 2, 1));
+    let mut s = svc.session().unwrap();
+    s.fetch_inc(3).unwrap();
+    svc.close();
+    assert!(matches!(s.fetch_inc(3), Err(RuntimeError::Closed)));
+    drop(s);
+    let (totals, _) = svc.shutdown();
+    assert_eq!(totals.get(&3), Some(&1));
+}

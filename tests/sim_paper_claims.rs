@@ -50,7 +50,10 @@ fn latency_claims() {
     let mp = run_counter(cfg(), Approach::MpServer, t, 200, H, 1).avg_latency();
     let shm = run_counter(cfg(), Approach::ShmServer, t, 200, H, 1).avg_latency();
     let cc = run_counter(cfg(), Approach::CcSynch, t, 200, H, 1).avg_latency();
-    assert!(mp < shm && mp < cc, "mp latency {mp:.0} must be lowest ({shm:.0}, {cc:.0})");
+    assert!(
+        mp < shm && mp < cc,
+        "mp latency {mp:.0} must be lowest ({shm:.0}, {cc:.0})"
+    );
 
     let hyb1 = run_counter(cfg(), Approach::HybComb, 1, 200, H, 1).avg_latency();
     let cc1 = run_counter(cfg(), Approach::CcSynch, 1, 200, H, 1).avg_latency();
@@ -89,8 +92,16 @@ fn stall_breakdown() {
     let shm = run_counter_fixed(cfg(), Approach::ShmServer, t, H, 1);
     let cc = run_counter_fixed(cfg(), Approach::CcSynch, t, H, 1);
     assert!(stall_frac(&mp) < 0.1, "mp stall frac {}", stall_frac(&mp));
-    assert!(stall_frac(&hyb) < 0.2, "hyb stall frac {}", stall_frac(&hyb));
-    assert!(stall_frac(&shm) > 0.5, "shm stall frac {}", stall_frac(&shm));
+    assert!(
+        stall_frac(&hyb) < 0.2,
+        "hyb stall frac {}",
+        stall_frac(&hyb)
+    );
+    assert!(
+        stall_frac(&shm) > 0.5,
+        "shm stall frac {}",
+        stall_frac(&shm)
+    );
     assert!(stall_frac(&cc) > 0.5, "cc stall frac {}", stall_frac(&cc));
     // The paper's magnitudes: ~10 cycles/op for mp-server, ~50+ for the
     // shared-memory approaches.
