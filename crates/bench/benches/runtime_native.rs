@@ -9,6 +9,8 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpsync_bench::f;
 use mpsync_runtime::{Backend, CounterSession, RuntimeConfig, ShardedCounter};
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::TelemetryReport;
 
 /// Concurrent client sessions (kept at the host's physical core budget).
 const SESSIONS: usize = 2;
@@ -65,13 +67,17 @@ fn bench_runtime(c: &mut Criterion) {
 }
 
 /// Not a criterion measurement: one fixed-size run per backend, printing
-/// per-shard throughput and the batch-size distribution the runtime
-/// achieved (`RuntimeStats` is the interface under test here).
+/// per-shard throughput, the batch-size distribution the runtime achieved
+/// (`RuntimeStats` is the interface under test here) and — when the
+/// `telemetry` feature is on — the per-phase latency table: submit,
+/// queue-wait and serve histograms with p50/p95/p99, reset between
+/// backends so each table describes one backend only.
 fn report_shard_distribution(_c: &mut Criterion) {
     const SHARDS: usize = 4;
     const OPS: u64 = 20_000;
     println!("\n# runtime shard report: {SESSIONS} sessions x {OPS} ops, {SHARDS} shards");
     for backend in Backend::ALL {
+        telemetry::reset();
         let svc = ShardedCounter::new(config(backend, SHARDS));
         let mut sessions: Vec<CounterSession> = (0..SESSIONS)
             .map(|_| svc.session().expect("session budget"))
@@ -94,7 +100,13 @@ fn report_shard_distribution(_c: &mut Criterion) {
             f(stats.avg_batch()),
         );
         print!("{stats}");
+        let latencies = TelemetryReport::capture();
+        if !latencies.is_empty() {
+            println!("# {} latencies (ns):", backend.label());
+            print!("{latencies}");
+        }
     }
+    telemetry::reset();
 }
 
 criterion_group!(benches, bench_runtime, report_shard_distribution);

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! repro [--quick] [--horizon CYCLES] [--seed N] [--jobs N] [--timing]
-//!       [--baseline-ms MS] [--check-baseline PATH] <experiment>... | all
+//!       [--baseline-ms MS] [--check-baseline PATH]
+//!       [--metrics] [--metrics-json PATH] [--trace PATH]
+//!       <experiment>... | all
 //! repro --list
 //! ```
 //!
@@ -34,14 +36,26 @@
 //! to `BENCH_repro.json` at the repository root (stdout stays untouched).
 //! `--check-baseline PATH` compares this run against a committed
 //! `BENCH_repro.json` and fails if any experiment regressed more than 2×.
+//!
+//! `--metrics`, `--metrics-json PATH` and `--trace PATH` run the *native
+//! telemetry phase* (short instrumented workloads through the real
+//! emulated-UDN executors; see `mpsync_bench::metrics`) after the
+//! experiments: `--metrics` prints per-construction latency tables on
+//! stderr, `--metrics-json` writes them as JSON, `--trace` writes a Chrome
+//! `trace_event` timeline. All three need the `telemetry` cargo feature for
+//! real data (without it they report empty and say so). Stdout stays
+//! reserved for experiment CSV either way, so the committed oracle output
+//! is unaffected.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use mpsync_bench::{
-    check_against_baseline, f, for_each_parallel, max_ops_sweep, row, thread_sweep, TimingReport,
+    check_against_baseline, f, for_each_parallel, max_ops_sweep, metrics, row, thread_sweep,
+    TimingReport,
 };
+use mpsync_telemetry as telemetry;
 use tilesim::algos::{Approach, HybOptions, LockKind};
 use tilesim::workload::{self, servicing_core};
 use tilesim::{HostStats, MachineConfig, Metric, SimResult};
@@ -54,6 +68,9 @@ struct Opts {
     timing: bool,
     baseline_ms: Option<u64>,
     check_baseline: Option<String>,
+    metrics: bool,
+    metrics_json: Option<String>,
+    trace: Option<String>,
 }
 
 fn main() {
@@ -65,6 +82,9 @@ fn main() {
         timing: false,
         baseline_ms: None,
         check_baseline: None,
+        metrics: false,
+        metrics_json: None,
+        trace: None,
     };
     let invocation: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<String> = Vec::new();
@@ -102,6 +122,13 @@ fn main() {
                 opts.check_baseline =
                     Some(args.next().expect("--check-baseline needs a file path"));
             }
+            "--metrics" => opts.metrics = true,
+            "--metrics-json" => {
+                opts.metrics_json = Some(args.next().expect("--metrics-json needs a file path"));
+            }
+            "--trace" => {
+                opts.trace = Some(args.next().expect("--trace needs a file path"));
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -113,7 +140,8 @@ fn main() {
             other => experiments.push(other.to_string()),
         }
     }
-    if experiments.is_empty() {
+    let wants_metrics = opts.metrics || opts.metrics_json.is_some() || opts.trace.is_some();
+    if experiments.is_empty() && !wants_metrics {
         print_usage();
         std::process::exit(2);
     }
@@ -155,6 +183,46 @@ fn main() {
         figures.push((e.clone(), t0.elapsed().as_millis() as u64));
     }
 
+    // Native telemetry phase: run when asked for explicitly, or fold into a
+    // --timing report whenever the build actually records something.
+    let telemetry_json = if wants_metrics || (opts.timing && telemetry::ENABLED) {
+        if !telemetry::ENABLED {
+            eprintln!(
+                "# metrics: telemetry feature is off; rebuild with \
+                 `--features telemetry` for real data"
+            );
+        }
+        let phases = metrics::run_native_metrics(4, 2_000);
+        if opts.metrics {
+            for p in &phases {
+                if p.report.is_empty() {
+                    eprintln!("# metrics[{}]: empty (telemetry disabled)", p.name);
+                } else {
+                    eprintln!("# metrics[{}]: {} spans", p.name, p.spans.len());
+                    eprint!("{}", p.report);
+                }
+            }
+        }
+        let json = metrics::metrics_json(&phases);
+        if let Some(path) = &opts.metrics_json {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("# metrics: wrote {path}");
+        }
+        if let Some(path) = &opts.trace {
+            if let Err(e) = std::fs::write(path, metrics::chrome_trace(&phases)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("# metrics: wrote Chrome trace {path}");
+        }
+        Some(json)
+    } else {
+        None
+    };
+
     if opts.timing || baseline_json.is_some() {
         let (sim_runs, host) = cache.stats();
         let report = TimingReport {
@@ -168,6 +236,7 @@ fn main() {
             figures,
             sim_runs,
             host,
+            telemetry: telemetry_json,
         };
         for (name, ms) in &report.figures {
             eprintln!("# timing: {name} {ms} ms");
@@ -330,7 +399,8 @@ fn edit_distance(a: &str, b: &str) -> usize {
 fn print_usage() {
     eprintln!(
         "usage: repro [--quick] [--horizon CYCLES] [--seed N] [--jobs N] [--timing] \
-         [--baseline-ms MS] [--check-baseline PATH] <experiment>...|all"
+         [--baseline-ms MS] [--check-baseline PATH] [--metrics] [--metrics-json PATH] \
+         [--trace PATH] <experiment>...|all"
     );
     eprintln!(
         "experiments: {} (describe with `repro --list`)",

@@ -5,6 +5,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod metrics;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -88,6 +90,9 @@ pub struct TimingReport {
     pub sim_runs: u64,
     /// Engine host counters summed over all distinct runs.
     pub host: HostStats,
+    /// Native-executor telemetry summary (a [`metrics::metrics_json`]
+    /// document), embedded when the run collected one.
+    pub telemetry: Option<String>,
 }
 
 impl TimingReport {
@@ -127,7 +132,12 @@ impl TimingReport {
             h.inline_payloads
         ));
         s.push_str(&format!("    \"heap_fallbacks\": {}\n", h.heap_fallbacks));
-        s.push_str("  }\n}\n");
+        s.push_str("  }");
+        if let Some(t) = &self.telemetry {
+            s.push_str(",\n  \"telemetry\": ");
+            s.push_str(&t.trim_end().replace('\n', "\n  "));
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -234,6 +244,7 @@ mod timing_tests {
             figures: vec![("fig3a".into(), 3_000), ("fig5a".into(), 9_000)],
             sim_runs: 157,
             host: HostStats::default(),
+            telemetry: None,
         }
     }
 
@@ -244,6 +255,16 @@ mod timing_tests {
         assert_eq!(baseline_figure_ms(&json, "fig5a"), Some(9_000));
         assert_eq!(baseline_figure_ms(&json, "fig4a"), None);
         assert!(json.contains("\"speedup_vs_prechange\": 2.17"));
+    }
+
+    #[test]
+    fn telemetry_block_is_embedded_when_present() {
+        let mut r = report();
+        r.telemetry = Some("{\n  \"telemetry_enabled\": false\n}\n".into());
+        let json = r.to_json();
+        assert!(json.contains("\"telemetry\": {"), "json: {json}");
+        // The line-oriented baseline reader must still work around it.
+        assert_eq!(baseline_figure_ms(&json, "fig3a"), Some(3_000));
     }
 
     #[test]

@@ -24,6 +24,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, AtomicLog2Hist, Counter, Lane, Log2Hist};
 
 use crate::dispatch::Dispatcher;
 use crate::state::CsState;
@@ -41,6 +43,10 @@ struct Node {
     op: AtomicU64,
     arg: AtomicU64,
     ret: AtomicU64,
+    /// Enqueue timestamp (ns, telemetry epoch) — written only when
+    /// telemetry is enabled; lets the combiner attribute queue-wait to the
+    /// request's owner.
+    t_enq: AtomicU64,
 }
 
 impl Node {
@@ -52,6 +58,7 @@ impl Node {
             op: AtomicU64::new(0),
             arg: AtomicU64::new(0),
             ret: AtomicU64::new(0),
+            t_enq: AtomicU64::new(0),
         }
     }
 }
@@ -67,6 +74,10 @@ struct Shared<S, D> {
     /// plus their own — used to compute the actual combining rate (Fig. 4b).
     rounds: AtomicU64,
     combined: AtomicU64,
+    /// Distribution of combining-round sizes. Always recorded (one update
+    /// per round), so runtime-level stats see round sizes even without the
+    /// telemetry feature.
+    batch_hist: AtomicLog2Hist,
 }
 
 /// The CC-SYNCH construction protecting a state `S`.
@@ -118,6 +129,7 @@ where
                 next_handle: AtomicUsize::new(0),
                 rounds: AtomicU64::new(0),
                 combined: AtomicU64::new(0),
+                batch_hist: AtomicLog2Hist::new(),
             }),
         }
     }
@@ -146,6 +158,13 @@ where
         } else {
             self.shared.combined.load(Ordering::Relaxed) as f64 / rounds as f64
         }
+    }
+
+    /// Distribution of combining-round sizes observed so far (requests per
+    /// round, the combiner's own operation included). Complements
+    /// [`CcSynch::combining_rate`] with the full shape, not just the mean.
+    pub fn batch_hist(&self) -> Log2Hist {
+        self.shared.batch_hist.snapshot()
     }
 
     /// Consumes the construction and returns the protected state.
@@ -190,6 +209,11 @@ where
         let cur = &nodes[cur_node];
         cur.op.store(op, Ordering::Relaxed);
         cur.arg.store(arg, Ordering::Relaxed);
+        let t_enq = telemetry::now_ns();
+        if telemetry::ENABLED {
+            // Published by the Release below alongside op/arg.
+            cur.t_enq.store(t_enq, Ordering::Relaxed);
+        }
         cur.next.store(next_node, Ordering::Release);
         self.my_node = cur_node;
 
@@ -204,6 +228,9 @@ where
             }
         }
         if cur.completed.load(Ordering::Relaxed) {
+            if telemetry::ENABLED {
+                telemetry::record_span(cur_node as u32, Algo::CcSynch, Lane::ClientWait, t_enq);
+            }
             return cur.ret.load(Ordering::Relaxed);
         }
 
@@ -214,6 +241,7 @@ where
         // completed == false` for the head node — mutual exclusion follows
         // from the list structure (each node released exactly once).
         let state = unsafe { sh.state.get_mut() };
+        let t_hold = telemetry::now_ns();
         let mut served = 0u64;
         let mut tmp_node = cur_node;
         loop {
@@ -222,6 +250,18 @@ where
                 break;
             }
             let tmp = &nodes[tmp_node];
+            let t_serve = if telemetry::ENABLED {
+                // Queue wait: owner's enqueue → the combiner reaching it.
+                telemetry::record_span(
+                    tmp_node as u32,
+                    Algo::CcSynch,
+                    Lane::QueueWait,
+                    tmp.t_enq.load(Ordering::Relaxed),
+                );
+                telemetry::now_ns()
+            } else {
+                0
+            };
             let ret = sh.dispatch.dispatch(
                 state,
                 tmp.op.load(Ordering::Relaxed),
@@ -230,6 +270,9 @@ where
             tmp.ret.store(ret, Ordering::Relaxed);
             tmp.completed.store(true, Ordering::Relaxed);
             tmp.wait.store(false, Ordering::Release);
+            if telemetry::ENABLED {
+                telemetry::record_span(tmp_node as u32, Algo::CcSynch, Lane::Serve, t_serve);
+            }
             served += 1;
             tmp_node = next;
         }
@@ -239,6 +282,14 @@ where
 
         sh.rounds.fetch_add(1, Ordering::Relaxed);
         sh.combined.fetch_add(served, Ordering::Relaxed);
+        // One histogram update per round, recorded regardless of the
+        // telemetry feature (the combiner always serves at least itself).
+        sh.batch_hist.record(served);
+        if telemetry::ENABLED {
+            telemetry::count(Counter::CcRounds, 1);
+            telemetry::count(Counter::CcServed, served);
+            telemetry::record_span(cur_node as u32, Algo::CcSynch, Lane::Hold, t_hold);
+        }
         cur.ret.load(Ordering::Relaxed)
     }
 }

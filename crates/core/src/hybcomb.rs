@@ -33,10 +33,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, AtomicLog2Hist, Counter, Lane, Log2Hist};
 use mpsync_udn::{Endpoint, EndpointId};
 
 use crate::dispatch::Dispatcher;
 use crate::state::CsState;
+use crate::wire;
 use crate::ApplyOp;
 
 /// Default bound on requests served per combining round; the paper uses 200
@@ -127,6 +130,11 @@ struct Shared<S, D> {
     rounds: AtomicU64,
     combined_ops: AtomicU64,
     orphan_rounds: AtomicU64,
+    /// Distribution of combining-round sizes (requests served per round,
+    /// combiner's own included). Always recorded — one histogram update per
+    /// *round*, negligible next to the round itself — so runtime-level
+    /// stats see round sizes even without the telemetry feature.
+    batch_hist: AtomicLog2Hist,
     /// Debug-build check of Proposition 1 (mutual exclusion of lines
     /// 23–43): the number of threads currently in `combine`.
     #[cfg(debug_assertions)]
@@ -216,6 +224,7 @@ where
                 rounds: AtomicU64::new(0),
                 combined_ops: AtomicU64::new(0),
                 orphan_rounds: AtomicU64::new(0),
+                batch_hist: AtomicLog2Hist::new(),
                 #[cfg(debug_assertions)]
                 active_combiners: AtomicU64::new(0),
             }),
@@ -254,6 +263,14 @@ where
         }
     }
 
+    /// Distribution of combining-round sizes observed so far (requests per
+    /// round, the combiner's own operation included). Complements
+    /// [`HybCombStats::combining_rate`] with the full shape, not just the
+    /// mean.
+    pub fn batch_hist(&self) -> Log2Hist {
+        self.shared.batch_hist.snapshot()
+    }
+
     /// Consumes the construction and returns the protected state.
     ///
     /// # Panics
@@ -285,6 +302,34 @@ where
         self.endpoint.id()
     }
 
+    /// Serves one received request: queue-wait span from the client's submit
+    /// stamp, serve span around dispatch + reply. An associated function
+    /// (not a method) so `combine` can call it while holding the
+    /// `state`/`shared` borrows alongside the endpoint.
+    #[inline]
+    fn serve_one(
+        endpoint: &mut Endpoint,
+        sh: &Shared<S, D>,
+        state: &mut S,
+        buf: [u64; wire::REQ_WORDS],
+    ) {
+        let req = wire::decode(buf);
+        let track = endpoint.id().index() as u32;
+        let t_serve = if telemetry::ENABLED {
+            telemetry::record_span(track, Algo::HybComb, Lane::QueueWait, req.submit_ns);
+            telemetry::now_ns()
+        } else {
+            0
+        };
+        let ret = sh.dispatch.dispatch(state, req.op, req.arg);
+        endpoint
+            .send(EndpointId::from_word(req.sender), &[ret])
+            .expect("HYBCOMB response endpoint vanished");
+        if telemetry::ENABLED {
+            telemetry::record_span(track, Algo::HybComb, Lane::Serve, t_serve);
+        }
+    }
+
     /// Runs the combiner phase (Algorithm 1 lines 23–43) and returns the
     /// value of this thread's own operation.
     #[cold]
@@ -292,6 +337,8 @@ where
         let sh = &*self.shared;
         let nodes = &sh.nodes;
         let my = self.my_node;
+        let track = self.endpoint.id().index() as u32;
+        let t_hold = telemetry::now_ns();
 
         // Executable witness of Proposition 1 in debug builds: at most one
         // thread may be between this point and the `combining_done` release.
@@ -313,13 +360,11 @@ where
         let mut ops_completed: u64 = 0;
 
         // Lines 25–28: as long as the message queue is non-empty, serve.
+        let mut buf = [0u64; wire::REQ_WORDS];
         if sh.eager_drain {
             while !self.endpoint.is_queue_empty() {
-                let [sender, fop, farg] = self.endpoint.receive3();
-                let ret = sh.dispatch.dispatch(state, fop, farg);
-                self.endpoint
-                    .send(EndpointId::from_word(sender), &[ret])
-                    .expect("HYBCOMB response endpoint vanished");
+                self.endpoint.receive(&mut buf);
+                Self::serve_one(&mut self.endpoint, sh, state, buf);
                 ops_completed += 1;
             }
         }
@@ -334,11 +379,8 @@ where
         // Lines 34–37: serve the remaining registered requests (their
         // messages may still be in flight; receive blocks as needed).
         while ops_completed < total_ops {
-            let [sender, fop, farg] = self.endpoint.receive3();
-            let ret = sh.dispatch.dispatch(state, fop, farg);
-            self.endpoint
-                .send(EndpointId::from_word(sender), &[ret])
-                .expect("HYBCOMB response endpoint vanished");
+            self.endpoint.receive(&mut buf);
+            Self::serve_one(&mut self.endpoint, sh, state, buf);
             ops_completed += 1;
         }
 
@@ -348,6 +390,13 @@ where
             .fetch_add(ops_completed + 1, Ordering::Relaxed);
         if ops_completed == 0 {
             sh.orphan_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        // Round size including the combiner's own op; one histogram update
+        // per round, recorded regardless of the telemetry feature.
+        sh.batch_hist.record(ops_completed + 1);
+        if telemetry::ENABLED {
+            telemetry::count(Counter::HybRounds, 1);
+            telemetry::count(Counter::HybServed, ops_completed + 1);
         }
 
         // Lines 39–42: exchange my node with the departed-combiner spare,
@@ -365,6 +414,10 @@ where
         // Release publishes the state mutations of this whole round.
         nodes[my].combining_done.store(true, Ordering::Release);
 
+        if telemetry::ENABLED {
+            // Combiner hold time: own op + eager drain + registered serves.
+            telemetry::record_span(track, Algo::HybComb, Lane::Hold, t_hold);
+        }
         retval
     }
 }
@@ -387,10 +440,19 @@ where
             if nodes[last_reg].n_ops.fetch_add(1, Ordering::AcqRel) < sh.max_ops {
                 // Lines 13–14: send the request, await the response.
                 let dest = EndpointId::from_word(nodes[last_reg].thread_id.load(Ordering::Acquire));
+                let t0 = telemetry::now_ns();
                 self.endpoint
-                    .send(dest, &[self.endpoint.id().to_word(), op, arg])
+                    .send(
+                        dest,
+                        &wire::request_at(self.endpoint.id().to_word(), op, arg, t0),
+                    )
                     .expect("HYBCOMB combiner endpoint vanished");
-                return self.endpoint.receive1();
+                let ret = self.endpoint.receive1();
+                if telemetry::ENABLED {
+                    let track = self.endpoint.id().index() as u32;
+                    telemetry::record_span(track, Algo::HybComb, Lane::ClientWait, t0);
+                }
+                return ret;
             }
 
             // Line 17: try to register as a combiner.

@@ -66,6 +66,7 @@ pub mod locks;
 mod mp_server;
 mod shm_server;
 mod state;
+pub mod wire;
 
 pub use cc_synch::{CcSynch, CcSynchHandle};
 pub use dispatch::{Dispatcher, OpTable};

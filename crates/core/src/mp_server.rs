@@ -13,9 +13,12 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, Counter, Lane};
 use mpsync_udn::{Endpoint, EndpointId, Fabric};
 
 use crate::dispatch::Dispatcher;
+use crate::wire;
 use crate::ApplyOp;
 
 /// Reserved opcode used internally to stop the server loop. Client code must
@@ -60,16 +63,31 @@ impl<S: Send + 'static> MpServer<S> {
     where
         D: Dispatcher<S>,
     {
+        let track = endpoint.id().index() as u32;
+        let mut buf = [0u64; wire::REQ_WORDS];
         loop {
-            let [sender, op, arg] = endpoint.receive3();
-            if op == OP_SHUTDOWN {
+            endpoint.receive(&mut buf);
+            let req = wire::decode(buf);
+            if req.op == OP_SHUTDOWN {
                 break;
             }
-            let ret = dispatch.dispatch(&mut state, op, arg);
-            let client = EndpointId::from_word(sender);
+            let t_serve = if telemetry::ENABLED {
+                // Queue wait: client submit stamp → the server picking the
+                // request up (the coherence-free local read of Figure 2).
+                telemetry::record_span(track, Algo::MpServer, Lane::QueueWait, req.submit_ns);
+                telemetry::now_ns()
+            } else {
+                0
+            };
+            let ret = dispatch.dispatch(&mut state, req.op, req.arg);
+            let client = EndpointId::from_word(req.sender);
             endpoint
                 .send(client, &[ret])
                 .expect("MP-SERVER response to unknown endpoint");
+            if telemetry::ENABLED {
+                telemetry::record_span(track, Algo::MpServer, Lane::Serve, t_serve);
+                telemetry::count(Counter::MpServed, 1);
+            }
         }
         state
     }
@@ -100,23 +118,22 @@ impl<S: Send + 'static> MpServer<S> {
             .join()
             .expect("MP-SERVER thread panicked")
     }
+}
 
+impl<S> MpServer<S> {
     fn signal_shutdown(&self) {
         // The sender id accompanying OP_SHUTDOWN is never used for a reply.
         let _ = self
             .fabric
             .sender()
-            .send(self.server_id, &[0, OP_SHUTDOWN, 0]);
+            .send(self.server_id, &wire::request_at(0, OP_SHUTDOWN, 0, 0));
     }
 }
 
 impl<S> Drop for MpServer<S> {
     fn drop(&mut self) {
         if let Some(join) = self.join.take() {
-            let _ = self
-                .fabric
-                .sender()
-                .send(self.server_id, &[0, OP_SHUTDOWN, 0]);
+            self.signal_shutdown();
             let _ = join.join();
         }
     }
@@ -124,8 +141,9 @@ impl<S> Drop for MpServer<S> {
 
 /// Per-thread client of an [`MpServer`].
 ///
-/// `apply` sends the three-word request `{id, op, arg}` (Algorithm of §4.1 /
-/// Figure 2) and blocks on the one-word response.
+/// `apply` sends the request `{id, op, arg}` (Algorithm of §4.1 / Figure 2;
+/// see [`wire`] for the telemetry-mode timestamp extension) and blocks on
+/// the one-word response.
 pub struct MpClient {
     server: EndpointId,
     endpoint: Endpoint,
@@ -142,10 +160,19 @@ impl ApplyOp for MpClient {
     #[inline]
     fn apply(&mut self, op: u64, arg: u64) -> u64 {
         debug_assert_ne!(op, OP_SHUTDOWN, "opcode u64::MAX is reserved");
+        let t0 = telemetry::now_ns();
         self.endpoint
-            .send(self.server, &[self.endpoint.id().to_word(), op, arg])
+            .send(
+                self.server,
+                &wire::request_at(self.endpoint.id().to_word(), op, arg, t0),
+            )
             .expect("MP-SERVER vanished");
-        self.endpoint.receive1()
+        let ret = self.endpoint.receive1();
+        if telemetry::ENABLED {
+            let track = self.endpoint.id().index() as u32;
+            telemetry::record_span(track, Algo::MpServer, Lane::ClientWait, t0);
+        }
+        ret
     }
 }
 

@@ -9,13 +9,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
+use mpsync_telemetry::AtomicLog2Hist;
 
 use crate::config::SubmitPolicy;
-
-/// Number of power-of-two buckets in the batch-size histogram
-/// (bucket *i* counts batches of `2^i ..= 2^(i+1)-1` operations; the last
-/// bucket is open-ended).
-pub const BATCH_BUCKETS: usize = 8;
 
 /// Why a submission was not accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,8 +54,9 @@ pub(crate) struct ShardMetrics {
     pub inflight: AtomicUsize,
     /// Service batches/combining rounds observed.
     pub batches: AtomicU64,
-    /// Log2 histogram of batch sizes (see [`BATCH_BUCKETS`]).
-    pub batch_hist: [AtomicU64; BATCH_BUCKETS],
+    /// Log2 histogram of batch sizes (always recorded — one update per
+    /// batch — independent of the `telemetry` feature).
+    pub batch_hist: AtomicLog2Hist,
 }
 
 fn spin(spins: &mut u32) {
@@ -169,8 +166,7 @@ impl Control {
         debug_assert!(n > 0);
         let m = &self.shards[shard];
         m.batches.fetch_add(1, Ordering::Relaxed);
-        let bucket = (63 - n.leading_zeros() as usize).min(BATCH_BUCKETS - 1);
-        m.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        m.batch_hist.record(n);
     }
 
     /// Blocks until every shard's window is empty. Only meaningful after
@@ -225,16 +221,19 @@ mod tests {
 
     #[test]
     fn batch_histogram_buckets() {
+        use mpsync_telemetry::bucket_of;
         let c = Control::new(1, 1, SubmitPolicy::Fail);
-        for n in [1, 2, 3, 4, 127, 128, 1000] {
+        for n in [1u64, 2, 3, 4, 127, 128, 1000] {
             c.record_batch(0, n);
         }
-        let hist: Vec<u64> = c.shards[0]
-            .batch_hist
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        assert_eq!(hist, vec![1, 2, 1, 0, 0, 0, 1, 2]);
+        let hist = c.shards[0].batch_hist.snapshot();
+        assert_eq!(hist.count(), 7);
+        assert_eq!(hist.max(), 1000);
+        assert_eq!(hist.sum(), 1 + 2 + 3 + 4 + 127 + 128 + 1000);
+        // 3 lands with 2 (bucket 2), 127 with 4..=127's top bucket (7).
+        assert_eq!(bucket_of(3), bucket_of(2));
+        assert_eq!(hist.bucket_count(bucket_of(1)), 1);
+        assert_eq!(hist.bucket_count(bucket_of(2)), 2);
         assert_eq!(c.shards[0].batches.load(Ordering::Relaxed), 7);
     }
 

@@ -56,7 +56,8 @@ mod shard;
 mod stats;
 
 pub use config::{Backend, RuntimeConfig, SubmitPolicy};
-pub use control::{RuntimeError, BATCH_BUCKETS};
+pub use control::RuntimeError;
+pub use mpsync_telemetry::Log2Hist;
 pub use objects::{BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore};
 pub use router::{pack, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};
 pub use runtime::{KeyedDispatch, Runtime, Session, ShutdownReport};

@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use mpsync_core::{ApplyOp, CcSynch, Dispatcher, HybComb, LockCs, McsLock};
+use mpsync_core::{wire, ApplyOp, CcSynch, Dispatcher, HybComb, LockCs, McsLock};
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, Counter, Lane};
 use mpsync_udn::{
     Endpoint, EndpointId, Fabric, FabricConfig, CHANNELS_PER_CORE, QUEUE_CAPACITY_WORDS,
 };
@@ -305,11 +307,14 @@ where
                     let hs = c.stats();
                     s.batches = hs.rounds;
                     s.avg_batch = hs.combining_rate();
+                    s.batch_hist = c.batch_hist();
                 }
             }
             Executors::Cc { execs } => {
                 for (s, e) in stats.shards.iter_mut().zip(execs) {
                     s.avg_batch = e.combining_rate();
+                    s.batch_hist = e.batch_hist();
+                    s.batches = s.batch_hist.count();
                 }
             }
             Executors::Lock { .. } => {
@@ -352,7 +357,7 @@ where
 /// sending at once can deadlock a hardware queue.
 fn sized_fabric(config: &RuntimeConfig, endpoints: usize) -> Arc<Fabric> {
     let cores = endpoints.div_ceil(CHANNELS_PER_CORE).max(1);
-    let words = 3 * (config.queue_depth + config.max_sessions) + 3;
+    let words = wire::REQ_WORDS * (config.queue_depth + config.max_sessions) + wire::REQ_WORDS;
     Arc::new(Fabric::new(
         FabricConfig::new(cores).with_queue_capacity(words.max(QUEUE_CAPACITY_WORDS)),
     ))
@@ -410,9 +415,16 @@ impl Session {
     pub fn submit(&mut self, key: u64, op: u64, arg: u64) -> Result<u64, RuntimeError> {
         let word = pack(key, op); // validate before claiming a slot
         let shard = shard_for(key, self.shards);
+        let t0 = telemetry::now_ns();
         self.control.admit(shard)?;
         let ret = self.apply_on(shard, word, arg);
         self.control.complete(shard);
+        if telemetry::ENABLED {
+            // Submit = admission wait + transport + service + reply: the
+            // client-observed latency of one runtime operation.
+            telemetry::record_span(shard as u32, Algo::Runtime, Lane::Submit, t0);
+            telemetry::count(Counter::RuntimeSubmits, 1);
+        }
         Ok(ret)
     }
 
@@ -438,7 +450,10 @@ impl Session {
         match &mut self.transport {
             Transport::Mp { endpoint, servers } => {
                 endpoint
-                    .send(servers[shard], &[endpoint.id().to_word(), word, arg])
+                    .send(
+                        servers[shard],
+                        &wire::request(endpoint.id().to_word(), word, arg),
+                    )
                     .expect("shard server vanished");
                 endpoint.receive1()
             }

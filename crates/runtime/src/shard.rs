@@ -1,9 +1,10 @@
 //! The runtime's batched per-shard MP-SERVER loop.
 //!
 //! `mpsync-core`'s [`MpServer`](mpsync_core::MpServer) serves strictly one
-//! request per `receive(3)`. The runtime's shard server keeps the same wire
-//! protocol (three-word requests `{sender, op, arg}`, one-word responses)
-//! but adds the two things a long-running service needs:
+//! request per receive. The runtime's shard server keeps the same wire
+//! protocol ([`wire`] requests `{sender, op, arg}` plus the telemetry-mode
+//! submit timestamp, one-word responses) but adds the two things a
+//! long-running service needs:
 //!
 //! * **adaptive batching** — after blocking for the first request it
 //!   greedily drains up to `max_batch` more with non-blocking receives,
@@ -21,7 +22,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mpsync_core::Dispatcher;
+use mpsync_core::{wire, Dispatcher};
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, Counter, Lane};
 use mpsync_udn::{Endpoint, EndpointId};
 
 use crate::control::Control;
@@ -98,7 +101,8 @@ fn serve<S, D>(
 where
     D: Dispatcher<S>,
 {
-    let mut buf = [0u64; 3];
+    let track = endpoint.id().index() as u32;
+    let mut buf = [0u64; wire::REQ_WORDS];
     loop {
         // Block for the head of the next batch, waking at IDLE_POLL to
         // check the stop flag (satellite use of receive_deadline).
@@ -111,7 +115,8 @@ where
             }
             continue;
         }
-        answer(&mut endpoint, &mut state, &dispatch, buf);
+        let t_batch = telemetry::now_ns();
+        answer(&mut endpoint, &mut state, &dispatch, track, buf);
         let mut batch = 1u64;
 
         // Greedy drain: serve whatever already queued up, bounded by the
@@ -128,10 +133,14 @@ where
                 // contiguously), so a blocking receive is safe.
                 endpoint.receive(&mut buf[n..]);
             }
-            answer(&mut endpoint, &mut state, &dispatch, buf);
+            answer(&mut endpoint, &mut state, &dispatch, track, buf);
             batch += 1;
         }
         control.record_batch(shard, batch);
+        if telemetry::ENABLED {
+            telemetry::record_span(track, Algo::Runtime, Lane::Batch, t_batch);
+            telemetry::count(Counter::RuntimeBatches, 1);
+        }
     }
     state
 }
@@ -140,12 +149,25 @@ fn answer<S, D: Dispatcher<S>>(
     endpoint: &mut Endpoint,
     state: &mut S,
     dispatch: &D,
-    [sender, op, arg]: [u64; 3],
+    track: u32,
+    buf: [u64; wire::REQ_WORDS],
 ) {
-    let ret = dispatch.dispatch(state, op, arg);
+    let req = wire::decode(buf);
+    let t_serve = if telemetry::ENABLED {
+        // Queue wait: the client's submit stamp → this shard picking the
+        // request off its hardware queue.
+        telemetry::record_span(track, Algo::Runtime, Lane::QueueWait, req.submit_ns);
+        telemetry::now_ns()
+    } else {
+        0
+    };
+    let ret = dispatch.dispatch(state, req.op, req.arg);
     endpoint
-        .send(EndpointId::from_word(sender), &[ret])
+        .send(EndpointId::from_word(req.sender), &[ret])
         .expect("shard client endpoint vanished");
+    if telemetry::ENABLED {
+        telemetry::record_span(track, Algo::Runtime, Lane::Serve, t_serve);
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +197,9 @@ mod tests {
         );
         let mut client = fabric.register_any().unwrap();
         for i in 1..=10u64 {
-            client.send(sid, &[client.id().to_word(), 0, i]).unwrap();
+            client
+                .send(sid, &wire::request(client.id().to_word(), 0, i))
+                .unwrap();
             client.receive1();
         }
         assert_eq!(server.stop(), (1..=10).sum::<u64>());
@@ -216,7 +240,9 @@ mod tests {
         // Queue several requests before reading any response so the server
         // sees a backlog and must split it into batches of ≤ 2.
         for i in 0..6u64 {
-            client.send(sid, &[client.id().to_word(), 0, i]).unwrap();
+            client
+                .send(sid, &wire::request(client.id().to_word(), 0, i))
+                .unwrap();
         }
         let mut last = 0;
         for _ in 0..6 {
@@ -225,13 +251,9 @@ mod tests {
         assert_eq!(last, (0..6).sum::<u64>());
         drop(client);
         server.stop();
-        let hist: Vec<u64> = control.shards[0]
-            .batch_hist
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        // No batch may exceed max_batch = 2 → buckets for 4..7, 8..15, …
-        // stay empty.
-        assert_eq!(hist[2..].iter().sum::<u64>(), 0, "hist: {hist:?}");
+        let hist = control.shards[0].batch_hist.snapshot();
+        // No batch may exceed max_batch = 2.
+        assert!(hist.count() >= 3, "hist: {hist:?}");
+        assert!(hist.max() <= 2, "hist: {hist:?}");
     }
 }

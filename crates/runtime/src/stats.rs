@@ -1,6 +1,7 @@
 //! Observability: per-shard and runtime-wide counters.
 
-use crate::control::{Control, BATCH_BUCKETS};
+use crate::control::Control;
+use mpsync_telemetry::Log2Hist;
 use std::sync::atomic::Ordering;
 
 /// Snapshot of one shard's counters.
@@ -16,14 +17,13 @@ pub struct ShardStats {
     pub retried: u64,
     /// Admitted-but-incomplete operations at snapshot time.
     pub inflight: usize,
-    /// Service batches / combining rounds observed. Zero for backends that
-    /// do not expose round counts (CC-SYNCH).
+    /// Service batches / combining rounds observed.
     pub batches: u64,
-    /// Log2 histogram of batch sizes: bucket *i* counts batches of
-    /// `2^i ..= 2^(i+1)-1` operations (last bucket open-ended). Only the
-    /// MP-SERVER backend fills this — it is the one with a runtime-owned
-    /// serving loop; combining backends report averages instead.
-    pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Log2 histogram of batch sizes ([`Log2Hist`]). Filled for every
+    /// batching backend: the MP-SERVER shard loop records it through the
+    /// control plane, and the combining backends (HYBCOMB, CC-SYNCH) record
+    /// one entry per combining round inside the executor.
+    pub batch_hist: Log2Hist,
     /// Average operations per service batch (the achieved combining
     /// degree; 1.0 for the lock backend by construction).
     pub avg_batch: f64,
@@ -57,13 +57,11 @@ impl RuntimeStats {
         weighted / ops as f64
     }
 
-    /// Batch-size histogram summed across shards.
-    pub fn batch_hist(&self) -> [u64; BATCH_BUCKETS] {
-        let mut out = [0u64; BATCH_BUCKETS];
+    /// Batch-size histogram merged across shards.
+    pub fn batch_hist(&self) -> Log2Hist {
+        let mut out = Log2Hist::new();
         for s in &self.shards {
-            for (o, b) in out.iter_mut().zip(s.batch_hist.iter()) {
-                *o += b;
-            }
+            out.merge(&s.batch_hist);
         }
         out
     }
@@ -72,21 +70,15 @@ impl RuntimeStats {
         let shards = control
             .shards
             .iter()
-            .map(|m| {
-                let mut batch_hist = [0u64; BATCH_BUCKETS];
-                for (o, b) in batch_hist.iter_mut().zip(m.batch_hist.iter()) {
-                    *o = b.load(Ordering::Relaxed);
-                }
-                ShardStats {
-                    ops: m.ops.load(Ordering::Relaxed),
-                    submitted: m.submitted.load(Ordering::Relaxed),
-                    rejected: m.rejected.load(Ordering::Relaxed),
-                    retried: m.retried.load(Ordering::Relaxed),
-                    inflight: m.inflight.load(Ordering::Relaxed),
-                    batches: m.batches.load(Ordering::Relaxed),
-                    batch_hist,
-                    avg_batch: 0.0,
-                }
+            .map(|m| ShardStats {
+                ops: m.ops.load(Ordering::Relaxed),
+                submitted: m.submitted.load(Ordering::Relaxed),
+                rejected: m.rejected.load(Ordering::Relaxed),
+                retried: m.retried.load(Ordering::Relaxed),
+                inflight: m.inflight.load(Ordering::Relaxed),
+                batches: m.batches.load(Ordering::Relaxed),
+                batch_hist: m.batch_hist.snapshot(),
+                avg_batch: 0.0,
             })
             .collect();
         Self { shards }
@@ -108,19 +100,18 @@ impl std::fmt::Display for RuntimeStats {
             )?;
         }
         let hist = self.batch_hist();
-        if hist.iter().any(|&h| h != 0) {
+        if !hist.is_empty() {
             write!(f, "batch sizes:")?;
-            for (i, h) in hist.iter().enumerate() {
-                if *h != 0 {
-                    let lo = 1u64 << i;
-                    if i == BATCH_BUCKETS - 1 {
-                        write!(f, " [{lo}+]={h}")?;
-                    } else {
-                        write!(f, " [{lo}..{}]={h}", (lo << 1) - 1)?;
-                    }
+            for (lo, hi, n) in hist.nonzero_buckets() {
+                if hi == u64::MAX {
+                    write!(f, " [{lo}+]={n}")?;
+                } else if lo == hi {
+                    write!(f, " [{lo}]={n}")?;
+                } else {
+                    write!(f, " [{lo}..{hi}]={n}")?;
                 }
             }
-            writeln!(f)?;
+            writeln!(f, " ({})", hist.summary())?;
         }
         Ok(())
     }
@@ -132,20 +123,26 @@ mod tests {
 
     #[test]
     fn aggregates_sum_over_shards() {
+        let mut h1 = Log2Hist::new();
+        h1.record(1);
+        let mut h2 = Log2Hist::new();
+        h2.record(2);
+        h2.record(3);
+        h2.record(200);
         let stats = RuntimeStats {
             shards: vec![
                 ShardStats {
                     ops: 100,
                     rejected: 1,
                     avg_batch: 2.0,
-                    batch_hist: [1, 0, 0, 0, 0, 0, 0, 0],
+                    batch_hist: h1,
                     ..Default::default()
                 },
                 ShardStats {
                     ops: 300,
                     rejected: 2,
                     avg_batch: 4.0,
-                    batch_hist: [0, 2, 0, 0, 0, 0, 0, 1],
+                    batch_hist: h2,
                     ..Default::default()
                 },
             ],
@@ -153,10 +150,12 @@ mod tests {
         assert_eq!(stats.total_ops(), 400);
         assert_eq!(stats.total_rejected(), 3);
         assert!((stats.avg_batch() - 3.5).abs() < 1e-9);
-        assert_eq!(stats.batch_hist(), [1, 2, 0, 0, 0, 0, 0, 1]);
+        let merged = stats.batch_hist();
+        assert_eq!(merged.count(), 4);
+        assert_eq!(merged.max(), 200);
         let shown = stats.to_string();
         assert!(shown.contains("avg_batch"));
-        assert!(shown.contains("[128+]=1"));
+        assert!(shown.contains("[128..255]=1"), "display: {shown}");
     }
 
     #[test]

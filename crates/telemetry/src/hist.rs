@@ -1,0 +1,352 @@
+//! Log2 latency histograms: fixed-size, allocation-free, mergeable.
+//!
+//! A value `v` lands in bucket `floor(log2(v)) + 1` (bucket 0 is reserved
+//! for `v == 0`), so 64 buckets cover the full `u64` range. The histogram
+//! additionally tracks the exact count, sum, and maximum, which makes the
+//! percentile extraction tight at the top end: a reported percentile is the
+//! upper bound of the bucket containing that rank, clamped to the observed
+//! maximum — so `percentile(1.0) == max()` exactly.
+//!
+//! Two forms share the layout: [`Log2Hist`] is a plain owned value (the
+//! mergeable snapshot type), [`AtomicLog2Hist`] is the concurrently
+//! recordable form used at instrumentation points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in a log2 histogram (bucket 0 plus one per bit).
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`,
+/// saturating at the last bucket.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(low, high)` value range of bucket `b`.
+pub fn bucket_bounds(b: usize) -> (u64, u64) {
+    assert!(b < HIST_BUCKETS, "bucket {b} out of range");
+    if b == 0 {
+        (0, 0)
+    } else if b == HIST_BUCKETS - 1 {
+        (1 << (b - 1), u64::MAX)
+    } else {
+        (1 << (b - 1), (1 << b) - 1)
+    }
+}
+
+/// An owned log2 histogram: recordable, mergeable, queryable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Count of observations in bucket `b` (see [`bucket_bounds`]).
+    pub fn bucket_count(&self, b: usize) -> u64 {
+        self.buckets[b]
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative,
+    /// so per-thread or per-shard histograms can be combined in any order.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` if nothing was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations (saturating).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation, 0 if empty.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding rank `ceil(q * count)`, clamped to the observed max.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_bounds(b).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Log2Hist::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Iterates the non-empty buckets as `(low, high, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(b, &n)| {
+                let (lo, hi) = bucket_bounds(b);
+                (lo, hi, n)
+            })
+    }
+
+    /// One-line summary: `count=… p50=… p95=… p99=… max=… mean=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "count={} p50={} p95={} p99={} max={} mean={:.1}",
+            self.count,
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+/// The concurrently recordable form: every field is an atomic, recorded
+/// with relaxed ordering (counters, not synchronization).
+pub struct AtomicLog2Hist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicLog2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicLog2Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicLog2Hist")
+            .field(&self.snapshot())
+            .finish()
+    }
+}
+
+impl AtomicLog2Hist {
+    /// An empty histogram (usable in statics).
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Owned snapshot. Buckets are read relaxed, so a snapshot taken while
+    /// recorders are active is approximate (never torn per-field).
+    pub fn snapshot(&self) -> Log2Hist {
+        let mut h = Log2Hist::new();
+        for (o, b) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        // A snapshot racing recorders can see a bucket increment before the
+        // shared count: repair the invariant count == sum(buckets).
+        h.count = h.buckets.iter().sum();
+        h
+    }
+
+    /// Zeroes every field. Only meaningful at quiescent points.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn percentiles_track_observed_values() {
+        let mut h = Log2Hist::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.percentile(1.0), 100);
+        // p50 of 1..=100 has rank 50, which lands in bucket [32, 63].
+        assert!(h.p50() >= 32 && h.p50() <= 63, "p50 = {}", h.p50());
+        assert!(h.p99() >= 64 && h.p99() <= 100, "p99 = {}", h.p99());
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hist_is_quiet() {
+        let h = Log2Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_is_recording_concatenation() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut both = Log2Hist::new();
+        for v in [0, 1, 7, 100, 5000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3, 3, 900, u64::MAX] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn atomic_round_trips_to_owned() {
+        let h = AtomicLog2Hist::new();
+        let mut expect = Log2Hist::new();
+        for v in [0u64, 1, 2, 1000, 123_456_789] {
+            h.record(v);
+            expect.record(v);
+        }
+        assert_eq!(h.snapshot(), expect);
+        h.clear();
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_sums_up() {
+        use std::sync::Arc;
+        const THREADS: u64 = 4;
+        const PER: u64 = 50_000;
+        let h = Arc::new(AtomicLog2Hist::new());
+        let joins: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        h.record(t * PER + i);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), THREADS * PER);
+        assert_eq!(s.max(), THREADS * PER - 1);
+    }
+}

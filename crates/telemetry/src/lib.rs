@@ -1,0 +1,472 @@
+//! mpsync-telemetry: zero-overhead-when-off observability for the mpsync
+//! stack.
+//!
+//! Three primitives, all lock-free on the recording side:
+//!
+//! * **named counters** — monotone `u64`s ([`count`]);
+//! * **log2 latency histograms** keyed by `(algo, lane)` — mergeable
+//!   snapshots with p50/p95/p99/max extraction ([`record_value`],
+//!   [`hist_snapshot`]);
+//! * **op-lifecycle spans** — `(track, algo, lane, start, duration)`
+//!   tuples pushed into bounded per-thread rings, overwrite-oldest
+//!   ([`record_span`], [`drain_spans`]), exportable as a Chrome
+//!   `trace_event` timeline ([`trace::chrome_trace_json`]).
+//!
+//! # Zero overhead when off
+//!
+//! The `enabled` cargo feature gates only the *recording* paths. With the
+//! feature off every function below still exists but compiles to an empty
+//! `#[inline(always)]` body ([`now_ns`] returns 0), so instrumented call
+//! sites in udn/core/runtime cost nothing — the optimizer deletes them.
+//! Callers that must pay to *build* an argument (e.g. widening the wire
+//! format with a timestamp word) branch on the [`ENABLED`] constant, which
+//! const-folds. The data types ([`Log2Hist`], [`SpanEvent`],
+//! [`TelemetryReport`]) are always compiled: downstream code can hold and
+//! merge histograms regardless of the feature.
+
+pub mod hist;
+pub mod report;
+pub mod ring;
+pub mod trace;
+
+pub use hist::{bucket_bounds, bucket_of, AtomicLog2Hist, Log2Hist, HIST_BUCKETS};
+pub use report::TelemetryReport;
+pub use ring::RING_CAPACITY;
+
+/// `true` when the `enabled` cargo feature is on. Const-folds, so
+/// `if telemetry::ENABLED { … }` costs nothing in disabled builds.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// Which synchronization layer or algorithm a measurement belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Algo {
+    /// The udn message-queue fabric itself.
+    Udn = 0,
+    /// The dedicated-server delegation algorithm (paper §3.1).
+    MpServer = 1,
+    /// Hybrid combining (paper Algorithm 1).
+    HybComb = 2,
+    /// CC-Synch software combining.
+    CcSynch = 3,
+    /// The sharded runtime layer on top.
+    Runtime = 4,
+}
+
+impl Algo {
+    pub const ALL: [Algo; 5] = [
+        Algo::Udn,
+        Algo::MpServer,
+        Algo::HybComb,
+        Algo::CcSynch,
+        Algo::Runtime,
+    ];
+
+    /// Stable lowercase name used in JSON and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Udn => "udn",
+            Algo::MpServer => "mp_server",
+            Algo::HybComb => "hybcomb",
+            Algo::CcSynch => "cc_synch",
+            Algo::Runtime => "runtime",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Algo> {
+        Algo::ALL.get(v as usize).copied()
+    }
+}
+
+/// What phase of an operation's lifecycle a measurement covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Lane {
+    /// Client-side: submit until the reply word arrived.
+    ClientWait = 0,
+    /// Request sat in a hardware queue before the server/combiner saw it.
+    QueueWait = 1,
+    /// Server/combiner applied the operation and sent the reply.
+    Serve = 2,
+    /// A combiner held the combining role (lock/server hat) for this long.
+    Hold = 3,
+    /// One service batch / combining round, end to end.
+    Batch = 4,
+    /// A udn send, including any back-pressure blocking.
+    Send = 5,
+    /// A udn receive, including spinning on an empty queue.
+    Receive = 6,
+    /// Cycles/ns spent blocked on a full send queue.
+    Blocked = 7,
+    /// Runtime admission: submit call until the request words were sent.
+    Submit = 8,
+    /// Words resident in a receive queue, sampled at receive time.
+    Occupancy = 9,
+}
+
+impl Lane {
+    pub const ALL: [Lane; 10] = [
+        Lane::ClientWait,
+        Lane::QueueWait,
+        Lane::Serve,
+        Lane::Hold,
+        Lane::Batch,
+        Lane::Send,
+        Lane::Receive,
+        Lane::Blocked,
+        Lane::Submit,
+        Lane::Occupancy,
+    ];
+
+    /// Stable lowercase name used in JSON and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::ClientWait => "client_wait",
+            Lane::QueueWait => "queue_wait",
+            Lane::Serve => "serve",
+            Lane::Hold => "hold",
+            Lane::Batch => "batch",
+            Lane::Send => "send",
+            Lane::Receive => "receive",
+            Lane::Blocked => "blocked",
+            Lane::Submit => "submit",
+            Lane::Occupancy => "occupancy",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Lane> {
+        Lane::ALL.get(v as usize).copied()
+    }
+}
+
+/// Process-wide named counters (monotone, relaxed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Messages pushed through `Endpoint::send`.
+    UdnSends = 0,
+    /// Messages pulled through `Endpoint::receive*`.
+    UdnReceives = 1,
+    /// Sends that hit queue back-pressure at least once.
+    UdnBlockedSends = 2,
+    /// Operations served by MP-SERVER loops.
+    MpServed = 3,
+    /// HYBCOMB combining rounds entered.
+    HybRounds = 4,
+    /// Operations combined by HYBCOMB combiners.
+    HybServed = 5,
+    /// CC-Synch combining rounds entered.
+    CcRounds = 6,
+    /// Operations combined by CC-Synch combiners.
+    CcServed = 7,
+    /// Operations admitted by the runtime control plane.
+    RuntimeSubmits = 8,
+    /// Service batches observed by runtime shards.
+    RuntimeBatches = 9,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 10] = [
+        Counter::UdnSends,
+        Counter::UdnReceives,
+        Counter::UdnBlockedSends,
+        Counter::MpServed,
+        Counter::HybRounds,
+        Counter::HybServed,
+        Counter::CcRounds,
+        Counter::CcServed,
+        Counter::RuntimeSubmits,
+        Counter::RuntimeBatches,
+    ];
+
+    /// Stable dotted name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::UdnSends => "udn.sends",
+            Counter::UdnReceives => "udn.receives",
+            Counter::UdnBlockedSends => "udn.blocked_sends",
+            Counter::MpServed => "mp_server.served",
+            Counter::HybRounds => "hybcomb.rounds",
+            Counter::HybServed => "hybcomb.served",
+            Counter::CcRounds => "cc_synch.rounds",
+            Counter::CcServed => "cc_synch.served",
+            Counter::RuntimeSubmits => "runtime.submits",
+            Counter::RuntimeBatches => "runtime.batches",
+        }
+    }
+}
+
+/// One drained span: who did what, when, for how long.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Caller-chosen lane id — endpoint id, shard index, thread index —
+    /// rendered as the `tid` row of the Chrome trace.
+    pub track: u32,
+    pub algo: Algo,
+    pub lane: Lane,
+    /// Start, ns since the process telemetry epoch (see [`now_ns`]).
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl SpanEvent {
+    /// Packs `(track, algo, lane)` into the ring's meta word:
+    /// `track << 16 | algo << 8 | lane`.
+    pub fn pack_meta(track: u32, algo: Algo, lane: Lane) -> u64 {
+        ((track as u64) << 16) | ((algo as u64) << 8) | lane as u64
+    }
+
+    /// Inverse of [`SpanEvent::pack_meta`]; unknown discriminants (possible
+    /// only for a zeroed never-written slot) fall back to `Runtime`/`Serve`.
+    pub fn unpack(meta: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            track: (meta >> 16) as u32,
+            algo: Algo::from_u8((meta >> 8) as u8).unwrap_or(Algo::Runtime),
+            lane: Lane::from_u8(meta as u8).unwrap_or(Lane::Serve),
+            start_ns,
+            dur_ns,
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    use crate::hist::{AtomicLog2Hist, Log2Hist};
+    use crate::ring::Ring;
+    use crate::{Algo, Counter, Lane, SpanEvent};
+
+    const N_HISTS: usize = Algo::ALL.len() * Lane::ALL.len();
+
+    static HISTS: [AtomicLog2Hist; N_HISTS] = [const { AtomicLog2Hist::new() }; N_HISTS];
+    static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+        [const { AtomicU64::new(0) }; Counter::ALL.len()];
+    /// Spans that started before this instant are hidden by [`drain_spans`]
+    /// (how [`reset`] forgets ring contents without touching other threads'
+    /// rings).
+    static RESET_NS: AtomicU64 = AtomicU64::new(0);
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        RINGS.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    thread_local! {
+        static MY_RING: Arc<Ring> = {
+            let ring = Arc::new(Ring::new());
+            rings().lock().unwrap().push(Arc::clone(&ring));
+            ring
+        };
+    }
+
+    fn hist_index(algo: Algo, lane: Lane) -> usize {
+        algo as usize * Lane::ALL.len() + lane as usize
+    }
+
+    /// Monotone nanoseconds since the first telemetry call in this process.
+    /// Never returns 0 (0 is the "no timestamp" sentinel on the wire).
+    #[inline]
+    pub fn now_ns() -> u64 {
+        (epoch().elapsed().as_nanos() as u64).max(1)
+    }
+
+    /// Adds `n` to a process-wide counter.
+    #[inline]
+    pub fn count(c: Counter, n: u64) {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(c: Counter) -> u64 {
+        COUNTERS[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records one observation into the `(algo, lane)` histogram.
+    #[inline]
+    pub fn record_value(algo: Algo, lane: Lane, v: u64) {
+        HISTS[hist_index(algo, lane)].record(v);
+    }
+
+    /// Closes a span that began at `start_ns` (a [`now_ns`] reading): the
+    /// duration goes into the `(algo, lane)` histogram and the span into
+    /// this thread's ring. A zero `start_ns` (the missing-timestamp
+    /// sentinel) records nothing.
+    #[inline]
+    pub fn record_span(track: u32, algo: Algo, lane: Lane, start_ns: u64) {
+        if start_ns == 0 {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(start_ns);
+        HISTS[hist_index(algo, lane)].record(dur_ns);
+        MY_RING.with(|r| r.push(SpanEvent::pack_meta(track, algo, lane), start_ns, dur_ns));
+    }
+
+    /// Snapshot of one `(algo, lane)` histogram.
+    pub fn hist_snapshot(algo: Algo, lane: Lane) -> Log2Hist {
+        HISTS[hist_index(algo, lane)].snapshot()
+    }
+
+    /// Copies the retained spans of every thread's ring (spans recorded
+    /// before the last [`reset`] excluded), sorted by start time.
+    pub fn drain_spans() -> Vec<SpanEvent> {
+        let cutoff = RESET_NS.load(Ordering::Acquire);
+        let mut out = Vec::new();
+        for ring in rings().lock().unwrap().iter() {
+            ring.drain(&mut out);
+        }
+        out.retain(|e| e.start_ns >= cutoff);
+        out.sort_by_key(|e| (e.start_ns, e.track));
+        out
+    }
+
+    /// Total spans ever recorded (including ones the rings overwrote).
+    pub fn spans_recorded() -> u64 {
+        rings().lock().unwrap().iter().map(|r| r.pushed()).sum()
+    }
+
+    /// Zeroes every histogram and counter and hides previously recorded
+    /// spans from future [`drain_spans`] calls. Only meaningful at
+    /// quiescent points (e.g. between bench phases).
+    pub fn reset() {
+        for h in &HISTS {
+            h.clear();
+        }
+        for c in &COUNTERS {
+            c.store(0, Ordering::Relaxed);
+        }
+        RESET_NS.store(now_ns(), Ordering::Release);
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    //! The disabled build: every recording entry point is an empty
+    //! `#[inline(always)]` function, so instrumented call sites vanish.
+
+    use crate::hist::Log2Hist;
+    use crate::{Algo, Counter, Lane, SpanEvent};
+
+    /// Always 0 when telemetry is off — the "no timestamp" sentinel.
+    #[inline(always)]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn count(_c: Counter, _n: u64) {}
+
+    #[inline(always)]
+    pub fn counter_value(_c: Counter) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn record_value(_algo: Algo, _lane: Lane, _v: u64) {}
+
+    #[inline(always)]
+    pub fn record_span(_track: u32, _algo: Algo, _lane: Lane, _start_ns: u64) {}
+
+    #[inline(always)]
+    pub fn hist_snapshot(_algo: Algo, _lane: Lane) -> Log2Hist {
+        Log2Hist::new()
+    }
+
+    #[inline(always)]
+    pub fn drain_spans() -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    #[inline(always)]
+    pub fn spans_recorded() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use imp::{
+    count, counter_value, drain_spans, hist_snapshot, now_ns, record_span, record_value, reset,
+    spans_recorded,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_packing_round_trips() {
+        for algo in Algo::ALL {
+            for lane in Lane::ALL {
+                for track in [0u32, 1, 7, 65_535, 1_000_000] {
+                    let meta = SpanEvent::pack_meta(track, algo, lane);
+                    let e = SpanEvent::unpack(meta, 10, 20);
+                    assert_eq!((e.track, e.algo, e.lane), (track, algo, lane));
+                    assert_eq!((e.start_ns, e.dur_ns), (10, 20));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut algo_names: Vec<_> = Algo::ALL.iter().map(|a| a.name()).collect();
+        algo_names.dedup();
+        assert_eq!(algo_names.len(), Algo::ALL.len());
+        let mut lane_names: Vec<_> = Lane::ALL.iter().map(|l| l.name()).collect();
+        lane_names.dedup();
+        assert_eq!(lane_names.len(), Lane::ALL.len());
+        let mut counter_names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        counter_names.dedup();
+        assert_eq!(counter_names.len(), Counter::ALL.len());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn enabled_facade_records_and_resets() {
+        // Serialized against nothing: this test owns its (algo, lane) keys.
+        reset();
+        assert!(now_ns() > 0);
+        count(Counter::UdnSends, 3);
+        record_value(Algo::Udn, Lane::Occupancy, 17);
+        let start = now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        record_span(42, Algo::MpServer, Lane::Serve, start);
+        assert_eq!(counter_value(Counter::UdnSends), 3);
+        assert_eq!(hist_snapshot(Algo::Udn, Lane::Occupancy).count(), 1);
+        let h = hist_snapshot(Algo::MpServer, Lane::Serve);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1_000_000, "slept 1ms but span was {}ns", h.max());
+        let spans = drain_spans();
+        assert!(spans
+            .iter()
+            .any(|e| e.track == 42 && e.algo == Algo::MpServer && e.lane == Lane::Serve));
+        assert!(spans_recorded() >= 1);
+        reset();
+        assert_eq!(counter_value(Counter::UdnSends), 0);
+        assert!(hist_snapshot(Algo::MpServer, Lane::Serve).is_empty());
+        assert!(drain_spans().is_empty());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_facade_is_inert() {
+        const { assert!(!ENABLED) };
+        assert_eq!(now_ns(), 0);
+        count(Counter::UdnSends, 3);
+        record_value(Algo::Udn, Lane::Occupancy, 17);
+        record_span(42, Algo::MpServer, Lane::Serve, 1);
+        assert_eq!(counter_value(Counter::UdnSends), 0);
+        assert!(hist_snapshot(Algo::Udn, Lane::Occupancy).is_empty());
+        assert!(drain_spans().is_empty());
+        assert_eq!(spans_recorded(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Snapshot reports: every non-empty histogram plus every non-zero counter,
+//! renderable as an aligned text table or hand-rolled JSON (the repo carries
+//! no serde; JSON mirrors the style of `mpsync-bench`'s `TimingReport`).
+
+use crate::{counter_value, hist_snapshot, spans_recorded, Algo, Counter, Lane, Log2Hist};
+
+/// A point-in-time copy of the process's telemetry state.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryReport {
+    /// Non-empty `(algo, lane)` histograms, in `Algo::ALL` × `Lane::ALL`
+    /// order.
+    pub hists: Vec<(Algo, Lane, Log2Hist)>,
+    /// Non-zero counters, in `Counter::ALL` order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Total spans ever recorded (rings may have overwritten some).
+    pub spans_recorded: u64,
+}
+
+impl TelemetryReport {
+    /// Captures the current global state. With telemetry disabled this is
+    /// always [`TelemetryReport::is_empty`].
+    pub fn capture() -> Self {
+        let mut hists = Vec::new();
+        for algo in Algo::ALL {
+            for lane in Lane::ALL {
+                let h = hist_snapshot(algo, lane);
+                if !h.is_empty() {
+                    hists.push((algo, lane, h));
+                }
+            }
+        }
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), counter_value(c)))
+            .filter(|&(_, v)| v != 0)
+            .collect();
+        Self {
+            hists,
+            counters,
+            spans_recorded: spans_recorded(),
+        }
+    }
+
+    /// `true` when nothing was recorded (or telemetry is off).
+    pub fn is_empty(&self) -> bool {
+        self.hists.is_empty() && self.counters.is_empty() && self.spans_recorded == 0
+    }
+
+    /// The histogram for one `(algo, lane)`, if it recorded anything.
+    pub fn hist(&self, algo: Algo, lane: Lane) -> Option<&Log2Hist> {
+        self.hists
+            .iter()
+            .find(|&&(a, l, _)| a == algo && l == lane)
+            .map(|(_, _, h)| h)
+    }
+
+    /// Hand-rolled JSON:
+    /// `{"spans_recorded":N,"counters":{…},"histograms":{"algo.lane":{…}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"spans_recorded\": {},\n  \"counters\": {{",
+            self.spans_recorded
+        ));
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{name}\": {v}"));
+        }
+        if !self.counters.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("},\n  \"histograms\": {");
+        for (i, (algo, lane, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{}.{}\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }}",
+                algo.name(),
+                lane.name(),
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max(),
+                h.mean()
+            ));
+        }
+        if !self.hists.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}");
+        s
+    }
+}
+
+impl std::fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "telemetry: nothing recorded (feature off or idle)");
+        }
+        writeln!(
+            f,
+            "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "histogram (ns)", "count", "p50", "p95", "p99", "max"
+        )?;
+        for (algo, lane, h) in &self.hists {
+            writeln!(
+                f,
+                "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                format!("{}.{}", algo.name(), lane.name()),
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            )?;
+        }
+        if !self.counters.is_empty() {
+            write!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                write!(f, " {name}={v}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "spans recorded: {}", self.spans_recorded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders() {
+        let r = TelemetryReport::default();
+        assert!(r.is_empty());
+        assert!(r.to_json().contains("\"histograms\": {}"));
+        assert!(r.to_string().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn json_shape_with_data() {
+        let mut h = Log2Hist::new();
+        for v in [10u64, 100, 1000] {
+            h.record(v);
+        }
+        let r = TelemetryReport {
+            hists: vec![(Algo::MpServer, Lane::QueueWait, h)],
+            counters: vec![("udn.sends", 7)],
+            spans_recorded: 3,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"mp_server.queue_wait\""));
+        assert!(j.contains("\"udn.sends\": 7"));
+        assert!(j.contains("\"spans_recorded\": 3"));
+        assert!(j.contains("\"count\": 3"));
+        assert!(j.contains("\"max\": 1000"));
+        assert!(r.hist(Algo::MpServer, Lane::QueueWait).is_some());
+        assert!(r.hist(Algo::Udn, Lane::Send).is_none());
+        let table = r.to_string();
+        assert!(table.contains("mp_server.queue_wait"));
+        assert!(table.contains("udn.sends=7"));
+    }
+}

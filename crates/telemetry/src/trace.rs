@@ -1,0 +1,71 @@
+//! Chrome `trace_event` export: renders drained spans as a JSON document
+//! loadable in `chrome://tracing` / Perfetto ("load legacy trace").
+//!
+//! Every span becomes a complete event (`"ph": "X"`): the lane is the event
+//! name, the algorithm the category, and the caller-chosen track (endpoint
+//! id, shard index, …) the thread row. Timestamps are microseconds since
+//! the process telemetry epoch, as the format requires.
+
+use crate::SpanEvent;
+
+/// Renders `spans` (as returned by [`crate::drain_spans`]) as a Chrome
+/// `trace_event` JSON document.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut s = String::with_capacity(64 + spans.len() * 96);
+    s.push_str("{\"traceEvents\":[");
+    for (i, e) in spans.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            e.lane.name(),
+            e.algo.name(),
+            e.track,
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0
+        ));
+    }
+    s.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algo, Lane};
+
+    #[test]
+    fn renders_complete_events() {
+        let spans = [
+            SpanEvent {
+                track: 3,
+                algo: Algo::MpServer,
+                lane: Lane::Serve,
+                start_ns: 1500,
+                dur_ns: 250,
+            },
+            SpanEvent {
+                track: 7,
+                algo: Algo::HybComb,
+                lane: Lane::Hold,
+                start_ns: 2000,
+                dur_ns: 1000,
+            },
+        ];
+        let j = chrome_trace_json(&spans);
+        assert!(j.starts_with("{\"traceEvents\":["));
+        assert!(j.contains("\"name\":\"serve\",\"cat\":\"mp_server\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":1.500,\"dur\":0.250"));
+        assert!(j.contains("\"cat\":\"hybcomb\""));
+        assert!(j.trim_end().ends_with("}"));
+        // Exactly one comma between the two events, none trailing.
+        assert_eq!(j.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let j = chrome_trace_json(&[]);
+        assert!(j.contains("\"traceEvents\":["));
+        assert!(!j.contains("},]"));
+    }
+}

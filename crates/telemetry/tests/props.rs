@@ -1,0 +1,109 @@
+//! Property tests for the histogram (record/merge/percentile round-trips)
+//! and the overhead contract of the disabled build.
+
+use proptest::prelude::*;
+use telemetry_props::exact_percentile;
+
+use mpsync_telemetry::{bucket_bounds, bucket_of, Log2Hist, HIST_BUCKETS};
+
+mod telemetry_props {
+    /// Reference percentile: the exact rank-`ceil(q*n)` order statistic.
+    pub fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands in the bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_value(v in any::<u64>()) {
+        let b = bucket_of(v);
+        let (lo, hi) = bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {b} = [{lo}, {hi}]");
+        prop_assert!(b < HIST_BUCKETS);
+    }
+
+    /// count/sum/max are exact, and a log2 percentile brackets the true
+    /// order statistic: never below it, never past the next power of two
+    /// (and never past the observed max).
+    #[test]
+    fn percentiles_bracket_exact_order_statistics(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..400),
+    ) {
+        let mut h = Log2Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.percentile(1.0), h.max());
+        for q in [0.5, 0.95, 0.99] {
+            let exact = exact_percentile(&sorted, q);
+            let approx = h.percentile(q);
+            prop_assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            prop_assert!(
+                approx <= bucket_bounds(bucket_of(exact)).1.min(h.max()),
+                "q={q}: {approx} overshoots bucket of exact {exact}"
+            );
+        }
+    }
+
+    /// Merging two histograms equals recording the concatenation, in either
+    /// merge order.
+    #[test]
+    fn merge_commutes_with_concatenation(
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        ys in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut hx = Log2Hist::new();
+        let mut hy = Log2Hist::new();
+        let mut all = Log2Hist::new();
+        for &v in &xs {
+            hx.record(v);
+            all.record(v);
+        }
+        for &v in &ys {
+            hy.record(v);
+            all.record(v);
+        }
+        let mut xy = hx.clone();
+        xy.merge(&hy);
+        let mut yx = hy.clone();
+        yx.merge(&hx);
+        prop_assert_eq!(&xy, &all);
+        prop_assert_eq!(&yx, &all);
+    }
+}
+
+/// The zero-overhead contract: with the `enabled` feature off, a million
+/// facade calls must be effectively free. 10ms allows for scheduler noise
+/// while still being orders of magnitude below what a million real clock
+/// reads + atomic updates would cost; with the feature on, the test doesn't
+/// apply and exits early.
+#[test]
+fn disabled_hot_path_is_free() {
+    use mpsync_telemetry::{Algo, Counter, Lane};
+    if mpsync_telemetry::ENABLED {
+        return;
+    }
+    let start = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        let t = mpsync_telemetry::now_ns();
+        mpsync_telemetry::count(Counter::UdnSends, 1);
+        mpsync_telemetry::record_value(Algo::Udn, Lane::Occupancy, i);
+        mpsync_telemetry::record_span(0, Algo::MpServer, Lane::Serve, t);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 10,
+        "1M disabled telemetry calls took {elapsed:?}; the no-op path is not free"
+    );
+    assert_eq!(mpsync_telemetry::counter_value(Counter::UdnSends), 0);
+}

@@ -4,6 +4,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, Counter, Lane};
+
 use crate::error::SendError;
 use crate::fabric::{Fabric, FabricConfig};
 use crate::stats::EndpointStats;
@@ -101,7 +104,20 @@ impl Endpoint {
     /// of the paper: returning does not imply the message was consumed.
     #[inline]
     pub fn send(&self, dest: EndpointId, words: &[u64]) -> Result<(), SendError> {
-        self.fabric.queue(dest)?.send_blocking(words);
+        let queue = self.fabric.queue(dest)?;
+        if telemetry::ENABLED {
+            let t0 = telemetry::now_ns();
+            let waited = queue.send_blocking(words);
+            telemetry::count(Counter::UdnSends, 1);
+            if waited {
+                telemetry::count(Counter::UdnBlockedSends, 1);
+                // The whole send's wall time counts as blocked: an
+                // unblocked send is nanoseconds, so the span is ~all wait.
+                telemetry::record_span(self.id.0, Algo::Udn, Lane::Blocked, t0);
+            }
+        } else {
+            queue.send_blocking(words);
+        }
         self.sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -122,10 +138,18 @@ impl Endpoint {
     /// blocking until available (`receive(k)` of the paper's model).
     #[inline]
     pub fn receive(&mut self, buf: &mut [u64]) {
-        self.fabric
-            .queue(self.id)
-            .expect("own queue always exists")
-            .receive_blocking(buf);
+        let queue = self.fabric.queue(self.id).expect("own queue always exists");
+        if telemetry::ENABLED {
+            // Occupancy sampled before the dequeue: words resident in the
+            // local hardware queue when its owner came to read it.
+            telemetry::record_value(Algo::Udn, Lane::Occupancy, queue.len() as u64);
+            let t0 = telemetry::now_ns();
+            queue.receive_blocking(buf);
+            telemetry::count(Counter::UdnReceives, 1);
+            telemetry::record_span(self.id.0, Algo::Udn, Lane::Receive, t0);
+        } else {
+            queue.receive_blocking(buf);
+        }
         self.received.fetch_add(buf.len() as u64, Ordering::Relaxed);
     }
 
@@ -165,12 +189,13 @@ impl Endpoint {
         buf: &mut [u64],
         deadline: std::time::Instant,
     ) -> Option<usize> {
-        if self
-            .fabric
-            .queue(self.id)
-            .expect("own queue always exists")
-            .receive_deadline(buf, deadline)
-        {
+        let queue = self.fabric.queue(self.id).expect("own queue always exists");
+        if queue.receive_deadline(buf, deadline) {
+            if telemetry::ENABLED {
+                // No Receive span here: the wait includes deliberate idle
+                // polling, which would pollute the receive-latency histogram.
+                telemetry::count(Counter::UdnReceives, 1);
+            }
             self.received.fetch_add(buf.len() as u64, Ordering::Relaxed);
             Some(buf.len())
         } else {
@@ -237,7 +262,13 @@ impl Sender {
     /// Sends `words` to `dest`, blocking on back-pressure.
     #[inline]
     pub fn send(&self, dest: EndpointId, words: &[u64]) -> Result<(), SendError> {
-        self.fabric.queue(dest)?.send_blocking(words);
+        let waited = self.fabric.queue(dest)?.send_blocking(words);
+        if telemetry::ENABLED {
+            telemetry::count(Counter::UdnSends, 1);
+            if waited {
+                telemetry::count(Counter::UdnBlockedSends, 1);
+            }
+        }
         Ok(())
     }
 

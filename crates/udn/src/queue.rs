@@ -169,11 +169,15 @@ impl WordQueue {
     /// Enqueues all of `words` as one contiguous message, blocking while the
     /// queue is full (hardware back-pressure semantics).
     ///
+    /// Returns `true` if the send hit back-pressure — i.e. it genuinely
+    /// waited for the consumer to free space (the same condition that
+    /// increments [`WordQueue::blocked_sends`]).
+    ///
     /// # Panics
     ///
     /// Panics if `words.len()` exceeds the queue capacity: such a message
     /// could never fit and would deadlock real hardware too.
-    pub fn send_blocking(&self, words: &[u64]) {
+    pub fn send_blocking(&self, words: &[u64]) -> bool {
         assert!(
             words.len() <= self.buf.len(),
             "message of {} words cannot fit a queue of capacity {}",
@@ -181,7 +185,7 @@ impl WordQueue {
             self.buf.len()
         );
         if words.is_empty() {
-            return;
+            return false;
         }
         // Reserve unconditionally: the positions will become free once the
         // consumer drains preceding words. `publish` waits per-cell and
@@ -189,9 +193,11 @@ impl WordQueue {
         // taken here instead would already be stale by the time the cells
         // are examined, counting sends the consumer drained in time.
         let start = self.tail.fetch_add(words.len(), Ordering::Relaxed);
-        if self.publish(start, words) {
+        let waited = self.publish(start, words);
+        if waited {
             self.blocked_sends.fetch_add(1, Ordering::Relaxed);
         }
+        waited
     }
 
     /// Attempts to enqueue `words` without blocking.

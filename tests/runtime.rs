@@ -212,6 +212,51 @@ fn shutdown_applies_accepted_ops_exactly_once_lock() {
 }
 
 // ---------------------------------------------------------------------------
+// Batch-size accounting: every batching backend must populate the shard
+// batch histogram (MP-SERVER through the control plane, HYBCOMB and
+// CC-SYNCH through their executors' per-round recording).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batch_hist_populated_for_all_batching_backends() {
+    const THREADS: usize = 2;
+    const OPS: usize = 300;
+    for backend in [Backend::MpServer, Backend::HybComb, Backend::CcSynch] {
+        let svc = Arc::new(ShardedCounter::new(
+            small(backend, 2, THREADS).with_submit(SubmitPolicy::Block),
+        ));
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mut session = svc.session().expect("session budget");
+            joins.push(std::thread::spawn(move || {
+                for i in 0..OPS {
+                    session.fetch_inc((t + i) as u64 % 4).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let svc = Arc::into_inner(svc).expect("sessions dropped with their threads");
+        let (_, stats) = svc.shutdown();
+        let hist = stats.batch_hist();
+        assert!(
+            !hist.is_empty(),
+            "{backend:?}: batch histogram must be populated"
+        );
+        assert!(
+            (1..=8).contains(&hist.max()),
+            "{backend:?}: batch sizes bounded by max_batch, got {}",
+            hist.max()
+        );
+        assert!(
+            hist.sum() <= stats.total_ops(),
+            "{backend:?}: cannot batch more ops than were executed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Backpressure and session budget behaviour.
 // ---------------------------------------------------------------------------
 
