@@ -1,0 +1,619 @@
+//! In-repo stand-in for the `loom` model checker (the build environment has
+//! no registry access, so the real crate cannot be fetched).
+//!
+//! It exposes the subset of loom's API this workspace uses — `model`,
+//! `thread::{spawn, yield_now}`, `sync::atomic`, `cell::UnsafeCell`,
+//! `hint::spin_loop` — backed by a bounded exhaustive scheduler with
+//! vector-clock happens-before tracking (see the `rt` module internals for the
+//! exploration and race-detection design, and `DESIGN.md` §9 for what this
+//! checker does and does not model).
+//!
+//! Scope relative to real loom:
+//!
+//! * Explored executions are sequentially consistent; stale-value outcomes
+//!   permitted by C11 relaxed atomics are **not** generated. Missing
+//!   release/acquire edges are still caught, because `UnsafeCell` accesses
+//!   are validated against release/acquire-derived vector clocks — the
+//!   dominant weak-memory bug class in this codebase (data published by a
+//!   flag) is exactly what that detects.
+//! * Preemption-bounded DFS (`LOOM_MAX_PREEMPTIONS`, default 2) with an
+//!   execution cap (`LOOM_MAX_ITERATIONS`, default 10000) and a per-run
+//!   step cap (`LOOM_MAX_STEPS`, default 100000, livelock guard).
+//! * Outside `loom::model` every shim falls back to plain `std` behaviour,
+//!   so helper code linked into non-model tests keeps working.
+
+#![warn(missing_docs)]
+
+mod rt;
+
+/// Runs `f` under every thread interleaving the bounded search reaches,
+/// panicking on the first assertion failure, data race, deadlock, or
+/// livelock. The closure runs many times; it must be deterministic apart
+/// from scheduling (no wall-clock time, no ambient randomness).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    rt::explore(std::sync::Arc::new(f));
+}
+
+/// Model-aware threads.
+pub mod thread {
+    use std::sync::{Arc, Mutex};
+
+    /// Handle to a model thread; `join` blocks the calling model thread.
+    pub struct JoinHandle<T> {
+        id: usize,
+        result: Arc<Mutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result. A panic
+        /// on any model thread aborts the whole execution, so unlike std
+        /// this never returns `Err` — the `Result` exists for API parity.
+        pub fn join(self) -> std::thread::Result<T> {
+            crate::rt::join(self.id);
+            Ok(self
+                .result
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("loom model thread finished without storing a result"))
+        }
+    }
+
+    /// Spawns a model thread participating in the exploration. Must be
+    /// called from inside [`crate::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let result = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let id = crate::rt::spawn(Box::new(move || {
+            let r = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        }));
+        JoinHandle { id, result }
+    }
+
+    /// Voluntary yield: deprioritizes the caller until every other runnable
+    /// thread has had a chance to run. Spin loops **must** call this every
+    /// iteration or the explorer reports them as livelocks once the
+    /// preemption budget pins the schedule to the spinning thread.
+    pub fn yield_now() {
+        crate::rt::yield_now();
+    }
+}
+
+/// Model-aware `spin_loop` hint (acts as a scheduling yield).
+pub mod hint {
+    /// Under the model a spin hint must cede the schedule, not burn it.
+    pub fn spin_loop() {
+        crate::rt::yield_now();
+    }
+}
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Model-aware atomic types. Every operation is a scheduling point and
+    /// feeds the vector-clock happens-before tracker with exactly the edges
+    /// its `Ordering` buys.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// An atomic fence participating in the model's clock tracking.
+        pub fn fence(order: Ordering) {
+            crate::rt::fence(order);
+        }
+
+        macro_rules! atomic_int {
+            ($(#[$doc:meta])* $name:ident, $std:ident, $t:ty) => {
+                $(#[$doc])*
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    #[allow(missing_docs)]
+                    pub fn new(v: $t) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    fn addr(&self) -> usize {
+                        self as *const Self as usize
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn load(&self, order: Ordering) -> $t {
+                        crate::rt::atomic_load(self.addr(), order, || self.inner.load(order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn store(&self, v: $t, order: Ordering) {
+                        crate::rt::atomic_store(self.addr(), order, || self.inner.store(v, order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn swap(&self, v: $t, order: Ordering) -> $t {
+                        crate::rt::atomic_rmw(self.addr(), order, || self.inner.swap(v, order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        crate::rt::atomic_cas(self.addr(), success, failure, || {
+                            self.inner.compare_exchange(current, new, success, failure)
+                        })
+                    }
+
+                    /// Like [`Self::compare_exchange`]; the model injects no
+                    /// spurious failures (that is a scheduling artifact, not
+                    /// an ordering one).
+                    #[allow(missing_docs)]
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$t, $t> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn fetch_add(&self, v: $t, order: Ordering) -> $t {
+                        crate::rt::atomic_rmw(self.addr(), order, || self.inner.fetch_add(v, order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn fetch_sub(&self, v: $t, order: Ordering) -> $t {
+                        crate::rt::atomic_rmw(self.addr(), order, || self.inner.fetch_sub(v, order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn fetch_or(&self, v: $t, order: Ordering) -> $t {
+                        crate::rt::atomic_rmw(self.addr(), order, || self.inner.fetch_or(v, order))
+                    }
+
+                    #[allow(missing_docs)]
+                    pub fn fetch_and(&self, v: $t, order: Ordering) -> $t {
+                        crate::rt::atomic_rmw(self.addr(), order, || self.inner.fetch_and(v, order))
+                    }
+
+                    /// Consumes the atomic, returning the contained value.
+                    pub fn into_inner(self) -> $t {
+                        crate::rt::forget_location(self.addr());
+                        let this = std::mem::ManuallyDrop::new(self);
+                        this.inner.load(Ordering::Relaxed)
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        Self::new(<$t>::default())
+                    }
+                }
+
+                impl Drop for $name {
+                    fn drop(&mut self) {
+                        crate::rt::forget_location(self.addr());
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        // Raw (non-scheduling) read: Debug must not perturb
+                        // the exploration.
+                        write!(f, "{:?}", self.inner)
+                    }
+                }
+            };
+        }
+
+        atomic_int!(
+            /// Model-aware `AtomicUsize`.
+            AtomicUsize,
+            AtomicUsize,
+            usize
+        );
+        atomic_int!(
+            /// Model-aware `AtomicU64`.
+            AtomicU64,
+            AtomicU64,
+            u64
+        );
+        atomic_int!(
+            /// Model-aware `AtomicU32`.
+            AtomicU32,
+            AtomicU32,
+            u32
+        );
+
+        /// Model-aware `AtomicBool`.
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            #[allow(missing_docs)]
+            pub fn new(v: bool) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            #[allow(missing_docs)]
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::rt::atomic_load(self.addr(), order, || self.inner.load(order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn store(&self, v: bool, order: Ordering) {
+                crate::rt::atomic_store(self.addr(), order, || self.inner.store(v, order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                crate::rt::atomic_rmw(self.addr(), order, || self.inner.swap(v, order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::rt::atomic_cas(self.addr(), success, failure, || {
+                    self.inner.compare_exchange(current, new, success, failure)
+                })
+            }
+
+            #[allow(missing_docs)]
+            pub fn compare_exchange_weak(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            pub fn into_inner(self) -> bool {
+                crate::rt::forget_location(self.addr());
+                let this = std::mem::ManuallyDrop::new(self);
+                this.inner.load(Ordering::Relaxed)
+            }
+        }
+
+        impl Default for AtomicBool {
+            fn default() -> Self {
+                Self::new(false)
+            }
+        }
+
+        impl Drop for AtomicBool {
+            fn drop(&mut self) {
+                crate::rt::forget_location(self.addr());
+            }
+        }
+
+        impl std::fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:?}", self.inner)
+            }
+        }
+
+        /// Model-aware `AtomicPtr`.
+        pub struct AtomicPtr<T> {
+            inner: std::sync::atomic::AtomicPtr<T>,
+        }
+
+        impl<T> AtomicPtr<T> {
+            #[allow(missing_docs)]
+            pub fn new(p: *mut T) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicPtr::new(p),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            #[allow(missing_docs)]
+            pub fn load(&self, order: Ordering) -> *mut T {
+                crate::rt::atomic_load(self.addr(), order, || self.inner.load(order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                crate::rt::atomic_store(self.addr(), order, || self.inner.store(p, order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                crate::rt::atomic_rmw(self.addr(), order, || self.inner.swap(p, order))
+            }
+
+            #[allow(missing_docs)]
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                crate::rt::atomic_cas(self.addr(), success, failure, || {
+                    self.inner.compare_exchange(current, new, success, failure)
+                })
+            }
+
+            #[allow(missing_docs)]
+            pub fn compare_exchange_weak(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the contained pointer.
+            pub fn into_inner(self) -> *mut T {
+                crate::rt::forget_location(self.addr());
+                let this = std::mem::ManuallyDrop::new(self);
+                this.inner.load(Ordering::Relaxed)
+            }
+        }
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                Self::new(std::ptr::null_mut())
+            }
+        }
+
+        impl<T> Drop for AtomicPtr<T> {
+            fn drop(&mut self) {
+                crate::rt::forget_location(self.addr());
+            }
+        }
+
+        impl<T> std::fmt::Debug for AtomicPtr<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:?}", self.inner)
+            }
+        }
+    }
+}
+
+/// Model-aware interior mutability with data-race detection.
+pub mod cell {
+    /// Like `std::cell::UnsafeCell`, but every access is scoped through
+    /// [`UnsafeCell::with`]/[`UnsafeCell::with_mut`] so the model can check
+    /// it against all conflicting accesses: two accesses (at least one a
+    /// write) that are neither ordered by a release/acquire-derived
+    /// happens-before edge nor by program order are reported as a data
+    /// race, even though the cooperative scheduler serialized them.
+    pub struct UnsafeCell<T> {
+        inner: std::cell::UnsafeCell<T>,
+    }
+
+    // Safety: the model serializes all access through `with`/`with_mut` and
+    // reports conflicting unsynchronized accesses as races, so sharing the
+    // cell across model threads is exactly as sound as the checked protocol.
+    unsafe impl<T: Send> Send for UnsafeCell<T> {}
+    unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+    // Scoped-access guard: makes the access end on unwind too, so a panic
+    // inside `with`/`with_mut` (e.g. a poisoning combiner dispatch under
+    // test) does not leave the cell marked permanently busy.
+    struct AccessGuard {
+        addr: usize,
+        write: bool,
+    }
+
+    impl Drop for AccessGuard {
+        fn drop(&mut self) {
+            crate::rt::cell_end(self.addr, self.write);
+        }
+    }
+
+    impl<T> UnsafeCell<T> {
+        #[allow(missing_docs)]
+        pub fn new(v: T) -> Self {
+            Self {
+                inner: std::cell::UnsafeCell::new(v),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            self as *const Self as usize
+        }
+
+        /// Runs `f` with a shared (read) pointer to the contents.
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            crate::rt::cell_begin(self.addr(), false);
+            let _guard = AccessGuard {
+                addr: self.addr(),
+                write: false,
+            };
+            f(self.inner.get() as *const T)
+        }
+
+        /// Runs `f` with an exclusive (write) pointer to the contents.
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            crate::rt::cell_begin(self.addr(), true);
+            let _guard = AccessGuard {
+                addr: self.addr(),
+                write: true,
+            };
+            f(self.inner.get())
+        }
+
+        /// Consumes the cell, returning the contents.
+        pub fn into_inner(self) -> T {
+            crate::rt::forget_location(self.addr());
+            let this = std::mem::ManuallyDrop::new(self);
+            // Safety: `this` is never dropped, so this is the only read.
+            unsafe { std::ptr::read(this.inner.get()) }
+        }
+    }
+
+    impl<T> Drop for UnsafeCell<T> {
+        fn drop(&mut self) {
+            crate::rt::forget_location(self.addr());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cell::UnsafeCell;
+    use super::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+    use super::thread;
+    use std::sync::Arc;
+
+    #[test]
+    fn finds_all_interleavings_of_two_writers() {
+        // Two unsynchronized increments can both read 0: the model must
+        // find the lost-update interleaving.
+        let lost_update = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let witness = Arc::clone(&lost_update);
+        super::model(move || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let h = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            h.join().unwrap();
+            if n.load(Ordering::SeqCst) == 1 {
+                witness.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(
+            lost_update.load(std::sync::atomic::Ordering::Relaxed),
+            "exploration never produced the lost-update schedule"
+        );
+    }
+
+    #[test]
+    fn release_acquire_publication_is_race_free() {
+        super::model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 42 });
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                cell.with(|p| assert_eq!(unsafe { *p }, 42));
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_publication_is_reported_as_race() {
+        let r = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let cell = Arc::new(UnsafeCell::new(0u64));
+                let flag = Arc::new(AtomicBool::new(false));
+                let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+                let h = thread::spawn(move || {
+                    c2.with_mut(|p| unsafe { *p = 42 });
+                    // Relaxed: no release edge — the reader's acquire load
+                    // synchronizes with nothing.
+                    f2.store(true, Ordering::Relaxed);
+                });
+                if flag.load(Ordering::Acquire) {
+                    cell.with(|p| {
+                        let _ = unsafe { *p };
+                    });
+                }
+                h.join().unwrap();
+            });
+        });
+        let msg = match r {
+            Ok(()) => panic!("missing-release bug was not detected"),
+            Err(p) => p.downcast_ref::<String>().cloned().unwrap_or_default(),
+        };
+        assert!(msg.contains("data race"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn release_fence_upgrades_relaxed_store() {
+        super::model(|| {
+            let cell = Arc::new(UnsafeCell::new(0u64));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+            let h = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 7 });
+                fence(Ordering::Release);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                fence(Ordering::Acquire);
+                cell.with(|p| assert_eq!(unsafe { *p }, 7));
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn spin_loop_with_yield_terminates() {
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let h = thread::spawn(move || {
+                f2.store(true, Ordering::Release);
+            });
+            while !flag.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            h.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn catch_unwind_inside_model_thread_is_contained() {
+        // A panic caught *inside* a model thread must not abort the
+        // execution — this is what the combiner poison tests rely on.
+        super::model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f2 = Arc::clone(&flag);
+            let h = thread::spawn(move || {
+                let r = std::panic::catch_unwind(|| {
+                    f2.store(true, Ordering::Release);
+                    panic!("contained");
+                });
+                assert!(r.is_err());
+            });
+            h.join().unwrap();
+            assert!(flag.load(Ordering::Acquire));
+        });
+    }
+}

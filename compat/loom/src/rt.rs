@@ -1,0 +1,776 @@
+//! The model-checking runtime: a cooperative scheduler over real OS threads
+//! plus a DFS explorer of scheduling decisions.
+//!
+//! # How it works
+//!
+//! Every model thread is an OS thread, but at most one runs at a time: each
+//! shared-memory event (atomic op, fence, `UnsafeCell` access, spawn, yield)
+//! is a *scheduling point* where the current thread consults the explorer
+//! for who runs next and, if it is not itself, parks on a condvar. The
+//! sequence of decisions taken at scheduling points with more than one
+//! candidate forms a path in a decision tree; the explorer re-runs the model
+//! closure, replaying a recorded prefix and extending it depth-first, until
+//! the tree is exhausted or an execution/iteration budget is hit.
+//!
+//! Executions are sequentially consistent (a load observes the latest
+//! store), but weaker-than-`SeqCst` bugs are still caught through
+//! *happens-before tracking*: every thread carries a vector clock, and
+//! release/acquire edges (and only those — `Relaxed` transfers nothing)
+//! propagate clocks between threads. `UnsafeCell` accesses are checked
+//! against those clocks, so a non-atomic access that is serialized by the
+//! schedule but NOT ordered by any release/acquire edge is reported as a
+//! data race — exactly the class of bug that "passes on x86 by luck".
+//!
+//! # Bounding
+//!
+//! * `LOOM_MAX_PREEMPTIONS` (default 2): maximum involuntary context
+//!   switches per execution — the classic CHESS preemption bound.
+//! * `LOOM_MAX_ITERATIONS` (default 10000): executions explored per model
+//!   before the search stops (complete coverage is reported when the tree
+//!   is exhausted first).
+//! * `LOOM_MAX_STEPS` (default 100000): scheduling points per execution;
+//!   exceeding it aborts the run as a livelock.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+type VClock = Vec<u32>;
+
+fn vjoin(a: &mut VClock, b: &VClock) {
+    if b.len() > a.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(y);
+    }
+}
+
+/// `a ≤ b` pointwise (missing components are zero).
+fn vleq(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &x)| x == 0 || b.get(i).copied().unwrap_or(0) >= x)
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// Sentinel panic payload used to unwind model threads when the execution
+/// aborts (first panic wins; the rest fold their tents quietly).
+pub(crate) struct AbortToken;
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Branch {
+    /// Number of candidate threads at this decision point.
+    pub n: usize,
+    /// Candidate picked on the path currently being explored.
+    pub idx: usize,
+}
+
+#[derive(Default)]
+struct ThreadSt {
+    finished: bool,
+    /// Voluntarily yielded: deprioritized until others had a chance.
+    yielded: bool,
+    /// Blocked waiting for this thread id to finish (`join`).
+    blocked_on: Option<usize>,
+}
+
+#[derive(Default)]
+struct AtomicSt {
+    /// Clock published by the release sequence currently headed at this
+    /// location (empty if the latest store was `Relaxed` with no release
+    /// fence before it).
+    sync: VClock,
+}
+
+#[derive(Default)]
+struct CellSt {
+    /// Exit clock of the last write access.
+    write: VClock,
+    /// Join of exit clocks of read accesses since the last write.
+    reads: VClock,
+    writer_active: bool,
+    readers_active: u32,
+}
+
+struct Exec {
+    threads: Vec<ThreadSt>,
+    current: usize,
+    clocks: Vec<VClock>,
+    /// Per-thread clock captured at the last release fence.
+    fence_rel: Vec<VClock>,
+    /// Per-thread accumulator of `sync` clocks observed by relaxed loads,
+    /// promoted into the thread clock by a later acquire fence.
+    acq_pending: Vec<VClock>,
+    /// Coarse SeqCst clock (joined at every SeqCst op/fence).
+    sc: VClock,
+    atomics: HashMap<usize, AtomicSt>,
+    cells: HashMap<usize, CellSt>,
+    /// DFS decision stack: prefix replayed, suffix appended this run.
+    stack: Vec<Branch>,
+    branch_pos: usize,
+    preemptions: u32,
+    max_preemptions: u32,
+    steps: u64,
+    max_steps: u64,
+    abort: Option<String>,
+}
+
+impl Exec {
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.finished)
+    }
+
+    fn tick(&mut self, t: usize) {
+        let c = &mut self.clocks[t];
+        if c.len() <= t {
+            c.resize(t + 1, 0);
+        }
+        c[t] += 1;
+    }
+}
+
+pub(crate) struct Scheduler {
+    mx: Mutex<Exec>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| f(&ctx.sched, ctx.id)))
+}
+
+/// True when called from inside a running model (used by the sync shims to
+/// fall back to plain std behaviour outside `loom::model`).
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn lock(mx: &Mutex<Exec>) -> MutexGuard<'_, Exec> {
+    // A panicking model thread may have poisoned the mutex on its way out;
+    // the state is still consistent (panics with the guard held are never
+    // raised by this module — see `raise`), so poison is ignored.
+    mx.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Panics with `msg` WITHOUT holding the execution lock (a panic with the
+/// guard held would poison it for the surviving threads).
+fn raise(guard: MutexGuard<'_, Exec>, msg: String) -> ! {
+    drop(guard);
+    panic!("{msg}");
+}
+
+impl Scheduler {
+    fn new(stack: Vec<Branch>, max_preemptions: u32, max_steps: u64) -> Self {
+        Self {
+            mx: Mutex::new(Exec {
+                threads: Vec::new(),
+                current: 0,
+                clocks: Vec::new(),
+                fence_rel: Vec::new(),
+                acq_pending: Vec::new(),
+                sc: Vec::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                stack,
+                branch_pos: 0,
+                preemptions: 0,
+                max_preemptions,
+                max_steps,
+                steps: 0,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register_thread(ex: &mut Exec, parent: Option<usize>) -> usize {
+        let id = ex.threads.len();
+        ex.threads.push(ThreadSt::default());
+        let mut clock = parent.map(|p| ex.clocks[p].clone()).unwrap_or_default();
+        if clock.len() <= id {
+            clock.resize(id + 1, 0);
+        }
+        clock[id] += 1; // the spawn edge: child starts after the parent's past
+        ex.clocks.push(clock);
+        ex.fence_rel.push(Vec::new());
+        ex.acq_pending.push(Vec::new());
+        id
+    }
+
+    /// Picks the next thread to run. Called with the lock held, from the
+    /// thread `me` that currently owns the schedule.
+    fn choose(&self, ex: &mut Exec, me: usize) {
+        let enabled: Vec<usize> = ex
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.finished && t.blocked_on.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if !ex.all_finished() {
+                ex.abort = Some("deadlock: every unfinished thread is blocked in join".to_string());
+                self.cv.notify_all();
+            }
+            return;
+        }
+        let mut cands: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&i| !ex.threads[i].yielded)
+            .collect();
+        if cands.is_empty() {
+            // Everyone yielded: reset and let the search branch over all.
+            for &i in &enabled {
+                ex.threads[i].yielded = false;
+            }
+            cands = enabled.clone();
+        }
+        let me_runnable = cands.contains(&me);
+        if ex.preemptions >= ex.max_preemptions && me_runnable {
+            cands = vec![me];
+        }
+        let choice = if cands.len() == 1 {
+            cands[0]
+        } else {
+            let b = ex.branch_pos;
+            ex.branch_pos += 1;
+            if b < ex.stack.len() {
+                let br = ex.stack[b];
+                if br.n != cands.len() {
+                    ex.abort = Some(format!(
+                        "nondeterministic model: decision point {b} had {} candidates on \
+                         replay but {} when first explored (models must not depend on \
+                         wall-clock time or ambient randomness)",
+                        cands.len(),
+                        br.n
+                    ));
+                    self.cv.notify_all();
+                    return;
+                }
+                cands[br.idx]
+            } else {
+                ex.stack.push(Branch {
+                    n: cands.len(),
+                    idx: 0,
+                });
+                cands[0]
+            }
+        };
+        if choice != me && enabled.contains(&me) && !ex.threads[me].yielded {
+            ex.preemptions += 1;
+        }
+        ex.threads[choice].yielded = false;
+        ex.current = choice;
+        if choice != me {
+            self.cv.notify_all();
+        }
+    }
+
+    /// One scheduling point: possibly hand the schedule to another thread,
+    /// wait to be scheduled again, then (still holding the lock) run
+    /// `do_op` and apply `eff` to the execution state.
+    fn op<R>(
+        self: &Arc<Self>,
+        me: usize,
+        do_op: impl FnOnce() -> R,
+        eff: impl FnOnce(&mut Exec, usize),
+    ) -> R {
+        let mut ex = lock(&self.mx);
+        if ex.abort.is_some() {
+            drop(ex);
+            if std::thread::panicking() {
+                // Unwinding through a Drop impl: just do the raw operation,
+                // never panic again (a second panic would abort the process).
+                return do_op();
+            }
+            panic::resume_unwind(Box::new(AbortToken));
+        }
+        ex.steps += 1;
+        if ex.steps > ex.max_steps {
+            ex.abort = Some(format!(
+                "livelock: execution exceeded {} scheduling points \
+                 (LOOM_MAX_STEPS) without completing",
+                ex.max_steps
+            ));
+            self.cv.notify_all();
+            drop(ex);
+            panic::resume_unwind(Box::new(AbortToken));
+        }
+        ex.tick(me);
+        self.choose(&mut ex, me);
+        while ex.current != me && ex.abort.is_none() {
+            ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+        if ex.abort.is_some() {
+            drop(ex);
+            if std::thread::panicking() {
+                return do_op();
+            }
+            panic::resume_unwind(Box::new(AbortToken));
+        }
+        let r = do_op();
+        eff(&mut ex, me);
+        r
+    }
+
+    /// Body run by every model OS thread.
+    fn run_thread(self: Arc<Self>, id: usize, f: Box<dyn FnOnce() + Send>) {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                sched: Arc::clone(&self),
+                id,
+            })
+        });
+        // Wait to be scheduled for the first time.
+        let skip = {
+            let mut ex = lock(&self.mx);
+            while ex.current != id && ex.abort.is_none() {
+                ex = self.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+            }
+            ex.abort.is_some()
+        };
+        if !skip {
+            let r = panic::catch_unwind(AssertUnwindSafe(f));
+            let mut ex = lock(&self.mx);
+            if let Err(p) = r {
+                if !p.is::<AbortToken>() && ex.abort.is_none() {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "model thread panicked".to_string());
+                    ex.abort = Some(msg);
+                }
+            }
+            Self::finish_thread(&self, ex, id);
+        } else {
+            let ex = lock(&self.mx);
+            Self::finish_thread(&self, ex, id);
+        }
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+
+    fn finish_thread(self: &Arc<Self>, mut ex: MutexGuard<'_, Exec>, id: usize) {
+        ex.threads[id].finished = true;
+        for t in ex.threads.iter_mut() {
+            if t.blocked_on == Some(id) {
+                t.blocked_on = None;
+            }
+        }
+        if ex.all_finished() {
+            self.cv.notify_all();
+        } else if ex.abort.is_none() {
+            self.choose(&mut ex, id);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks used by the public shims (thread / atomic / cell)
+// ---------------------------------------------------------------------------
+
+/// Registers and starts a model thread; returns its model id.
+pub(crate) fn spawn(f: Box<dyn FnOnce() + Send>) -> usize {
+    let (sched, me) = CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect("loom::thread::spawn outside a model");
+        (Arc::clone(&ctx.sched), ctx.id)
+    });
+    let id = {
+        let mut ex = lock(&sched.mx);
+        Scheduler::register_thread(&mut ex, Some(me))
+    };
+    let s2 = Arc::clone(&sched);
+    let h = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || s2.run_thread(id, f))
+        .expect("failed to spawn loom model thread");
+    sched
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(h);
+    // The spawn itself is a scheduling point (the child may run first).
+    sched.op(me, || (), |_, _| ());
+    id
+}
+
+/// Blocks the calling model thread until `target` finishes (join edge).
+pub(crate) fn join(target: usize) {
+    let (sched, me) = CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect("loom join outside a model");
+        (Arc::clone(&ctx.sched), ctx.id)
+    });
+    let mut ex = lock(&sched.mx);
+    if ex.abort.is_some() {
+        drop(ex);
+        if std::thread::panicking() {
+            return;
+        }
+        panic::resume_unwind(Box::new(AbortToken));
+    }
+    if !ex.threads[target].finished {
+        ex.threads[me].blocked_on = Some(target);
+        sched.choose(&mut ex, me);
+        while (ex.current != me || ex.threads[me].blocked_on.is_some()) && ex.abort.is_none() {
+            ex = sched.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+        }
+        if ex.abort.is_some() {
+            drop(ex);
+            if std::thread::panicking() {
+                return;
+            }
+            panic::resume_unwind(Box::new(AbortToken));
+        }
+    }
+    let tc = ex.clocks[target].clone();
+    vjoin(&mut ex.clocks[me], &tc);
+}
+
+/// Voluntary yield: deprioritize the caller until other threads ran.
+pub(crate) fn yield_now() {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        std::thread::yield_now();
+        return;
+    };
+    {
+        let mut ex = lock(&sched.mx);
+        if ex.abort.is_none() {
+            ex.threads[me].yielded = true;
+        }
+    }
+    sched.op(me, || (), |_, _| ());
+}
+
+fn acquire_side(ex: &mut Exec, me: usize, addr: usize, order: Ordering) {
+    let sync = ex.atomics.entry(addr).or_default().sync.clone();
+    match order {
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => vjoin(&mut ex.clocks[me], &sync),
+        _ => vjoin(&mut ex.acq_pending[me], &sync),
+    }
+}
+
+fn seqcst_side(ex: &mut Exec, me: usize, order: Ordering) {
+    if order == Ordering::SeqCst {
+        let sc = ex.sc.clone();
+        vjoin(&mut ex.clocks[me], &sc);
+        let clock = ex.clocks[me].clone();
+        vjoin(&mut ex.sc, &clock);
+    }
+}
+
+/// An atomic load at `addr`.
+pub(crate) fn atomic_load<R>(addr: usize, order: Ordering, do_op: impl FnOnce() -> R) -> R {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return do_op();
+    };
+    sched.op(me, do_op, |ex, me| {
+        acquire_side(ex, me, addr, order);
+        seqcst_side(ex, me, order);
+    })
+}
+
+/// An atomic store at `addr`. A `Relaxed` store *replaces* the location's
+/// release sequence with the thread's last release-fence clock (empty if
+/// none): later acquire loads of this value synchronize with nothing.
+pub(crate) fn atomic_store<R>(addr: usize, order: Ordering, do_op: impl FnOnce() -> R) -> R {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return do_op();
+    };
+    sched.op(me, do_op, |ex, me| {
+        let clock = match order {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => ex.clocks[me].clone(),
+            _ => ex.fence_rel[me].clone(),
+        };
+        ex.atomics.entry(addr).or_default().sync = clock;
+        seqcst_side(ex, me, order);
+    })
+}
+
+/// An atomic read-modify-write at `addr`. Unlike a plain store, an RMW
+/// *continues* the location's release sequence (C++11 §1.10), so the
+/// existing sync clock is joined rather than replaced.
+pub(crate) fn atomic_rmw<R>(addr: usize, order: Ordering, do_op: impl FnOnce() -> R) -> R {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return do_op();
+    };
+    sched.op(me, do_op, |ex, me| {
+        acquire_side(ex, me, addr, order);
+        let clock = match order {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => ex.clocks[me].clone(),
+            _ => ex.fence_rel[me].clone(),
+        };
+        let a = ex.atomics.entry(addr).or_default();
+        vjoin(&mut a.sync, &clock);
+        seqcst_side(ex, me, order);
+    })
+}
+
+/// A compare-exchange: RMW semantics on success, load semantics on failure.
+pub(crate) fn atomic_cas<T>(
+    addr: usize,
+    success: Ordering,
+    failure: Ordering,
+    do_op: impl FnOnce() -> Result<T, T>,
+) -> Result<T, T> {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return do_op();
+    };
+    sched.op(me, do_op, |ex, me| {
+        // The effect closure cannot see the result, so apply the weaker
+        // failure side unconditionally and the success release side too:
+        // joining the RMW release clock on a failed CAS adds no spurious
+        // edge for *other* threads (they only acquire what they load, and a
+        // failed CAS writes nothing) but keeps the bookkeeping simple.
+        acquire_side(ex, me, addr, failure);
+        acquire_side(ex, me, addr, success);
+        let clock = match success {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => ex.clocks[me].clone(),
+            _ => ex.fence_rel[me].clone(),
+        };
+        let a = ex.atomics.entry(addr).or_default();
+        vjoin(&mut a.sync, &clock);
+        seqcst_side(ex, me, success);
+    })
+}
+
+// NOTE on `atomic_cas`: joining the success-side clock even when the CAS
+// fails can only create an edge that a real execution also has (the failing
+// thread's clock is joined into the location, but readers acquire it only
+// after a *later* store/RMW by some thread, which orders after the failed
+// CAS in modification order anyway under this SC exploration). The
+// alternative — threading the result into the effect — is not worth the
+// complexity for a checker whose job is finding missing edges, not proving
+// their minimality.
+
+/// An atomic fence.
+pub(crate) fn fence(order: Ordering) {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        std::sync::atomic::fence(order);
+        return;
+    };
+    sched.op(
+        me,
+        || std::sync::atomic::fence(order),
+        |ex, me| {
+            if matches!(
+                order,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            ) {
+                let pending = std::mem::take(&mut ex.acq_pending[me]);
+                vjoin(&mut ex.clocks[me], &pending);
+            }
+            if matches!(
+                order,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            ) {
+                ex.fence_rel[me] = ex.clocks[me].clone();
+            }
+            seqcst_side(ex, me, order);
+        },
+    );
+}
+
+/// Removes the clock state of a dropped atomic/cell so a later allocation
+/// at the same address starts fresh.
+pub(crate) fn forget_location(addr: usize) {
+    let Some(sched) = with_ctx(|s, _| Arc::clone(s)) else {
+        return;
+    };
+    let mut ex = lock(&sched.mx);
+    ex.atomics.remove(&addr);
+    ex.cells.remove(&addr);
+}
+
+/// Begins an `UnsafeCell` access; checks it is happens-before ordered after
+/// every conflicting access.
+pub(crate) fn cell_begin(addr: usize, write: bool) {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return;
+    };
+    sched.op(me, || (), |_, _| ());
+    let mut ex = lock(&sched.mx);
+    if ex.abort.is_some() {
+        return;
+    }
+    let clock = ex.clocks[me].clone();
+    let c = ex.cells.entry(addr).or_default();
+    let overlap = c.writer_active || (write && c.readers_active > 0);
+    let unordered = !vleq(&c.write, &clock) || (write && !vleq(&c.reads, &clock));
+    if overlap || unordered {
+        let kind = if write { "write" } else { "read" };
+        let why = if overlap {
+            "it overlaps an in-progress access by another thread"
+        } else {
+            "no release/acquire edge orders it after a previous conflicting access"
+        };
+        let msg = format!(
+            "data race on UnsafeCell {addr:#x}: concurrent {kind} — {why} \
+             (a needed Release/Acquire ordering is missing or too weak)"
+        );
+        raise(ex, msg);
+    }
+    if write {
+        c.writer_active = true;
+    } else {
+        c.readers_active += 1;
+    }
+}
+
+/// Ends an `UnsafeCell` access, publishing its exit clock.
+pub(crate) fn cell_end(addr: usize, write: bool) {
+    let Some((sched, me)) = with_ctx(|s, id| (Arc::clone(s), id)) else {
+        return;
+    };
+    let mut ex = lock(&sched.mx);
+    if ex.abort.is_some() {
+        return;
+    }
+    ex.tick(me);
+    let clock = ex.clocks[me].clone();
+    let Some(c) = ex.cells.get_mut(&addr) else {
+        return;
+    };
+    if write {
+        c.writer_active = false;
+        c.write = clock;
+        c.reads = Vec::new();
+    } else {
+        c.readers_active = c.readers_active.saturating_sub(1);
+        vjoin(&mut c.reads, &clock);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `f` under every schedule the bounded DFS reaches.
+pub(crate) fn explore(f: Arc<dyn Fn() + Send + Sync>) {
+    assert!(!in_model(), "nested loom::model calls are not supported");
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 2) as u32;
+    let max_iterations = env_u64("LOOM_MAX_ITERATIONS", 10_000);
+    let max_steps = env_u64("LOOM_MAX_STEPS", 100_000);
+    let log = std::env::var("LOOM_LOG").is_ok();
+
+    let mut stack: Vec<Branch> = Vec::new();
+    let mut iterations = 0u64;
+    let complete = loop {
+        iterations += 1;
+        let sched = Arc::new(Scheduler::new(stack, max_preemptions, max_steps));
+        {
+            let mut ex = lock(&sched.mx);
+            let id = Scheduler::register_thread(&mut ex, None);
+            ex.current = id;
+        }
+        let s2 = Arc::clone(&sched);
+        let fc = Arc::clone(&f);
+        let h = std::thread::Builder::new()
+            .name("loom-0".to_string())
+            .spawn(move || s2.run_thread(0, Box::new(move || fc())))
+            .expect("failed to spawn loom root thread");
+        {
+            let mut ex = lock(&sched.mx);
+            while !ex.all_finished() {
+                ex = sched.cv.wait(ex).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let _ = h.join();
+        for h in sched
+            .os_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+        let ex = std::mem::replace(
+            &mut *lock(&sched.mx),
+            Exec {
+                threads: Vec::new(),
+                current: 0,
+                clocks: Vec::new(),
+                fence_rel: Vec::new(),
+                acq_pending: Vec::new(),
+                sc: Vec::new(),
+                atomics: HashMap::new(),
+                cells: HashMap::new(),
+                stack: Vec::new(),
+                branch_pos: 0,
+                preemptions: 0,
+                max_preemptions,
+                max_steps,
+                steps: 0,
+                abort: None,
+            },
+        );
+        if let Some(msg) = ex.abort {
+            panic!("loom: model failed on execution {iterations}: {msg}");
+        }
+        stack = ex.stack;
+        // Depth-first advance to the next unexplored path.
+        loop {
+            match stack.last_mut() {
+                None => break,
+                Some(b) => {
+                    if b.idx + 1 < b.n {
+                        b.idx += 1;
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        if stack.is_empty() {
+            break true;
+        }
+        if iterations >= max_iterations {
+            break false;
+        }
+    };
+    if log || !complete {
+        eprintln!(
+            "loom: explored {iterations} executions ({}, preemption bound {max_preemptions})",
+            if complete {
+                "complete"
+            } else {
+                "iteration cap reached — coverage is partial"
+            }
+        );
+    }
+}

@@ -20,7 +20,8 @@
 //! are addressed by index, which keeps the implementation free of dangling
 //! pointers by construction.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// Statistics counters stay on std atomics on purpose (see `crate::sync`).
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -28,11 +29,19 @@ use mpsync_telemetry as telemetry;
 use mpsync_telemetry::{Algo, AtomicLog2Hist, Counter, Lane, Log2Hist};
 
 use crate::dispatch::Dispatcher;
-use crate::state::CsState;
+use crate::state::{CsState, PoisonGuard};
+use crate::sync::{spin, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::ApplyOp;
 
 /// Sentinel for "no successor" in a node's `next` field.
 const NIL: usize = usize::MAX;
+
+/// Panic message once the construction is poisoned (a combiner panicked
+/// while holding the critical section, so the protected state may be torn
+/// and the hand-off chain is broken).
+const POISONED: &str =
+    "CC-SYNCH poisoned: a combiner panicked inside the critical section and the \
+     protected state may be inconsistent";
 
 /// One list node. `wait`/`completed` are the owner's local-spin flags; `op`,
 /// `arg`, `ret` carry the request and its result.
@@ -69,11 +78,15 @@ struct Shared<S, D> {
     state: CsState<S>,
     dispatch: D,
     max_ops: u64,
-    next_handle: AtomicUsize,
+    /// Set when a combiner's dispatch panicked mid-round: the hand-off chain
+    /// is broken, so every waiter and later caller panics instead of
+    /// spinning forever (see [`PoisonGuard`]).
+    poisoned: AtomicBool,
+    next_handle: StdAtomicUsize,
     /// Total requests executed by combiners on behalf of *other* threads
     /// plus their own — used to compute the actual combining rate (Fig. 4b).
-    rounds: AtomicU64,
-    combined: AtomicU64,
+    rounds: StdAtomicU64,
+    combined: StdAtomicU64,
     /// Distribution of combining-round sizes. Always recorded (one update
     /// per round), so runtime-level stats see round sizes even without the
     /// telemetry feature.
@@ -126,9 +139,10 @@ where
                 state: CsState::new(state),
                 dispatch,
                 max_ops,
-                next_handle: AtomicUsize::new(0),
-                rounds: AtomicU64::new(0),
-                combined: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
+                next_handle: StdAtomicUsize::new(0),
+                rounds: StdAtomicU64::new(0),
+                combined: StdAtomicU64::new(0),
                 batch_hist: AtomicLog2Hist::new(),
             }),
         }
@@ -172,10 +186,14 @@ where
     /// # Panics
     ///
     /// Panics if handles are still alive (their owners might still submit
-    /// operations).
+    /// operations), or if a combiner panicked mid-round (the state may be
+    /// torn, so it must not escape looking valid).
     pub fn into_state(self) -> S {
         match Arc::try_unwrap(self.shared) {
-            Ok(shared) => shared.state.into_inner(),
+            Ok(shared) => {
+                assert!(!shared.poisoned.load(Ordering::Relaxed), "{POISONED}");
+                shared.state.into_inner()
+            }
             Err(_) => panic!("CC-SYNCH handles still alive at into_state"),
         }
     }
@@ -196,6 +214,7 @@ where
     fn apply(&mut self, op: u64, arg: u64) -> u64 {
         let sh = &*self.shared;
         let nodes = &sh.nodes;
+        assert!(!sh.poisoned.load(Ordering::Relaxed), "{POISONED}");
 
         // Prepare my node to become the new tail dummy.
         let next_node = self.my_node;
@@ -205,6 +224,10 @@ where
 
         // Enqueue: displace the tail, write my request into the displaced
         // node, link it to my (former) node, and adopt the displaced node.
+        // AcqRel edge on `tail`: the Release side publishes my node-init
+        // stores above to the *next* swapper (which writes its request into
+        // my node); the Acquire side makes the displaced node's init by its
+        // previous owner visible before I write into it.
         let cur_node = sh.tail.swap(next_node, Ordering::AcqRel);
         let cur = &nodes[cur_node];
         cur.op.store(op, Ordering::Relaxed);
@@ -214,70 +237,95 @@ where
             // Published by the Release below alongside op/arg.
             cur.t_enq.store(t_enq, Ordering::Relaxed);
         }
+        // Release edge on `next`: publishes op/arg/t_enq to the combiner's
+        // Acquire load in its serve loop.
         cur.next.store(next_node, Ordering::Release);
         self.my_node = cur_node;
 
         // Local spin until a combiner either served me or made me combiner.
+        // The poison check keeps a waiter from spinning forever when the
+        // combiner ahead of it panicked and will never release this node.
         let mut spins = 0u32;
         while cur.wait.load(Ordering::Acquire) {
-            spins = spins.saturating_add(1);
-            if spins < 128 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
+            if sh.poisoned.load(Ordering::Relaxed) {
+                panic!("{POISONED}");
             }
+            spin(&mut spins);
         }
         if cur.completed.load(Ordering::Relaxed) {
             if telemetry::ENABLED {
                 telemetry::record_span(cur_node as u32, Algo::CcSynch, Lane::ClientWait, t_enq);
             }
+            // Relaxed is enough for `completed`/`ret`: both were published
+            // by the same `wait` Release/Acquire edge the spin just crossed.
             return cur.ret.load(Ordering::Relaxed);
         }
 
         // I am the combiner. The release of `wait` by my predecessor (or the
         // initial dummy state) orders all previous critical sections before
         // this point.
-        // SAFETY: exactly one thread at a time observes `wait == false &&
-        // completed == false` for the head node — mutual exclusion follows
-        // from the list structure (each node released exactly once).
-        let state = unsafe { sh.state.get_mut() };
         let t_hold = telemetry::now_ns();
         let mut served = 0u64;
         let mut tmp_node = cur_node;
-        loop {
-            let next = nodes[tmp_node].next.load(Ordering::Acquire);
-            if next == NIL || served >= sh.max_ops {
-                break;
-            }
-            let tmp = &nodes[tmp_node];
-            let t_serve = if telemetry::ENABLED {
-                // Queue wait: owner's enqueue → the combiner reaching it.
-                telemetry::record_span(
-                    tmp_node as u32,
-                    Algo::CcSynch,
-                    Lane::QueueWait,
-                    tmp.t_enq.load(Ordering::Relaxed),
-                );
-                telemetry::now_ns()
-            } else {
-                0
-            };
-            let ret = sh.dispatch.dispatch(
-                state,
-                tmp.op.load(Ordering::Relaxed),
-                tmp.arg.load(Ordering::Relaxed),
-            );
-            tmp.ret.store(ret, Ordering::Relaxed);
-            tmp.completed.store(true, Ordering::Relaxed);
-            tmp.wait.store(false, Ordering::Release);
-            if telemetry::ENABLED {
-                telemetry::record_span(tmp_node as u32, Algo::CcSynch, Lane::Serve, t_serve);
-            }
-            served += 1;
-            tmp_node = next;
+        // If a dispatched operation panics, mark the construction poisoned
+        // on the way out so every spinning waiter panics too instead of
+        // wedging on a release that will never come.
+        let guard = PoisonGuard::new(&sh.poisoned);
+        // SAFETY: exactly one thread at a time observes `wait == false &&
+        // completed == false` for the head node — mutual exclusion follows
+        // from the list structure (each node released exactly once), so this
+        // thread is the unique accessor for the closure's whole extent. The
+        // hand-off store below runs *after* the closure, so the next
+        // combiner's access is ordered after ours (loom checks exactly this).
+        unsafe {
+            sh.state.with_mut(|state| {
+                loop {
+                    // Acquire pairs with the enqueuer's `next` Release: it
+                    // makes the request words (op/arg/t_enq) visible.
+                    let next = nodes[tmp_node].next.load(Ordering::Acquire);
+                    if next == NIL || served >= sh.max_ops {
+                        break;
+                    }
+                    let tmp = &nodes[tmp_node];
+                    let t_serve = if telemetry::ENABLED {
+                        // Queue wait: owner's enqueue → combiner reaching it.
+                        telemetry::record_span(
+                            tmp_node as u32,
+                            Algo::CcSynch,
+                            Lane::QueueWait,
+                            tmp.t_enq.load(Ordering::Relaxed),
+                        );
+                        telemetry::now_ns()
+                    } else {
+                        0
+                    };
+                    let ret = sh.dispatch.dispatch(
+                        state,
+                        tmp.op.load(Ordering::Relaxed),
+                        tmp.arg.load(Ordering::Relaxed),
+                    );
+                    tmp.ret.store(ret, Ordering::Relaxed);
+                    tmp.completed.store(true, Ordering::Relaxed);
+                    // Release publishes ret/completed (stored Relaxed above)
+                    // to the owner's Acquire spin on `wait`.
+                    tmp.wait.store(false, Ordering::Release);
+                    if telemetry::ENABLED {
+                        telemetry::record_span(
+                            tmp_node as u32,
+                            Algo::CcSynch,
+                            Lane::Serve,
+                            t_serve,
+                        );
+                    }
+                    served += 1;
+                    tmp_node = next;
+                }
+            });
         }
+        guard.disarm();
         // Hand over the combiner role to the first unserved node (or mark
-        // the tail dummy ready for the next arrival).
+        // the tail dummy ready for the next arrival). Release publishes this
+        // whole round's state mutations to the next combiner's Acquire spin.
         nodes[tmp_node].wait.store(false, Ordering::Release);
 
         sh.rounds.fetch_add(1, Ordering::Relaxed);
@@ -320,7 +368,9 @@ mod tests {
     #[test]
     fn multithreaded_permutation() {
         const THREADS: usize = 8;
-        const OPS: u64 = 3_000;
+        // Miri runs every access through its borrow tracker; keep the
+        // schedule-diverse shape but shrink the volume.
+        const OPS: u64 = if cfg!(miri) { 40 } else { 3_000 };
         let cs = Arc::new(CcSynch::new(THREADS, 64, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
         for _ in 0..THREADS {
@@ -338,11 +388,12 @@ mod tests {
     fn combining_rate_reported() {
         const THREADS: usize = 4;
         let cs = Arc::new(CcSynch::new(THREADS, 200, 0u64, fai as CounterFn));
+        const OPS: u64 = if cfg!(miri) { 40 } else { 2_000 };
         let mut joins = Vec::new();
         for _ in 0..THREADS {
             let mut h = cs.handle();
             joins.push(std::thread::spawn(move || {
-                for _ in 0..2_000 {
+                for _ in 0..OPS {
                     h.apply(0, 0);
                 }
             }));
@@ -361,7 +412,7 @@ mod tests {
     #[test]
     fn max_ops_one_still_correct() {
         const THREADS: usize = 4;
-        const OPS: u64 = 1_000;
+        const OPS: u64 = if cfg!(miri) { 40 } else { 1_000 };
         let cs = Arc::new(CcSynch::new(THREADS, 1, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
         for _ in 0..THREADS {
@@ -384,6 +435,40 @@ mod tests {
         let cs = CcSynch::new(1, 8, 0u64, fai as CounterFn);
         let _a = cs.handle();
         let _b = cs.handle();
+    }
+
+    #[test]
+    fn combiner_panic_poisons_instead_of_wedging() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn boom(state: &mut u64, op: u64, _arg: u64) -> u64 {
+            if op == 1 {
+                panic!("dispatch exploded");
+            }
+            *state += 1;
+            *state
+        }
+
+        let cs = Arc::new(CcSynch::new(2, 8, 0u64, boom as CounterFn));
+        let mut a = cs.handle();
+        // Single thread, so `a` deterministically becomes the combiner and
+        // its own panicking op unwinds out of the dispatch region.
+        let err = catch_unwind(AssertUnwindSafe(|| a.apply(1, 0))).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"dispatch exploded"));
+
+        // Every later apply must report the poisoning, not hang on the
+        // broken hand-off chain.
+        let mut b = cs.handle();
+        let err = catch_unwind(AssertUnwindSafe(|| b.apply(0, 0))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("CC-SYNCH poisoned"), "got: {msg}");
+
+        // And the (possibly torn) state must not escape looking valid.
+        drop((a, b));
+        let cs = Arc::try_unwrap(cs).unwrap_or_else(|_| panic!("handles alive"));
+        let err = catch_unwind(AssertUnwindSafe(|| cs.into_state())).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("CC-SYNCH poisoned"), "got: {msg}");
     }
 
     #[test]

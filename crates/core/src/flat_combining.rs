@@ -9,13 +9,15 @@
 //! not). Included as an additional baseline for the counter benchmarks and
 //! as a reference point for the evaluation's "combining" family.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// Statistics counters stay on std atomics on purpose (see `crate::sync`).
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
 use crate::dispatch::Dispatcher;
 use crate::state::CsState;
+use crate::sync::{spin, AtomicBool, AtomicU64, Ordering};
 use crate::ApplyOp;
 
 /// Publication-record states.
@@ -48,9 +50,9 @@ struct Shared<S, D> {
     state: CsState<S>,
     dispatch: D,
     scans: u32,
-    next_handle: AtomicUsize,
-    rounds: AtomicU64,
-    combined: AtomicU64,
+    next_handle: StdAtomicUsize,
+    rounds: StdAtomicU64,
+    combined: StdAtomicU64,
 }
 
 /// The flat-combining construction protecting a state `S`.
@@ -78,9 +80,9 @@ where
                 state: CsState::new(state),
                 dispatch,
                 scans,
-                next_handle: AtomicUsize::new(0),
-                rounds: AtomicU64::new(0),
-                combined: AtomicU64::new(0),
+                next_handle: StdAtomicUsize::new(0),
+                rounds: StdAtomicU64::new(0),
+                combined: StdAtomicU64::new(0),
             }),
         }
     }
@@ -142,24 +144,32 @@ where
         let sh = &*self.shared;
         // SAFETY: `lock` was acquired with Acquire; only the lock holder
         // reaches this point (flat combining's mutual exclusion), and the
-        // Release store unlocking publishes the state mutations.
-        let state = unsafe { sh.state.get_mut() };
-        let mut served = 0u64;
-        for _ in 0..sh.scans {
-            for rec in sh.records.iter() {
-                if rec.state.load(Ordering::Acquire) == PENDING {
-                    let ret = sh.dispatch.dispatch(
-                        state,
-                        rec.op.load(Ordering::Relaxed),
-                        rec.arg.load(Ordering::Relaxed),
-                    );
-                    rec.ret.store(ret, Ordering::Relaxed);
-                    rec.state.store(DONE, Ordering::Release);
-                    served += 1;
+        // Release store unlocking publishes the state mutations to the next
+        // combiner's `swap(true, Acquire)`.
+        unsafe {
+            sh.state.with_mut(|state| {
+                let mut served = 0u64;
+                for _ in 0..sh.scans {
+                    for rec in sh.records.iter() {
+                        // Acquire pairs with the publisher's PENDING Release:
+                        // it makes op/arg (stored Relaxed before it) visible.
+                        if rec.state.load(Ordering::Acquire) == PENDING {
+                            let ret = sh.dispatch.dispatch(
+                                state,
+                                rec.op.load(Ordering::Relaxed),
+                                rec.arg.load(Ordering::Relaxed),
+                            );
+                            rec.ret.store(ret, Ordering::Relaxed);
+                            // Release publishes `ret` to the owner's DONE
+                            // Acquire check in `apply`.
+                            rec.state.store(DONE, Ordering::Release);
+                            served += 1;
+                        }
+                    }
                 }
-            }
+                served
+            })
         }
-        served
     }
 }
 
@@ -173,15 +183,21 @@ where
         let rec = &sh.records[self.slot];
         rec.op.store(op, Ordering::Relaxed);
         rec.arg.store(arg, Ordering::Relaxed);
+        // Release publishes op/arg (stored Relaxed above) to the combiner's
+        // PENDING Acquire scan.
         rec.state.store(PENDING, Ordering::Release);
 
         let mut spins = 0u32;
         loop {
+            // Acquire pairs with the combiner's DONE Release: it makes `ret`
+            // visible before we read it.
             if rec.state.load(Ordering::Acquire) == DONE {
                 rec.state.store(EMPTY, Ordering::Relaxed);
                 return rec.ret.load(Ordering::Relaxed);
             }
-            // Try to become the combiner (test-and-test-and-set).
+            // Try to become the combiner (test-and-test-and-set). The swap's
+            // Acquire pairs with the unlocking Release, ordering this
+            // combiner's state access after the previous one's.
             if !sh.lock.load(Ordering::Relaxed) && !sh.lock.swap(true, Ordering::Acquire) {
                 let served = self.combine();
                 sh.lock.store(false, Ordering::Release);
@@ -192,12 +208,7 @@ where
                 rec.state.store(EMPTY, Ordering::Relaxed);
                 return rec.ret.load(Ordering::Relaxed);
             }
-            spins = spins.saturating_add(1);
-            if spins < 128 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+            spin(&mut spins);
         }
     }
 }
@@ -228,7 +239,7 @@ mod tests {
     #[test]
     fn multithreaded_permutation() {
         const THREADS: usize = 8;
-        const OPS: u64 = 3_000;
+        const OPS: u64 = if cfg!(miri) { 40 } else { 3_000 };
         let fc = Arc::new(FlatCombining::new(THREADS, 2, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
         for _ in 0..THREADS {

@@ -29,7 +29,8 @@
 //! so the `combining_done` flag it leaves behind can be reset safely by a
 //! later round.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+// Statistics counters stay on std atomics on purpose (see `crate::sync`).
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
@@ -38,7 +39,8 @@ use mpsync_telemetry::{Algo, AtomicLog2Hist, Counter, Lane, Log2Hist};
 use mpsync_udn::{Endpoint, EndpointId};
 
 use crate::dispatch::Dispatcher;
-use crate::state::CsState;
+use crate::state::{CsState, PoisonGuard};
+use crate::sync::{spin, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::wire;
 use crate::ApplyOp;
 
@@ -48,6 +50,12 @@ pub const DEFAULT_MAX_OPS: u64 = 200;
 
 /// Placeholder owner id for the initial spare node (the paper's ⊥).
 const NO_THREAD: u64 = u64::MAX;
+
+/// Panic message once the construction is poisoned (a combiner panicked
+/// inside its round, so the protected state may be torn, registered clients
+/// will never get responses, and `combining_done` will never be set).
+const POISONED: &str = "HYBCOMB poisoned: a combiner panicked inside the critical section and the \
+     protected state may be inconsistent";
 
 /// Algorithm 1's `Node` (line 2).
 struct Node {
@@ -122,23 +130,29 @@ struct Shared<S, D> {
     dispatch: D,
     max_ops: u64,
     eager_drain: bool,
-    next_handle: AtomicUsize,
+    /// Set when a combiner's dispatch panicked mid-round: responses and the
+    /// `combining_done` hand-off will never come, so every polling client
+    /// and spinning would-be combiner panics instead (see [`PoisonGuard`]).
+    poisoned: AtomicBool,
+    next_handle: StdAtomicUsize,
     // Stats (relaxed counters; negligible cost next to the protocol).
-    ops: AtomicU64,
-    cas_attempts: AtomicU64,
-    cas_failures: AtomicU64,
-    rounds: AtomicU64,
-    combined_ops: AtomicU64,
-    orphan_rounds: AtomicU64,
+    ops: StdAtomicU64,
+    cas_attempts: StdAtomicU64,
+    cas_failures: StdAtomicU64,
+    rounds: StdAtomicU64,
+    combined_ops: StdAtomicU64,
+    orphan_rounds: StdAtomicU64,
     /// Distribution of combining-round sizes (requests served per round,
     /// combiner's own included). Always recorded — one histogram update per
     /// *round*, negligible next to the round itself — so runtime-level
     /// stats see round sizes even without the telemetry feature.
     batch_hist: AtomicLog2Hist,
     /// Debug-build check of Proposition 1 (mutual exclusion of lines
-    /// 23–43): the number of threads currently in `combine`.
+    /// 23–43): the number of threads currently in `combine`. Under loom the
+    /// proposition is additionally *model-checked*: the `CsState` cell turns
+    /// any two overlapping combiners into a reported data race.
     #[cfg(debug_assertions)]
-    active_combiners: AtomicU64,
+    active_combiners: StdAtomicU64,
 }
 
 /// The HYBCOMB construction protecting a state `S`.
@@ -217,16 +231,17 @@ where
                 dispatch,
                 max_ops,
                 eager_drain,
-                next_handle: AtomicUsize::new(0),
-                ops: AtomicU64::new(0),
-                cas_attempts: AtomicU64::new(0),
-                cas_failures: AtomicU64::new(0),
-                rounds: AtomicU64::new(0),
-                combined_ops: AtomicU64::new(0),
-                orphan_rounds: AtomicU64::new(0),
+                poisoned: AtomicBool::new(false),
+                next_handle: StdAtomicUsize::new(0),
+                ops: StdAtomicU64::new(0),
+                cas_attempts: StdAtomicU64::new(0),
+                cas_failures: StdAtomicU64::new(0),
+                rounds: StdAtomicU64::new(0),
+                combined_ops: StdAtomicU64::new(0),
+                orphan_rounds: StdAtomicU64::new(0),
                 batch_hist: AtomicLog2Hist::new(),
                 #[cfg(debug_assertions)]
-                active_combiners: AtomicU64::new(0),
+                active_combiners: StdAtomicU64::new(0),
             }),
         }
     }
@@ -275,10 +290,15 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if handles are still alive.
+    /// Panics if handles are still alive, or if a combiner panicked
+    /// mid-round (the state may be torn, so it must not escape looking
+    /// valid).
     pub fn into_state(self) -> S {
         match Arc::try_unwrap(self.shared) {
-            Ok(shared) => shared.state.into_inner(),
+            Ok(shared) => {
+                assert!(!shared.poisoned.load(Ordering::Relaxed), "{POISONED}");
+                shared.state.into_inner()
+            }
             Err(_) => panic!("HYBCOMB handles still alive at into_state"),
         }
     }
@@ -337,52 +357,76 @@ where
         let sh = &*self.shared;
         let nodes = &sh.nodes;
         let my = self.my_node;
-        let track = self.endpoint.id().index() as u32;
+        let endpoint = &mut self.endpoint;
+        let track = endpoint.id().index() as u32;
         let t_hold = telemetry::now_ns();
 
         // Executable witness of Proposition 1 in debug builds: at most one
         // thread may be between this point and the `combining_done` release.
+        // (Under loom the proposition is model-checked independently: the
+        // `CsState` access below reports overlapping combiners as a race.)
         #[cfg(debug_assertions)]
         {
             let prev = sh.active_combiners.fetch_add(1, Ordering::AcqRel);
             debug_assert_eq!(prev, 0, "two active combiners — Proposition 1 violated");
         }
 
+        // If a dispatched operation panics, mark the construction poisoned
+        // on the way out: registered clients poll for it while awaiting
+        // their response, and would-be combiners while awaiting our
+        // `combining_done` — neither of which would otherwise ever arrive.
+        let guard = PoisonGuard::new(&sh.poisoned);
+
         // SAFETY: Proposition 1 of the paper — the CAS on
         // `last_registered_combiner` plus the `combining_done` hand-off
         // build a queue (CSqueue) whose head is the unique thread executing
         // these lines; the Acquire spin on the predecessor's flag (done by
-        // our caller) synchronizes with the previous combiner's Release.
-        let state = unsafe { sh.state.get_mut() };
+        // our caller) synchronizes with the previous combiner's Release, so
+        // this thread is the unique accessor for the closure's whole extent.
+        let (retval, ops_completed) = unsafe {
+            sh.state.with_mut(|state| {
+                // Line 23: execute my own operation first.
+                let retval = sh.dispatch.dispatch(state, op, arg);
+                let mut ops_completed: u64 = 0;
 
-        // Line 23: execute my own operation first.
-        let retval = sh.dispatch.dispatch(state, op, arg);
-        let mut ops_completed: u64 = 0;
+                // Lines 25–28: as long as the message queue is non-empty,
+                // serve. (`is_queue_empty` is only a hint — a missed message
+                // here is picked up by the post-SWAP blocking loop below.)
+                let mut buf = [0u64; wire::REQ_WORDS];
+                if sh.eager_drain {
+                    while !endpoint.is_queue_empty() {
+                        endpoint.receive(&mut buf);
+                        Self::serve_one(endpoint, sh, state, buf);
+                        ops_completed += 1;
+                    }
+                }
 
-        // Lines 25–28: as long as the message queue is non-empty, serve.
-        let mut buf = [0u64; wire::REQ_WORDS];
-        if sh.eager_drain {
-            while !self.endpoint.is_queue_empty() {
-                self.endpoint.receive(&mut buf);
-                Self::serve_one(&mut self.endpoint, sh, state, buf);
-                ops_completed += 1;
-            }
-        }
+                // Lines 30–32: close combining for new requests; the SWAP's
+                // old value is the number of successful registrations this
+                // round. AcqRel: the Acquire side pairs with each client's
+                // `n_ops` FAA (Release side), ordering the count we read
+                // after the registrations it counts; the Release side pairs
+                // with the FAA of clients that *fail* to register, so they
+                // fail against a fully-closed node.
+                let mut total_ops = nodes[my].n_ops.swap(sh.max_ops, Ordering::AcqRel);
+                if total_ops > sh.max_ops {
+                    total_ops = sh.max_ops;
+                }
 
-        // Lines 30–32: close combining for new requests; the SWAP's old
-        // value is the number of successful registrations this round.
-        let mut total_ops = nodes[my].n_ops.swap(sh.max_ops, Ordering::AcqRel);
-        if total_ops > sh.max_ops {
-            total_ops = sh.max_ops;
-        }
-
-        // Lines 34–37: serve the remaining registered requests (their
-        // messages may still be in flight; receive blocks as needed).
-        while ops_completed < total_ops {
-            self.endpoint.receive(&mut buf);
-            Self::serve_one(&mut self.endpoint, sh, state, buf);
-            ops_completed += 1;
-        }
+                // Lines 34–37: serve the remaining registered requests
+                // (their messages may still be in flight; a client that
+                // registered always sends — there is deliberately no poison
+                // check between its FAA and its send — so these blocking
+                // receives cannot wait on a request that never comes).
+                while ops_completed < total_ops {
+                    endpoint.receive(&mut buf);
+                    Self::serve_one(endpoint, sh, state, buf);
+                    ops_completed += 1;
+                }
+                (retval, ops_completed)
+            })
+        };
+        guard.disarm();
 
         // Stats before departing (still in mutual exclusion, cheap).
         sh.rounds.fetch_add(1, Ordering::Relaxed);
@@ -401,6 +445,14 @@ where
 
         // Lines 39–42: exchange my node with the departed-combiner spare,
         // initialize the acquired node, and release the next combiner.
+        // AcqRel on the swap: Acquire makes the parked node's last round
+        // visible before we reinitialize it; Release publishes our parked
+        // node. The acquired node's reinit can be Relaxed: its only future
+        // reader synchronizes through our *next* registration CAS on
+        // `last_registered_combiner` (Release), which is program-ordered
+        // after these stores — and no one can still be spinning on the
+        // acquired node, because the unique thread that ever spun on it is
+        // the combiner that parked it (it stopped before parking).
         let new_my = sh.departed_combiner.swap(my, Ordering::AcqRel);
         nodes[new_my].combining_done.store(false, Ordering::Relaxed);
         nodes[new_my]
@@ -430,15 +482,25 @@ where
     fn apply(&mut self, op: u64, arg: u64) -> u64 {
         let sh = &*self.shared;
         let nodes = &sh.nodes;
+        assert!(!sh.poisoned.load(Ordering::Relaxed), "{POISONED}");
         sh.ops.fetch_add(1, Ordering::Relaxed);
 
         loop {
-            // Line 9: read the last registered combiner.
+            // Line 9: read the last registered combiner. Acquire pairs with
+            // the registering combiner's CAS Release: it makes that node's
+            // reinit (`combining_done = false`, `thread_id`) visible before
+            // we FAA into it.
             let last_reg = sh.last_registered_combiner.load(Ordering::Acquire);
 
-            // Line 11: try to register with it.
+            // Line 11: try to register with it. AcqRel: the Release side
+            // pairs with the combiner's closing SWAP so our registration is
+            // counted before it closes; the Acquire side pairs with the
+            // combiner's `n_ops = 0` opening Release.
             if nodes[last_reg].n_ops.fetch_add(1, Ordering::AcqRel) < sh.max_ops {
-                // Lines 13–14: send the request, await the response.
+                // Lines 13–14: send the request, await the response. NOTE:
+                // there must be no poison check between the successful FAA
+                // and the send — the combiner's blocking receives count on
+                // every registered client's message arriving.
                 let dest = EndpointId::from_word(nodes[last_reg].thread_id.load(Ordering::Acquire));
                 let t0 = telemetry::now_ns();
                 self.endpoint
@@ -447,7 +509,20 @@ where
                         &wire::request_at(self.endpoint.id().to_word(), op, arg, t0),
                     )
                     .expect("HYBCOMB combiner endpoint vanished");
-                let ret = self.endpoint.receive1();
+                // Poll rather than block: if the combiner panics mid-round
+                // our response never comes, and the poison flag is the only
+                // signal left.
+                let mut buf = [0u64; 1];
+                let mut spins = 0u32;
+                let ret = loop {
+                    if self.endpoint.try_receive(&mut buf) == 1 {
+                        break buf[0];
+                    }
+                    if sh.poisoned.load(Ordering::Relaxed) {
+                        panic!("{POISONED}");
+                    }
+                    spin(&mut spins);
+                };
                 if telemetry::ENABLED {
                     let track = self.endpoint.id().index() as u32;
                     telemetry::record_span(track, Algo::HybComb, Lane::ClientWait, t0);
@@ -455,7 +530,10 @@ where
                 return ret;
             }
 
-            // Line 17: try to register as a combiner.
+            // Line 17: try to register as a combiner. AcqRel: Release
+            // publishes our node's state (most recently its departure
+            // reinit) to clients and to our successor; Acquire pairs with
+            // the previous registrant's Release for the same fields.
             sh.cas_attempts.fetch_add(1, Ordering::Relaxed);
             if sh
                 .last_registered_combiner
@@ -469,14 +547,17 @@ where
                 nodes[self.my_node].n_ops.store(0, Ordering::Release);
 
                 // Lines 19–20: wait until my predecessor finished combining.
+                // Acquire pairs with the departing combiner's
+                // `combining_done` Release — crossing it hands us the
+                // critical section (every state mutation of every previous
+                // round). The poison check keeps us from spinning forever on
+                // a predecessor that panicked mid-round.
                 let mut spins = 0u32;
                 while !nodes[last_reg].combining_done.load(Ordering::Acquire) {
-                    spins = spins.saturating_add(1);
-                    if spins < 128 {
-                        std::hint::spin_loop();
-                    } else {
-                        std::thread::yield_now();
+                    if sh.poisoned.load(Ordering::Relaxed) {
+                        panic!("{POISONED}");
                     }
+                    spin(&mut spins);
                 }
                 // Line 21: break — become the active combiner.
                 return self.combine(op, arg);
@@ -523,7 +604,7 @@ mod tests {
     #[test]
     fn multithreaded_permutation() {
         const THREADS: usize = 8;
-        const OPS: u64 = 3_000;
+        const OPS: u64 = if cfg!(miri) { 40 } else { 3_000 };
         let fabric = fabric_for(THREADS);
         let hc = Arc::new(HybComb::new(THREADS, 50, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
@@ -545,7 +626,7 @@ mod tests {
     #[test]
     fn max_ops_one_degenerates_but_stays_correct() {
         const THREADS: usize = 4;
-        const OPS: u64 = 800;
+        const OPS: u64 = if cfg!(miri) { 30 } else { 800 };
         let fabric = fabric_for(THREADS);
         let hc = Arc::new(HybComb::new(THREADS, 1, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
@@ -563,7 +644,7 @@ mod tests {
     #[test]
     fn no_drain_ablation_stays_correct() {
         const THREADS: usize = 4;
-        const OPS: u64 = 1_500;
+        const OPS: u64 = if cfg!(miri) { 30 } else { 1_500 };
         let fabric = fabric_for(THREADS);
         let hc = Arc::new(HybComb::with_options(
             THREADS,
@@ -587,7 +668,7 @@ mod tests {
     #[test]
     fn stats_identities_hold() {
         const THREADS: usize = 6;
-        const OPS: u64 = 1_000;
+        const OPS: u64 = if cfg!(miri) { 30 } else { 1_000 };
         let fabric = fabric_for(THREADS);
         let hc = Arc::new(HybComb::new(THREADS, 30, 0u64, fai as CounterFn));
         let mut joins = Vec::new();
@@ -622,5 +703,40 @@ mod tests {
         let hc = HybComb::new(1, 8, 0u64, fai as CounterFn);
         let _a = hc.handle(fabric.register_any().unwrap());
         let _b = hc.handle(fabric.register_any().unwrap());
+    }
+
+    #[test]
+    fn combiner_panic_poisons_instead_of_wedging() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn boom(state: &mut u64, op: u64, _arg: u64) -> u64 {
+            if op == 1 {
+                panic!("dispatch exploded");
+            }
+            *state += 1;
+            *state
+        }
+
+        let fabric = fabric_for(2);
+        let hc = Arc::new(HybComb::new(2, 8, 0u64, boom as CounterFn));
+        let mut a = hc.handle(fabric.register_any().unwrap());
+        // Single thread, so `a` deterministically becomes the combiner and
+        // its own panicking op unwinds out of the dispatch region.
+        let err = catch_unwind(AssertUnwindSafe(|| a.apply(1, 0))).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"dispatch exploded"));
+
+        // Every later apply must report the poisoning, not hang waiting for
+        // a response or hand-off that will never come.
+        let mut b = hc.handle(fabric.register_any().unwrap());
+        let err = catch_unwind(AssertUnwindSafe(|| b.apply(0, 0))).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("HYBCOMB poisoned"), "got: {msg}");
+
+        // And the (possibly torn) state must not escape looking valid.
+        drop((a, b));
+        let hc = Arc::try_unwrap(hc).unwrap_or_else(|_| panic!("handles alive"));
+        let err = catch_unwind(AssertUnwindSafe(|| hc.into_state())).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("formatted panic");
+        assert!(msg.contains("HYBCOMB poisoned"), "got: {msg}");
     }
 }

@@ -66,7 +66,11 @@ pub mod locks;
 mod mp_server;
 mod shm_server;
 mod state;
+pub(crate) mod sync;
 pub mod wire;
+
+#[cfg(all(test, loom))]
+mod loom_models;
 
 pub use cc_synch::{CcSynch, CcSynchHandle};
 pub use dispatch::{Dispatcher, OpTable};

@@ -11,13 +11,13 @@
 //!   spinning* and O(1) RMR complexity per acquisition.
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 
 use crate::dispatch::Dispatcher;
 use crate::state::CsState;
+use crate::sync::{spin, AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use crate::ApplyOp;
 
 /// A raw mutual-exclusion lock usable by [`LockCs`].
@@ -38,15 +38,6 @@ pub trait CsLock: Send + Sync + Default + 'static {
     fn unlock(&self, ctx: &mut Self::Ctx);
 }
 
-fn spin(spins: &mut u32) {
-    *spins = spins.saturating_add(1);
-    if *spins < 128 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
-}
-
 /// Test-and-test-and-set lock with exponential backoff.
 #[derive(Default)]
 pub struct TasLock {
@@ -59,14 +50,19 @@ impl CsLock for TasLock {
     fn lock(&self, _ctx: &mut ()) {
         let mut backoff = 1u32;
         loop {
+            // Acquire pairs with `unlock`'s Release: entering the critical
+            // section must see every mutation of the previous holder.
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
             // Test loop: spin on the local cached copy until it looks free.
+            // Relaxed is fine — it is only a hint; the swap above is the
+            // synchronizing access.
             let mut spins = 0u32;
             while self.locked.load(Ordering::Relaxed) {
                 spin(&mut spins);
             }
+            #[cfg(not(loom))]
             for _ in 0..backoff {
                 std::hint::spin_loop();
             }
@@ -98,6 +94,9 @@ impl CsLock for TicketLock {
     }
 
     fn unlock(&self, _ctx: &mut ()) {
+        // Relaxed read is fine: the holder is the only writer of
+        // `now_serving`; the Release store publishes the critical section to
+        // the next ticket holder's Acquire spin.
         let next = self.now_serving.load(Ordering::Relaxed) + 1;
         self.now_serving.store(next, Ordering::Release);
     }
@@ -137,6 +136,10 @@ impl CsLock for McsLock {
         node.next.store(ptr::null_mut(), Ordering::Relaxed);
         node.locked.store(true, Ordering::Relaxed);
         let me: *mut McsNode = node;
+        // AcqRel on `tail`: Release publishes my node init (the two Relaxed
+        // stores above) to the successor that displaces me; Acquire pairs
+        // with the previous holder's Release (`locked`/CAS) so an
+        // uncontended acquisition still sees the last critical section.
         let pred = self.tail.swap(me, Ordering::AcqRel);
         if !pred.is_null() {
             // SAFETY: `pred` was published by its owner, which cannot
@@ -144,6 +147,8 @@ impl CsLock for McsLock {
             // on `next` once its CAS on `tail` fails — and it must fail,
             // because we swapped after it).
             unsafe { (*pred).next.store(me, Ordering::Release) };
+            // Acquire pairs with the predecessor's `locked` Release in
+            // `unlock`: crossing it hands us the critical section.
             let mut spins = 0u32;
             while node.locked.load(Ordering::Acquire) {
                 spin(&mut spins);
@@ -153,9 +158,13 @@ impl CsLock for McsLock {
 
     fn unlock(&self, node: &mut McsNode) {
         let me: *mut McsNode = node;
+        // Acquire pairs with the successor's `next` Release in `lock`: it
+        // makes the successor's node (where we store the release) valid here.
         let mut next = node.next.load(Ordering::Acquire);
         if next.is_null() {
-            // No known successor: try to swing tail back to empty.
+            // No known successor: try to swing tail back to empty. The
+            // success Release publishes the critical section to the next
+            // uncontended acquirer's `tail` swap (Acquire).
             if self
                 .tail
                 .compare_exchange(me, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
@@ -244,11 +253,13 @@ where
     #[inline]
     fn apply(&mut self, op: u64, arg: u64) -> u64 {
         self.shared.lock.lock(&mut self.ctx);
-        // SAFETY: we hold the lock; `CsLock` implementations provide mutual
-        // exclusion and release/acquire ordering across the hand-off.
-        let ret = {
-            let state = unsafe { self.shared.state.get_mut() };
-            self.shared.dispatch.dispatch(state, op, arg)
+        // SAFETY: we hold the lock for the closure's whole extent; `CsLock`
+        // implementations provide mutual exclusion and release/acquire
+        // ordering across the hand-off.
+        let ret = unsafe {
+            self.shared
+                .state
+                .with_mut(|state| self.shared.dispatch.dispatch(state, op, arg))
         };
         self.shared.lock.unlock(&mut self.ctx);
         ret
@@ -269,7 +280,7 @@ mod tests {
 
     fn hammer<L: CsLock>() {
         const THREADS: usize = 8;
-        const OPS: u64 = 3_000;
+        const OPS: u64 = if cfg!(miri) { 40 } else { 3_000 };
         let cs = LockCs::<u64, L, CounterFn>::new(0, fai as CounterFn);
         let mut joins = Vec::new();
         for _ in 0..THREADS {

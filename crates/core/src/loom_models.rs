@@ -1,0 +1,270 @@
+//! Loom models for the core executors (`RUSTFLAGS="--cfg loom" cargo test
+//! -p mpsync-core --lib`).
+//!
+//! Every protocol-bearing atomic in this crate goes through `crate::sync`,
+//! and the protected state sits in a loom `UnsafeCell` (`CsState`), so these
+//! models explore bounded interleavings of the *production* code and any
+//! mutual-exclusion violation — two combiners, two lock holders — surfaces
+//! as a reported data race on the state cell. See DESIGN.md §9 for the
+//! happens-before graphs being checked.
+//!
+//! Under `--cfg loom` the whole dependency tree is built with the facade, so
+//! HYBCOMB models also explore the underlying `WordQueue` protocol of
+//! `mpsync-udn` — requests and responses travel through the real ring.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use mpsync_udn::{Fabric, FabricConfig};
+
+use crate::locks::{McsLock, TasLock};
+use crate::{ApplyOp, CcSynch, HybComb, LockCs};
+
+type CounterFn = fn(&mut u64, u64, u64) -> u64;
+
+fn fai(state: &mut u64, _op: u64, _arg: u64) -> u64 {
+    let old = *state;
+    *state += 1;
+    old
+}
+
+/// Dispatch that panics on opcode 1 — the poison-model trigger.
+fn boom(state: &mut u64, op: u64, _arg: u64) -> u64 {
+    if op == 1 {
+        panic!("dispatch exploded");
+    }
+    let old = *state;
+    *state += 1;
+    old
+}
+
+/// A panic payload is acceptable in the poison models iff it is either the
+/// injected dispatch panic or the construction's poison report.
+fn assert_expected_panic(err: &(dyn std::any::Any + Send), poison_tag: &str) {
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .expect("panic payload should be a string");
+    assert!(
+        msg.contains("dispatch exploded") || msg.contains(poison_tag),
+        "unexpected panic: {msg}"
+    );
+}
+
+/// CC-SYNCH, two threads, one op each: every interleaving must execute both
+/// ops exactly once (a permutation of {0, 1}) with the state cell race-free
+/// — the enqueue `tail` SWAP plus the `wait` Release/Acquire hand-off are
+/// the edges under test.
+#[test]
+fn cc_synch_two_threads_permutation() {
+    loom::model(|| {
+        let cs = Arc::new(CcSynch::new(2, 8, 0u64, fai as CounterFn));
+        let mut a = cs.handle();
+        let t = {
+            let cs = Arc::clone(&cs);
+            loom::thread::spawn(move || {
+                let mut b = cs.handle();
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+        drop(a);
+        let cs = Arc::try_unwrap(cs).unwrap_or_else(|_| panic!("handles alive"));
+        assert_eq!(cs.into_state(), 2);
+    });
+}
+
+/// CC-SYNCH with `max_ops == 1`: a combiner that serves only itself must
+/// hand the combiner role to its successor (the explicit hand-off Release),
+/// never wedge it.
+#[test]
+fn cc_synch_hand_off_with_max_ops_one() {
+    loom::model(|| {
+        let cs = Arc::new(CcSynch::new(2, 1, 0u64, fai as CounterFn));
+        let mut a = cs.handle();
+        let t = {
+            let cs = Arc::clone(&cs);
+            loom::thread::spawn(move || {
+                let mut b = cs.handle();
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+    });
+}
+
+/// Loom regression model for the panic-safety fix: a combiner whose dispatch
+/// panics must poison the construction so the other thread panics (with the
+/// injected or the poison message) or completes — but never spins forever
+/// (loom's step bound would flag the wedge the old code produced).
+#[test]
+fn cc_synch_combiner_panic_poisons_waiters() {
+    loom::model(|| {
+        let cs = Arc::new(CcSynch::new(2, 8, 0u64, boom as CounterFn));
+        let mut a = cs.handle();
+        let t = {
+            let cs = Arc::clone(&cs);
+            loom::thread::spawn(move || {
+                let mut b = cs.handle();
+                // The benign op: may be served before the poison round, may
+                // observe the poisoning, or may itself serve op 1 and panic.
+                catch_unwind(AssertUnwindSafe(|| b.apply(0, 0)))
+            })
+        };
+        let ra = catch_unwind(AssertUnwindSafe(|| a.apply(1, 0)));
+        let rb = t.join().unwrap();
+        for r in [&ra, &rb] {
+            if let Err(e) = r {
+                assert_expected_panic(e.as_ref(), "CC-SYNCH poisoned");
+            }
+        }
+        // Op 1 executed (and panicked) under exactly one combiner, so at
+        // least one of the two applies must have unwound.
+        assert!(ra.is_err() || rb.is_err());
+    });
+}
+
+/// HYBCOMB, two threads, one op each, registration open (`max_ops` large):
+/// all interleavings of FAA-registration vs. CAS-combining must execute both
+/// ops exactly once. Proposition 1 (at most one active combiner) is checked
+/// by construction: an interleaving with two combiners would overlap on the
+/// `CsState` cell and be reported as a data race. This model also audits the
+/// eager-drain `is_queue_empty` Relaxed hint: a stale answer may only skip
+/// the drain, never corrupt a serve.
+#[test]
+fn hybcomb_single_active_combiner_proposition1() {
+    loom::model(|| {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let hc = Arc::new(HybComb::new(2, 8, 0u64, fai as CounterFn));
+        let mut a = hc.handle(fabric.register_any().unwrap());
+        let t = {
+            let hc = Arc::clone(&hc);
+            let fabric = Arc::clone(&fabric);
+            loom::thread::spawn(move || {
+                let mut b = hc.handle(fabric.register_any().unwrap());
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+        drop(a);
+        let hc = Arc::try_unwrap(hc).unwrap_or_else(|_| panic!("handles alive"));
+        assert_eq!(hc.into_state(), 2);
+    });
+}
+
+/// HYBCOMB with `max_ops == 1`: the second thread cannot register (the FAA
+/// gate is closed after one op), so it must CAS itself onto the combiner
+/// queue and cross the `combining_done` Release/Acquire hand-off — the
+/// departure path (`departed_combiner` node exchange) is exercised in every
+/// interleaving.
+#[test]
+fn hybcomb_combiner_hand_off_with_max_ops_one() {
+    loom::model(|| {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let hc = Arc::new(HybComb::new(2, 1, 0u64, fai as CounterFn));
+        let mut a = hc.handle(fabric.register_any().unwrap());
+        let t = {
+            let hc = Arc::clone(&hc);
+            let fabric = Arc::clone(&fabric);
+            loom::thread::spawn(move || {
+                let mut b = hc.handle(fabric.register_any().unwrap());
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+    });
+}
+
+/// Loom regression model for the panic-safety fix: a HYBCOMB combiner whose
+/// dispatch panics must poison the construction; a registered client polling
+/// for its response (rather than blocking — the fix under test) observes the
+/// poison instead of waiting forever for a reply that cannot come.
+#[test]
+fn hybcomb_combiner_panic_poisons_clients() {
+    loom::model(|| {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let hc = Arc::new(HybComb::new(2, 8, 0u64, boom as CounterFn));
+        let mut a = hc.handle(fabric.register_any().unwrap());
+        let t = {
+            let hc = Arc::clone(&hc);
+            let fabric = Arc::clone(&fabric);
+            loom::thread::spawn(move || {
+                let mut b = hc.handle(fabric.register_any().unwrap());
+                catch_unwind(AssertUnwindSafe(|| b.apply(0, 0)))
+            })
+        };
+        let ra = catch_unwind(AssertUnwindSafe(|| a.apply(1, 0)));
+        let rb = t.join().unwrap();
+        for r in [&ra, &rb] {
+            if let Err(e) = r {
+                assert_expected_panic(e.as_ref(), "HYBCOMB poisoned");
+            }
+        }
+        assert!(ra.is_err() || rb.is_err());
+    });
+}
+
+/// MCS under LockCs: the `tail` SWAP enqueue, successor link Release, local
+/// `locked` spin, and both unlock paths (tail CAS back to empty vs. waiting
+/// for the successor link) must all transfer the critical section race-free.
+#[test]
+fn mcs_lock_cs_mutual_exclusion() {
+    loom::model(|| {
+        let cs = Arc::new(LockCs::<u64, McsLock, CounterFn>::new(0, fai as CounterFn));
+        let mut a = cs.handle();
+        let t = {
+            let cs = Arc::clone(&cs);
+            loom::thread::spawn(move || {
+                let mut b = cs.handle();
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+        drop(a);
+        let cs = Arc::try_unwrap(cs).unwrap_or_else(|_| panic!("handles alive"));
+        assert_eq!(cs.into_state(), 2);
+    });
+}
+
+/// TAS lock hand-off: the Acquire SWAP / Release store pair is the only
+/// edge; the Relaxed test loop must stay a hint.
+#[test]
+fn tas_lock_cs_mutual_exclusion() {
+    loom::model(|| {
+        let cs = Arc::new(LockCs::<u64, TasLock, CounterFn>::new(0, fai as CounterFn));
+        let mut a = cs.handle();
+        let t = {
+            let cs = Arc::clone(&cs);
+            loom::thread::spawn(move || {
+                let mut b = cs.handle();
+                b.apply(0, 0)
+            })
+        };
+        let ra = a.apply(0, 0);
+        let rb = t.join().unwrap();
+        let mut seen = [ra, rb];
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1]);
+    });
+}

@@ -1,6 +1,7 @@
-//! Interior-mutable holder for the state protected by a construction.
+//! Interior-mutable holder for the state protected by a construction, plus
+//! the panic-safety guard the combining executors wrap around it.
 
-use std::cell::UnsafeCell;
+use crate::sync::{AtomicBool, Ordering, UnsafeCell};
 
 /// The state a construction protects, wrapped so that it can be shared
 /// across threads while only ever being *accessed* by the thread currently
@@ -9,6 +10,11 @@ use std::cell::UnsafeCell;
 /// Each executor in this crate establishes mutual exclusion by its own
 /// protocol (a dedicated server thread, a unique combiner, a held lock); the
 /// `unsafe` blocks touching this cell cite the relevant argument.
+///
+/// Access is closure-scoped (`with_mut`) rather than reference-returning so
+/// that under `--cfg loom` the model checker sees the exact extent of every
+/// critical section and reports any pair of overlapping accesses as a data
+/// race — the executable form of each construction's mutual-exclusion proof.
 pub(crate) struct CsState<S> {
     cell: UnsafeCell<S>,
 }
@@ -27,22 +33,54 @@ impl<S> CsState<S> {
         }
     }
 
-    /// Returns a mutable reference to the protected state.
+    /// Runs `f` with a mutable reference to the protected state.
     ///
     /// # Safety
     ///
-    /// The caller must be the unique servicing thread at this moment: a
-    /// dedicated server, the active combiner, or a lock holder. No other
-    /// reference (shared or exclusive) may exist concurrently.
-    #[allow(clippy::mut_from_ref)]
-    pub(crate) unsafe fn get_mut(&self) -> &mut S {
-        // SAFETY: forwarded to the caller's contract above.
-        unsafe { &mut *self.cell.get() }
+    /// The caller must be the unique servicing thread for the whole duration
+    /// of `f`: a dedicated server, the active combiner, or a lock holder. No
+    /// other reference (shared or exclusive) may exist concurrently.
+    #[inline]
+    pub(crate) unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        // SAFETY: forwarded to the caller's contract above; the pointer is
+        // valid and uniquely accessible while `f` runs.
+        self.cell.with_mut(|p| f(unsafe { &mut *p }))
     }
 
     /// Consumes the holder, returning the state (used on shutdown once all
     /// servicing activity has quiesced).
     pub(crate) fn into_inner(self) -> S {
         self.cell.into_inner()
+    }
+}
+
+/// Arms on creation; unless [`PoisonGuard::disarm`]ed before drop (i.e. the
+/// servicing thread's dispatch region unwound), marks the construction
+/// poisoned so spinning waiters panic instead of wedging forever on a
+/// hand-off or response that will never come.
+pub(crate) struct PoisonGuard<'a> {
+    flag: &'a AtomicBool,
+    armed: bool,
+}
+
+impl<'a> PoisonGuard<'a> {
+    pub(crate) fn new(flag: &'a AtomicBool) -> Self {
+        Self { flag, armed: true }
+    }
+
+    pub(crate) fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Relaxed would suffice for the waiters (they only panic on
+            // seeing it, no payload is read); Release costs nothing on the
+            // unwind path and keeps the flag ordered after the partial
+            // mutations for any post-mortem inspection.
+            self.flag.store(true, Ordering::Release);
+        }
     }
 }

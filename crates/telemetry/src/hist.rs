@@ -330,7 +330,7 @@ mod tests {
     fn concurrent_recording_sums_up() {
         use std::sync::Arc;
         const THREADS: u64 = 4;
-        const PER: u64 = 50_000;
+        const PER: u64 = if cfg!(miri) { 200 } else { 50_000 };
         let h = Arc::new(AtomicLog2Hist::new());
         let joins: Vec<_> = (0..THREADS)
             .map(|t| {

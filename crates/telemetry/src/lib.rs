@@ -27,7 +27,11 @@
 pub mod hist;
 pub mod report;
 pub mod ring;
+pub(crate) mod sync;
 pub mod trace;
+
+#[cfg(all(test, loom))]
+mod loom_models;
 
 pub use hist::{bucket_bounds, bucket_of, AtomicLog2Hist, Log2Hist, HIST_BUCKETS};
 pub use report::TelemetryReport;
@@ -163,10 +167,13 @@ pub enum Counter {
     RuntimeSubmits = 8,
     /// Service batches observed by runtime shards.
     RuntimeBatches = 9,
+    /// Non-blocking sends rejected for lack of queue space (distinct from
+    /// `UdnBlockedSends`, which counts sends that waited).
+    UdnFailedSends = 10,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 11] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -177,6 +184,7 @@ impl Counter {
         Counter::CcServed,
         Counter::RuntimeSubmits,
         Counter::RuntimeBatches,
+        Counter::UdnFailedSends,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -192,6 +200,7 @@ impl Counter {
             Counter::CcServed => "cc_synch.served",
             Counter::RuntimeSubmits => "runtime.submits",
             Counter::RuntimeBatches => "runtime.batches",
+            Counter::UdnFailedSends => "udn.failed_sends",
         }
     }
 }

@@ -9,12 +9,14 @@
 //! recording never waits on draining, which is what keeps the hot path a
 //! handful of relaxed stores.
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
-
+use crate::sync::{fence, AtomicU64, Ordering};
 use crate::SpanEvent;
 
 /// Spans retained per recording thread (oldest overwritten first).
-pub const RING_CAPACITY: usize = 4096;
+///
+/// Shrunk to 4 under `--cfg loom` so the model can drive a push cursor all
+/// the way around the ring (wrap-around + lapping) in a handful of steps.
+pub const RING_CAPACITY: usize = if cfg!(loom) { 4 } else { 4096 };
 
 struct Slot {
     /// Seqlock word: `2*pos + 1` while slot `pos % RING_CAPACITY` is being
@@ -60,14 +62,23 @@ impl Ring {
     /// Records one span. Must only be called by the owning thread (single
     /// writer); concurrent [`Ring::drain`] calls are fine.
     pub fn push(&self, meta: u64, start_ns: u64, dur_ns: u64) {
+        // Relaxed: `head` is the single writer's private cursor; readers
+        // only consume it through the Release store at the end of this call.
         let pos = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(pos % RING_CAPACITY as u64) as usize];
+        // Release + fence: orders the odd-seq "write in progress" marker
+        // before the payload stores, so a reader's post-copy re-check (its
+        // Acquire fence pairs with this one) cannot miss an in-flight write.
         slot.seq.store(2 * pos + 1, Ordering::Release);
         fence(Ordering::Release);
+        // Relaxed payload: the seqlock words carry all the ordering.
         slot.meta.store(meta, Ordering::Relaxed);
         slot.start_ns.store(start_ns, Ordering::Relaxed);
         slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        // Release: publishes the payload to the reader's Acquire pre-check.
         slot.seq.store(2 * pos + 2, Ordering::Release);
+        // Release: a reader that sees `pos + 1` also sees slot `pos` fully
+        // published (or at worst skips it via the seq check).
         self.head.store(pos + 1, Ordering::Release);
     }
 
@@ -80,17 +91,25 @@ impl Ring {
     /// concurrent `push` is overwriting are skipped, so under contention the
     /// result is a consistent subset rather than torn data.
     pub fn drain(&self, out: &mut Vec<SpanEvent>) {
+        // Acquire: pairs with the writer's final Release store — every slot
+        // counted by `head` is at least seq-published from here on.
         let head = self.head.load(Ordering::Acquire);
         let start = head.saturating_sub(RING_CAPACITY as u64);
         for pos in start..head {
             let slot = &self.slots[(pos % RING_CAPACITY as u64) as usize];
             let expect = 2 * pos + 2;
+            // Acquire: pairs with the writer's even-seq Release so the
+            // payload reads below see at least the publication for `pos`.
             if slot.seq.load(Ordering::Acquire) != expect {
                 continue; // being overwritten (or already lapped)
             }
             let meta = slot.meta.load(Ordering::Relaxed);
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
             let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            // Acquire fence + relaxed re-check: pairs with the writer's
+            // Release fence after the odd-seq marker — if an overwrite of
+            // this slot started before our payload copy finished, the
+            // re-check observes the odd (or lapped) sequence and we skip.
             fence(Ordering::Acquire);
             if slot.seq.load(Ordering::Relaxed) != expect {
                 continue; // overwritten mid-copy
@@ -126,6 +145,10 @@ mod tests {
     fn drain_under_contention_never_tears() {
         use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
+        // Miri executes this interleaving test, just far more slowly: cap
+        // both the writer and the drain loop so the schedule stays bounded.
+        const DRAINS: usize = if cfg!(miri) { 20 } else { 200 };
+        const WRITER_CAP: u64 = if cfg!(miri) { 2_000 } else { u64::MAX };
         let r = Arc::new(Ring::new());
         let stop = Arc::new(AtomicBool::new(false));
         let writer = {
@@ -133,7 +156,7 @@ mod tests {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut i = 0u64;
-                while !stop.load(Ordering::Relaxed) {
+                while !stop.load(Ordering::Relaxed) && i < WRITER_CAP {
                     // start == dur == i: the invariant drains check for.
                     r.push(7, i, i);
                     i += 1;
@@ -142,7 +165,7 @@ mod tests {
             })
         };
         let mut out = Vec::new();
-        for _ in 0..200 {
+        for _ in 0..DRAINS {
             out.clear();
             r.drain(&mut out);
             for e in &out {

@@ -1,0 +1,15 @@
+//! Atomic facade for the span-ring seqlock: `std::sync` in production,
+//! `loom` under `RUSTFLAGS="--cfg loom"` (see DESIGN.md §9).
+//!
+//! Only the [`crate::ring`] seqlock goes through this module — it is the one
+//! telemetry data structure with a cross-thread protocol (single writer,
+//! concurrent drains). The counter/histogram arrays stay on plain
+//! `std::sync::atomic`: they are independent relaxed counters with no
+//! ordering protocol to check, and routing them through loom would only
+//! inflate the model's state space.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{fence, AtomicU64, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{fence, AtomicU64, Ordering};

@@ -130,6 +130,9 @@ impl Endpoint {
             self.sent.fetch_add(1, Ordering::Relaxed);
             Ok(())
         } else {
+            if telemetry::ENABLED {
+                telemetry::count(Counter::UdnFailedSends, 1);
+            }
             Err(SendError::Full(dest))
         }
     }
@@ -278,6 +281,9 @@ impl Sender {
         if self.fabric.queue(dest)?.try_send(words) {
             Ok(())
         } else {
+            if telemetry::ENABLED {
+                telemetry::count(Counter::UdnFailedSends, 1);
+            }
             Err(SendError::Full(dest))
         }
     }
@@ -343,6 +349,10 @@ mod tests {
         let b = f.register_any().unwrap();
         a.send(b.id(), &[1, 2]).unwrap();
         assert_eq!(a.try_send(b.id(), &[3]), Err(SendError::Full(b.id())));
+        // The rejection is a failed send, not back-pressure.
+        let stats = f.stats();
+        assert_eq!(stats.failed_sends, 1);
+        assert_eq!(stats.blocked_sends, 0);
     }
 
     #[test]

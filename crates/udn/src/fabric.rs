@@ -175,6 +175,7 @@ impl Fabric {
             endpoints: self.queues.len(),
             words_pending: self.queues.iter().map(|q| q.len() as u64).sum(),
             blocked_sends: self.queues.iter().map(|q| q.blocked_sends()).sum(),
+            failed_sends: self.queues.iter().map(|q| q.failed_sends()).sum(),
         }
     }
 }

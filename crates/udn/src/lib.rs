@@ -62,6 +62,10 @@ mod error;
 mod fabric;
 mod queue;
 mod stats;
+pub(crate) mod sync;
+
+#[cfg(all(test, loom))]
+mod loom_models;
 
 pub use endpoint::{Endpoint, EndpointId, Sender};
 pub use error::{RegisterError, SendError};

@@ -20,6 +20,9 @@ pub struct FabricStats {
     pub endpoints: usize,
     /// Words currently enqueued across all queues (snapshot).
     pub words_pending: u64,
-    /// Total sends that observed a full destination queue.
+    /// Total sends that observed a full destination queue and waited.
     pub blocked_sends: u64,
+    /// Total non-blocking send attempts rejected because the destination
+    /// queue had no room (these never waited — not back-pressure).
+    pub failed_sends: u64,
 }

@@ -1,0 +1,70 @@
+//! Synchronization facade: `std::sync::atomic`/`std::cell::UnsafeCell` in
+//! normal builds, loom's model-checked doubles under `RUSTFLAGS="--cfg
+//! loom"` (see DESIGN.md §9 and `tests in src/loom_models.rs`).
+//!
+//! Only the *protocol-bearing* shared state goes through this facade — the
+//! atomics whose orderings carry the happens-before edges the queue
+//! protocol relies on. Monotone statistics counters (`blocked_sends`,
+//! `failed_sends`, …) intentionally stay on plain `std` atomics even under
+//! loom: they are not part of any protocol, and every extra modeled atomic
+//! multiplies the interleaving space the checker must explore.
+
+#[cfg(loom)]
+pub(crate) use loom::cell::UnsafeCell;
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `std::cell::UnsafeCell` behind loom's scoped-access API, so protocol
+/// code is written once: `with` for reads, `with_mut` for writes. In std
+/// builds both compile down to a bare pointer handed to the closure.
+#[cfg(not(loom))]
+pub(crate) struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+#[cfg(not(loom))]
+impl<T> UnsafeCell<T> {
+    pub(crate) fn new(v: T) -> Self {
+        Self(std::cell::UnsafeCell::new(v))
+    }
+
+    /// Runs `f` with a shared (read) pointer to the contents. The caller
+    /// must uphold the aliasing discipline the surrounding protocol
+    /// establishes — under `--cfg loom` the model checker verifies it.
+    #[inline(always)]
+    pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.0.get())
+    }
+
+    /// Runs `f` with an exclusive (write) pointer to the contents; same
+    /// contract as [`UnsafeCell::with`].
+    #[inline(always)]
+    pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.0.get())
+    }
+}
+
+/// Spin with exponential escalation to `yield_now`, so that oversubscribed
+/// hosts (fewer hardware threads than emulated cores) still make progress.
+///
+/// Under loom every wait iteration must be a voluntary yield instead: the
+/// explorer deprioritizes yielded threads, which is what lets a bounded
+/// search drive a spin loop to its wake-up condition.
+#[inline]
+pub(crate) fn backoff(spins: &mut u32) {
+    #[cfg(loom)]
+    {
+        let _ = spins;
+        loom::thread::yield_now();
+    }
+    #[cfg(not(loom))]
+    {
+        *spins = spins.saturating_add(1);
+        if *spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
