@@ -100,6 +100,11 @@ fn report_shard_distribution(_c: &mut Criterion) {
             f(stats.avg_batch()),
         );
         print!("{stats}");
+        println!(
+            "# {} runtime stats json: {}",
+            backend.label(),
+            stats.to_json()
+        );
         let latencies = TelemetryReport::capture();
         if !latencies.is_empty() {
             println!("# {} latencies (ns):", backend.label());

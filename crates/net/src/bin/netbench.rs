@@ -1,0 +1,828 @@
+//! netbench: loopback load generator and self-checking smoke harness for
+//! the mpsync-net serving layer.
+//!
+//! Spins up an in-process [`NetServer`] over a sharded counter or KV
+//! runtime, drives it with N client connections, and reports throughput
+//! plus per-op latency percentiles (client-measured, send → ack).
+//!
+//! Two loop disciplines:
+//!
+//! * **closed loop** (default): each connection keeps `--pipeline` requests
+//!   outstanding — throughput is whatever the server sustains.
+//! * **open loop** (`--rate R`): each connection fires requests on its own
+//!   clock (R ops/s split across connections) regardless of responses —
+//!   the discipline that exposes BUSY backpressure under overload.
+//!
+//! Key skew is Zipf (`--theta`, 0 = uniform) over `--keys` keys, sampled
+//! from a precomputed harmonic CDF.
+//!
+//! `--smoke` runs the CI acceptance check instead of a benchmark: steady
+//! pipelined connections plus deliberately misbehaving ones (disconnect
+//! mid-run with responses in flight), a graceful server shutdown under
+//! load, and end-state verification that every *acked* increment was
+//! applied exactly once (`max(pre)+1 ≤ final ≤ sent`, distinct pre-values,
+//! per-connection monotonicity). Exit code 0 only if every invariant holds.
+//!
+//! Run `netbench --help` for the flag list; EXPERIMENTS.md has reference
+//! invocations.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use mpsync_net::{NetClient, NetServer, ServerConfig};
+use mpsync_objects::seq::{keyed_counter_ops, kv_ops};
+use mpsync_runtime::{
+    Backend, RuntimeConfig, RuntimeStats, ShardedCounter, ShardedKvStore, SubmitPolicy,
+};
+use mpsync_telemetry::Log2Hist;
+use rand::{Rng, SeedableRng, StdRng};
+
+use mpsync_net::frame::Status;
+
+// ---------------------------------------------------------------- options
+
+#[derive(Clone)]
+struct Opts {
+    backends: Vec<Backend>,
+    shards: usize,
+    connections: usize,
+    pipeline: usize,
+    /// Ops per connection (closed loop) or total send budget (open loop).
+    ops: u64,
+    /// Wall-clock cap; whichever of ops/duration trips first ends the run.
+    duration: Option<Duration>,
+    /// Open-loop aggregate request rate (ops/s across all connections).
+    rate: Option<u64>,
+    keys: u64,
+    theta: f64,
+    workload: Workload,
+    policy: SubmitPolicy,
+    queue_depth: usize,
+    seed: u64,
+    json: bool,
+    smoke: bool,
+    uds: Option<std::path::PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Counter,
+    Kv,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            backends: vec![Backend::MpServer],
+            shards: 2,
+            connections: 4,
+            pipeline: 8,
+            ops: 2000,
+            duration: None,
+            rate: None,
+            keys: 1024,
+            theta: 0.99,
+            workload: Workload::Counter,
+            policy: SubmitPolicy::Block,
+            queue_depth: 64,
+            seed: 42,
+            json: false,
+            smoke: false,
+            uds: None,
+        }
+    }
+}
+
+const USAGE: &str = "\
+netbench — loopback load generator for the mpsync-net serving layer
+
+USAGE: netbench [FLAGS]
+
+  --backend NAME     mp-server | hybcomb | cc-synch | lock | all  [mp-server]
+  --shards N         runtime shards                               [2]
+  --connections N    client connections                           [4]
+  --pipeline N       outstanding requests per connection (closed) [8]
+  --ops N            ops per connection                           [2000]
+  --duration SECS    wall-clock cap (fractional ok)
+  --rate OPS_S       open loop: aggregate request rate (ops/s)
+  --keys N           key-space size                               [1024]
+  --theta F          Zipf skew, 0 = uniform                       [0.99]
+  --workload W       counter | kv                                 [counter]
+  --policy P         block | fail (fail surfaces BUSY)            [block]
+  --queue-depth N    per-shard admission window                   [64]
+  --uds PATH         serve over a unix socket instead of TCP
+  --seed N           workload RNG seed                            [42]
+  --json             machine-readable report on stdout
+  --smoke            run the self-checking CI scenario
+  --help             this text
+";
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    fn val(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--backend" => {
+                let v = val(&mut args, "--backend")?;
+                o.backends = if v == "all" {
+                    Backend::ALL.to_vec()
+                } else {
+                    vec![Backend::ALL
+                        .into_iter()
+                        .find(|b| b.label() == v)
+                        .ok_or_else(|| format!("unknown backend {v:?}"))?]
+                };
+            }
+            "--shards" => o.shards = parse_num(&val(&mut args, &a)?, &a)?,
+            "--connections" => o.connections = parse_num(&val(&mut args, &a)?, &a)?,
+            "--pipeline" => o.pipeline = parse_num::<usize>(&val(&mut args, &a)?, &a)?.max(1),
+            "--ops" => o.ops = parse_num(&val(&mut args, &a)?, &a)?,
+            "--duration" => {
+                let secs: f64 = val(&mut args, &a)?
+                    .parse()
+                    .map_err(|_| format!("{a}: bad number"))?;
+                o.duration = Some(Duration::from_secs_f64(secs));
+            }
+            "--rate" => o.rate = Some(parse_num(&val(&mut args, &a)?, &a)?),
+            "--keys" => o.keys = parse_num::<u64>(&val(&mut args, &a)?, &a)?.max(1),
+            "--theta" => {
+                o.theta = val(&mut args, &a)?
+                    .parse()
+                    .map_err(|_| format!("{a}: bad number"))?
+            }
+            "--workload" => {
+                o.workload = match val(&mut args, &a)?.as_str() {
+                    "counter" => Workload::Counter,
+                    "kv" => Workload::Kv,
+                    w => return Err(format!("unknown workload {w:?}")),
+                }
+            }
+            "--policy" => {
+                o.policy = match val(&mut args, &a)?.as_str() {
+                    "block" => SubmitPolicy::Block,
+                    "fail" => SubmitPolicy::Fail,
+                    p => return Err(format!("unknown policy {p:?}")),
+                }
+            }
+            "--queue-depth" => o.queue_depth = parse_num(&val(&mut args, &a)?, &a)?,
+            "--uds" => o.uds = Some(val(&mut args, &a)?.into()),
+            "--seed" => o.seed = parse_num(&val(&mut args, &a)?, &a)?,
+            "--json" => o.json = true,
+            "--smoke" => o.smoke = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    if o.connections == 0 {
+        return Err("--connections must be ≥ 1".into());
+    }
+    Ok(o)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad number {s:?}"))
+}
+
+// ------------------------------------------------------------ zipf sampler
+
+/// Zipf(θ) over `1..=n` via a precomputed harmonic CDF + binary search.
+/// θ = 0 degenerates to uniform.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1) as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in cdf.iter_mut() {
+            *c /= acc;
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+// ------------------------------------------------------------- connecting
+
+#[derive(Clone)]
+enum Endpoint {
+    Tcp(SocketAddr),
+    Uds(std::path::PathBuf),
+}
+
+fn connect(ep: &Endpoint) -> std::io::Result<NetClient> {
+    match ep {
+        Endpoint::Tcp(addr) => NetClient::connect_tcp(addr),
+        Endpoint::Uds(path) => NetClient::connect_uds(path),
+    }
+}
+
+// ------------------------------------------------------------- per-worker
+
+#[derive(Default)]
+struct ConnResult {
+    sent: u64,
+    acked: u64,
+    busy: u64,
+    closed: u64,
+    rejected: u64,
+    hist: Log2Hist,
+    /// Stream ended without a protocol/I/O surprise.
+    clean: bool,
+    error: Option<String>,
+}
+
+fn op_for(workload: Workload, rng: &mut StdRng) -> (u8, u64) {
+    match workload {
+        Workload::Counter => (keyed_counter_ops::INC as u8, 0),
+        // 50/50 read/update mix; values stay clear of the EMPTY sentinel.
+        Workload::Kv => {
+            if rng.gen_bool(0.5) {
+                (kv_ops::GET as u8, 0)
+            } else {
+                (kv_ops::PUT as u8, rng.gen_range(1u64..1 << 32))
+            }
+        }
+    }
+}
+
+fn record_latency(hist: &mut Log2Hist, t0: Instant) {
+    hist.record((t0.elapsed().as_nanos() as u64).max(1));
+}
+
+/// Closed loop: keep `pipeline` requests outstanding; BUSY responses are
+/// re-sent (new request id), so completed work is all-Ok.
+fn closed_loop_conn(
+    ep: &Endpoint,
+    opts: &Opts,
+    zipf: &Zipf,
+    conn_idx: usize,
+    deadline: Option<Instant>,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let mut client = match connect(ep) {
+        Ok(c) => c,
+        Err(e) => {
+            out.error = Some(format!("connect: {e}"));
+            return out;
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ (conn_idx as u64).wrapping_mul(0x9E37));
+    let mut pending: VecDeque<Instant> = VecDeque::with_capacity(opts.pipeline);
+    let mut budget = opts.ops;
+    let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+    loop {
+        while pending.len() < opts.pipeline && budget > 0 && !expired(deadline) {
+            let key = zipf.sample(&mut rng);
+            let (op, arg) = op_for(opts.workload, &mut rng);
+            client.send(key, op, arg);
+            pending.push_back(Instant::now());
+            out.sent += 1;
+            budget -= 1;
+        }
+        if pending.is_empty() {
+            out.clean = true;
+            break;
+        }
+        if let Err(e) = client.flush() {
+            out.error = Some(format!("flush: {e}"));
+            break;
+        }
+        match client.recv() {
+            Ok(Some(resp)) => {
+                let t0 = pending.pop_front().unwrap_or_else(Instant::now);
+                match resp.status {
+                    Status::Ok => {
+                        out.acked += 1;
+                        record_latency(&mut out.hist, t0);
+                    }
+                    Status::Busy => {
+                        out.busy += 1;
+                        budget += 1; // retry: the op never happened
+                    }
+                    Status::Closed => {
+                        out.closed += 1;
+                        budget = 0; // server is going away; just drain
+                    }
+                    Status::BadRequest => out.rejected += 1,
+                }
+            }
+            Ok(None) => {
+                // Server FIN: everything it received is answered; the
+                // still-pending tail was never admitted.
+                out.clean = true;
+                break;
+            }
+            Err(e) => {
+                out.error = Some(format!("recv: {e}"));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Open loop: a sender half fires on its own clock, a reaper half
+/// timestamps acks; responses are FIFO so send-times pair positionally.
+fn open_loop_conn(
+    ep: &Endpoint,
+    opts: &Opts,
+    zipf: &Zipf,
+    conn_idx: usize,
+    period: Duration,
+    deadline: Instant,
+) -> ConnResult {
+    let mut out = ConnResult::default();
+    let client = match connect(ep) {
+        Ok(c) => c,
+        Err(e) => {
+            out.error = Some(format!("connect: {e}"));
+            return out;
+        }
+    };
+    let (mut tx, mut rx) = match client.split() {
+        Ok(halves) => halves,
+        Err(e) => {
+            out.error = Some(format!("split: {e}"));
+            return out;
+        }
+    };
+    let (ts_tx, ts_rx) = mpsc::channel::<Instant>();
+    let reaper = std::thread::spawn(move || {
+        let mut r = ConnResult::default();
+        loop {
+            match rx.recv() {
+                Ok(Some(resp)) => {
+                    let t0 = ts_rx.recv().unwrap_or_else(|_| Instant::now());
+                    match resp.status {
+                        Status::Ok => {
+                            r.acked += 1;
+                            record_latency(&mut r.hist, t0);
+                        }
+                        Status::Busy => r.busy += 1,
+                        Status::Closed => r.closed += 1,
+                        Status::BadRequest => r.rejected += 1,
+                    }
+                }
+                Ok(None) => {
+                    r.clean = true;
+                    break;
+                }
+                Err(e) => {
+                    r.error = Some(format!("recv: {e}"));
+                    break;
+                }
+            }
+        }
+        r
+    });
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ (conn_idx as u64).wrapping_mul(0x9E37));
+    let mut next = Instant::now();
+    let mut budget = opts.ops;
+    while budget > 0 && Instant::now() < deadline {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += period;
+        let key = zipf.sample(&mut rng);
+        let (op, arg) = op_for(opts.workload, &mut rng);
+        tx.send(key, op, arg);
+        let sent_at = Instant::now();
+        if let Err(e) = tx.flush() {
+            out.error = Some(format!("send: {e}"));
+            break;
+        }
+        let _ = ts_tx.send(sent_at);
+        out.sent += 1;
+        budget -= 1;
+    }
+    tx.finish();
+    drop(ts_tx);
+    match reaper.join() {
+        Ok(r) => {
+            out.acked = r.acked;
+            out.busy = r.busy;
+            out.closed = r.closed;
+            out.rejected = r.rejected;
+            out.hist = r.hist;
+            out.clean = r.clean && out.error.is_none();
+            if out.error.is_none() {
+                out.error = r.error;
+            }
+        }
+        Err(_) => out.error = Some("reaper panicked".into()),
+    }
+    out
+}
+
+// ------------------------------------------------------------- the server
+
+/// The service under test plus a way to recover its final state/stats.
+enum Svc {
+    Counter(Arc<ShardedCounter>),
+    Kv(Arc<ShardedKvStore>),
+}
+
+impl Svc {
+    fn build(opts: &Opts, backend: Backend) -> Svc {
+        let cfg = RuntimeConfig::new(opts.shards)
+            .with_backend(backend)
+            .with_queue_depth(opts.queue_depth)
+            .with_submit(opts.policy)
+            .with_max_sessions(opts.connections * 4 + 16);
+        match opts.workload {
+            Workload::Counter => Svc::Counter(Arc::new(ShardedCounter::new(cfg))),
+            Workload::Kv => Svc::Kv(Arc::new(ShardedKvStore::new(cfg))),
+        }
+    }
+
+    fn serve(&self, opts: &Opts) -> std::io::Result<(NetServer, Endpoint)> {
+        let max_op = match opts.workload {
+            Workload::Counter => keyed_counter_ops::GET as u8,
+            Workload::Kv => kv_ops::SUB as u8,
+        };
+        let cfg = ServerConfig::default().with_max_op(max_op);
+        let builder = match self {
+            Svc::Counter(svc) => NetServer::builder(svc.clone()),
+            Svc::Kv(svc) => NetServer::builder(svc.clone()),
+        }
+        .config(cfg);
+        match &opts.uds {
+            Some(path) => {
+                let _ = std::fs::remove_file(path);
+                let server = builder.uds(path).start()?;
+                Ok((server, Endpoint::Uds(path.clone())))
+            }
+            None => {
+                let server = builder.tcp("127.0.0.1:0")?.start()?;
+                let addr = server.tcp_addrs()[0];
+                Ok((server, Endpoint::Tcp(addr)))
+            }
+        }
+    }
+
+    /// Consumes the service (the server must be shut down first so its
+    /// `Arc` clone is gone) and returns final state + stats.
+    fn finish(self) -> (std::collections::HashMap<u64, u64>, RuntimeStats) {
+        match self {
+            Svc::Counter(svc) => match Arc::try_unwrap(svc) {
+                Ok(svc) => svc.shutdown(),
+                Err(_) => panic!("service still shared after server shutdown"),
+            },
+            Svc::Kv(svc) => match Arc::try_unwrap(svc) {
+                Ok(svc) => svc.shutdown(),
+                Err(_) => panic!("service still shared after server shutdown"),
+            },
+        }
+    }
+}
+
+// --------------------------------------------------------------- reporting
+
+fn hist_json(h: &Log2Hist) -> String {
+    format!(
+        "{{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }}",
+        h.count(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.max(),
+        h.mean()
+    )
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+// -------------------------------------------------------------- benchmark
+
+fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
+    let svc = Svc::build(opts, backend);
+    let (server, ep) = svc
+        .serve(opts)
+        .map_err(|e| format!("{}: server start: {e}", backend.label()))?;
+    let zipf = Arc::new(Zipf::new(opts.keys, opts.theta));
+    let deadline = opts.duration.map(|d| Instant::now() + d);
+    let t_start = Instant::now();
+    let mut workers = Vec::new();
+    for i in 0..opts.connections {
+        let ep = ep.clone();
+        let opts = opts.clone();
+        let zipf = Arc::clone(&zipf);
+        workers.push(std::thread::spawn(move || match opts.rate {
+            None => closed_loop_conn(&ep, &opts, &zipf, i, deadline),
+            Some(rate) => {
+                let per_conn = (rate / opts.connections as u64).max(1);
+                let period = Duration::from_nanos(1_000_000_000 / per_conn);
+                let dl = deadline.unwrap_or_else(|| Instant::now() + Duration::from_secs(2));
+                open_loop_conn(&ep, &opts, &zipf, i, period, dl)
+            }
+        }));
+    }
+    let mut total = ConnResult::default();
+    let mut all_clean = true;
+    for w in workers {
+        match w.join() {
+            Ok(r) => {
+                total.sent += r.sent;
+                total.acked += r.acked;
+                total.busy += r.busy;
+                total.closed += r.closed;
+                total.rejected += r.rejected;
+                total.hist.merge(&r.hist);
+                all_clean &= r.clean;
+                if let Some(e) = r.error {
+                    all_clean = false;
+                    eprintln!("{}: worker error: {e}", backend.label());
+                }
+            }
+            Err(_) => {
+                all_clean = false;
+                eprintln!("{}: worker panicked", backend.label());
+            }
+        }
+    }
+    let elapsed = t_start.elapsed();
+    let report = server.shutdown();
+    let (_state, stats) = svc.finish();
+    let thrpt = total.acked as f64 / elapsed.as_secs_f64().max(1e-9);
+    let loop_kind = if opts.rate.is_some() {
+        "open"
+    } else {
+        "closed"
+    };
+    if opts.json {
+        println!(
+            "{{ \"backend\": \"{}\", \"loop\": \"{}\", \"connections\": {}, \"pipeline\": {}, \
+             \"theta\": {}, \"keys\": {}, \"sent\": {}, \"acked\": {}, \"busy\": {}, \
+             \"rejected\": {}, \"elapsed_s\": {:.3}, \"throughput_ops_s\": {:.0}, \
+             \"latency_ns\": {}, \"server\": {{ \"connections\": {}, \"requests\": {}, \
+             \"acked\": {}, \"busy\": {}, \"disconnects\": {}, \"drained\": {} }}, \
+             \"runtime\": {} }}",
+            backend.label(),
+            loop_kind,
+            opts.connections,
+            opts.pipeline,
+            opts.theta,
+            opts.keys,
+            total.sent,
+            total.acked,
+            total.busy,
+            total.rejected,
+            elapsed.as_secs_f64(),
+            thrpt,
+            hist_json(&total.hist),
+            report.connections,
+            report.requests,
+            report.acked,
+            report.busy,
+            report.disconnects,
+            report.drained,
+            stats.to_json().replace('\n', " ")
+        );
+    } else {
+        println!(
+            "{:<10} {loop_kind}-loop conns={} pipeline={} theta={} | acked {} / sent {} (busy {}) in {:.2}s = {:.0} ops/s",
+            backend.label(),
+            opts.connections,
+            opts.pipeline,
+            opts.theta,
+            total.acked,
+            total.sent,
+            total.busy,
+            elapsed.as_secs_f64(),
+            thrpt
+        );
+        println!(
+            "           latency µs: p50={:.1} p95={:.1} p99={:.1} max={:.1} mean={:.1}",
+            us(total.hist.p50()),
+            us(total.hist.p95()),
+            us(total.hist.p99()),
+            us(total.hist.max()),
+            us(total.hist.mean() as u64)
+        );
+        println!(
+            "           server: {report}           avg_batch={:.2}",
+            stats.avg_batch()
+        );
+    }
+    if !all_clean {
+        return Err(format!(
+            "{}: connections did not end cleanly",
+            backend.label()
+        ));
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ smoke
+
+/// The CI scenario: steady pipelined counter streams + churn connections
+/// that vanish mid-flight + a graceful shutdown under load, then end-state
+/// verification of the exactly-once-for-acked contract.
+fn run_smoke(opts: &Opts, backend: Backend) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("[smoke {}] {msg}", backend.label()));
+    let mut opts = opts.clone();
+    opts.workload = Workload::Counter;
+    opts.policy = SubmitPolicy::Block;
+    let svc = Svc::build(&opts, backend);
+    let (server, ep) = svc.serve(&opts).map_err(|e| format!("server start: {e}"))?;
+
+    const STEADY: usize = 4;
+    const CHURN: usize = 2;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Steady streams: INC a private key with a full pipeline until the
+    // server says goodbye; remember every pre-value the acks carried.
+    let mut steady = Vec::new();
+    for i in 0..STEADY {
+        let ep = ep.clone();
+        let stop = Arc::clone(&stop);
+        let pipeline = opts.pipeline.max(8);
+        steady.push(std::thread::spawn(
+            move || -> Result<(u64, u64, Vec<u64>), String> {
+                let key = 10 + i as u64;
+                let mut client = connect(&ep).map_err(|e| format!("connect: {e}"))?;
+                let mut sent = 0u64;
+                let mut pres = Vec::new();
+                let mut pending = 0usize;
+                loop {
+                    while pending < pipeline && !stop.load(Ordering::Relaxed) {
+                        client.send(key, keyed_counter_ops::INC as u8, 0);
+                        sent += 1;
+                        pending += 1;
+                    }
+                    if pending == 0 {
+                        break;
+                    }
+                    client.flush().map_err(|e| format!("flush: {e}"))?;
+                    match client.recv() {
+                        Ok(Some(resp)) => {
+                            pending -= 1;
+                            match resp.status {
+                                Status::Ok => pres.push(resp.value),
+                                Status::Closed => {}
+                                s => return Err(format!("unexpected status {s:?}")),
+                            }
+                        }
+                        Ok(None) => break, // clean FIN after drain
+                        Err(e) => return Err(format!("recv: {e}")),
+                    }
+                }
+                Ok((key, sent, pres))
+            },
+        ));
+    }
+
+    // Churn connections: fire a burst at a private key, read only a few
+    // acks, then drop the socket with responses still in flight.
+    let mut churn = Vec::new();
+    for i in 0..CHURN {
+        let ep = ep.clone();
+        churn.push(std::thread::spawn(
+            move || -> Result<(u64, u64, Vec<u64>), String> {
+                let key = 1000 + i as u64;
+                let mut client = connect(&ep).map_err(|e| format!("connect: {e}"))?;
+                let burst = 50u64;
+                for _ in 0..burst {
+                    client.send(key, keyed_counter_ops::INC as u8, 0);
+                }
+                client.flush().map_err(|e| format!("flush: {e}"))?;
+                let mut pres = Vec::new();
+                for _ in 0..10 {
+                    match client.recv() {
+                        Ok(Some(resp)) if resp.status == Status::Ok => pres.push(resp.value),
+                        Ok(_) => break,
+                        Err(e) => return Err(format!("recv: {e}")),
+                    }
+                }
+                drop(client); // forced mid-run disconnect, acks in flight
+                Ok((key, burst, pres))
+            },
+        ));
+    }
+
+    // Let traffic build, then shut down gracefully *under load*.
+    let runtime_cap = opts
+        .duration
+        .unwrap_or(Duration::from_millis(400))
+        .max(Duration::from_millis(100));
+    std::thread::sleep(runtime_cap);
+    stop.store(true, Ordering::Relaxed);
+    let report = server.shutdown();
+
+    let mut results = Vec::new();
+    for (label, handles) in [("steady", steady), ("churn", churn)] {
+        for h in handles {
+            match h.join() {
+                Ok(Ok(r)) => results.push((label, r)),
+                Ok(Err(e)) => return fail(format!("{label} conn failed: {e}")),
+                Err(_) => return fail(format!("{label} conn panicked")),
+            }
+        }
+    }
+
+    let (final_counts, _stats) = svc.finish();
+
+    // Invariants: for every key, acked increments carried distinct,
+    // strictly increasing pre-values; max(pre)+1 ≤ final ≤ sent. Together:
+    // no acked op was lost, none was applied twice.
+    let mut total_acked = 0u64;
+    for (label, (key, sent, pres)) in &results {
+        total_acked += pres.len() as u64;
+        let fin = *final_counts.get(key).unwrap_or(&0);
+        for w in pres.windows(2) {
+            if w[1] <= w[0] {
+                return fail(format!(
+                    "key {key} ({label}): pre-values not strictly increasing ({} then {})",
+                    w[0], w[1]
+                ));
+            }
+        }
+        if let Some(&max_pre) = pres.last() {
+            if max_pre + 1 > fin {
+                return fail(format!(
+                    "key {key} ({label}): acked pre-value {max_pre} but final count {fin} (lost acked op)"
+                ));
+            }
+        }
+        if fin > *sent {
+            return fail(format!(
+                "key {key} ({label}): final {fin} > sent {sent} (duplicated op)"
+            ));
+        }
+        if (pres.len() as u64) > fin {
+            return fail(format!(
+                "key {key} ({label}): {} acks but final {fin}",
+                pres.len()
+            ));
+        }
+    }
+    if report.connections != (STEADY + CHURN) as u64 {
+        return fail(format!(
+            "expected {} connections, server saw {}",
+            STEADY + CHURN,
+            report.connections
+        ));
+    }
+    if total_acked == 0 {
+        return fail("no op was ever acked — smoke did no work".into());
+    }
+    println!(
+        "[smoke {}] ok: {total_acked} acked ops verified exactly-once across {} conns ({} churned); server: {report}",
+        backend.label(),
+        STEADY + CHURN,
+        CHURN
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("netbench: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for &backend in &opts.backends {
+        let res = if opts.smoke {
+            run_smoke(&opts, backend)
+        } else {
+            run_bench(&opts, backend)
+        };
+        if let Err(e) = res {
+            eprintln!("netbench: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,411 @@
+//! A blocking wire client: pipelining, BUSY retry with jittered backoff,
+//! and a split mode for open-loop load generation.
+//!
+//! [`NetClient`] is deliberately synchronous — one socket, one frame
+//! decoder, explicit `send`/`recv` so callers control the pipeline depth.
+//! [`NetClient::call`] is the convenience path (depth 1, retries `Busy`
+//! transparently); `netbench` and the tests drive `send`/`recv` directly.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+use std::time::Duration;
+
+use rand::{Rng, RngCore};
+
+use crate::frame::{FrameError, FrameReader, Request, Response, Status, Wire, DEFAULT_MAX_FRAME};
+
+/// Everything that can go wrong on the client side of a call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket I/O failed.
+    Io(io::Error),
+    /// The server's byte stream stopped making sense as frames.
+    Frame(FrameError),
+    /// The server closed the stream with responses still owed. Any op
+    /// without an ack may or may not have been applied — the one window the
+    /// exactly-once contract leaves open (resolve by re-reading, not by
+    /// blind resubmission of non-idempotent ops).
+    Disconnected,
+    /// The server answered [`Status::Closed`]: runtime shutting down.
+    Closed,
+    /// The server answered [`Status::Busy`] and retries were exhausted.
+    Busy,
+    /// The server answered [`Status::BadRequest`]; payload is the
+    /// [`reject`](crate::frame::reject) code.
+    Rejected(u64),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame from server: {e}"),
+            ClientError::Disconnected => {
+                write!(f, "server disconnected with responses outstanding")
+            }
+            ClientError::Closed => write!(f, "server runtime is closed"),
+            ClientError::Busy => write!(f, "server busy (retries exhausted)"),
+            ClientError::Rejected(code) => write!(f, "request rejected (code {code})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Jittered exponential backoff for BUSY retries.
+///
+/// Sleeps a uniformly random duration in `[base/2, base]`, doubling `base`
+/// up to `cap` — the jitter keeps a herd of rejected clients from
+/// re-colliding on the same shard window edge.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    /// Retries before giving up ([`ClientError::Busy`]).
+    pub max_retries: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_micros(50),
+            cap: Duration::from_millis(5),
+            max_retries: 64,
+        }
+    }
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, capped at `cap`.
+    pub fn new(base: Duration, cap: Duration, max_retries: u32) -> Self {
+        Self {
+            base,
+            cap,
+            max_retries,
+        }
+    }
+
+    /// Sleeps the next jittered interval and advances the schedule.
+    fn step(&self, attempt: u32, rng: &mut impl RngCore) {
+        let exp = attempt.min(16);
+        let cur = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .max(Duration::from_micros(1));
+        let nanos = cur.as_nanos() as u64;
+        let jittered = nanos / 2 + rng.gen_range(0..=nanos / 2);
+        std::thread::sleep(Duration::from_nanos(jittered.max(1)));
+    }
+}
+
+enum ClientSock {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientSock {
+    fn try_clone(&self) -> io::Result<ClientSock> {
+        Ok(match self {
+            ClientSock::Tcp(s) => ClientSock::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => ClientSock::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_write(&self) {
+        let _ = match self {
+            ClientSock::Tcp(s) => s.shutdown(Shutdown::Write),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => s.shutdown(Shutdown::Write),
+        };
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            ClientSock::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for ClientSock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientSock::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientSock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientSock::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientSock::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientSock::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+pub struct NetClient {
+    sock: ClientSock,
+    reader: FrameReader,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    next_id: u64,
+    backoff: Backoff,
+    rng: rand::StdRng,
+}
+
+impl NetClient {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self::from_sock(ClientSock::Tcp(stream)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Self::from_sock(ClientSock::Unix(stream)))
+    }
+
+    fn from_sock(sock: ClientSock) -> Self {
+        Self {
+            sock,
+            reader: FrameReader::new(DEFAULT_MAX_FRAME),
+            rbuf: vec![0u8; 16 * 1024],
+            wbuf: Vec::with_capacity(1024),
+            next_id: 0,
+            backoff: Backoff::default(),
+            rng: rand::thread_rng(),
+        }
+    }
+
+    /// Replaces the BUSY retry schedule used by [`NetClient::call`].
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Queues one op request without flushing; returns its request id.
+    /// Use with [`NetClient::flush`]/[`NetClient::recv`] for pipelining.
+    pub fn send(&mut self, key: u64, op: u8, arg: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::Op { id, key, op, arg }.encode_frame(&mut self.wbuf);
+        id
+    }
+
+    /// Queues a ping; returns its request id.
+    pub fn send_ping(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::Ping { id }.encode_frame(&mut self.wbuf);
+        id
+    }
+
+    /// Writes every queued request to the socket in one syscall.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.sock.write_all(&self.wbuf)?;
+        self.sock.flush()?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Blocks for the next response frame. `Ok(None)` means the server
+    /// closed the stream cleanly (FIN with no partial frame).
+    pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
+        loop {
+            if let Some(resp) = self.reader.next_frame::<Response>()? {
+                return Ok(Some(resp));
+            }
+            match self.sock.read(&mut self.rbuf) {
+                Ok(0) => {
+                    if self.reader.buffered() > 0 {
+                        // FIN mid-frame: the stream is torn, not drained.
+                        return Err(ClientError::Disconnected);
+                    }
+                    return Ok(None);
+                }
+                Ok(n) => {
+                    let chunk = &self.rbuf[..n];
+                    self.reader.extend(chunk);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// One full round trip: send one op, wait for its response, retry
+    /// `Busy` with jittered backoff, and map terminal statuses to errors.
+    ///
+    /// Must not be mixed with un-received pipelined [`NetClient::send`]s —
+    /// it expects the next response to answer this call.
+    pub fn call(&mut self, key: u64, op: u8, arg: u64) -> Result<u64, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let id = self.send(key, op, arg);
+            self.flush()?;
+            let resp = self.recv()?.ok_or(ClientError::Disconnected)?;
+            debug_assert_eq!(resp.id, id, "call/response pairing broken");
+            match resp.status {
+                Status::Ok => return Ok(resp.value),
+                Status::Busy => {
+                    if attempt >= self.backoff.max_retries {
+                        return Err(ClientError::Busy);
+                    }
+                    self.backoff.step(attempt, &mut self.rng);
+                    attempt += 1;
+                }
+                Status::Closed => return Err(ClientError::Closed),
+                Status::BadRequest => return Err(ClientError::Rejected(resp.value)),
+            }
+        }
+    }
+
+    /// Round-trips a ping (useful as a connectivity barrier).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.send_ping();
+        self.flush()?;
+        let resp = self.recv()?.ok_or(ClientError::Disconnected)?;
+        debug_assert_eq!(resp.id, id);
+        match resp.status {
+            Status::Ok => Ok(()),
+            Status::Busy => Err(ClientError::Busy),
+            Status::Closed => Err(ClientError::Closed),
+            Status::BadRequest => Err(ClientError::Rejected(resp.value)),
+        }
+    }
+
+    /// Half-closes the write side (tells the server "no more requests")
+    /// while keeping the read side open for remaining responses.
+    pub fn finish_sending(&self) {
+        self.sock.shutdown_write();
+    }
+
+    /// Splits into independently-owned send/receive halves (open-loop mode:
+    /// a generator thread fires requests on its own clock while a reaper
+    /// thread timestamps responses).
+    pub fn split(self) -> io::Result<(ClientSender, ClientReceiver)> {
+        let write_sock = self.sock.try_clone()?;
+        Ok((
+            ClientSender {
+                sock: write_sock,
+                wbuf: self.wbuf,
+                next_id: self.next_id,
+            },
+            ClientReceiver {
+                sock: self.sock,
+                reader: self.reader,
+                rbuf: self.rbuf,
+            },
+        ))
+    }
+}
+
+/// The write half of a split [`NetClient`].
+pub struct ClientSender {
+    sock: ClientSock,
+    wbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl ClientSender {
+    /// Queues one op request; returns its id.
+    pub fn send(&mut self, key: u64, op: u8, arg: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        Request::Op { id, key, op, arg }.encode_frame(&mut self.wbuf);
+        id
+    }
+
+    /// Flushes queued requests.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.sock.write_all(&self.wbuf)?;
+        self.sock.flush()?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Half-closes the write side so the receiver eventually sees EOF.
+    pub fn finish(&self) {
+        self.sock.shutdown_write();
+    }
+}
+
+/// The read half of a split [`NetClient`].
+pub struct ClientReceiver {
+    sock: ClientSock,
+    reader: FrameReader,
+    rbuf: Vec<u8>,
+}
+
+impl ClientReceiver {
+    /// Optional read timeout (a timed-out [`ClientReceiver::recv`] returns
+    /// `Err(Io)` with `WouldBlock`/`TimedOut`).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.sock.set_read_timeout(dur)
+    }
+
+    /// Blocks for the next response; `Ok(None)` on clean EOF.
+    pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
+        loop {
+            if let Some(resp) = self.reader.next_frame::<Response>()? {
+                return Ok(Some(resp));
+            }
+            match self.sock.read(&mut self.rbuf) {
+                Ok(0) => {
+                    if self.reader.buffered() > 0 {
+                        return Err(ClientError::Disconnected);
+                    }
+                    return Ok(None);
+                }
+                Ok(n) => {
+                    let chunk = &self.rbuf[..n];
+                    self.reader.extend(chunk);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}

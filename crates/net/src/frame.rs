@@ -1,0 +1,500 @@
+//! The wire protocol: little-endian, length-prefixed binary frames.
+//!
+//! Every frame is a `u32` body length followed by the body; the first body
+//! byte is a tag. Three frames exist:
+//!
+//! | tag | frame | body layout |
+//! |---|---|---|
+//! | `0x01` | request `Op`   | `id: u64, key: u64, op: u8, arg: u64` |
+//! | `0x02` | request `Ping` | `id: u64` |
+//! | `0x81` | [`Response`]   | `id: u64, status: u8, value: u64` |
+//!
+//! Request IDs are chosen by the client and echoed verbatim in the matching
+//! response. A connection is a full-duplex pipeline: clients may keep many
+//! requests in flight, and the server answers each connection's requests in
+//! the order it received them (per-connection FIFO — the property that lets
+//! a client match responses without a reorder buffer).
+//!
+//! Decoding is strict and total: a zero-length body, an over-limit length
+//! prefix, an unknown tag, or a tag whose body length does not match all
+//! surface as a typed [`FrameError`] — never a panic, and never a partial
+//! read of a later frame.
+
+/// Body tag of an `Op` request.
+pub const TAG_OP: u8 = 0x01;
+/// Body tag of a `Ping` request.
+pub const TAG_PING: u8 = 0x02;
+/// Body tag of a response.
+pub const TAG_REPLY: u8 = 0x81;
+
+/// Body length of an `Op` request (tag + id + key + op + arg).
+const OP_BODY: usize = 1 + 8 + 8 + 1 + 8;
+/// Body length of a `Ping` request (tag + id).
+const PING_BODY: usize = 1 + 8;
+/// Body length of a response (tag + id + status + value).
+const REPLY_BODY: usize = 1 + 8 + 1 + 8;
+
+/// Largest body a peer may send unless configured otherwise. Every real
+/// frame is ≤ 26 bytes; the headroom exists so future frame kinds don't
+/// need a protocol bump, while still bounding a malicious length prefix.
+pub const DEFAULT_MAX_FRAME: u32 = 1024;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Length prefix exceeds the configured maximum body size.
+    Oversized {
+        /// The length the prefix claimed.
+        len: u32,
+        /// The configured bound it exceeded.
+        max: u32,
+    },
+    /// Zero-length body: no frame is empty, so this is never valid.
+    Empty,
+    /// First body byte is not a known tag.
+    UnknownTag(u8),
+    /// Body length does not match what `tag` requires.
+    Length {
+        /// The tag whose layout was violated.
+        tag: u8,
+        /// Bytes the body actually carried.
+        got: usize,
+        /// Bytes the tag's layout requires.
+        want: usize,
+    },
+    /// Response status byte is not a known [`Status`].
+    BadStatus(u8),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds limit of {max}")
+            }
+            FrameError::Empty => write!(f, "zero-length frame body"),
+            FrameError::UnknownTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            FrameError::Length { tag, got, want } => {
+                write!(f, "tag {tag:#04x} body is {got} bytes, layout needs {want}")
+            }
+            FrameError::BadStatus(s) => write!(f, "unknown response status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Outcome of one request, carried in every response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// The operation was applied; `value` is its result word.
+    Ok = 0,
+    /// The target shard's submission window was full under the `Fail`
+    /// policy. The operation was **not** applied; retry with backoff.
+    Busy = 1,
+    /// The runtime is shutting down; the operation was not applied and the
+    /// connection will not accept further work.
+    Closed = 2,
+    /// The request was malformed (key or opcode out of range); `value`
+    /// holds a [`reject`] reason code. The operation was not applied.
+    BadRequest = 3,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Result<Status, FrameError> {
+        match v {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::Busy),
+            2 => Ok(Status::Closed),
+            3 => Ok(Status::BadRequest),
+            other => Err(FrameError::BadStatus(other)),
+        }
+    }
+}
+
+/// Reason codes carried in the `value` word of a `BadRequest` response.
+pub mod reject {
+    /// `key` exceeds [`mpsync_runtime::MAX_KEY`] (56 bits).
+    pub const KEY_RANGE: u64 = 1;
+    /// `op` exceeds [`mpsync_runtime::MAX_OPCODE`] (8 bits).
+    pub const OP_RANGE: u64 = 2;
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// One keyed operation for the runtime: `(key, op, arg)`, answered with
+    /// the executor's result word.
+    Op {
+        /// Client-chosen ID echoed in the response.
+        id: u64,
+        /// Routing key (≤ 56 bits; larger keys are rejected, not applied).
+        key: u64,
+        /// Opcode for the shard's dispatch body.
+        op: u8,
+        /// Argument word.
+        arg: u64,
+    },
+    /// Liveness probe; answered `Ok` with value 0, applied to nothing.
+    Ping {
+        /// Client-chosen ID echoed in the response.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The client-chosen request ID.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Request::Op { id, .. } | Request::Ping { id } => id,
+        }
+    }
+}
+
+/// A server→client frame: the answer to the request with the same `id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request's ID.
+    pub id: u64,
+    /// What happened to the request.
+    pub status: Status,
+    /// Result word (`Ok`), reason code (`BadRequest`), or 0.
+    pub value: u64,
+}
+
+fn rd_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("slice is 8 bytes"))
+}
+
+/// A frame body: encodable into and decodable from raw bytes. Implemented
+/// by [`Request`] and [`Response`]; both directions share one [`FrameReader`].
+pub trait Wire: Sized {
+    /// Appends the body bytes (tag included, length prefix excluded).
+    fn encode_body(&self, out: &mut Vec<u8>);
+
+    /// Parses a complete body. `body` is never empty (the reader rejects
+    /// zero-length frames first).
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError>;
+
+    /// Appends the full frame: length prefix then body.
+    fn encode_frame(&self, out: &mut Vec<u8>) {
+        let at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        self.encode_body(out);
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+}
+
+impl Wire for Request {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match *self {
+            Request::Op { id, key, op, arg } => {
+                out.push(TAG_OP);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out.push(op);
+                out.extend_from_slice(&arg.to_le_bytes());
+            }
+            Request::Ping { id } => {
+                out.push(TAG_PING);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        match body[0] {
+            TAG_OP => {
+                if body.len() != OP_BODY {
+                    return Err(FrameError::Length {
+                        tag: TAG_OP,
+                        got: body.len(),
+                        want: OP_BODY,
+                    });
+                }
+                Ok(Request::Op {
+                    id: rd_u64(&body[1..]),
+                    key: rd_u64(&body[9..]),
+                    op: body[17],
+                    arg: rd_u64(&body[18..]),
+                })
+            }
+            TAG_PING => {
+                if body.len() != PING_BODY {
+                    return Err(FrameError::Length {
+                        tag: TAG_PING,
+                        got: body.len(),
+                        want: PING_BODY,
+                    });
+                }
+                Ok(Request::Ping {
+                    id: rd_u64(&body[1..]),
+                })
+            }
+            other => Err(FrameError::UnknownTag(other)),
+        }
+    }
+}
+
+impl Wire for Response {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(TAG_REPLY);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(self.status as u8);
+        out.extend_from_slice(&self.value.to_le_bytes());
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        if body[0] != TAG_REPLY {
+            return Err(FrameError::UnknownTag(body[0]));
+        }
+        if body.len() != REPLY_BODY {
+            return Err(FrameError::Length {
+                tag: TAG_REPLY,
+                got: body.len(),
+                want: REPLY_BODY,
+            });
+        }
+        Ok(Response {
+            id: rd_u64(&body[1..]),
+            status: Status::from_u8(body[9])?,
+            value: rd_u64(&body[10..]),
+        })
+    }
+}
+
+/// Incremental frame decoder over an arbitrarily-chunked byte stream.
+///
+/// Feed raw reads in with [`FrameReader::extend`]; pull complete frames out
+/// with [`FrameReader::next_frame`]. Torn frames (a length prefix or body split
+/// across reads) simply wait for more bytes; malformed frames return a
+/// typed [`FrameError`], after which the stream is unrecoverable and the
+/// connection should be torn down (framing is lost).
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+    max_frame: u32,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` as the body-size bound.
+    pub fn new(max_frame: u32) -> Self {
+        Self {
+            buf: Vec::with_capacity(4096),
+            pos: 0,
+            max_frame,
+        }
+    }
+
+    /// Appends freshly-read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so a long-lived
+        // connection's buffer stays bounded by its largest burst.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (including any partial frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` if more bytes are
+    /// needed, or a typed error if the stream is malformed.
+    pub fn next_frame<T: Wire>(&mut self) -> Result<Option<T>, FrameError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes checked"));
+        if len == 0 {
+            return Err(FrameError::Empty);
+        }
+        if len > self.max_frame {
+            return Err(FrameError::Oversized {
+                len,
+                max: self.max_frame,
+            });
+        }
+        let len = len as usize;
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        let frame = T::decode_body(body)?;
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Op {
+                id: 1,
+                key: 7,
+                op: 0,
+                arg: 42,
+            },
+            Request::Ping { id: 2 },
+            Request::Op {
+                id: u64::MAX,
+                key: (1 << 56) - 1,
+                op: 255,
+                arg: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_single_frames() {
+        for req in sample_requests() {
+            let mut bytes = Vec::new();
+            req.encode_frame(&mut bytes);
+            let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+            r.extend(&bytes);
+            assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
+            assert_eq!(r.next_frame::<Request>().unwrap(), None);
+            assert_eq!(r.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for status in [Status::Ok, Status::Busy, Status::Closed, Status::BadRequest] {
+            let resp = Response {
+                id: 9,
+                status,
+                value: 1234,
+            };
+            let mut bytes = Vec::new();
+            resp.encode_frame(&mut bytes);
+            let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+            r.extend(&bytes);
+            assert_eq!(r.next_frame::<Response>().unwrap(), Some(resp));
+        }
+    }
+
+    #[test]
+    fn torn_frame_waits_for_more_bytes() {
+        let req = Request::Op {
+            id: 3,
+            key: 5,
+            op: 1,
+            arg: 9,
+        };
+        let mut bytes = Vec::new();
+        req.encode_frame(&mut bytes);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        for (i, b) in bytes.iter().enumerate() {
+            assert_eq!(
+                r.next_frame::<Request>().unwrap(),
+                None,
+                "complete after {i} of {} bytes",
+                bytes.len()
+            );
+            r.extend(std::slice::from_ref(b));
+        }
+        assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
+    }
+
+    #[test]
+    fn zero_length_frame_is_typed_error() {
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&0u32.to_le_bytes());
+        assert_eq!(r.next_frame::<Request>(), Err(FrameError::Empty));
+    }
+
+    #[test]
+    fn oversized_frame_is_typed_error() {
+        let mut r = FrameReader::new(64);
+        r.extend(&65u32.to_le_bytes());
+        assert_eq!(
+            r.next_frame::<Request>(),
+            Err(FrameError::Oversized { len: 65, max: 64 })
+        );
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_length_are_typed_errors() {
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&1u32.to_le_bytes());
+        r.extend(&[0x7f]);
+        assert_eq!(r.next_frame::<Request>(), Err(FrameError::UnknownTag(0x7f)));
+
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&2u32.to_le_bytes());
+        r.extend(&[TAG_PING, 0]);
+        assert_eq!(
+            r.next_frame::<Request>(),
+            Err(FrameError::Length {
+                tag: TAG_PING,
+                got: 2,
+                want: 9
+            })
+        );
+    }
+
+    #[test]
+    fn bad_status_is_typed_error() {
+        let resp = Response {
+            id: 1,
+            status: Status::Ok,
+            value: 0,
+        };
+        let mut bytes = Vec::new();
+        resp.encode_frame(&mut bytes);
+        bytes[4 + 9] = 200; // corrupt the status byte
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(r.next_frame::<Response>(), Err(FrameError::BadStatus(200)));
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let reqs = sample_requests();
+        let mut bytes = Vec::new();
+        for r in &reqs {
+            r.encode_frame(&mut bytes);
+        }
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        // Feed in two awkward chunks spanning frame boundaries.
+        let split = bytes.len() / 2 + 3;
+        reader.extend(&bytes[..split]);
+        let mut got = Vec::new();
+        while let Some(r) = reader.next_frame::<Request>().unwrap() {
+            got.push(r);
+        }
+        reader.extend(&bytes[split..]);
+        while let Some(r) = reader.next_frame::<Request>().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, reqs);
+    }
+
+    #[test]
+    fn buffer_compaction_keeps_partial_frames() {
+        let req = Request::Ping { id: 77 };
+        let mut bytes = Vec::new();
+        req.encode_frame(&mut bytes);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        // Many full frames consumed, then a partial tail, then the rest.
+        for _ in 0..100 {
+            r.extend(&bytes);
+            assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
+        }
+        r.extend(&bytes[..5]);
+        assert_eq!(r.next_frame::<Request>().unwrap(), None);
+        r.extend(&bytes[5..]);
+        assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
+        assert_eq!(r.buffered(), 0);
+    }
+}

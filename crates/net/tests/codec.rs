@@ -1,0 +1,169 @@
+//! Property tests of the wire codec: any valid frame sequence survives any
+//! read-chunking (split, partial, concatenated), and no byte stream — valid
+//! or garbage — can make the decoder panic.
+
+use mpsync_net::frame::{
+    FrameError, FrameReader, Request, Response, Status, Wire, DEFAULT_MAX_FRAME,
+};
+use proptest::prelude::*;
+
+/// splitmix64: expands one generated word into independent field values
+/// (the vendored proptest has no tuple strategies).
+fn mix(mut x: u64) -> impl FnMut() -> u64 {
+    move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn arb_request(seed: u64) -> Request {
+    let mut next = mix(seed);
+    let id = next();
+    if next().is_multiple_of(4) {
+        Request::Ping { id }
+    } else {
+        Request::Op {
+            id,
+            key: next() & ((1 << 56) - 1),
+            op: next() as u8,
+            arg: next(),
+        }
+    }
+}
+
+fn arb_response(seed: u64) -> Response {
+    let mut next = mix(seed);
+    Response {
+        id: next(),
+        status: match next() % 4 {
+            0 => Status::Ok,
+            1 => Status::Busy,
+            2 => Status::Closed,
+            _ => Status::BadRequest,
+        },
+        value: next(),
+    }
+}
+
+/// Feeds `bytes` into `reader` in chunks drawn from `chunks` (cycled, each
+/// clamped to what's left), decoding greedily after every extend — the
+/// pattern a socket read loop produces.
+fn decode_chunked<T: Wire>(bytes: &[u8], chunks: &[usize]) -> Result<Vec<T>, FrameError> {
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut ci = 0usize;
+    while at < bytes.len() {
+        let step = if chunks.is_empty() {
+            bytes.len()
+        } else {
+            chunks[ci % chunks.len()].max(1)
+        };
+        ci += 1;
+        let end = (at + step).min(bytes.len());
+        reader.extend(&bytes[at..end]);
+        at = end;
+        while let Some(frame) = reader.next_frame::<T>()? {
+            out.push(frame);
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Round trip: any pipelined request sequence, encoded back to back,
+    /// decodes identically through any chunking of the byte stream.
+    #[test]
+    fn requests_roundtrip_any_chunking(
+        seeds in prop::collection::vec(any::<u64>(), 0..20),
+        chunks in prop::collection::vec(1usize..40, 0..8),
+    ) {
+        let reqs: Vec<Request> = seeds.into_iter().map(arb_request).collect();
+        let mut bytes = Vec::new();
+        for r in &reqs {
+            r.encode_frame(&mut bytes);
+        }
+        let got = decode_chunked::<Request>(&bytes, &chunks).expect("valid stream");
+        prop_assert_eq!(got, reqs);
+    }
+
+    /// Same for the response direction.
+    #[test]
+    fn responses_roundtrip_any_chunking(
+        seeds in prop::collection::vec(any::<u64>(), 0..20),
+        chunks in prop::collection::vec(1usize..40, 0..8),
+    ) {
+        let resps: Vec<Response> = seeds.into_iter().map(arb_response).collect();
+        let mut bytes = Vec::new();
+        for r in &resps {
+            r.encode_frame(&mut bytes);
+        }
+        let got = decode_chunked::<Response>(&bytes, &chunks).expect("valid stream");
+        prop_assert_eq!(got, resps);
+    }
+
+    /// Arbitrary garbage never panics the decoder: every outcome is a clean
+    /// `Ok(Some)`, `Ok(None)`, or a typed `FrameError`.
+    #[test]
+    fn garbage_never_panics(
+        words in prop::collection::vec(any::<u32>(), 0..64),
+        chunks in prop::collection::vec(1usize..32, 0..8),
+    ) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let _ = decode_chunked::<Request>(&bytes, &chunks);
+        let _ = decode_chunked::<Response>(&bytes, &chunks);
+    }
+
+    /// A corrupted length prefix beyond the limit is a typed error no
+    /// matter how the stream was chunked, and an in-range but wrong body
+    /// length is too.
+    #[test]
+    fn oversized_prefix_is_typed_error(
+        extra in 1u32..u32::MAX - DEFAULT_MAX_FRAME,
+        chunks in prop::collection::vec(1usize..8, 0..4),
+    ) {
+        let len = DEFAULT_MAX_FRAME + extra;
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let err = decode_chunked::<Request>(&bytes, &chunks).expect_err("over limit");
+        prop_assert_eq!(err, FrameError::Oversized { len, max: DEFAULT_MAX_FRAME });
+    }
+
+    /// Zero-length frames are rejected wherever they appear in the stream
+    /// (after any number of valid frames).
+    #[test]
+    fn zero_length_frame_is_rejected_anywhere(prefix in 0usize..5) {
+        let mut bytes = Vec::new();
+        for i in 0..prefix {
+            Request::Ping { id: i as u64 }.encode_frame(&mut bytes);
+        }
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = decode_chunked::<Request>(&bytes, &[3]).expect_err("empty frame");
+        prop_assert_eq!(err, FrameError::Empty);
+    }
+}
+
+/// The decoder's byte accounting survives a long-lived stream: after
+/// decoding many frames its buffer does not grow without bound.
+#[test]
+fn long_stream_keeps_buffer_bounded() {
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let mut frame = Vec::new();
+    Request::Op {
+        id: 1,
+        key: 2,
+        op: 3,
+        arg: 4,
+    }
+    .encode_frame(&mut frame);
+    for _ in 0..200_000 {
+        reader.extend(&frame);
+        assert!(matches!(reader.next_frame::<Request>(), Ok(Some(_))));
+    }
+    assert_eq!(reader.buffered(), 0);
+}

@@ -36,6 +36,12 @@ impl ShardedCounter {
         })
     }
 
+    /// Opens an untyped [`Session`] speaking raw `(key, op, arg)` words —
+    /// the form wire-facing frontends (`mpsync-net`) forward verbatim.
+    pub fn raw_session(&self) -> Result<Session, RuntimeError> {
+        self.runtime.session()
+    }
+
     /// Counter snapshot (delegates to [`Runtime::stats`]).
     pub fn stats(&self) -> RuntimeStats {
         self.runtime.stats()
@@ -127,6 +133,12 @@ impl ShardedKvStore {
         Ok(KvSession {
             inner: self.runtime.session()?,
         })
+    }
+
+    /// Opens an untyped [`Session`] speaking raw `(key, op, arg)` words —
+    /// the form wire-facing frontends (`mpsync-net`) forward verbatim.
+    pub fn raw_session(&self) -> Result<Session, RuntimeError> {
+        self.runtime.session()
     }
 
     /// Counter snapshot (delegates to [`Runtime::stats`]).

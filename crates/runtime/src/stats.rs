@@ -66,6 +66,64 @@ impl RuntimeStats {
         out
     }
 
+    /// Hand-rolled JSON mirroring `TelemetryReport::to_json`'s style (the
+    /// repo carries no serde): histograms render as
+    /// `{ "count": …, "p50": …, "p95": …, "p99": …, "max": …, "mean": … }`.
+    ///
+    /// The schema is stable — `netbench` and `runtime_native` embed it in
+    /// their machine-readable reports, and a golden test pins it:
+    ///
+    /// ```json
+    /// {
+    ///   "total_ops": N, "total_rejected": N, "avg_batch": F,
+    ///   "shards": [ { "ops": N, "submitted": N, "rejected": N,
+    ///                 "retried": N, "inflight": N, "batches": N,
+    ///                 "avg_batch": F, "batch_hist": { … } }, … ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        fn hist_json(h: &Log2Hist) -> String {
+            format!(
+                "{{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }}",
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max(),
+                h.mean()
+            )
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"total_ops\": {},\n  \"total_rejected\": {},\n  \"avg_batch\": {:.2},\n  \"shards\": [",
+            self.total_ops(),
+            self.total_rejected(),
+            self.avg_batch()
+        ));
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{ \"ops\": {}, \"submitted\": {}, \"rejected\": {}, \"retried\": {}, \"inflight\": {}, \"batches\": {}, \"avg_batch\": {:.2}, \"batch_hist\": {} }}",
+                sh.ops,
+                sh.submitted,
+                sh.rejected,
+                sh.retried,
+                sh.inflight,
+                sh.batches,
+                sh.avg_batch,
+                hist_json(&sh.batch_hist)
+            ));
+        }
+        if !self.shards.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}");
+        s
+    }
+
     pub(crate) fn from_control(control: &Control) -> Self {
         let shards = control
             .shards
@@ -163,5 +221,51 @@ mod tests {
         let stats = RuntimeStats { shards: vec![] };
         assert_eq!(stats.total_ops(), 0);
         assert_eq!(stats.avg_batch(), 0.0);
+        assert_eq!(
+            stats.to_json(),
+            "{\n  \"total_ops\": 0,\n  \"total_rejected\": 0,\n  \"avg_batch\": 0.00,\n  \"shards\": []\n}"
+        );
+    }
+
+    /// Golden test: the JSON schema is a stable machine interface consumed
+    /// by `netbench` and `runtime_native`. If this fails, you changed the
+    /// schema — update every consumer (and this string) deliberately.
+    #[test]
+    fn json_schema_is_stable() {
+        let mut h = Log2Hist::new();
+        for v in [2u64, 3, 8] {
+            h.record(v);
+        }
+        let stats = RuntimeStats {
+            shards: vec![
+                ShardStats {
+                    ops: 10,
+                    submitted: 12,
+                    rejected: 2,
+                    retried: 1,
+                    inflight: 0,
+                    batches: 3,
+                    avg_batch: 3.333,
+                    batch_hist: h,
+                },
+                ShardStats::default(),
+            ],
+        };
+        let golden = concat!(
+            "{\n",
+            "  \"total_ops\": 10,\n",
+            "  \"total_rejected\": 2,\n",
+            "  \"avg_batch\": 3.33,\n",
+            "  \"shards\": [\n",
+            "    { \"ops\": 10, \"submitted\": 12, \"rejected\": 2, \"retried\": 1, \"inflight\": 0, ",
+            "\"batches\": 3, \"avg_batch\": 3.33, ",
+            "\"batch_hist\": { \"count\": 3, \"p50\": 3, \"p95\": 8, \"p99\": 8, \"max\": 8, \"mean\": 4.3 } },\n",
+            "    { \"ops\": 0, \"submitted\": 0, \"rejected\": 0, \"retried\": 0, \"inflight\": 0, ",
+            "\"batches\": 0, \"avg_batch\": 0.00, ",
+            "\"batch_hist\": { \"count\": 0, \"p50\": 0, \"p95\": 0, \"p99\": 0, \"max\": 0, \"mean\": 0.0 } }\n",
+            "  ]\n",
+            "}"
+        );
+        assert_eq!(stats.to_json(), golden);
     }
 }

@@ -55,15 +55,18 @@ pub enum Algo {
     CcSynch = 3,
     /// The sharded runtime layer on top.
     Runtime = 4,
+    /// The wire-facing serving layer (`mpsync-net`).
+    Net = 5,
 }
 
 impl Algo {
-    pub const ALL: [Algo; 5] = [
+    pub const ALL: [Algo; 6] = [
         Algo::Udn,
         Algo::MpServer,
         Algo::HybComb,
         Algo::CcSynch,
         Algo::Runtime,
+        Algo::Net,
     ];
 
     /// Stable lowercase name used in JSON and trace output.
@@ -74,6 +77,7 @@ impl Algo {
             Algo::HybComb => "hybcomb",
             Algo::CcSynch => "cc_synch",
             Algo::Runtime => "runtime",
+            Algo::Net => "net",
         }
     }
 
@@ -170,10 +174,22 @@ pub enum Counter {
     /// Non-blocking sends rejected for lack of queue space (distinct from
     /// `UdnBlockedSends`, which counts sends that waited).
     UdnFailedSends = 10,
+    /// Connections accepted by `mpsync-net` servers.
+    NetConnections = 11,
+    /// Requests decoded and dispatched by `mpsync-net` connection threads.
+    NetRequests = 12,
+    /// Requests answered with `BUSY` (shard window full, `Fail` policy).
+    NetBusy = 13,
+    /// Connections torn down by peer error: disconnect mid-request,
+    /// malformed frame, or a failed socket write.
+    NetDisconnects = 14,
+    /// Requests acked during a graceful server drain (already-received
+    /// requests answered before FIN).
+    NetDrainedOps = 15,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 16] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -185,6 +201,11 @@ impl Counter {
         Counter::RuntimeSubmits,
         Counter::RuntimeBatches,
         Counter::UdnFailedSends,
+        Counter::NetConnections,
+        Counter::NetRequests,
+        Counter::NetBusy,
+        Counter::NetDisconnects,
+        Counter::NetDrainedOps,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -201,6 +222,11 @@ impl Counter {
             Counter::RuntimeSubmits => "runtime.submits",
             Counter::RuntimeBatches => "runtime.batches",
             Counter::UdnFailedSends => "udn.failed_sends",
+            Counter::NetConnections => "net.connections",
+            Counter::NetRequests => "net.requests",
+            Counter::NetBusy => "net.busy",
+            Counter::NetDisconnects => "net.disconnects",
+            Counter::NetDrainedOps => "net.drained_ops",
         }
     }
 }

@@ -1,0 +1,66 @@
+//! Serving a sharded KV store over the network.
+//!
+//! Starts a [`NetServer`] front door over a `ShardedKvStore`, talks to it
+//! with the blocking [`NetClient`] — single calls, then a pipelined batch —
+//! and shuts down gracefully, printing the server's drain report and the
+//! runtime's stats JSON.
+//!
+//! Run with: `cargo run --example net_kv`
+
+use std::sync::Arc;
+
+use mpsync::net::{NetClient, NetServer, ServerConfig};
+use mpsync::objects::seq::kv_ops;
+use mpsync::objects::EMPTY;
+use mpsync::runtime::{RuntimeConfig, ShardedKvStore};
+
+fn main() {
+    // The service: a 2-shard KV runtime on the default (MP-SERVER) backend.
+    let store = Arc::new(ShardedKvStore::new(
+        RuntimeConfig::new(2).with_max_sessions(8),
+    ));
+
+    // The wire front door. `:0` picks an ephemeral port; cap opcodes at the
+    // KV dispatch range so a stray peer can't poke undefined ops.
+    let server = NetServer::builder(store.clone())
+        .config(ServerConfig::default().with_max_op(kv_ops::SUB as u8))
+        .tcp("127.0.0.1:0")
+        .expect("bind")
+        .start()
+        .expect("start server");
+    let addr = server.tcp_addrs()[0];
+    println!("serving KV on {addr}");
+
+    // One-shot calls: (key, op, arg) words, the same shape a local
+    // KvSession submits. PUT returns the previous value (EMPTY = none).
+    let mut client = NetClient::connect_tcp(addr).expect("connect");
+    assert_eq!(client.call(7, kv_ops::PUT as u8, 40).expect("put"), EMPTY);
+    let now = client.call(7, kv_ops::ADD as u8, 2).expect("add");
+    println!("key 7 = {now}");
+
+    // Pipelining: queue many requests, one flush, then reap the acks — the
+    // server coalesces the whole burst into few shard batches.
+    for key in 0..100u64 {
+        client.send(key, kv_ops::PUT as u8, key * 10);
+    }
+    client.flush().expect("flush");
+    let mut acked = 0;
+    for _ in 0..100 {
+        let resp = client.recv().expect("recv").expect("server closed early");
+        assert_eq!(resp.status, mpsync::net::frame::Status::Ok);
+        acked += 1;
+    }
+    println!("pipelined burst: {acked} acks");
+    drop(client);
+
+    // Graceful shutdown: answer everything received, FIN, then report.
+    let report = server.shutdown();
+    print!("drain report: {report}");
+
+    let store = Arc::try_unwrap(store)
+        .ok()
+        .expect("server released its handle");
+    let (map, stats) = store.shutdown();
+    println!("final keys: {} (key 7 = {:?})", map.len(), map.get(&7));
+    println!("runtime stats: {}", stats.to_json());
+}

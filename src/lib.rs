@@ -12,6 +12,9 @@
 //!   (LCRQ, Treiber stack) from the paper's evaluation;
 //! * [`runtime`] — a sharded, batched delegation runtime that serves keyed
 //!   object traffic over any of the constructions;
+//! * [`net`] — a wire-facing serving layer (TCP / Unix sockets) exposing the
+//!   runtime's keyed API over a length-prefixed binary protocol, with the
+//!   `netbench` load generator;
 //! * [`lincheck`] — the linearizability checker used by the test suite;
 //! * [`tilesim`] — a discrete-event simulator of a TILE-Gx-like hybrid
 //!   manycore used to regenerate the paper's figures.
@@ -21,6 +24,7 @@
 
 pub use mpsync_core as sync;
 pub use mpsync_lincheck as lincheck;
+pub use mpsync_net as net;
 pub use mpsync_objects as objects;
 pub use mpsync_runtime as runtime;
 pub use mpsync_udn as udn;
