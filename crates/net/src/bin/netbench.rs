@@ -16,6 +16,17 @@
 //! Key skew is Zipf (`--theta`, 0 = uniform) over `--keys` keys, sampled
 //! from a precomputed harmonic CDF.
 //!
+//! `--model thread|reactor|both` selects the serving model(s) under test —
+//! the thread-per-connection baseline or the epoll reactor-per-shard core
+//! (DESIGN.md §11) — so every scenario doubles as an A/B between them.
+//! Connection-scale knobs: `--conn-workers N` multiplexes all connections
+//! over N client threads (thousands of connections from one process), and
+//! `--listen`/`--connect` split server and client into separate processes
+//! so a 10k-connection run fits per-process fd limits. `--pinned` runs the
+//! fixed regression scenario behind `BENCH_net.json` (closed loop plus
+//! best-of-3 open-loop trials per model); with `--gate` it fails if the
+//! reactor's best open-loop p99 exceeds the thread model's by >15%.
+//!
 //! `--smoke` runs the CI acceptance check instead of a benchmark: steady
 //! pipelined connections plus deliberately misbehaving ones (disconnect
 //! mid-run with responses in flight), a graceful server shutdown under
@@ -33,7 +44,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use mpsync_net::{NetClient, NetServer, ServerConfig};
+use mpsync_net::{NetClient, NetServer, ServerConfig, ServerModel};
 use mpsync_objects::seq::{keyed_counter_ops, kv_ops};
 use mpsync_runtime::{
     Backend, RuntimeConfig, RuntimeStats, ShardedCounter, ShardedKvStore, SubmitPolicy,
@@ -48,6 +59,7 @@ use mpsync_net::frame::Status;
 #[derive(Clone)]
 struct Opts {
     backends: Vec<Backend>,
+    models: Vec<ServerModel>,
     shards: usize,
     connections: usize,
     pipeline: usize,
@@ -66,6 +78,23 @@ struct Opts {
     json: bool,
     smoke: bool,
     uds: Option<std::path::PathBuf>,
+    /// 0 = one client thread per connection; N > 0 = N worker threads,
+    /// each multiplexing its share of the connections (closed loop only) —
+    /// how a 10k-connection run fits in a sane thread budget.
+    conn_workers: usize,
+    /// Run the pinned regression suite (both models, closed + open loop)
+    /// and write `bench_json`.
+    pinned: bool,
+    /// With `--pinned`: fail if the reactor's open-loop p99 exceeds the
+    /// thread model's by more than 15%.
+    gate: bool,
+    bench_json: std::path::PathBuf,
+    /// Serve-only on this address until stdin reaches EOF, then drain.
+    /// Pairs with a `--connect` client process — the split that lets a
+    /// 10k-connection run fit the per-process fd limit.
+    listen: Option<String>,
+    /// Client-only against an already-running `--listen` server.
+    connect: Option<SocketAddr>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -78,6 +107,7 @@ impl Default for Opts {
     fn default() -> Self {
         Self {
             backends: vec![Backend::MpServer],
+            models: vec![ServerModel::ThreadPerConn],
             shards: 2,
             connections: 4,
             pipeline: 8,
@@ -93,6 +123,12 @@ impl Default for Opts {
             json: false,
             smoke: false,
             uds: None,
+            conn_workers: 0,
+            pinned: false,
+            gate: false,
+            bench_json: "BENCH_net.json".into(),
+            listen: None,
+            connect: None,
         }
     }
 }
@@ -103,6 +139,7 @@ netbench — loopback load generator for the mpsync-net serving layer
 USAGE: netbench [FLAGS]
 
   --backend NAME     mp-server | hybcomb | cc-synch | lock | all  [mp-server]
+  --model M          thread | reactor | both — serving model(s)   [thread]
   --shards N         runtime shards                               [2]
   --connections N    client connections                           [4]
   --pipeline N       outstanding requests per connection (closed) [8]
@@ -115,9 +152,19 @@ USAGE: netbench [FLAGS]
   --policy P         block | fail (fail surfaces BUSY)            [block]
   --queue-depth N    per-shard admission window                   [64]
   --uds PATH         serve over a unix socket instead of TCP
+  --conn-workers N   drive connections from N multiplexing worker
+                     threads (closed loop; 0 = thread per conn)   [0]
   --seed N           workload RNG seed                            [42]
   --json             machine-readable report on stdout
   --smoke            run the self-checking CI scenario
+  --pinned           run the pinned regression suite (both models,
+                     closed + open loop) and write --bench-json
+  --gate             with --pinned: fail if reactor open-loop p99
+                     exceeds the thread model's by more than 15%
+  --bench-json PATH  pinned-suite report path            [BENCH_net.json]
+  --listen ADDR      serve-only on ADDR until stdin EOF, then drain;
+                     pair with a --connect client process
+  --connect ADDR     client-only against a --listen server
   --help             this text
 ";
 
@@ -138,6 +185,15 @@ fn parse_args() -> Result<Opts, String> {
                         .into_iter()
                         .find(|b| b.label() == v)
                         .ok_or_else(|| format!("unknown backend {v:?}"))?]
+                };
+            }
+            "--model" => {
+                let v = val(&mut args, "--model")?;
+                o.models = match v.as_str() {
+                    "thread" => vec![ServerModel::ThreadPerConn],
+                    "reactor" => vec![ServerModel::Reactor],
+                    "both" => vec![ServerModel::ThreadPerConn, ServerModel::Reactor],
+                    m => return Err(format!("unknown model {m:?}")),
                 };
             }
             "--shards" => o.shards = parse_num(&val(&mut args, &a)?, &a)?,
@@ -174,8 +230,17 @@ fn parse_args() -> Result<Opts, String> {
             "--queue-depth" => o.queue_depth = parse_num(&val(&mut args, &a)?, &a)?,
             "--uds" => o.uds = Some(val(&mut args, &a)?.into()),
             "--seed" => o.seed = parse_num(&val(&mut args, &a)?, &a)?,
+            "--conn-workers" => o.conn_workers = parse_num(&val(&mut args, &a)?, &a)?,
+            "--listen" => o.listen = Some(val(&mut args, &a)?),
+            "--connect" => {
+                let v = val(&mut args, &a)?;
+                o.connect = Some(v.parse().map_err(|_| format!("{a}: bad address {v:?}"))?);
+            }
             "--json" => o.json = true,
             "--smoke" => o.smoke = true,
+            "--pinned" => o.pinned = true,
+            "--gate" => o.gate = true,
+            "--bench-json" => o.bench_json = val(&mut args, &a)?.into(),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -185,6 +250,18 @@ fn parse_args() -> Result<Opts, String> {
     }
     if o.connections == 0 {
         return Err("--connections must be ≥ 1".into());
+    }
+    if o.conn_workers > 0 && o.rate.is_some() {
+        return Err("--conn-workers multiplexes the closed loop only (no --rate)".into());
+    }
+    if o.gate && !o.pinned {
+        return Err("--gate only applies to the --pinned suite".into());
+    }
+    if o.listen.is_some() && o.connect.is_some() {
+        return Err("--listen and --connect are different processes".into());
+    }
+    if (o.listen.is_some() || o.connect.is_some()) && (o.smoke || o.pinned) {
+        return Err("--listen/--connect run the plain benchmark only".into());
     }
     Ok(o)
 }
@@ -342,6 +419,136 @@ fn closed_loop_conn(
     out
 }
 
+/// One multiplexed connection's drive state inside a [`multi_conn_worker`].
+struct MuxConn {
+    client: NetClient,
+    pending: VecDeque<Instant>,
+    budget: u64,
+    rng: StdRng,
+    done: bool,
+}
+
+/// Closed loop over many connections in one thread: connect them all (so
+/// every socket is concurrently established and registered server-side),
+/// then round-robin — top up each connection's pipeline, reap one response
+/// per visit. Blocking reads are safe because a visited connection always
+/// has its pipeline in flight. This is how `--connections 10000` runs
+/// without ten thousand client threads.
+fn multi_conn_worker(
+    ep: &Endpoint,
+    opts: &Opts,
+    zipf: &Zipf,
+    first_idx: usize,
+    count: usize,
+    deadline: Option<Instant>,
+) -> ConnResult {
+    let mut out = ConnResult {
+        clean: true,
+        ..ConnResult::default()
+    };
+    let mut conns = Vec::with_capacity(count);
+    let connect_deadline = Instant::now() + Duration::from_secs(30);
+    for i in 0..count {
+        // Under a mass connect the accept queue overflows transiently;
+        // retry until the listener catches up.
+        let client = loop {
+            match connect(ep) {
+                Ok(c) => break Ok(c),
+                Err(e) if Instant::now() < connect_deadline => {
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::AddrNotAvailable
+                    );
+                    if !transient {
+                        break Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match client {
+            Ok(client) => conns.push(MuxConn {
+                client,
+                pending: VecDeque::with_capacity(opts.pipeline),
+                budget: opts.ops,
+                rng: StdRng::seed_from_u64(
+                    opts.seed ^ ((first_idx + i) as u64).wrapping_mul(0x9E37),
+                ),
+                done: false,
+            }),
+            Err(e) => {
+                out.error = Some(format!("connect ({} of {count}): {e}", i + 1));
+                out.clean = false;
+                return out;
+            }
+        }
+    }
+    let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+    let mut live = conns.len();
+    while live > 0 {
+        for c in conns.iter_mut() {
+            if c.done {
+                continue;
+            }
+            while c.pending.len() < opts.pipeline && c.budget > 0 && !expired(deadline) {
+                let key = zipf.sample(&mut c.rng);
+                let (op, arg) = op_for(opts.workload, &mut c.rng);
+                c.client.send(key, op, arg);
+                c.pending.push_back(Instant::now());
+                out.sent += 1;
+                c.budget -= 1;
+            }
+            if c.pending.is_empty() {
+                c.done = true;
+                live -= 1;
+                continue;
+            }
+            if let Err(e) = c.client.flush() {
+                out.error.get_or_insert(format!("flush: {e}"));
+                out.clean = false;
+                c.done = true;
+                live -= 1;
+                continue;
+            }
+            match c.client.recv() {
+                Ok(Some(resp)) => {
+                    let t0 = c.pending.pop_front().unwrap_or_else(Instant::now);
+                    match resp.status {
+                        Status::Ok => {
+                            out.acked += 1;
+                            record_latency(&mut out.hist, t0);
+                        }
+                        Status::Busy => {
+                            out.busy += 1;
+                            c.budget += 1;
+                        }
+                        Status::Closed => {
+                            out.closed += 1;
+                            c.budget = 0;
+                        }
+                        Status::BadRequest => out.rejected += 1,
+                    }
+                }
+                Ok(None) => {
+                    c.done = true;
+                    live -= 1;
+                }
+                Err(e) => {
+                    out.error.get_or_insert(format!("recv: {e}"));
+                    out.clean = false;
+                    c.done = true;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Open loop: a sender half fires on its own clock, a reaper half
 /// timestamps acks; responses are FIFO so send-times pair positionally.
 fn open_loop_conn(
@@ -445,11 +652,17 @@ enum Svc {
 }
 
 impl Svc {
-    fn build(opts: &Opts, backend: Backend) -> Svc {
+    fn build(opts: &Opts, backend: Backend, model: ServerModel) -> Svc {
+        // The reactor pairs with externally-driven MP-SERVER shards: the
+        // reactor thread that reads a request is the thread that executes
+        // it. Other backends keep their own executors; the reactor then
+        // only owns the sockets.
+        let external = model == ServerModel::Reactor && backend == Backend::MpServer;
         let cfg = RuntimeConfig::new(opts.shards)
             .with_backend(backend)
             .with_queue_depth(opts.queue_depth)
             .with_submit(opts.policy)
+            .with_external_drive(external)
             .with_max_sessions(opts.connections * 4 + 16);
         match opts.workload {
             Workload::Counter => Svc::Counter(Arc::new(ShardedCounter::new(cfg))),
@@ -457,12 +670,14 @@ impl Svc {
         }
     }
 
-    fn serve(&self, opts: &Opts) -> std::io::Result<(NetServer, Endpoint)> {
+    fn serve(&self, opts: &Opts, model: ServerModel) -> std::io::Result<(NetServer, Endpoint)> {
         let max_op = match opts.workload {
             Workload::Counter => keyed_counter_ops::GET as u8,
             Workload::Kv => kv_ops::SUB as u8,
         };
-        let cfg = ServerConfig::default().with_max_op(max_op);
+        let cfg = ServerConfig::default()
+            .with_max_op(max_op)
+            .with_model(model);
         let builder = match self {
             Svc::Counter(svc) => NetServer::builder(svc.clone()),
             Svc::Kv(svc) => NetServer::builder(svc.clone()),
@@ -475,7 +690,8 @@ impl Svc {
                 Ok((server, Endpoint::Uds(path.clone())))
             }
             None => {
-                let server = builder.tcp("127.0.0.1:0")?.start()?;
+                let bind = opts.listen.as_deref().unwrap_or("127.0.0.1:0");
+                let server = builder.tcp(bind)?.start()?;
                 let addr = server.tcp_addrs()[0];
                 Ok((server, Endpoint::Tcp(addr)))
             }
@@ -518,28 +734,77 @@ fn us(ns: u64) -> f64 {
 
 // -------------------------------------------------------------- benchmark
 
-fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
-    let svc = Svc::build(opts, backend);
-    let (server, ep) = svc
-        .serve(opts)
-        .map_err(|e| format!("{}: server start: {e}", backend.label()))?;
+/// One benchmark run's reportable numbers, kept for the pinned suite.
+struct BenchRow {
+    model: &'static str,
+    loop_kind: &'static str,
+    acked: u64,
+    throughput: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn model_label(model: ServerModel) -> &'static str {
+    match model {
+        ServerModel::ThreadPerConn => "thread",
+        ServerModel::Reactor => "reactor",
+    }
+}
+
+fn run_bench(opts: &Opts, backend: Backend, model: ServerModel) -> Result<BenchRow, String> {
+    // In `--connect` mode the serving model is the remote process's choice;
+    // this client can't see it, so don't claim one in the output.
+    let mlabel = if opts.connect.is_some() {
+        "remote"
+    } else {
+        model_label(model)
+    };
+    // `--connect`: the server lives in another process; drive it blind.
+    let (host, ep) = match opts.connect {
+        Some(addr) => (None, Endpoint::Tcp(addr)),
+        None => {
+            let svc = Svc::build(opts, backend, model);
+            let (server, ep) = svc
+                .serve(opts, model)
+                .map_err(|e| format!("{}: server start: {e}", backend.label()))?;
+            (Some((server, svc)), ep)
+        }
+    };
     let zipf = Arc::new(Zipf::new(opts.keys, opts.theta));
     let deadline = opts.duration.map(|d| Instant::now() + d);
     let t_start = Instant::now();
     let mut workers = Vec::new();
-    for i in 0..opts.connections {
-        let ep = ep.clone();
-        let opts = opts.clone();
-        let zipf = Arc::clone(&zipf);
-        workers.push(std::thread::spawn(move || match opts.rate {
-            None => closed_loop_conn(&ep, &opts, &zipf, i, deadline),
-            Some(rate) => {
-                let per_conn = (rate / opts.connections as u64).max(1);
-                let period = Duration::from_nanos(1_000_000_000 / per_conn);
-                let dl = deadline.unwrap_or_else(|| Instant::now() + Duration::from_secs(2));
-                open_loop_conn(&ep, &opts, &zipf, i, period, dl)
-            }
-        }));
+    if opts.conn_workers > 0 {
+        // Multiplexed clients: split the connections across the workers.
+        let n = opts.conn_workers.min(opts.connections);
+        let per = opts.connections / n;
+        let extra = opts.connections % n;
+        let mut first = 0usize;
+        for w in 0..n {
+            let count = per + usize::from(w < extra);
+            let ep = ep.clone();
+            let opts = opts.clone();
+            let zipf = Arc::clone(&zipf);
+            workers.push(std::thread::spawn(move || {
+                multi_conn_worker(&ep, &opts, &zipf, first, count, deadline)
+            }));
+            first += count;
+        }
+    } else {
+        for i in 0..opts.connections {
+            let ep = ep.clone();
+            let opts = opts.clone();
+            let zipf = Arc::clone(&zipf);
+            workers.push(std::thread::spawn(move || match opts.rate {
+                None => closed_loop_conn(&ep, &opts, &zipf, i, deadline),
+                Some(rate) => {
+                    let per_conn = (rate / opts.connections as u64).max(1);
+                    let period = Duration::from_nanos(1_000_000_000 / per_conn);
+                    let dl = deadline.unwrap_or_else(|| Instant::now() + Duration::from_secs(2));
+                    open_loop_conn(&ep, &opts, &zipf, i, period, dl)
+                }
+            }));
+        }
     }
     let mut total = ConnResult::default();
     let mut all_clean = true;
@@ -565,8 +830,11 @@ fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
         }
     }
     let elapsed = t_start.elapsed();
-    let report = server.shutdown();
-    let (_state, stats) = svc.finish();
+    let finished = host.map(|(server, svc)| {
+        let report = server.shutdown();
+        let (_state, stats) = svc.finish();
+        (report, stats)
+    });
     let thrpt = total.acked as f64 / elapsed.as_secs_f64().max(1e-9);
     let loop_kind = if opts.rate.is_some() {
         "open"
@@ -574,14 +842,28 @@ fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
         "closed"
     };
     if opts.json {
+        let server_json = match &finished {
+            Some((report, stats)) => format!(
+                "\"server\": {{ \"connections\": {}, \"requests\": {}, \"acked\": {}, \
+                 \"busy\": {}, \"disconnects\": {}, \"drained\": {} }}, \"runtime\": {}",
+                report.connections,
+                report.requests,
+                report.acked,
+                report.busy,
+                report.disconnects,
+                report.drained,
+                stats.to_json().replace('\n', " "),
+            ),
+            None => "\"server\": null".into(),
+        };
         println!(
-            "{{ \"backend\": \"{}\", \"loop\": \"{}\", \"connections\": {}, \"pipeline\": {}, \
+            "{{ \"backend\": \"{}\", \"model\": \"{}\", \"loop\": \"{}\", \"connections\": {}, \
+             \"pipeline\": {}, \
              \"theta\": {}, \"keys\": {}, \"sent\": {}, \"acked\": {}, \"busy\": {}, \
              \"rejected\": {}, \"elapsed_s\": {:.3}, \"throughput_ops_s\": {:.0}, \
-             \"latency_ns\": {}, \"server\": {{ \"connections\": {}, \"requests\": {}, \
-             \"acked\": {}, \"busy\": {}, \"disconnects\": {}, \"drained\": {} }}, \
-             \"runtime\": {} }}",
+             \"latency_ns\": {}, {server_json} }}",
             backend.label(),
+            mlabel,
             loop_kind,
             opts.connections,
             opts.pipeline,
@@ -594,18 +876,12 @@ fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
             elapsed.as_secs_f64(),
             thrpt,
             hist_json(&total.hist),
-            report.connections,
-            report.requests,
-            report.acked,
-            report.busy,
-            report.disconnects,
-            report.drained,
-            stats.to_json().replace('\n', " ")
         );
     } else {
         println!(
-            "{:<10} {loop_kind}-loop conns={} pipeline={} theta={} | acked {} / sent {} (busy {}) in {:.2}s = {:.0} ops/s",
+            "{:<10} {:<8} {loop_kind}-loop conns={} pipeline={} theta={} | acked {} / sent {} (busy {}) in {:.2}s = {:.0} ops/s",
             backend.label(),
+            mlabel,
             opts.connections,
             opts.pipeline,
             opts.theta,
@@ -623,17 +899,69 @@ fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
             us(total.hist.max()),
             us(total.hist.mean() as u64)
         );
-        println!(
-            "           server: {report}           avg_batch={:.2}",
-            stats.avg_batch()
-        );
+        if let Some((report, stats)) = &finished {
+            println!(
+                "           server: {report}           avg_batch={:.2}",
+                stats.avg_batch()
+            );
+        }
     }
     if !all_clean {
         return Err(format!(
-            "{}: connections did not end cleanly",
-            backend.label()
+            "{}/{}: connections did not end cleanly",
+            backend.label(),
+            mlabel,
         ));
     }
+    Ok(BenchRow {
+        model: mlabel,
+        loop_kind,
+        acked: total.acked,
+        throughput: thrpt,
+        p50_ns: total.hist.p50(),
+        p99_ns: total.hist.p99(),
+    })
+}
+
+// ------------------------------------------------------------ serve-only
+
+/// `--listen`: serve-only process. Starts the server on the given address,
+/// prints it, then blocks until stdin reaches EOF — the driving script
+/// closing the pipe is the shutdown signal. Exit 0 iff startup and the
+/// graceful drain both succeed.
+fn run_listen(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), String> {
+    let svc = Svc::build(opts, backend, model);
+    let (server, ep) = svc
+        .serve(opts, model)
+        .map_err(|e| format!("server start: {e}"))?;
+    match &ep {
+        Endpoint::Tcp(addr) => println!(
+            "listening on {addr} ({}/{})",
+            backend.label(),
+            model_label(model)
+        ),
+        Endpoint::Uds(path) => println!(
+            "listening on {} ({}/{})",
+            path.display(),
+            backend.label(),
+            model_label(model)
+        ),
+    }
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::stdin().read_line(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("stdin: {e}")),
+        }
+    }
+    let report = server.shutdown();
+    let (_state, stats) = svc.finish();
+    println!(
+        "server: {report}           avg_batch={:.2}",
+        stats.avg_batch()
+    );
     Ok(())
 }
 
@@ -642,13 +970,16 @@ fn run_bench(opts: &Opts, backend: Backend) -> Result<(), String> {
 /// The CI scenario: steady pipelined counter streams + churn connections
 /// that vanish mid-flight + a graceful shutdown under load, then end-state
 /// verification of the exactly-once-for-acked contract.
-fn run_smoke(opts: &Opts, backend: Backend) -> Result<(), String> {
-    let fail = |msg: String| Err(format!("[smoke {}] {msg}", backend.label()));
+fn run_smoke(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), String> {
+    let tag = format!("smoke {}/{}", backend.label(), model_label(model));
+    let fail = |msg: String| Err(format!("[{tag}] {msg}"));
     let mut opts = opts.clone();
     opts.workload = Workload::Counter;
     opts.policy = SubmitPolicy::Block;
-    let svc = Svc::build(&opts, backend);
-    let (server, ep) = svc.serve(&opts).map_err(|e| format!("server start: {e}"))?;
+    let svc = Svc::build(&opts, backend, model);
+    let (server, ep) = svc
+        .serve(&opts, model)
+        .map_err(|e| format!("server start: {e}"))?;
 
     const STEADY: usize = 4;
     const CHURN: usize = 2;
@@ -791,11 +1122,125 @@ fn run_smoke(opts: &Opts, backend: Backend) -> Result<(), String> {
         return fail("no op was ever acked — smoke did no work".into());
     }
     println!(
-        "[smoke {}] ok: {total_acked} acked ops verified exactly-once across {} conns ({} churned); server: {report}",
-        backend.label(),
+        "[{tag}] ok: {total_acked} acked ops verified exactly-once across {} conns ({} churned); server: {report}",
         STEADY + CHURN,
         CHURN
     );
+    Ok(())
+}
+
+// ----------------------------------------------------------- pinned suite
+
+/// The open-loop arrival rate of the pinned scenario (aggregate ops/s).
+const OPEN_RATE: u64 = 20_000;
+
+/// Open-loop trials per model; the best (min-p99) trial is reported.
+const OPEN_TRIALS: usize = 3;
+
+/// The fixed regression scenario behind `BENCH_net.json`: MP-SERVER over 2
+/// shards, 16 connections × pipeline 4, uniform keys — run closed loop and
+/// open loop, under both serving models. Everything is pinned here, not
+/// taken from the CLI, so successive reports compare.
+fn run_pinned(opts: &Opts) -> Result<(), String> {
+    let mut pinned = Opts {
+        backends: vec![Backend::MpServer],
+        models: vec![ServerModel::ThreadPerConn, ServerModel::Reactor],
+        shards: 2,
+        connections: 16,
+        pipeline: 4,
+        ops: 3000,
+        keys: 1024,
+        theta: 0.0, // uniform: both shards loaded — the reactor's home turf
+        seed: 42,
+        ..Opts::default()
+    };
+    if !cfg!(target_os = "linux") {
+        pinned.models = vec![ServerModel::ThreadPerConn];
+    }
+    let models = pinned.models.clone();
+    let mut rows = Vec::new();
+    for &model in &models {
+        // Closed loop: latency under self-limiting load.
+        pinned.rate = None;
+        pinned.duration = None;
+        pinned.ops = 3000;
+        rows.push(run_bench(&pinned, Backend::MpServer, model)?);
+    }
+    // Open loop: fixed aggregate arrival rate. On a shared (often
+    // single-core) CI host the raw p99 of any one trial is hostage to OS
+    // scheduler stalls — one multi-millisecond preemption of a paced client
+    // thread poisons the tail for both models at random. So run the trials
+    // interleaved across models and keep each model's best (minimum-p99)
+    // row: the achievable tail of the server, with host noise factored out
+    // the same way for both sides of the A/B.
+    let mut best: Vec<Option<BenchRow>> = models.iter().map(|_| None).collect();
+    for _trial in 0..OPEN_TRIALS {
+        for (mi, &model) in models.iter().enumerate() {
+            pinned.rate = Some(OPEN_RATE);
+            pinned.duration = Some(Duration::from_secs(2));
+            pinned.ops = 100_000;
+            let row = run_bench(&pinned, Backend::MpServer, model)?;
+            if best[mi].as_ref().is_none_or(|b| row.p99_ns < b.p99_ns) {
+                best[mi] = Some(row);
+            }
+        }
+    }
+    rows.extend(best.into_iter().flatten());
+    let mut json = format!(
+        "{{\n  \"bench\": \"netbench-pinned\",\n  \"scenario\": {{ \"backend\": \"mp-server\", \
+         \"shards\": {}, \"connections\": {}, \"pipeline\": {}, \"keys\": {}, \"theta\": {}, \
+         \"open_loop_rate\": {OPEN_RATE}, \"open_loop_trials\": {OPEN_TRIALS}, \"seed\": {} \
+         }},\n  \"rows\": [\n",
+        pinned.shards, pinned.connections, pinned.pipeline, pinned.keys, pinned.theta, pinned.seed,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"model\": \"{}\", \"loop\": \"{}\", \"acked\": {}, \
+             \"throughput_ops_s\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {} }}{}\n",
+            r.model,
+            r.loop_kind,
+            r.acked,
+            r.throughput,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&opts.bench_json, &json)
+        .map_err(|e| format!("write {}: {e}", opts.bench_json.display()))?;
+    println!("pinned suite written to {}", opts.bench_json.display());
+    if opts.gate {
+        // The acceptance metric: at a fixed open-loop arrival rate, the
+        // reactor's tail must not regress past the threaded server's.
+        // Self-normalized — both models measured on this host in this run,
+        // so host speed cancels out of the ratio.
+        let p99_of = |model: &str| {
+            rows.iter()
+                .find(|r| r.model == model && r.loop_kind == "open")
+                .map(|r| r.p99_ns)
+        };
+        match (p99_of("thread"), p99_of("reactor")) {
+            (Some(thread), Some(reactor)) => {
+                let limit = thread + (thread * 15) / 100;
+                if reactor > limit {
+                    return Err(format!(
+                        "gate: reactor open-loop p99 {reactor} ns exceeds thread p99 \
+                         {thread} ns by more than 15% (limit {limit} ns)"
+                    ));
+                }
+                println!(
+                    "gate ok: open-loop reactor p99 {reactor} ns ≤ thread p99 {thread} ns + 15% ({limit} ns)"
+                );
+            }
+            _ => {
+                if cfg!(target_os = "linux") {
+                    return Err("gate: pinned suite missing an open-loop row".into());
+                }
+                println!("gate skipped: reactor model unavailable on this platform");
+            }
+        }
+    }
     Ok(())
 }
 
@@ -808,16 +1253,36 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.pinned {
+        return match run_pinned(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("netbench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.listen.is_some() {
+        return match run_listen(&opts, opts.backends[0], opts.models[0]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("netbench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut failed = false;
     for &backend in &opts.backends {
-        let res = if opts.smoke {
-            run_smoke(&opts, backend)
-        } else {
-            run_bench(&opts, backend)
-        };
-        if let Err(e) = res {
-            eprintln!("netbench: {e}");
-            failed = true;
+        for &model in &opts.models {
+            let res = if opts.smoke {
+                run_smoke(&opts, backend, model)
+            } else {
+                run_bench(&opts, backend, model).map(|_| ())
+            };
+            if let Err(e) = res {
+                eprintln!("netbench: {e}");
+                failed = true;
+            }
         }
     }
     if failed {

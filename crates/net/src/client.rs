@@ -101,8 +101,10 @@ impl Backoff {
         }
     }
 
-    /// Sleeps the next jittered interval and advances the schedule.
-    fn step(&self, attempt: u32, rng: &mut impl RngCore) {
+    /// The jittered interval for retry number `attempt`, drawn from `rng`:
+    /// uniform in `[cur/2, cur]` where `cur = min(base · 2^attempt, cap)`.
+    /// Pure with respect to the RNG — deterministic under a seeded one.
+    fn delay(&self, attempt: u32, rng: &mut impl RngCore) -> Duration {
         let exp = attempt.min(16);
         let cur = self
             .base
@@ -111,7 +113,12 @@ impl Backoff {
             .max(Duration::from_micros(1));
         let nanos = cur.as_nanos() as u64;
         let jittered = nanos / 2 + rng.gen_range(0..=nanos / 2);
-        std::thread::sleep(Duration::from_nanos(jittered.max(1)));
+        Duration::from_nanos(jittered.max(1))
+    }
+
+    /// Sleeps the next jittered interval and advances the schedule.
+    fn step(&self, attempt: u32, rng: &mut impl RngCore) {
+        std::thread::sleep(self.delay(attempt, rng));
     }
 }
 
@@ -216,6 +223,15 @@ impl NetClient {
     /// Replaces the BUSY retry schedule used by [`NetClient::call`].
     pub fn with_backoff(mut self, backoff: Backoff) -> Self {
         self.backoff = backoff;
+        self
+    }
+
+    /// Seeds the RNG behind the backoff jitter, making the retry schedule
+    /// (and thus BUSY-recovery tests) fully deterministic. Jitter exists to
+    /// decorrelate real fleets — production clients should keep the default
+    /// entropy seeding.
+    pub fn with_rng_seed(mut self, seed: u64) -> Self {
+        self.rng = rand::SeedableRng::seed_from_u64(seed);
         self
     }
 
@@ -406,6 +422,38 @@ impl ClientReceiver {
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(ClientError::Io(e)),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeded_backoff_schedule_is_deterministic_and_bounded() {
+        let backoff = Backoff::new(Duration::from_micros(100), Duration::from_millis(2), 8);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = rand::StdRng::seed_from_u64(seed);
+            (0..10).map(|a| backoff.delay(a, &mut rng)).collect()
+        };
+        assert_eq!(schedule(42), schedule(42), "same seed, same jitter");
+        assert_ne!(
+            schedule(42),
+            schedule(43),
+            "different seed, different jitter"
+        );
+        let mut rng = rand::StdRng::seed_from_u64(7);
+        for attempt in 0..32 {
+            let d = backoff.delay(attempt, &mut rng);
+            let cur = Duration::from_micros(100)
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(Duration::from_millis(2));
+            assert!(
+                d >= cur / 2 && d <= cur,
+                "attempt {attempt}: {d:?} vs {cur:?}"
+            );
         }
     }
 }

@@ -10,17 +10,25 @@
 //! keyed-dispatch semantics a local session gets — per-key FIFO order,
 //! bounded shard windows, and explicit backpressure.
 //!
-//! Layer map:
+//! Layer map (two selectable serving models, [`ServerModel`]):
 //!
 //! ```text
-//!   NetClient ── frames over TCP/UDS ──▶ NetServer (1 thread/conn)
-//!                                          │ coalesce + validate
-//!                                          ▼
-//!                                        Session::submit
-//!                                          │ sharded delegation
-//!                                          ▼
-//!                              MP-SERVER / HYBCOMB / CC-SYNCH / lock
+//!   NetClient ── frames over TCP/UDS ──▶ NetServer
+//!                     ┌─────────────────────┴──────────────────────┐
+//!          ThreadPerConn (1 thread/conn)        Reactor (1 pinned thread/shard)
+//!              │ coalesce + validate                │ epoll + steer-by-key
+//!              ▼                                    ▼
+//!          Session::submit                 Session::submit_with(tick shard)
+//!              │ sharded delegation                 │ same-core execution
+//!              ▼                                    ▼
+//!      MP-SERVER / HYBCOMB / CC-SYNCH / lock   externally-driven MP-SERVER
 //! ```
+//!
+//! The reactor model (Linux-only) steers each connection to the reactor
+//! whose shard owns its first key, then reads, decodes (in place), executes
+//! (by ticking the shard executor on the same thread), and flushes (one
+//! `writev`) without the request ever crossing a core — and without heap
+//! allocation at steady state.
 //!
 //! Properties the tests pin down:
 //!
@@ -48,7 +56,11 @@
 pub mod frame;
 
 mod client;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod server;
+#[cfg(target_os = "linux")]
+mod sys;
 
 pub use client::{Backoff, ClientError, ClientReceiver, ClientSender, NetClient};
-pub use server::{DrainReport, NetServer, ServerBuilder, ServerConfig, Service};
+pub use server::{DrainReport, NetServer, ServerBuilder, ServerConfig, ServerModel, Service};

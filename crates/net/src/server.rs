@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use mpsync_runtime::{KeyedDispatch, Runtime, RuntimeError, Session, MAX_KEY};
+use mpsync_runtime::{KeyedDispatch, Runtime, RuntimeError, Session, ShardDriver, MAX_KEY};
 use mpsync_telemetry as telemetry;
 use mpsync_telemetry::{Algo, Counter, Lane};
 
@@ -45,9 +45,33 @@ use crate::frame::{reject, FrameError, FrameReader, Request, Response, Status, W
 /// Anything that can hand out runtime [`Session`]s — the server's only
 /// coupling to the layer below. Implemented by [`Runtime`] itself and by
 /// the ready-made sharded objects.
+///
+/// The three sharding-aware methods have degenerate defaults (one shard,
+/// nothing to steer, no external drive) so existing single-shard services
+/// keep working; the [`ServerModel::Reactor`] server uses them to size its
+/// reactor pool, steer connections to the shard that owns their keys, and —
+/// with [`RuntimeConfig::with_external_drive`](mpsync_runtime::RuntimeConfig)
+/// — execute each shard inside the reactor thread that reads its sockets.
 pub trait Service: Send + Sync {
-    /// Opens one session; called once per accepted connection.
+    /// Opens one session; called once per accepted connection
+    /// (thread-per-connection) or once per reactor (reactor model).
     fn open_session(&self) -> Result<Session, RuntimeError>;
+
+    /// Number of delegation shards (sizes the reactor pool).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// The shard that owns `key` — the reactor steering target.
+    fn shard_of(&self, _key: u64) -> usize {
+        0
+    }
+
+    /// Hands out `shard`'s externally-driven executor, at most once per
+    /// shard. `None` when the service drives its shards itself.
+    fn take_driver(&self, _shard: usize) -> Option<ShardDriver> {
+        None
+    }
 }
 
 impl<S, F> Service for Runtime<S, F>
@@ -58,11 +82,35 @@ where
     fn open_session(&self) -> Result<Session, RuntimeError> {
         self.session()
     }
+
+    fn shards(&self) -> usize {
+        self.config().shards
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        Runtime::shard_of(self, key)
+    }
+
+    fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        Runtime::take_driver(self, shard)
+    }
 }
 
 impl Service for mpsync_runtime::ShardedKvStore {
     fn open_session(&self) -> Result<Session, RuntimeError> {
         self.raw_session()
+    }
+
+    fn shards(&self) -> usize {
+        mpsync_runtime::ShardedKvStore::shards(self)
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        mpsync_runtime::ShardedKvStore::shard_of(self, key)
+    }
+
+    fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        mpsync_runtime::ShardedKvStore::take_driver(self, shard)
     }
 }
 
@@ -70,6 +118,34 @@ impl Service for mpsync_runtime::ShardedCounter {
     fn open_session(&self) -> Result<Session, RuntimeError> {
         self.raw_session()
     }
+
+    fn shards(&self) -> usize {
+        mpsync_runtime::ShardedCounter::shards(self)
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        mpsync_runtime::ShardedCounter::shard_of(self, key)
+    }
+
+    fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        mpsync_runtime::ShardedCounter::take_driver(self, shard)
+    }
+}
+
+/// Which serving architecture a [`NetServer`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerModel {
+    /// One OS thread per accepted connection, each owning one session.
+    /// Simple, portable, fine up to a few hundred connections.
+    #[default]
+    ThreadPerConn,
+    /// One pinned reactor thread per runtime shard, each owning an epoll
+    /// set, a session, and (with external drive) its shard's executor.
+    /// Connections are steered to the reactor whose shard owns their first
+    /// key, so a request is read, executed, and answered on one core with
+    /// no cross-core handoff. Linux-only; scales to tens of thousands of
+    /// connections.
+    Reactor,
 }
 
 /// Tuning knobs for a [`NetServer`].
@@ -92,6 +168,12 @@ pub struct ServerConfig {
     /// After the drain's FIN, how long to keep reading (and discarding) so
     /// a still-sending peer receives its final acks instead of a reset.
     pub drain_grace: Duration,
+    /// Which serving architecture to run (see [`ServerModel`]).
+    pub model: ServerModel,
+    /// Reactor model only: pin each reactor thread to a core
+    /// (`reactor index mod available cores`). Best-effort — pinning
+    /// failures are ignored.
+    pub pin_reactors: bool,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +184,8 @@ impl Default for ServerConfig {
             max_coalesce: 64,
             poll_interval: Duration::from_millis(10),
             drain_grace: Duration::from_millis(200),
+            model: ServerModel::default(),
+            pin_reactors: true,
         }
     }
 }
@@ -125,21 +209,35 @@ impl ServerConfig {
         self.max_coalesce = max_coalesce.max(1);
         self
     }
+
+    /// Picks the serving architecture.
+    pub fn with_model(mut self, model: ServerModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Enables or disables best-effort reactor core pinning.
+    pub fn with_pin_reactors(mut self, pin: bool) -> Self {
+        self.pin_reactors = pin;
+        self
+    }
 }
 
 /// Always-on serving counters (independent of the `telemetry` feature).
 #[derive(Debug, Default)]
-struct NetStatsInner {
-    connections: AtomicU64,
-    refused_sessions: AtomicU64,
-    requests: AtomicU64,
-    acked: AtomicU64,
-    busy: AtomicU64,
-    closed_responses: AtomicU64,
-    bad_requests: AtomicU64,
-    protocol_errors: AtomicU64,
-    disconnects: AtomicU64,
-    drained: AtomicU64,
+pub(crate) struct NetStatsInner {
+    pub(crate) connections: AtomicU64,
+    pub(crate) refused_sessions: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) acked: AtomicU64,
+    pub(crate) busy: AtomicU64,
+    pub(crate) closed_responses: AtomicU64,
+    pub(crate) bad_requests: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) disconnects: AtomicU64,
+    pub(crate) drained: AtomicU64,
+    pub(crate) migrations: AtomicU64,
+    pub(crate) serve_allocs: AtomicU64,
 }
 
 /// Snapshot of a server's counters; what [`NetServer::shutdown`] returns.
@@ -168,6 +266,13 @@ pub struct DrainReport {
     pub disconnects: u64,
     /// Requests answered during the graceful drain window.
     pub drained: u64,
+    /// Connections migrated between reactors by key steering (always 0
+    /// under [`ServerModel::ThreadPerConn`]).
+    pub migrated: u64,
+    /// Heap allocations observed inside reactor serve iterations after
+    /// warm-up (always 0 under [`ServerModel::ThreadPerConn`]; the reactor
+    /// wire path is designed to keep this at 0 in steady state).
+    pub serve_allocs: u64,
 }
 
 impl NetStatsInner {
@@ -183,6 +288,8 @@ impl NetStatsInner {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             disconnects: self.disconnects.load(Ordering::Relaxed),
             drained: self.drained.load(Ordering::Relaxed),
+            migrated: self.migrations.load(Ordering::Relaxed),
+            serve_allocs: self.serve_allocs.load(Ordering::Relaxed),
         }
     }
 }
@@ -191,7 +298,7 @@ impl std::fmt::Display for DrainReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "connections={} refused={} requests={} acked={} busy={} closed={} bad={} proto_err={} disconnects={} drained={}",
+            "connections={} refused={} requests={} acked={} busy={} closed={} bad={} proto_err={} disconnects={} drained={} migrated={} serve_allocs={}",
             self.connections,
             self.refused_sessions,
             self.requests,
@@ -201,13 +308,15 @@ impl std::fmt::Display for DrainReport {
             self.bad_requests,
             self.protocol_errors,
             self.disconnects,
-            self.drained
+            self.drained,
+            self.migrated,
+            self.serve_allocs
         )
     }
 }
 
 /// One accepted transport stream (TCP or Unix-domain).
-enum Sock {
+pub(crate) enum Sock {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
@@ -222,7 +331,24 @@ impl Sock {
         }
     }
 
-    fn shutdown_write(&self) {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Sock::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        match self {
+            Sock::Tcp(s) => s.as_raw_fd(),
+            Sock::Unix(s) => s.as_raw_fd(),
+        }
+    }
+
+    pub(crate) fn shutdown_write(&self) {
         let _ = match self {
             Sock::Tcp(s) => s.shutdown(Shutdown::Write),
             #[cfg(unix)]
@@ -250,6 +376,16 @@ impl Write for Sock {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        // Delegate so the reactor's gathered flushes really are one writev
+        // syscall (the trait default would write only the first buffer).
+        match self {
+            Sock::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            Sock::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         match self {
             Sock::Tcp(s) => s.flush(),
@@ -259,14 +395,23 @@ impl Write for Sock {
     }
 }
 
-struct Shared {
-    service: Arc<dyn Service>,
-    cfg: ServerConfig,
-    stop: AtomicBool,
-    stats: NetStatsInner,
-    conn_seq: AtomicU64,
-    conns: Mutex<Vec<JoinHandle<()>>>,
+pub(crate) struct Shared {
+    pub(crate) service: Arc<dyn Service>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) stop: AtomicBool,
+    pub(crate) stats: NetStatsInner,
+    pub(crate) conn_seq: AtomicU64,
+    pub(crate) conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Count of reactors done draining; the shutdown barrier that keeps a
+    /// finished reactor ticking its shard while peers still answer requests.
+    pub(crate) reactors_drained: std::sync::atomic::AtomicUsize,
 }
+
+/// The per-reactor mailbox handles the acceptors round-robin over.
+#[cfg(target_os = "linux")]
+type Inboxes = Vec<Arc<crate::reactor::ReactorShared>>;
+#[cfg(not(target_os = "linux"))]
+type Inboxes = Vec<std::convert::Infallible>;
 
 /// Builder for a [`NetServer`]: pick a service, optionally tune the
 /// [`ServerConfig`], and bind one or more listeners.
@@ -301,7 +446,9 @@ impl ServerBuilder {
         self
     }
 
-    /// Binds every listener and starts the accept threads.
+    /// Binds every listener and starts the accept threads plus, depending
+    /// on [`ServerConfig::model`], the reactor pool or (for an externally
+    /// driven service under the thread model) fallback driver pumps.
     pub fn start(self) -> io::Result<NetServer> {
         if self.tcp.is_empty() && self.uds.is_empty() {
             return Err(io::Error::new(
@@ -316,7 +463,83 @@ impl ServerBuilder {
             stats: NetStatsInner::default(),
             conn_seq: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
+            reactors_drained: std::sync::atomic::AtomicUsize::new(0),
         });
+
+        // Reactor pool first: every fallible per-reactor resource (epoll
+        // set, eventfd, session) is created here so start() fails cleanly
+        // instead of a reactor thread dying half-set-up.
+        let mut reactors: Vec<JoinHandle<()>> = Vec::new();
+        let mut reactor_inboxes: Inboxes = Vec::new();
+        if shared.cfg.model == ServerModel::Reactor {
+            #[cfg(target_os = "linux")]
+            {
+                let n = shared.service.shards().max(1);
+                let mut inboxes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    inboxes.push(Arc::new(crate::reactor::ReactorShared::new()?));
+                }
+                let mut setups = Vec::with_capacity(n);
+                for (i, inbox) in inboxes.iter().enumerate() {
+                    let epoll = crate::sys::Epoll::new()?;
+                    epoll.add(
+                        inbox.wake_fd(),
+                        crate::sys::EPOLLIN,
+                        crate::reactor::WAKE_TOKEN,
+                    )?;
+                    let session = shared.service.open_session().map_err(|e| {
+                        io::Error::other(format!("reactor {i} session open failed: {e}"))
+                    })?;
+                    let driver = shared.service.take_driver(i);
+                    setups.push((epoll, session, driver));
+                }
+                for (i, (epoll, session, driver)) in setups.into_iter().enumerate() {
+                    let shared2 = Arc::clone(&shared);
+                    let peers = inboxes.clone();
+                    reactors.push(
+                        std::thread::Builder::new()
+                            .name(format!("net-reactor-{i}"))
+                            .spawn(move || {
+                                crate::reactor::run_reactor(
+                                    i, n, &shared2, &peers, epoll, session, driver,
+                                )
+                            })?,
+                    );
+                }
+                reactor_inboxes = inboxes;
+            }
+            #[cfg(not(target_os = "linux"))]
+            return Err(io::Error::new(
+                ErrorKind::Unsupported,
+                "ServerModel::Reactor requires Linux (epoll)",
+            ));
+        }
+
+        // Thread-per-connection over an externally driven service: nobody
+        // else ticks the shard executors, so every submit would hang. Pump
+        // threads are the correctness fallback (not a perf path).
+        let pump_stop = Arc::new(AtomicBool::new(false));
+        let mut pumps = Vec::new();
+        if shared.cfg.model == ServerModel::ThreadPerConn {
+            for i in 0..shared.service.shards() {
+                if let Some(mut driver) = shared.service.take_driver(i) {
+                    let stop = Arc::clone(&pump_stop);
+                    pumps.push(
+                        std::thread::Builder::new()
+                            .name(format!("net-pump-{i}"))
+                            .spawn(move || loop {
+                                if driver.tick() == 0 {
+                                    if stop.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                            })?,
+                    );
+                }
+            }
+        }
+
         let mut accepters = Vec::new();
         let mut tcp_addrs = Vec::new();
         for addr in self.tcp {
@@ -324,7 +547,10 @@ impl ServerBuilder {
             listener.set_nonblocking(true)?;
             tcp_addrs.push(listener.local_addr()?);
             let shared = Arc::clone(&shared);
-            accepters.push(std::thread::spawn(move || accept_tcp(listener, &shared)));
+            let inboxes = reactor_inboxes.clone();
+            accepters.push(std::thread::spawn(move || {
+                accept_tcp(listener, &shared, &inboxes)
+            }));
         }
         let mut uds_paths = Vec::new();
         #[cfg(unix)]
@@ -333,13 +559,19 @@ impl ServerBuilder {
             listener.set_nonblocking(true)?;
             uds_paths.push(path);
             let shared = Arc::clone(&shared);
-            accepters.push(std::thread::spawn(move || accept_uds(listener, &shared)));
+            let inboxes = reactor_inboxes.clone();
+            accepters.push(std::thread::spawn(move || {
+                accept_uds(listener, &shared, &inboxes)
+            }));
         }
         #[cfg(not(unix))]
         let _ = &mut uds_paths;
         Ok(NetServer {
             shared,
             accepters,
+            reactors,
+            pumps,
+            pump_stop,
             tcp_addrs,
             uds_paths,
             done: false,
@@ -368,6 +600,9 @@ impl ServerBuilder {
 pub struct NetServer {
     shared: Arc<Shared>,
     accepters: Vec<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    pumps: Vec<JoinHandle<()>>,
+    pump_stop: Arc<AtomicBool>,
     tcp_addrs: Vec<SocketAddr>,
     uds_paths: Vec<PathBuf>,
     done: bool,
@@ -420,6 +655,17 @@ impl NetServer {
         for a in self.accepters.drain(..) {
             let _ = a.join();
         }
+        // Reactors drain their own connections (answer, flush, FIN) before
+        // exiting; each holds its shard at the drain barrier until all have
+        // finished, so cross-shard submits stay serviceable throughout.
+        for r in self.reactors.drain(..) {
+            if r.join().is_err() {
+                self.shared
+                    .stats
+                    .disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn registry"));
         for c in conns {
             if c.join().is_err() {
@@ -429,6 +675,12 @@ impl NetServer {
                     .disconnects
                     .fetch_add(1, Ordering::Relaxed);
             }
+        }
+        // Pumps stop only after the connection threads finish: their drain
+        // phase still submits, and those submits need live shard drivers.
+        self.pump_stop.store(true, Ordering::Release);
+        for p in self.pumps.drain(..) {
+            let _ = p.join();
         }
         for path in &self.uds_paths {
             let _ = std::fs::remove_file(path);
@@ -443,8 +695,8 @@ impl Drop for NetServer {
     }
 }
 
-fn accept_tcp(listener: TcpListener, shared: &Arc<Shared>) {
-    accept_loop(shared, || match listener.accept() {
+fn accept_tcp(listener: TcpListener, shared: &Arc<Shared>, inboxes: &Inboxes) {
+    accept_loop(shared, inboxes, || match listener.accept() {
         Ok((stream, _)) => {
             let _ = stream.set_nodelay(true);
             Some(Ok(Sock::Tcp(stream)))
@@ -454,17 +706,36 @@ fn accept_tcp(listener: TcpListener, shared: &Arc<Shared>) {
 }
 
 #[cfg(unix)]
-fn accept_uds(listener: UnixListener, shared: &Arc<Shared>) {
-    accept_loop(shared, || match listener.accept() {
+fn accept_uds(listener: UnixListener, shared: &Arc<Shared>, inboxes: &Inboxes) {
+    accept_loop(shared, inboxes, || match listener.accept() {
         Ok((stream, _)) => Some(Ok(Sock::Unix(stream))),
         Err(e) => Some(Err(e)),
     });
 }
 
-fn accept_loop(shared: &Arc<Shared>, mut accept: impl FnMut() -> Option<io::Result<Sock>>) {
+fn accept_loop(
+    shared: &Arc<Shared>,
+    inboxes: &Inboxes,
+    mut accept: impl FnMut() -> Option<io::Result<Sock>>,
+) {
+    // Reactor model: new connections go round-robin to the reactor pool;
+    // the first decoded request then migrates each to its key's shard.
+    let mut rr = 0usize;
     while !shared.stop.load(Ordering::SeqCst) {
         match accept() {
-            Some(Ok(sock)) => spawn_conn(shared, sock),
+            Some(Ok(sock)) => {
+                if inboxes.is_empty() {
+                    spawn_conn(shared, sock);
+                } else {
+                    #[cfg(target_os = "linux")]
+                    {
+                        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        telemetry::count(Counter::NetConnections, 1);
+                        inboxes[rr % inboxes.len()].inject(crate::reactor::Migrant::Fresh(sock));
+                        rr += 1;
+                    }
+                }
+            }
             Some(Err(e)) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
             }
@@ -477,6 +748,7 @@ fn accept_loop(shared: &Arc<Shared>, mut accept: impl FnMut() -> Option<io::Resu
             None => break,
         }
     }
+    let _ = rr;
 }
 
 fn spawn_conn(shared: &Arc<Shared>, sock: Sock) {
@@ -502,7 +774,7 @@ fn spawn_conn(shared: &Arc<Shared>, sock: Sock) {
 }
 
 /// How one connection ended; drives the per-connection accounting.
-enum ConnEnd {
+pub(crate) enum ConnEnd {
     /// Peer closed cleanly (FIN) or the drain completed.
     Clean,
     /// Framing was lost; the connection cannot continue.
@@ -566,7 +838,14 @@ fn drive_conn(shared: &Shared, sock: &mut Sock, conn_id: u64) -> ConnEnd {
             while handled < cfg.max_coalesce {
                 match reader.next_frame::<Request>() {
                     Ok(Some(req)) => {
-                        handle_request(shared, &mut session, conn_id, req, draining, &mut wbuf);
+                        handle_request(
+                            shared,
+                            conn_id,
+                            req,
+                            draining,
+                            &mut wbuf,
+                            &mut |key, op, arg| session.submit(key, op, arg),
+                        );
                         handled += 1;
                     }
                     Ok(None) => break,
@@ -648,13 +927,17 @@ fn slurp_received(sock: &mut Sock, reader: &mut FrameReader, rbuf: &mut [u8]) {
     }
 }
 
-fn handle_request(
+/// Answers one request into `wbuf`. `submit` abstracts how the op reaches
+/// the runtime: the thread model passes a plain [`Session::submit`]; the
+/// reactor passes a submit that keeps ticking its own shard executor while
+/// waiting, so reactors submitting to each other's shards can't deadlock.
+pub(crate) fn handle_request(
     shared: &Shared,
-    session: &mut Session,
     conn_id: u64,
     req: Request,
     draining: bool,
     wbuf: &mut Vec<u8>,
+    submit: &mut dyn FnMut(u64, u64, u64) -> Result<u64, RuntimeError>,
 ) {
     let resp = match req {
         Request::Ping { id } => Response {
@@ -681,7 +964,7 @@ fn handle_request(
                     value: reject::OP_RANGE,
                 }
             } else {
-                match session.submit(key, op as u64, arg) {
+                match submit(key, op as u64, arg) {
                     Ok(value) => Response {
                         id,
                         status: Status::Ok,

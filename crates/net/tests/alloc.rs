@@ -1,0 +1,102 @@
+//! Steady-state allocation audit of the reactor serving core.
+//!
+//! This binary installs [`mpsync_telemetry::alloc::CountingAlloc`] as the
+//! global allocator, so the reactor's own per-thread allocation sampling
+//! (bracketing event handling, hot-list servicing, and shard ticking)
+//! actually counts. The claim under test: once a connection's buffers are
+//! warm, the read → decode → execute → encode → flush path performs **zero**
+//! heap allocations on the serving thread. Warm-up (accepting a connection,
+//! growing the slab, first-touch of a key's state) may allocate; steady
+//! state may not.
+
+#![cfg(target_os = "linux")]
+
+use std::sync::Arc;
+
+use mpsync_net::{NetClient, NetServer, ServerConfig, ServerModel};
+use mpsync_objects::seq::keyed_counter_ops;
+use mpsync_runtime::{Backend, RuntimeConfig, ShardedCounter, SubmitPolicy};
+
+#[global_allocator]
+static ALLOC: mpsync_telemetry::alloc::CountingAlloc = mpsync_telemetry::alloc::CountingAlloc;
+
+const INC: u8 = keyed_counter_ops::INC as u8;
+
+#[test]
+fn reactor_steady_state_is_allocation_free() {
+    const CONNS: usize = 4;
+    const PIPELINE: usize = 8;
+    const WARMUP_OPS: u64 = 300;
+    const MEASURED_OPS: u64 = 500;
+
+    let svc = Arc::new(ShardedCounter::new(
+        RuntimeConfig::new(2)
+            .with_backend(Backend::MpServer)
+            .with_queue_depth(64)
+            .with_submit(SubmitPolicy::Block)
+            .with_external_drive(true)
+            .with_max_sessions(16),
+    ));
+    let server = NetServer::builder(svc.clone())
+        .config(ServerConfig::default().with_model(ServerModel::Reactor))
+        .tcp("127.0.0.1:0")
+        .expect("bind")
+        .start()
+        .expect("start");
+    let addr = server.tcp_addrs()[0];
+
+    // Persistent clients: reconnecting would re-enter the (allowed-to-
+    // allocate) accept/install path. Each drives a pipelined stream against
+    // its own key; two keys per shard keeps both reactors busy.
+    let mut clients: Vec<(u64, NetClient)> = (0..CONNS as u64)
+        .map(|key| (key, NetClient::connect_tcp(addr).expect("connect")))
+        .collect();
+
+    let mut next = vec![0u64; CONNS];
+    let run = |clients: &mut Vec<(u64, NetClient)>, ops: u64, next: &mut Vec<u64>| {
+        for (i, (key, client)) in clients.iter_mut().enumerate() {
+            let mut pending = 0usize;
+            let mut sent = 0u64;
+            let mut got = 0u64;
+            while got < ops {
+                while pending < PIPELINE && sent < ops {
+                    client.send(*key, INC, 0);
+                    sent += 1;
+                    pending += 1;
+                }
+                client.flush().expect("flush");
+                let resp = client.recv().expect("recv").expect("open");
+                assert_eq!(resp.value, next[i], "per-key ack sequence");
+                next[i] += 1;
+                got += 1;
+                pending -= 1;
+            }
+        }
+    };
+
+    // Warm-up: populates the connection slab, frame/out buffer pools, the
+    // executor's per-key state, and the hot-list capacity.
+    run(&mut clients, WARMUP_OPS, &mut next);
+    // Let in-flight flushes settle so their samples land before snapshot.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let warm = server.stats().serve_allocs;
+
+    run(&mut clients, MEASURED_OPS, &mut next);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let after = server.stats().serve_allocs;
+
+    assert_eq!(
+        after - warm,
+        0,
+        "reactor serve loop allocated {} times across {} steady-state ops",
+        after - warm,
+        MEASURED_OPS * CONNS as u64,
+    );
+
+    drop(clients);
+    server.shutdown();
+    let (totals, _) = Arc::try_unwrap(svc).ok().expect("sole owner").shutdown();
+    for key in 0..CONNS as u64 {
+        assert_eq!(totals.get(&key), Some(&(WARMUP_OPS + MEASURED_OPS)));
+    }
+}

@@ -72,6 +72,14 @@ pub struct RuntimeConfig {
     pub max_sessions: usize,
     /// Behaviour when a shard's submission window is full.
     pub submit: SubmitPolicy,
+    /// When `true` and the backend is [`Backend::MpServer`], the runtime
+    /// does **not** spawn shard server threads. Instead each shard's
+    /// executor is handed out once as a [`ShardDriver`](crate::ShardDriver)
+    /// via [`Runtime::take_driver`](crate::Runtime::take_driver), and some
+    /// external event loop (e.g. an `mpsync-net` reactor) must tick it.
+    /// Ignored by the inline backends (HybComb / CcSynch / Lock), which
+    /// already execute on the submitting thread.
+    pub external_drive: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -83,6 +91,7 @@ impl Default for RuntimeConfig {
             queue_depth: 32,
             max_sessions: 8,
             submit: SubmitPolicy::Block,
+            external_drive: false,
         }
     }
 }
@@ -123,6 +132,13 @@ impl RuntimeConfig {
     /// Sets the full-window submission policy.
     pub fn with_submit(mut self, submit: SubmitPolicy) -> Self {
         self.submit = submit;
+        self
+    }
+
+    /// Hands shard execution to an external driver (see
+    /// [`RuntimeConfig::external_drive`]).
+    pub fn with_external_drive(mut self, external: bool) -> Self {
+        self.external_drive = external;
         self
     }
 

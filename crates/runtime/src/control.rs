@@ -59,7 +59,7 @@ pub(crate) struct ShardMetrics {
     pub batch_hist: AtomicLog2Hist,
 }
 
-fn spin(spins: &mut u32) {
+pub(crate) fn spin(spins: &mut u32) {
     *spins = spins.saturating_add(1);
     if *spins < 128 {
         std::hint::spin_loop();
@@ -117,6 +117,18 @@ impl Control {
     /// applied and answered. If the load reads `true`, we back out and the
     /// operation is never sent.
     pub fn admit(&self, shard: usize) -> Result<(), RuntimeError> {
+        self.admit_with(shard, || {})
+    }
+
+    /// [`Control::admit`] with an `idle` hook invoked on every full-window
+    /// wait iteration (Block policy).
+    ///
+    /// External drivers need this: when a reactor thread both submits
+    /// operations and *is* the executor for its own shard, a plain spin
+    /// while the window is full could wait on work only the waiter itself
+    /// can perform. The hook lets it keep ticking its shard core while
+    /// blocked.
+    pub fn admit_with(&self, shard: usize, mut idle: impl FnMut()) -> Result<(), RuntimeError> {
         let m = &self.shards[shard];
         let mut counted_retry = false;
         let mut spins = 0u32;
@@ -149,6 +161,7 @@ impl Control {
                         m.retried.fetch_add(1, Ordering::Relaxed);
                         counted_retry = true;
                     }
+                    idle();
                     spin(&mut spins);
                 }
             }

@@ -49,6 +49,7 @@
 
 mod config;
 mod control;
+mod drive;
 pub mod objects;
 mod router;
 mod runtime;
@@ -57,6 +58,7 @@ mod stats;
 
 pub use config::{Backend, RuntimeConfig, SubmitPolicy};
 pub use control::RuntimeError;
+pub use drive::ShardDriver;
 pub use mpsync_telemetry::Log2Hist;
 pub use objects::{BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore};
 pub use router::{pack, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};

@@ -10,7 +10,7 @@ use mpsync_objects::{Counter, EMPTY};
 
 use crate::runtime::{Runtime, Session, ShutdownReport};
 use crate::stats::RuntimeStats;
-use crate::{RuntimeConfig, RuntimeError};
+use crate::{RuntimeConfig, RuntimeError, ShardDriver};
 
 type KeyedCounterFn = fn(&mut KeyedCounters, u64, u64, u64) -> u64;
 type KvFn = fn(&mut KvMap, u64, u64, u64) -> u64;
@@ -45,6 +45,22 @@ impl ShardedCounter {
     /// Counter snapshot (delegates to [`Runtime::stats`]).
     pub fn stats(&self) -> RuntimeStats {
         self.runtime.stats()
+    }
+
+    /// Number of delegation shards.
+    pub fn shards(&self) -> usize {
+        self.runtime.config().shards
+    }
+
+    /// The shard that owns `key` (delegates to [`Runtime::shard_of`]).
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.runtime.shard_of(key)
+    }
+
+    /// Takes `shard`'s externally-driven executor (delegates to
+    /// [`Runtime::take_driver`]).
+    pub fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        self.runtime.take_driver(shard)
     }
 
     /// Stops admissions (delegates to [`Runtime::close`]).
@@ -144,6 +160,22 @@ impl ShardedKvStore {
     /// Counter snapshot (delegates to [`Runtime::stats`]).
     pub fn stats(&self) -> RuntimeStats {
         self.runtime.stats()
+    }
+
+    /// Number of delegation shards.
+    pub fn shards(&self) -> usize {
+        self.runtime.config().shards
+    }
+
+    /// The shard that owns `key` (delegates to [`Runtime::shard_of`]).
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.runtime.shard_of(key)
+    }
+
+    /// Takes `shard`'s externally-driven executor (delegates to
+    /// [`Runtime::take_driver`]).
+    pub fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        self.runtime.take_driver(shard)
     }
 
     /// Stops admissions (delegates to [`Runtime::close`]).

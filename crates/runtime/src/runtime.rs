@@ -1,7 +1,7 @@
 //! The sharded delegation runtime: N key-partitioned shards, each protected
 //! by one critical-section executor, multiplexing many client sessions.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mpsync_core::{wire, ApplyOp, CcSynch, Dispatcher, HybComb, LockCs, McsLock};
 use mpsync_telemetry as telemetry;
@@ -12,8 +12,9 @@ use mpsync_udn::{
 
 use crate::config::{Backend, RuntimeConfig};
 use crate::control::Control;
+use crate::drive::{CoreDrive, DriveShard, ShardDriver};
 use crate::router::{pack, shard_for};
-use crate::shard::ShardServer;
+use crate::shard::{ShardCore, ShardServer};
 use crate::stats::RuntimeStats;
 use crate::RuntimeError;
 
@@ -65,6 +66,15 @@ where
     Mp {
         fabric: Arc<Fabric>,
         servers: Vec<ShardServer<S>>,
+        server_ids: Arc<[EndpointId]>,
+    },
+    /// MP-SERVER without dedicated threads: each shard core is handed out
+    /// once as a [`ShardDriver`]; `slots` get the states back on driver
+    /// drop. See [`RuntimeConfig::external_drive`].
+    MpExternal {
+        fabric: Arc<Fabric>,
+        drivers: Mutex<Vec<Option<Box<dyn DriveShard>>>>,
+        slots: Vec<Arc<Mutex<Option<S>>>>,
         server_ids: Arc<[EndpointId]>,
     },
     Hyb {
@@ -139,6 +149,35 @@ where
             shard,
         };
         let executors = match config.backend {
+            Backend::MpServer if config.external_drive => {
+                let fabric = sized_fabric(&config, config.shards + config.max_sessions);
+                let mut drivers = Vec::with_capacity(config.shards);
+                let mut slots = Vec::with_capacity(config.shards);
+                let mut server_ids = Vec::with_capacity(config.shards);
+                for i in 0..config.shards {
+                    let ep = fabric.register_any().expect("fabric sized for shards");
+                    server_ids.push(ep.id());
+                    let core = ShardCore::new(
+                        ep,
+                        init(i),
+                        dispatch(i),
+                        Arc::clone(&control),
+                        i,
+                        config.max_batch,
+                    );
+                    let slot = Arc::new(Mutex::new(None));
+                    drivers
+                        .push(Some(Box::new(CoreDrive::new(core, Arc::clone(&slot)))
+                            as Box<dyn DriveShard>));
+                    slots.push(slot);
+                }
+                Executors::MpExternal {
+                    fabric,
+                    drivers: Mutex::new(drivers),
+                    slots,
+                    server_ids: server_ids.into(),
+                }
+            }
             Backend::MpServer => {
                 let fabric = sized_fabric(&config, config.shards + config.max_sessions);
                 let mut servers = Vec::with_capacity(config.shards);
@@ -200,6 +239,27 @@ where
         shard_for(key, self.config.shards)
     }
 
+    /// Takes ownership of `shard`'s externally-driven executor.
+    ///
+    /// Returns `Some` exactly once per shard, and only for runtimes built
+    /// with [`RuntimeConfig::external_drive`] on the MP-SERVER backend —
+    /// every other configuration executes shards itself and returns `None`.
+    ///
+    /// The returned [`ShardDriver`] must be ticked for submissions routed
+    /// to that shard to complete; see [`ShardDriver::tick`] and
+    /// [`Session::submit_with`].
+    pub fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        match &self.executors {
+            Executors::MpExternal { drivers, .. } => drivers
+                .lock()
+                .expect("driver registry poisoned")
+                .get_mut(shard)?
+                .take()
+                .map(|inner| ShardDriver::new(shard, inner)),
+            _ => None,
+        }
+    }
+
     /// Opens a client session.
     ///
     /// At most [`RuntimeConfig::max_sessions`] sessions may be live at once.
@@ -246,6 +306,9 @@ where
         }
         let transport = match &self.executors {
             Executors::Mp {
+                fabric, server_ids, ..
+            }
+            | Executors::MpExternal {
                 fabric, server_ids, ..
             } => Transport::Mp {
                 endpoint: fabric
@@ -295,7 +358,7 @@ where
     pub fn stats(&self) -> RuntimeStats {
         let mut stats = RuntimeStats::from_control(&self.control);
         match &self.executors {
-            Executors::Mp { .. } => {
+            Executors::Mp { .. } | Executors::MpExternal { .. } => {
                 for s in &mut stats.shards {
                     if s.batches > 0 {
                         s.avg_batch = s.ops as f64 / s.batches as f64;
@@ -344,6 +407,25 @@ where
         let stats = self.stats();
         let states = match self.executors {
             Executors::Mp { servers, .. } => servers.into_iter().map(ShardServer::stop).collect(),
+            Executors::MpExternal { drivers, slots, .. } => {
+                // Drop every driver still in the registry (never taken):
+                // CoreDrive's Drop parks its state in the slot. Drivers
+                // taken by an external loop park theirs when that loop
+                // drops them — wait for each slot to fill.
+                drop(drivers);
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        let mut spins = 0u32;
+                        loop {
+                            if let Some(state) = slot.lock().expect("state slot poisoned").take() {
+                                return state;
+                            }
+                            crate::control::spin(&mut spins);
+                        }
+                    })
+                    .collect()
+            }
             Executors::Hyb { combs, .. } => combs.into_iter().map(HybComb::into_state).collect(),
             Executors::Cc { execs } => execs.into_iter().map(CcSynch::into_state).collect(),
             Executors::Lock { execs } => execs.into_iter().map(LockCs::into_state).collect(),
@@ -422,6 +504,58 @@ impl Session {
         if telemetry::ENABLED {
             // Submit = admission wait + transport + service + reply: the
             // client-observed latency of one runtime operation.
+            telemetry::record_span(shard as u32, Algo::Runtime, Lane::Submit, t0);
+            telemetry::count(Counter::RuntimeSubmits, 1);
+        }
+        Ok(ret)
+    }
+
+    /// [`Session::submit`] with an `idle` hook invoked on every wait
+    /// iteration — both while blocked on admission and while waiting for
+    /// the shard's response.
+    ///
+    /// This is the submission form an externally-driving event loop must
+    /// use: a reactor that owns shard A's [`ShardDriver`] and submits an
+    /// operation to shard B passes `|| { driver.tick(); }`, so requests
+    /// *to* A keep being served while the reactor waits *on* B. Without
+    /// the hook, two reactors waiting on each other's shards would
+    /// deadlock; with it, every wait still executes the waiter's own
+    /// shard, so some chain member always makes progress.
+    pub fn submit_with(
+        &mut self,
+        key: u64,
+        op: u64,
+        arg: u64,
+        mut idle: impl FnMut(),
+    ) -> Result<u64, RuntimeError> {
+        let word = pack(key, op);
+        let shard = shard_for(key, self.shards);
+        let t0 = telemetry::now_ns();
+        self.control.admit_with(shard, &mut idle)?;
+        let ret = match &mut self.transport {
+            Transport::Mp { endpoint, servers } => {
+                endpoint
+                    .send(
+                        servers[shard],
+                        &wire::request(endpoint.id().to_word(), word, arg),
+                    )
+                    .expect("shard server vanished");
+                // Responses are a single word, so a successful try_receive
+                // is always complete.
+                let mut buf = [0u64; 1];
+                let mut spins = 0u32;
+                loop {
+                    if endpoint.try_receive(&mut buf) == 1 {
+                        break buf[0];
+                    }
+                    idle();
+                    crate::control::spin(&mut spins);
+                }
+            }
+            Transport::Inline { handles } => handles[shard].apply(word, arg),
+        };
+        self.control.complete(shard);
+        if telemetry::ENABLED {
             telemetry::record_span(shard as u32, Algo::Runtime, Lane::Submit, t0);
             telemetry::count(Counter::RuntimeSubmits, 1);
         }

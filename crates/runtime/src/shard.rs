@@ -16,6 +16,13 @@
 //!   shutdown. Combined with the control plane's in-flight drain this gives
 //!   exactly-once shutdown: the stop flag is only set after every admitted
 //!   operation has been answered.
+//!
+//! The executor itself lives in [`ShardCore`], which is *driveable*: a
+//! [`ShardServer`] wraps it in a dedicated thread (the classic MP-SERVER
+//! shape), while external event loops (an `mpsync-net` reactor) can own a
+//! core directly and pump it with non-blocking [`ShardCore::tick`] calls
+//! between I/O readiness events — the request still executes on exactly one
+//! core, but that core is the same one doing the socket work.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -32,6 +39,130 @@ use crate::control::Control;
 /// How long the serve loop blocks for a first request before re-checking
 /// its stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// One shard's executor: endpoint, state, dispatcher, and batching policy.
+///
+/// Whoever owns the core decides the cadence: [`ShardCore::tick`] serves
+/// whatever has queued up without blocking, [`ShardCore::tick_blocking`]
+/// waits for the head of a batch up to a deadline. Both record achieved
+/// batch sizes.
+pub(crate) struct ShardCore<S, D> {
+    endpoint: Endpoint,
+    state: S,
+    dispatch: D,
+    control: Arc<Control>,
+    shard: usize,
+    max_batch: u64,
+}
+
+impl<S, D: Dispatcher<S>> ShardCore<S, D> {
+    pub fn new(
+        endpoint: Endpoint,
+        state: S,
+        dispatch: D,
+        control: Arc<Control>,
+        shard: usize,
+        max_batch: u64,
+    ) -> Self {
+        Self {
+            endpoint,
+            state,
+            dispatch,
+            control,
+            shard,
+            max_batch,
+        }
+    }
+
+    /// Serves every already-queued request, up to `max_batch`, without
+    /// blocking. Returns the number served (0 = queue was empty).
+    pub fn tick(&mut self) -> u64 {
+        let mut buf = [0u64; wire::REQ_WORDS];
+        let n = self.endpoint.try_receive(&mut buf);
+        if n == 0 {
+            return 0;
+        }
+        let t_batch = telemetry::now_ns();
+        if n < buf.len() {
+            // A sender is mid-message; its remaining words are guaranteed
+            // to arrive (messages are delivered contiguously), so a
+            // blocking receive is safe.
+            self.endpoint.receive(&mut buf[n..]);
+        }
+        self.answer(buf);
+        let batch = 1 + self.drain(self.max_batch - 1);
+        self.finish_batch(batch, t_batch);
+        batch
+    }
+
+    /// Blocks for the head of the next batch until `deadline`, then serves
+    /// like [`ShardCore::tick`]. Returns 0 if the deadline passed with no
+    /// traffic.
+    pub fn tick_blocking(&mut self, deadline: Instant) -> u64 {
+        let mut buf = [0u64; wire::REQ_WORDS];
+        if self.endpoint.receive_deadline(&mut buf, deadline).is_none() {
+            return 0;
+        }
+        let t_batch = telemetry::now_ns();
+        self.answer(buf);
+        let batch = 1 + self.drain(self.max_batch - 1);
+        self.finish_batch(batch, t_batch);
+        batch
+    }
+
+    /// Greedy non-blocking drain of up to `budget` more requests.
+    fn drain(&mut self, budget: u64) -> u64 {
+        let mut buf = [0u64; wire::REQ_WORDS];
+        let mut served = 0u64;
+        while served < budget {
+            let n = self.endpoint.try_receive(&mut buf);
+            if n == 0 {
+                break;
+            }
+            if n < buf.len() {
+                self.endpoint.receive(&mut buf[n..]);
+            }
+            self.answer(buf);
+            served += 1;
+        }
+        served
+    }
+
+    fn finish_batch(&mut self, batch: u64, t_batch: u64) {
+        self.control.record_batch(self.shard, batch);
+        if telemetry::ENABLED {
+            let track = self.endpoint.id().index() as u32;
+            telemetry::record_span(track, Algo::Runtime, Lane::Batch, t_batch);
+            telemetry::count(Counter::RuntimeBatches, 1);
+        }
+    }
+
+    fn answer(&mut self, buf: [u64; wire::REQ_WORDS]) {
+        let track = self.endpoint.id().index() as u32;
+        let req = wire::decode(buf);
+        let t_serve = if telemetry::ENABLED {
+            // Queue wait: the client's submit stamp → this shard picking
+            // the request off its hardware queue.
+            telemetry::record_span(track, Algo::Runtime, Lane::QueueWait, req.submit_ns);
+            telemetry::now_ns()
+        } else {
+            0
+        };
+        let ret = self.dispatch.dispatch(&mut self.state, req.op, req.arg);
+        self.endpoint
+            .send(EndpointId::from_word(req.sender), &[ret])
+            .expect("shard client endpoint vanished");
+        if telemetry::ENABLED {
+            telemetry::record_span(track, Algo::Runtime, Lane::Serve, t_serve);
+        }
+    }
+
+    /// Surrenders the shard state. The caller must first guarantee
+    /// quiescence (no request in flight).
+    pub fn into_state(self) -> S {
+        self.state
+    }
+}
 
 /// A running shard server thread. Owns the shard's state until
 /// [`ShardServer::stop`].
@@ -55,9 +186,21 @@ impl<S: Send + 'static> ShardServer<S> {
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let mut core = ShardCore::new(endpoint, state, dispatch, control, shard, max_batch);
         let join = std::thread::Builder::new()
             .name(format!("rt-shard-{shard}"))
-            .spawn(move || serve(endpoint, state, dispatch, control, shard, max_batch, stop2))
+            .spawn(move || {
+                loop {
+                    // Block for the head of the next batch, waking at
+                    // IDLE_POLL to check the stop flag.
+                    if core.tick_blocking(Instant::now() + IDLE_POLL) == 0
+                        && stop2.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                }
+                core.into_state()
+            })
             .expect("failed to spawn shard server thread");
         Self {
             stop,
@@ -86,87 +229,6 @@ impl<S> Drop for ShardServer<S> {
             self.stop.store(true, Ordering::Release);
             let _ = join.join();
         }
-    }
-}
-
-fn serve<S, D>(
-    mut endpoint: Endpoint,
-    mut state: S,
-    dispatch: D,
-    control: Arc<Control>,
-    shard: usize,
-    max_batch: u64,
-    stop: Arc<AtomicBool>,
-) -> S
-where
-    D: Dispatcher<S>,
-{
-    let track = endpoint.id().index() as u32;
-    let mut buf = [0u64; wire::REQ_WORDS];
-    loop {
-        // Block for the head of the next batch, waking at IDLE_POLL to
-        // check the stop flag (satellite use of receive_deadline).
-        if endpoint
-            .receive_deadline(&mut buf, Instant::now() + IDLE_POLL)
-            .is_none()
-        {
-            if stop.load(Ordering::Acquire) {
-                break;
-            }
-            continue;
-        }
-        let t_batch = telemetry::now_ns();
-        answer(&mut endpoint, &mut state, &dispatch, track, buf);
-        let mut batch = 1u64;
-
-        // Greedy drain: serve whatever already queued up, bounded by the
-        // configured combining degree so one hot shard cannot starve its
-        // responses indefinitely.
-        while batch < max_batch {
-            let n = endpoint.try_receive(&mut buf);
-            if n == 0 {
-                break;
-            }
-            if n < buf.len() {
-                // A sender is mid-message; its remaining words are
-                // guaranteed to arrive (messages are delivered
-                // contiguously), so a blocking receive is safe.
-                endpoint.receive(&mut buf[n..]);
-            }
-            answer(&mut endpoint, &mut state, &dispatch, track, buf);
-            batch += 1;
-        }
-        control.record_batch(shard, batch);
-        if telemetry::ENABLED {
-            telemetry::record_span(track, Algo::Runtime, Lane::Batch, t_batch);
-            telemetry::count(Counter::RuntimeBatches, 1);
-        }
-    }
-    state
-}
-
-fn answer<S, D: Dispatcher<S>>(
-    endpoint: &mut Endpoint,
-    state: &mut S,
-    dispatch: &D,
-    track: u32,
-    buf: [u64; wire::REQ_WORDS],
-) {
-    let req = wire::decode(buf);
-    let t_serve = if telemetry::ENABLED {
-        // Queue wait: the client's submit stamp → this shard picking the
-        // request off its hardware queue.
-        telemetry::record_span(track, Algo::Runtime, Lane::QueueWait, req.submit_ns);
-        telemetry::now_ns()
-    } else {
-        0
-    };
-    let ret = dispatch.dispatch(state, req.op, req.arg);
-    endpoint
-        .send(EndpointId::from_word(req.sender), &[ret])
-        .expect("shard client endpoint vanished");
-    if telemetry::ENABLED {
-        telemetry::record_span(track, Algo::Runtime, Lane::Serve, t_serve);
     }
 }
 
@@ -255,5 +317,37 @@ mod tests {
         // No batch may exceed max_batch = 2.
         assert!(hist.count() >= 3, "hist: {hist:?}");
         assert!(hist.max() <= 2, "hist: {hist:?}");
+    }
+
+    #[test]
+    fn core_ticks_nonblocking() {
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let control = Arc::new(Control::new(1, 8, SubmitPolicy::Block));
+        let server_ep = fabric.register_any().unwrap();
+        let sid = server_ep.id();
+        let mut core = ShardCore::new(
+            server_ep,
+            0u64,
+            add_dispatch as fn(&mut u64, u64, u64) -> u64,
+            Arc::clone(&control),
+            0,
+            4,
+        );
+        assert_eq!(core.tick(), 0, "empty queue ticks to zero");
+        let mut client = fabric.register_any().unwrap();
+        for i in 1..=3u64 {
+            client
+                .send(sid, &wire::request(client.id().to_word(), 0, i))
+                .unwrap();
+        }
+        assert_eq!(core.tick(), 3, "one tick drains the backlog");
+        let mut last = 0;
+        for _ in 0..3 {
+            last = client.receive1();
+        }
+        assert_eq!(last, 6);
+        assert_eq!(core.tick(), 0);
+        drop(client);
+        assert_eq!(core.into_state(), 6);
     }
 }

@@ -24,6 +24,7 @@
 //! [`TelemetryReport`]) are always compiled: downstream code can hold and
 //! merge histograms regardless of the feature.
 
+pub mod alloc;
 pub mod hist;
 pub mod report;
 pub mod ring;
@@ -110,10 +111,14 @@ pub enum Lane {
     Submit = 8,
     /// Words resident in a receive queue, sampled at receive time.
     Occupancy = 9,
+    /// A reactor's readiness wait (epoll or equivalent), when it slept.
+    Poll = 10,
+    /// A reactor flushing buffered responses to a socket.
+    Flush = 11,
 }
 
 impl Lane {
-    pub const ALL: [Lane; 10] = [
+    pub const ALL: [Lane; 12] = [
         Lane::ClientWait,
         Lane::QueueWait,
         Lane::Serve,
@@ -124,6 +129,8 @@ impl Lane {
         Lane::Blocked,
         Lane::Submit,
         Lane::Occupancy,
+        Lane::Poll,
+        Lane::Flush,
     ];
 
     /// Stable lowercase name used in JSON and trace output.
@@ -139,6 +146,8 @@ impl Lane {
             Lane::Blocked => "blocked",
             Lane::Submit => "submit",
             Lane::Occupancy => "occupancy",
+            Lane::Poll => "poll",
+            Lane::Flush => "flush",
         }
     }
 
@@ -186,10 +195,18 @@ pub enum Counter {
     /// Requests acked during a graceful server drain (already-received
     /// requests answered before FIN).
     NetDrainedOps = 15,
+    /// Reactor loop iterations that found work (I/O events, migrated
+    /// connections, or executor requests).
+    NetReactorWakes = 16,
+    /// Non-empty reactor service passes (≥ 1 request handled in one tick).
+    NetReactorBatches = 17,
+    /// Heap allocations observed inside reactor serve passes (only advances
+    /// when the process installs [`alloc::CountingAlloc`]).
+    NetServeAllocs = 18,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -206,6 +223,9 @@ impl Counter {
         Counter::NetBusy,
         Counter::NetDisconnects,
         Counter::NetDrainedOps,
+        Counter::NetReactorWakes,
+        Counter::NetReactorBatches,
+        Counter::NetServeAllocs,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -227,6 +247,9 @@ impl Counter {
             Counter::NetBusy => "net.busy",
             Counter::NetDisconnects => "net.disconnects",
             Counter::NetDrainedOps => "net.drained_ops",
+            Counter::NetReactorWakes => "net.reactor_wakes",
+            Counter::NetReactorBatches => "net.reactor_batches",
+            Counter::NetServeAllocs => "net.serve_allocs",
         }
     }
 }
