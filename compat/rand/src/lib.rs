@@ -2,8 +2,8 @@
 //! this workspace uses: `StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen`,
 //! `Rng::gen_range`, `Rng::gen_bool`, and `rngs::SmallRng`.
 //!
-//! **Bit-exactness matters here.** The committed `repro_output.txt` oracle
-//! was generated with upstream rand 0.8, whose `StdRng` is ChaCha12 behind
+//! **Bit-exactness matters here.** Historical repro oracles were generated
+//! with upstream rand 0.8, whose `StdRng` is ChaCha12 behind
 //! `rand_core`'s `BlockRng`. Every figure value flows through
 //! `gen_range`, so this crate reimplements, exactly:
 //!
@@ -425,8 +425,8 @@ mod tests {
     /// The stream must depend on every part of the state (key and counter),
     /// successive blocks must differ, and the same seed must replay the
     /// same stream. (Cross-implementation bit-exactness is pinned end-to-end
-    /// by the repro harness against the committed `repro_output.txt`, which
-    /// was generated with upstream rand 0.8.)
+    /// by diffing repro sweeps against runs captured under upstream
+    /// rand 0.8.)
     #[test]
     fn chacha12_stream_structure() {
         let mut a = StdRng::from_seed([0u8; 32]);

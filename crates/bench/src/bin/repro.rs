@@ -227,6 +227,8 @@ fn main() {
         let (sim_runs, host) = cache.stats();
         let report = TimingReport {
             args: invocation.join(" "),
+            git_rev: mpsync_telemetry::meta::git_revision(),
+            hostname: mpsync_telemetry::meta::hostname(),
             quick: opts.quick,
             horizon: opts.horizon,
             seed: opts.seed,

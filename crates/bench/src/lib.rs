@@ -71,6 +71,11 @@ pub fn for_each_parallel<T: Sync>(items: &[T], jobs: usize, f: impl Fn(&T) + Syn
 pub struct TimingReport {
     /// The experiment list as invoked, e.g. `--quick all`.
     pub args: String,
+    /// Git revision of the tree that produced the numbers (with `-dirty`
+    /// when the checkout had local modifications).
+    pub git_rev: String,
+    /// Hostname of the machine that ran the sweep.
+    pub hostname: String,
     /// Whether the sweep ran with `--quick` point lists.
     pub quick: bool,
     /// Simulated-cycle horizon per run.
@@ -103,6 +108,8 @@ impl TimingReport {
         let mut s = String::from("{\n");
         s.push_str("  \"bench\": \"repro\",\n");
         s.push_str(&format!("  \"args\": {:?},\n", self.args));
+        s.push_str(&format!("  \"git_rev\": {:?},\n", self.git_rev));
+        s.push_str(&format!("  \"hostname\": {:?},\n", self.hostname));
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"horizon\": {},\n", self.horizon));
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
@@ -235,6 +242,8 @@ mod timing_tests {
     fn report() -> TimingReport {
         TimingReport {
             args: "--quick all".into(),
+            git_rev: "abc123def456".into(),
+            hostname: "testhost".into(),
             quick: true,
             horizon: 200_000,
             seed: 42,

@@ -1,0 +1,157 @@
+//! Consistent-hash placement: slots → nodes via a virtual-node hash ring.
+//!
+//! The keyspace is first reduced to a fixed number of [`Slot`]s (the same
+//! fibonacci multiply-shift reduction the runtime uses for shards), and the
+//! ring places *slots* on nodes. Fixing the slot count means membership
+//! changes remap bounded, enumerable units — a handoff moves whole slots,
+//! never individual keys — while the ring keeps placement balanced and
+//! mostly-stable: adding a node steals each slot either from nobody or to
+//! the new node (bounded remapping, property-tested in `tests/ring.rs`).
+
+use crate::{NodeId, Slot};
+
+/// Maps a key to its slot: fibonacci multiplicative hash, multiply-shift
+/// range reduction. Uniform for sequential keys and branch-free, matching
+/// `mpsync_runtime::shard_for` in shape so the two layers stripe alike.
+#[inline]
+pub fn slot_for(key: u64, slots: u16) -> Slot {
+    debug_assert!(slots > 0);
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+    ((h * slots as u64) >> 32) as Slot
+}
+
+/// splitmix64: the ring's point hash. Full-avalanche so node ids and
+/// replica indices (small integers) spread uniformly over the circle.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each member contributes `vnodes` points on a `u64` circle; a slot lands
+/// on the first point clockwise from its own hash. More vnodes → tighter
+/// balance (the default 64 keeps the max/min slot-count ratio under ~2 for
+/// small clusters) at linear memory cost.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, node)` pairs — the circle.
+    points: Vec<(u64, NodeId)>,
+    vnodes: u32,
+}
+
+/// Default virtual nodes per member.
+pub const DEFAULT_VNODES: u32 = 64;
+
+impl HashRing {
+    /// A ring holding `nodes`, each with `vnodes` points. Duplicate node
+    /// ids are debounced; order does not matter (any permutation builds the
+    /// identical ring).
+    pub fn new(nodes: &[NodeId], vnodes: u32) -> Self {
+        assert!(vnodes > 0, "a member needs at least one point");
+        let mut ring = Self {
+            points: Vec::new(),
+            vnodes,
+        };
+        for &n in nodes {
+            ring.add_node(n);
+        }
+        ring
+    }
+
+    /// Adds a member (no-op if already present).
+    pub fn add_node(&mut self, node: NodeId) {
+        if self.points.iter().any(|&(_, n)| n == node) {
+            return;
+        }
+        for replica in 0..self.vnodes {
+            let point = mix(((node as u64) << 32) | replica as u64);
+            self.points.push((point, node));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a member (no-op if absent).
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.points.retain(|&(_, n)| n != node);
+    }
+
+    /// Current members, ascending.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.points.iter().map(|&(_, n)| n).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The member owning `slot`: first ring point clockwise from the slot's
+    /// hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn owner(&self, slot: Slot) -> NodeId {
+        self.walk(slot).next().expect("ring has no members")
+    }
+
+    /// The owner and the first *distinct* member after it — the natural
+    /// primary/backup pair for `slot`. Backup is `None` in a 1-node ring.
+    pub fn owner_backup(&self, slot: Slot) -> (NodeId, Option<NodeId>) {
+        let owner = self.owner(slot);
+        let backup = self.walk(slot).find(|&n| n != owner);
+        (owner, backup)
+    }
+
+    /// Members in ring order starting at `slot`'s point (with wrap), one
+    /// entry per ring point — callers dedup as needed.
+    fn walk(&self, slot: Slot) -> impl Iterator<Item = NodeId> + '_ {
+        let h = mix(0xC1u64 << 56 | slot as u64);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        self.points
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(self.points.len())
+            .map(|&(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_order_independent_and_deduped() {
+        let a = HashRing::new(&[0, 1, 2], 32);
+        let b = HashRing::new(&[2, 0, 1, 1, 0], 32);
+        for slot in 0..256 {
+            assert_eq!(a.owner(slot), b.owner(slot));
+        }
+        assert_eq!(a.nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn backup_is_distinct_and_absent_when_alone() {
+        let solo = HashRing::new(&[3], 16);
+        assert_eq!(solo.owner_backup(0), (3, None));
+        let pair = HashRing::new(&[1, 2], 16);
+        for slot in 0..64 {
+            let (o, b) = pair.owner_backup(slot);
+            assert_ne!(Some(o), b);
+            assert!(b.is_some());
+        }
+    }
+
+    #[test]
+    fn slot_for_is_stable_and_in_range() {
+        for slots in [1u16, 2, 16, 128] {
+            for key in 0..2000u64 {
+                let s = slot_for(key, slots);
+                assert!(s < slots);
+                assert_eq!(s, slot_for(key, slots));
+            }
+        }
+    }
+}

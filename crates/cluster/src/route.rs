@@ -1,0 +1,180 @@
+//! The epoch-versioned routing table: who owns (and backs up) each slot.
+//!
+//! Every slot carries an **epoch** that increments on each ownership
+//! change — handoff, failover, resync. Routing conflicts resolve by
+//! highest epoch (last-writer-wins on a monotone counter), which is what
+//! lets nodes gossip [`RouteUpdate`](mpsync_net::frame::NodeMsg::RouteUpdate)
+//! frames idempotently and detect divergence from a cheap digest.
+
+use mpsync_net::frame::NO_NODE;
+
+use crate::ring::HashRing;
+use crate::{NodeId, Slot};
+
+/// One slot's route: owner, optional backup, and the epoch that versions
+/// this assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRoute {
+    /// The node that applies this slot's operations.
+    pub owner: NodeId,
+    /// The node replicating this slot, if any.
+    pub backup: Option<NodeId>,
+    /// Version of this assignment; higher epochs supersede lower.
+    pub epoch: u64,
+}
+
+/// Slot → route for the whole keyspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    slots: Vec<SlotRoute>,
+}
+
+impl RouteTable {
+    /// The initial table every member derives from the same [`HashRing`]:
+    /// identical rings yield identical tables, so a cluster boots into
+    /// agreement without a coordination round. All epochs start at 1.
+    pub fn from_ring(ring: &HashRing, slots: u16) -> Self {
+        let slots = (0..slots)
+            .map(|s| {
+                let (owner, backup) = ring.owner_backup(s);
+                SlotRoute {
+                    owner,
+                    backup,
+                    epoch: 1,
+                }
+            })
+            .collect();
+        Self { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// Whether the table is empty (zero slots — never in a real cluster).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `slot`'s current route.
+    pub fn get(&self, slot: Slot) -> SlotRoute {
+        self.slots[slot as usize]
+    }
+
+    /// Installs a route observed at `epoch`; returns `true` when it was
+    /// newer than the current one (and thus applied). Equal or lower epochs
+    /// are ignored — under correct operation an epoch uniquely identifies
+    /// an assignment, so equal-epoch updates carry nothing new.
+    pub fn apply(&mut self, slot: Slot, epoch: u64, owner: NodeId, backup: Option<NodeId>) -> bool {
+        let cur = &mut self.slots[slot as usize];
+        if epoch <= cur.epoch {
+            return false;
+        }
+        *cur = SlotRoute {
+            owner,
+            backup,
+            epoch,
+        };
+        true
+    }
+
+    /// Order-sensitive digest of the whole table (mixes slot, epoch, owner,
+    /// and backup per slot). Two nodes whose digests agree and that have
+    /// only ever applied epoch-monotone updates hold identical tables; a
+    /// mismatch triggers anti-entropy route gossip.
+    pub fn digest(&self) -> u64 {
+        let mut acc = 0u64;
+        for (slot, r) in self.slots.iter().enumerate() {
+            let backup = r.backup.map(u64::from).unwrap_or(NO_NODE as u64);
+            let word = (slot as u64) << 48 | (r.owner as u64) << 32 | backup << 16;
+            acc = acc.wrapping_add(crate::route::mix(word ^ r.epoch.rotate_left(17)));
+        }
+        acc
+    }
+
+    /// Every route whose epoch moved past the initial assignment — the set
+    /// worth gossiping during anti-entropy.
+    pub fn changed(&self) -> impl Iterator<Item = (Slot, SlotRoute)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.epoch > 1)
+            .map(|(s, r)| (s as Slot, *r))
+    }
+}
+
+/// splitmix64 (same constants as the ring's point hash).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RouteTable {
+        RouteTable::from_ring(&HashRing::new(&[0, 1, 2], 16), 32)
+    }
+
+    #[test]
+    fn members_boot_into_agreement() {
+        let a = table();
+        let b = table();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn only_newer_epochs_apply() {
+        let mut t = table();
+        let before = t.get(3);
+        assert!(!t.apply(3, before.epoch, 9, None), "equal epoch ignored");
+        assert_eq!(t.get(3), before);
+        assert!(t.apply(3, before.epoch + 1, 9, Some(1)));
+        assert_eq!(
+            t.get(3),
+            SlotRoute {
+                owner: 9,
+                backup: Some(1),
+                epoch: before.epoch + 1
+            }
+        );
+        assert!(!t.apply(3, before.epoch, 7, None), "stale epoch ignored");
+    }
+
+    #[test]
+    fn digest_sees_every_field() {
+        let base = table();
+        let mut owner = table();
+        owner.apply(0, 2, 9, base.get(0).backup);
+        let mut backup = table();
+        backup.apply(0, 2, base.get(0).owner, None);
+        let mut epoch = table();
+        epoch.apply(0, 3, base.get(0).owner, base.get(0).backup);
+        let digests = [
+            base.digest(),
+            owner.digest(),
+            backup.digest(),
+            epoch.digest(),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in digests.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn changed_reports_moved_slots_only() {
+        let mut t = table();
+        assert_eq!(t.changed().count(), 0);
+        t.apply(5, 2, 1, None);
+        let moved: Vec<_> = t.changed().collect();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Slot-addressed object state behind a node: the [`SlotStore`] trait and
+//! its two implementations.
+//!
+//! [`ModelStore`] is a plain per-slot `BTreeMap` — the simulator's state,
+//! fast and dependency-free. [`RuntimeStore`] adapts the real sharded
+//! delegation runtime ([`ShardedKvStore`]): operations go through an
+//! ordinary session (so they serialize under shard mutual exclusion with
+//! all other traffic), and export rides the `SCAN`-cursor snapshot path.
+//! `NodeCore` is generic over the trait, which is what lets one state
+//! machine run in both worlds.
+
+use std::collections::BTreeMap;
+
+use mpsync_objects::seq::{kv_dispatch, kv_ops, KvMap};
+use mpsync_runtime::{Session, ShardedKvStore};
+
+use crate::ring::slot_for;
+use crate::Slot;
+
+/// Keyed object state addressable by slot. `apply` must be deterministic —
+/// primary and backup apply the same records and must converge — and every
+/// key of `slot` must satisfy `slot_for(key) == slot` (callers route before
+/// applying).
+pub trait SlotStore {
+    /// Applies one operation and returns its result word.
+    fn apply(&mut self, slot: Slot, key: u64, op: u8, arg: u64) -> u64;
+
+    /// Snapshot of every `(key, value)` pair currently in `slot`.
+    fn export(&mut self, slot: Slot) -> Vec<(u64, u64)>;
+
+    /// Loads pairs into `slot` (over whatever is there; callers
+    /// [`discard`](SlotStore::discard) first for a clean import).
+    fn import(&mut self, slot: Slot, entries: &[(u64, u64)]);
+
+    /// Drops all of `slot`'s state (demotion discards possibly-diverged
+    /// copies before resync).
+    fn discard(&mut self, slot: Slot);
+}
+
+/// In-memory [`SlotStore`]: one ordered map per slot, dispatching through
+/// the same [`kv_dispatch`] body the runtime executes — so simulator
+/// results are bit-compatible with runtime results.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    maps: Vec<KvMap>,
+}
+
+impl ModelStore {
+    /// A store covering `slots` slots, all empty.
+    pub fn new(slots: u16) -> Self {
+        Self {
+            maps: vec![KvMap::new(); slots as usize],
+        }
+    }
+
+    /// Direct read access (assertion helpers in tests).
+    pub fn map(&self, slot: Slot) -> &BTreeMap<u64, u64> {
+        &self.maps[slot as usize]
+    }
+
+    /// All `(key, value)` pairs across every slot, ascending by key.
+    pub fn all_entries(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .maps
+            .iter()
+            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl SlotStore for ModelStore {
+    fn apply(&mut self, slot: Slot, key: u64, op: u8, arg: u64) -> u64 {
+        kv_dispatch(&mut self.maps[slot as usize], key, op as u64, arg)
+    }
+
+    fn export(&mut self, slot: Slot) -> Vec<(u64, u64)> {
+        self.maps[slot as usize]
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    fn import(&mut self, slot: Slot, entries: &[(u64, u64)]) {
+        let map = &mut self.maps[slot as usize];
+        for &(k, v) in entries {
+            map.insert(k, v);
+        }
+    }
+
+    fn discard(&mut self, slot: Slot) {
+        self.maps[slot as usize].clear();
+    }
+}
+
+/// [`SlotStore`] over the real sharded delegation runtime: every apply is
+/// an ordinary keyed submit (delegated to the key's shard executor), and
+/// export filters the runtime's `SCAN`-cursor snapshot down to one slot.
+pub struct RuntimeStore {
+    store: ShardedKvStore,
+    session: Session,
+    slots: u16,
+}
+
+impl RuntimeStore {
+    /// Wraps `store`, serving a keyspace of `slots` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store cannot open a session (runtime closed or at its
+    /// session cap).
+    pub fn new(store: ShardedKvStore, slots: u16) -> Self {
+        let session = store.raw_session().expect("runtime store session");
+        Self {
+            store,
+            session,
+            slots,
+        }
+    }
+
+    /// The wrapped store (e.g. for shutdown at process exit).
+    pub fn into_inner(self) -> ShardedKvStore {
+        drop(self.session);
+        self.store
+    }
+}
+
+impl SlotStore for RuntimeStore {
+    fn apply(&mut self, slot: Slot, key: u64, op: u8, arg: u64) -> u64 {
+        debug_assert_eq!(slot_for(key, self.slots), slot, "misrouted key");
+        self.session
+            .submit(key, op as u64, arg)
+            .expect("runtime closed under RuntimeStore")
+    }
+
+    fn export(&mut self, slot: Slot) -> Vec<(u64, u64)> {
+        self.store
+            .export_entries()
+            .expect("runtime closed under RuntimeStore")
+            .into_iter()
+            .filter(|&(k, _)| slot_for(k, self.slots) == slot)
+            .collect()
+    }
+
+    fn import(&mut self, slot: Slot, entries: &[(u64, u64)]) {
+        debug_assert!(entries
+            .iter()
+            .all(|&(k, _)| slot_for(k, self.slots) == slot));
+        self.store
+            .import_entries(entries)
+            .expect("runtime closed under RuntimeStore");
+    }
+
+    fn discard(&mut self, slot: Slot) {
+        for (key, _) in self.export(slot) {
+            self.session
+                .submit(key, kv_ops::DEL, 0)
+                .expect("runtime closed under RuntimeStore");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpsync_objects::EMPTY;
+    use mpsync_runtime::RuntimeConfig;
+
+    #[test]
+    fn model_store_roundtrips_per_slot() {
+        let mut s = ModelStore::new(4);
+        let slot = slot_for(10, 4);
+        assert_eq!(s.apply(slot, 10, kv_ops::PUT as u8, 99), EMPTY);
+        assert_eq!(s.apply(slot, 10, kv_ops::GET as u8, 0), 99);
+        assert_eq!(s.export(slot), vec![(10, 99)]);
+        s.discard(slot);
+        assert_eq!(s.apply(slot, 10, kv_ops::GET as u8, 0), EMPTY);
+        s.import(slot, &[(10, 5)]);
+        assert_eq!(s.apply(slot, 10, kv_ops::GET as u8, 0), 5);
+    }
+
+    #[test]
+    fn runtime_store_matches_model_store() {
+        let slots = 8u16;
+        let mut model = ModelStore::new(slots);
+        let mut real = RuntimeStore::new(
+            ShardedKvStore::new(RuntimeConfig::new(2).with_max_sessions(4)),
+            slots,
+        );
+        let keys = [1u64, 2, 3, 100, 7777];
+        for (i, &k) in keys.iter().enumerate() {
+            let slot = slot_for(k, slots);
+            let ops: [(u8, u64); 3] = [
+                (kv_ops::PUT as u8, 10 + i as u64),
+                (kv_ops::ADD as u8, 5),
+                (kv_ops::GET as u8, 0),
+            ];
+            for (op, arg) in ops {
+                assert_eq!(
+                    model.apply(slot, k, op, arg),
+                    real.apply(slot, k, op, arg),
+                    "key {k} op {op}"
+                );
+            }
+        }
+        for slot in 0..slots {
+            assert_eq!(model.export(slot), real.export(slot), "slot {slot}");
+        }
+        // Discard one slot on both; they stay in agreement.
+        let victim = slot_for(keys[0], slots);
+        model.discard(victim);
+        real.discard(victim);
+        for slot in 0..slots {
+            assert_eq!(model.export(slot), real.export(slot));
+        }
+        real.into_inner().shutdown();
+    }
+}

@@ -1,0 +1,607 @@
+//! The socket transport: the same [`NodeCore`] the simulator verifies,
+//! served over real TCP.
+//!
+//! One [`ClusterNode`] owns a listener, a mesh of outbound peer
+//! connections, and a core thread that is the node's *only* mutator — every
+//! connection thread decodes frames and hands them to the core over a
+//! channel, mirroring how the simulator feeds events to the state machine.
+//! Both client and peer traffic share the listener: the first frame
+//! classifies the connection (a `0x10`-range [`NodeMsg::Hello`] marks a
+//! peer or admin; anything below is a client [`Request`]).
+//!
+//! Outbound frames go through per-peer writer threads that reconnect with
+//! backoff and re-handshake ([`NodeMsg::Hello`] first on every connect);
+//! messages lost to a broken socket are recovered by the protocol's own
+//! retransmission, so the writers keep no queue history. Client responses
+//! likewise leave through per-connection writer threads, keeping the core
+//! thread free of blocking I/O.
+//!
+//! [`ClusterClient`] is the matching client: unlike
+//! [`NetClient`](mpsync_net::NetClient) it keeps the **same request id
+//! across every retry, redirect, and reconnect** of one logical op — the
+//! id is the cluster's dedup uid, so a retry that lands after the original
+//! was applied is answered from the dedup table instead of re-executing.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mpsync_net::frame::{
+    FrameError, FrameReader, NodeMsg, Request, Response, Status, Wire, DEFAULT_MAX_FRAME,
+    NODE_PROTO_VERSION, TAG_HANDOFF, TAG_HELLO,
+};
+
+use crate::node::{NodeConfig, NodeCore, Outbox};
+use crate::store::RuntimeStore;
+use crate::{NodeId, Slot};
+
+/// Reserved node id admin connections identify as: they may send
+/// [`NodeMsg::Handoff`] but never participate in routing or replication.
+pub const ADMIN_NODE: NodeId = 0xFFFE;
+
+/// First frame of a mixed connection: peers open with `Hello`, clients
+/// with an ordinary request.
+enum Incoming {
+    Client(Request),
+    Peer(NodeMsg),
+}
+
+impl Wire for Incoming {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Incoming::Client(r) => r.encode_body(out),
+            Incoming::Peer(m) => m.encode_body(out),
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        if (TAG_HELLO..=TAG_HANDOFF).contains(&body[0]) {
+            NodeMsg::decode_body(body).map(Incoming::Peer)
+        } else {
+            Request::decode_body(body).map(Incoming::Client)
+        }
+    }
+}
+
+enum Input {
+    Client { token: u64, req: Request },
+    Peer { from: NodeId, msg: NodeMsg },
+}
+
+/// Shared fan-out tables: conn threads register themselves, the core
+/// thread resolves outbox destinations through them.
+#[derive(Default)]
+struct Registry {
+    peers: Mutex<BTreeMap<NodeId, mpsc::Sender<NodeMsg>>>,
+    clients: Mutex<BTreeMap<u64, mpsc::Sender<Response>>>,
+}
+
+/// Configuration for one TCP cluster member.
+pub struct TcpNodeConfig {
+    /// Protocol parameters (times are in ticks of `tick_ms`).
+    pub node: NodeConfig,
+    /// Pre-bound listener (bind to port 0 first when wiring a cluster up
+    /// in-process, then exchange the resolved addresses).
+    pub listener: TcpListener,
+    /// Peer id → address, for the outbound mesh.
+    pub peers: Vec<(NodeId, String)>,
+    /// Milliseconds per protocol tick.
+    pub tick_ms: u64,
+}
+
+/// A running cluster member: listener + peer mesh + core thread over the
+/// real delegation runtime.
+pub struct ClusterNode {
+    stop: Arc<AtomicBool>,
+    local: std::net::SocketAddr,
+    core: Option<JoinHandle<NodeCore<RuntimeStore>>>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ClusterNode {
+    /// Boots the node: starts the acceptor, the outbound peer writers, and
+    /// the core loop.
+    pub fn start(cfg: TcpNodeConfig, store: RuntimeStore) -> io::Result<Self> {
+        let local = cfg.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let reg = Arc::new(Registry::default());
+        let (tx, rx) = mpsc::channel::<Input>();
+
+        // Outbound mesh: one reconnecting writer per configured peer.
+        {
+            let mut peers = reg.peers.lock().expect("registry lock");
+            for (id, addr) in &cfg.peers {
+                let (ptx, prx) = mpsc::channel::<NodeMsg>();
+                peers.insert(*id, ptx);
+                spawn_peer_writer(addr.clone(), prx, Arc::clone(&stop), cfg.node.id);
+            }
+        }
+
+        // Acceptor: classify and spawn a reader per connection.
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let reg = Arc::clone(&reg);
+            let tx = tx.clone();
+            let listener = cfg.listener;
+            thread::spawn(move || {
+                let tokens = AtomicU64::new(1);
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let token = tokens.fetch_add(1, Ordering::Relaxed);
+                    let stop = Arc::clone(&stop);
+                    let reg = Arc::clone(&reg);
+                    let tx = tx.clone();
+                    thread::spawn(move || serve_conn(stream, token, tx, reg, stop));
+                }
+            })
+        };
+
+        // Core loop: sole owner of the NodeCore.
+        let core = {
+            let stop = Arc::clone(&stop);
+            let reg = Arc::clone(&reg);
+            let tick_ms = cfg.tick_ms.max(1);
+            let mut node = NodeCore::new(cfg.node, store);
+            thread::spawn(move || {
+                let start = Instant::now();
+                let mut last_tick = 0u64;
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let mut out = Outbox::default();
+                    match rx.recv_timeout(Duration::from_millis(tick_ms / 2 + 1)) {
+                        Ok(Input::Client { token, req }) => match req {
+                            Request::Op { id, key, op, arg } => {
+                                node.on_client_op(token, id, key, op, arg, &mut out)
+                            }
+                            Request::Ping { id } => out.replies.push((
+                                token,
+                                Response {
+                                    id,
+                                    status: Status::Ok,
+                                    value: 0,
+                                },
+                            )),
+                        },
+                        Ok(Input::Peer { from, msg }) => node.on_node_msg(from, msg, &mut out),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    let now = start.elapsed().as_millis() as u64 / tick_ms;
+                    if now > last_tick {
+                        last_tick = now;
+                        node.on_tick(now, &mut out);
+                    }
+                    dispatch(&reg, out);
+                }
+                node
+            })
+        };
+
+        Ok(Self {
+            stop,
+            local,
+            core: Some(core),
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The listener's resolved address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local
+    }
+
+    /// Stops every thread and returns the store for an orderly runtime
+    /// shutdown.
+    pub fn shutdown(mut self) -> RuntimeStore {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        let core = self.core.take().expect("shutdown called once");
+        core.join().expect("core thread panicked").into_store()
+    }
+}
+
+/// Routes one outbox to its sockets.
+fn dispatch(reg: &Registry, out: Outbox) {
+    if !out.sends.is_empty() {
+        let peers = reg.peers.lock().expect("registry lock");
+        for (to, msg) in out.sends {
+            if let Some(tx) = peers.get(&to) {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+    if !out.replies.is_empty() {
+        let clients = reg.clients.lock().expect("registry lock");
+        for (token, resp) in out.replies {
+            if let Some(tx) = clients.get(&token) {
+                let _ = tx.send(resp);
+            }
+        }
+    }
+}
+
+/// Outbound writer: reconnect with backoff, handshake, drain the queue.
+fn spawn_peer_writer(
+    addr: String,
+    rx: mpsc::Receiver<NodeMsg>,
+    stop: Arc<AtomicBool>,
+    self_id: NodeId,
+) {
+    thread::spawn(move || {
+        let mut conn: Option<TcpStream> = None;
+        let mut buf = Vec::with_capacity(256);
+        loop {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let msg = match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            // (Re)establish and re-handshake lazily, on demand: dropped
+            // messages are covered by protocol retransmission.
+            if conn.is_none() {
+                match TcpStream::connect(&addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        buf.clear();
+                        NodeMsg::Hello {
+                            version: NODE_PROTO_VERSION,
+                            node: self_id,
+                            digest: 0,
+                        }
+                        .encode_frame(&mut buf);
+                        let mut s = s;
+                        if s.write_all(&buf).is_ok() {
+                            conn = Some(s);
+                        } else {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                    Err(_) => {
+                        thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                }
+            }
+            if let Some(s) = conn.as_mut() {
+                buf.clear();
+                msg.encode_frame(&mut buf);
+                if s.write_all(&buf).is_err() {
+                    conn = None;
+                }
+            }
+        }
+    });
+}
+
+/// Inbound connection: classify on the first frame, then pump inputs into
+/// the core until EOF or shutdown.
+fn serve_conn(
+    stream: TcpStream,
+    token: u64,
+    tx: mpsc::Sender<Input>,
+    reg: Arc<Registry>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let mut peer_id: Option<NodeId> = None;
+    let mut is_client = false;
+    let mut writer_spawned = false;
+    let mut stream = stream;
+    let mut chunk = [0u8; 16 * 1024];
+    'conn: loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => reader.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        loop {
+            let frame = match reader.next_frame::<Incoming>() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => break 'conn, // framing lost; drop the connection
+            };
+            match frame {
+                Incoming::Peer(msg) => {
+                    if is_client {
+                        break 'conn;
+                    }
+                    let from = match (&msg, peer_id) {
+                        (NodeMsg::Hello { node, .. }, None) => {
+                            peer_id = Some(*node);
+                            if *node == ADMIN_NODE && !writer_spawned {
+                                // Admin has no mesh entry: answer over a
+                                // clone of this socket.
+                                writer_spawned = true;
+                                if let Ok(clone) = stream.try_clone() {
+                                    let (ptx, prx) = mpsc::channel::<NodeMsg>();
+                                    reg.peers
+                                        .lock()
+                                        .expect("registry lock")
+                                        .insert(ADMIN_NODE, ptx);
+                                    let stop = Arc::clone(&stop);
+                                    thread::spawn(move || {
+                                        let mut clone = clone;
+                                        let mut buf = Vec::with_capacity(256);
+                                        while !stop.load(Ordering::Acquire) {
+                                            match prx.recv_timeout(Duration::from_millis(200)) {
+                                                Ok(m) => {
+                                                    buf.clear();
+                                                    m.encode_frame(&mut buf);
+                                                    if clone.write_all(&buf).is_err() {
+                                                        return;
+                                                    }
+                                                }
+                                                Err(RecvTimeoutError::Timeout) => {}
+                                                Err(RecvTimeoutError::Disconnected) => return,
+                                            }
+                                        }
+                                    });
+                                }
+                            }
+                            *node
+                        }
+                        (_, Some(id)) => id,
+                        // Peer frames before a Hello: protocol violation.
+                        (_, None) => break 'conn,
+                    };
+                    if tx.send(Input::Peer { from, msg }).is_err() {
+                        break 'conn;
+                    }
+                }
+                Incoming::Client(req) => {
+                    if peer_id.is_some() {
+                        break 'conn;
+                    }
+                    if !is_client {
+                        is_client = true;
+                        // Per-connection response writer.
+                        let (ctx, crx) = mpsc::channel::<Response>();
+                        reg.clients
+                            .lock()
+                            .expect("registry lock")
+                            .insert(token, ctx);
+                        if let Ok(clone) = stream.try_clone() {
+                            let stop = Arc::clone(&stop);
+                            thread::spawn(move || {
+                                let mut clone = clone;
+                                let mut buf = Vec::with_capacity(64);
+                                while !stop.load(Ordering::Acquire) {
+                                    match crx.recv_timeout(Duration::from_millis(200)) {
+                                        Ok(resp) => {
+                                            buf.clear();
+                                            resp.encode_frame(&mut buf);
+                                            if clone.write_all(&buf).is_err() {
+                                                return;
+                                            }
+                                        }
+                                        Err(RecvTimeoutError::Timeout) => {}
+                                        Err(RecvTimeoutError::Disconnected) => return,
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    if tx.send(Input::Client { token, req }).is_err() {
+                        break 'conn;
+                    }
+                }
+            }
+        }
+    }
+    if is_client {
+        reg.clients.lock().expect("registry lock").remove(&token);
+    }
+    if peer_id == Some(ADMIN_NODE) {
+        reg.peers.lock().expect("registry lock").remove(&ADMIN_NODE);
+    }
+}
+
+/// Outcome of one [`ClusterClient`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// The operation's result word.
+    pub value: u64,
+    /// Times the request was re-sent (timeouts, reconnects, `Busy`).
+    pub resends: u32,
+    /// `Redirect` referrals followed.
+    pub redirects: u32,
+}
+
+/// A cluster-aware client: dials any member, follows `Redirect` referrals,
+/// and — crucially — keeps the **same request id across retries** so the
+/// cluster's dedup table can absorb duplicates of one logical op.
+pub struct ClusterClient {
+    addrs: Vec<(NodeId, String)>,
+    conns: BTreeMap<NodeId, (TcpStream, FrameReader)>,
+    timeout: Duration,
+    target: usize,
+    next_id: u64,
+}
+
+impl ClusterClient {
+    /// A client for the given membership. `first_id` seeds the request-id
+    /// sequence for [`ClusterClient::call`] (give each client process a
+    /// disjoint band, e.g. `client_no << 32`).
+    pub fn connect(addrs: Vec<(NodeId, String)>, timeout: Duration, first_id: u64) -> Self {
+        assert!(!addrs.is_empty());
+        Self {
+            addrs,
+            conns: BTreeMap::new(),
+            timeout,
+            target: 0,
+            next_id: first_id,
+        }
+    }
+
+    /// Runs one op with a fresh id.
+    pub fn call(&mut self, key: u64, op: u8, arg: u64) -> io::Result<CallOutcome> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.call_with_id(id, key, op, arg)
+    }
+
+    /// Runs one op under a caller-chosen id. Calling twice with the same
+    /// id must yield the same value (dedup) — the bench asserts exactly
+    /// that.
+    pub fn call_with_id(&mut self, id: u64, key: u64, op: u8, arg: u64) -> io::Result<CallOutcome> {
+        // Keep `call`'s fresh-id counter ahead of every id used here:
+        // an accidental reuse would be answered from the server's dedup
+        // table with the *old* op's result.
+        self.next_id = self.next_id.max(id.wrapping_add(1));
+        let mut resends = 0u32;
+        let mut redirects = 0u32;
+        let deadline = Instant::now() + self.timeout.max(Duration::from_millis(100)) * 40;
+        loop {
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("op id {id} unanswered after {redirects} redirects, {resends} resends"),
+                ));
+            }
+            let node = self.addrs[self.target % self.addrs.len()].0;
+            match self.try_once(node, id, key, op, arg) {
+                Ok(resp) => match resp.status {
+                    Status::Ok => {
+                        return Ok(CallOutcome {
+                            value: resp.value,
+                            resends,
+                            redirects,
+                        })
+                    }
+                    Status::Redirect => {
+                        redirects += 1;
+                        match self.addrs.iter().position(|&(n, _)| n as u64 == resp.value) {
+                            Some(i) => self.target = i,
+                            None => self.target += 1,
+                        }
+                    }
+                    Status::Busy => {
+                        resends += 1;
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("server answered {s:?}"),
+                        ))
+                    }
+                },
+                Err(_) => {
+                    // Socket trouble or timeout: drop the conn, rotate,
+                    // resend the SAME id.
+                    self.conns.remove(&node);
+                    self.target += 1;
+                    resends += 1;
+                }
+            }
+        }
+    }
+
+    fn try_once(
+        &mut self,
+        node: NodeId,
+        id: u64,
+        key: u64,
+        op: u8,
+        arg: u64,
+    ) -> io::Result<Response> {
+        if !self.conns.contains_key(&node) {
+            let addr = &self
+                .addrs
+                .iter()
+                .find(|&&(n, _)| n == node)
+                .expect("target from addrs")
+                .1;
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            self.conns
+                .insert(node, (stream, FrameReader::new(DEFAULT_MAX_FRAME)));
+        }
+        let (stream, reader) = self.conns.get_mut(&node).expect("just inserted");
+        let mut buf = Vec::with_capacity(64);
+        Request::Op { id, key, op, arg }.encode_frame(&mut buf);
+        stream.write_all(&buf)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(resp) = reader
+                .next_frame::<Response>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                if resp.id == id {
+                    return Ok(resp);
+                }
+                continue; // stale answer to an earlier resend of another op
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            reader.extend(&chunk[..n]);
+        }
+    }
+}
+
+/// Instructs the member at `addr` to hand `slot` to node `to` (forwarded
+/// to the owner if `addr` isn't it). Waits for the `HelloAck` that proves
+/// the admin handshake was processed — the `Handoff` frame is queued in
+/// order right behind it.
+pub fn admin_handoff(addr: &str, slot: Slot, to: NodeId) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut buf = Vec::with_capacity(64);
+    NodeMsg::Hello {
+        version: NODE_PROTO_VERSION,
+        node: ADMIN_NODE,
+        digest: 0,
+    }
+    .encode_frame(&mut buf);
+    NodeMsg::Handoff { slot, to }.encode_frame(&mut buf);
+    stream.write_all(&buf)?;
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(msg) = reader
+            .next_frame::<NodeMsg>()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            if matches!(msg, NodeMsg::HelloAck { .. }) {
+                return Ok(());
+            }
+            continue; // anti-entropy RouteUpdates are fine to skip
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        }
+        reader.extend(&chunk[..n]);
+    }
+}

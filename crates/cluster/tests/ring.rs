@@ -1,0 +1,134 @@
+//! Property tests of consistent-hash placement: balance stays bounded and
+//! membership changes remap only what they must.
+
+use mpsync_cluster::{slot_for, HashRing, NodeId, RouteTable};
+use proptest::prelude::*;
+
+/// splitmix64 — expands one generated word into independent draws (the
+/// vendored proptest has no tuple strategies).
+fn mix(mut x: u64) -> impl FnMut() -> u64 {
+    move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Exactly `len` distinct random member ids.
+fn membership(seed: u64, len: usize) -> Vec<NodeId> {
+    let mut next = mix(seed);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < len {
+        set.insert((next() % 1000) as NodeId);
+    }
+    set.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every member owns a reasonable share: no node exceeds 3x the fair
+    /// share, and (with enough slots per node) nobody is starved to zero.
+    #[test]
+    fn placement_stays_balanced(seed in any::<u64>()) {
+        let mut next = mix(seed);
+        let n = 2 + (next() % 7) as usize; // 2..=8 members
+        let nodes = membership(next(), n);
+        let slots = 256u16;
+        let ring = HashRing::new(&nodes, 64);
+        let mut owned = std::collections::BTreeMap::new();
+        for s in 0..slots {
+            *owned.entry(ring.owner(s)).or_insert(0u32) += 1;
+        }
+        let fair = slots as u32 / nodes.len() as u32;
+        for &node in &nodes {
+            let got = owned.get(&node).copied().unwrap_or(0);
+            prop_assert!(got > 0, "node {node} owns nothing");
+            prop_assert!(
+                got <= fair * 3,
+                "node {node} owns {got} of {slots} slots (fair {fair})"
+            );
+        }
+    }
+
+    /// Adding a member only moves slots *to* the newcomer: every other
+    /// slot keeps its owner (the consistent-hashing contract that makes a
+    /// join cost one bounded batch of handoffs).
+    #[test]
+    fn adding_a_node_remaps_boundedly(seed in any::<u64>()) {
+        let mut next = mix(seed);
+        let n = 2 + (next() % 6) as usize;
+        let nodes = membership(next(), n);
+        let newcomer = (1000 + next() % 1000) as NodeId; // outside membership range
+        let slots = 256u16;
+        let before = HashRing::new(&nodes, 64);
+        let mut after = before.clone();
+        after.add_node(newcomer);
+        let mut moved = 0u32;
+        for s in 0..slots {
+            let (a, b) = (before.owner(s), after.owner(s));
+            if a != b {
+                prop_assert_eq!(b, newcomer, "slot {} moved {} -> {}, not to the newcomer", s, a, b);
+                moved += 1;
+            }
+        }
+        // Expected share is slots/(n+1); allow 3x slack.
+        prop_assert!(
+            moved <= 3 * slots as u32 / (nodes.len() as u32 + 1),
+            "{moved} slots moved to the newcomer"
+        );
+    }
+
+    /// Removing a member only moves the slots it owned.
+    #[test]
+    fn removing_a_node_remaps_boundedly(seed in any::<u64>()) {
+        let mut next = mix(seed);
+        let n = 3 + (next() % 5) as usize;
+        let nodes = membership(next(), n);
+        let victim = nodes[(next() % nodes.len() as u64) as usize];
+        let slots = 256u16;
+        let before = HashRing::new(&nodes, 64);
+        let mut after = before.clone();
+        after.remove_node(victim);
+        for s in 0..slots {
+            let (a, b) = (before.owner(s), after.owner(s));
+            if a != victim {
+                prop_assert_eq!(a, b, "slot {} moved despite its owner surviving", s);
+            } else {
+                prop_assert!(b != victim);
+            }
+        }
+    }
+
+    /// Identical membership builds identical routing state regardless of
+    /// the order nodes are listed in — the boot-time agreement every
+    /// member relies on.
+    #[test]
+    fn route_tables_agree_across_member_orderings(seed in any::<u64>()) {
+        let mut next = mix(seed);
+        let nodes = membership(next(), 2 + (next() % 5) as usize);
+        let mut shuffled = nodes.clone();
+        shuffled.rotate_left((next() % nodes.len() as u64) as usize);
+        let a = RouteTable::from_ring(&HashRing::new(&nodes, 64), 128);
+        let b = RouteTable::from_ring(&HashRing::new(&shuffled, 64), 128);
+        prop_assert_eq!(a.digest(), b.digest());
+        for s in 0..128 {
+            prop_assert_eq!(a.get(s), b.get(s));
+        }
+    }
+
+    /// slot_for covers every slot for dense key ranges (no dead slots a
+    /// handoff could never drain into).
+    #[test]
+    fn key_reduction_covers_all_slots(seed in any::<u64>()) {
+        let mut next = mix(seed);
+        let slots = 1 + (next() % 64) as u16;
+        let mut seen = vec![false; slots as usize];
+        for key in 0..(slots as u64 * 64) {
+            seen[slot_for(key, slots) as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some slot unreachable by dense keys");
+    }
+}

@@ -1,0 +1,144 @@
+//! The seeded adversarial suite: hundreds of simulated schedules, each
+//! checking the cluster's safety contract end to end.
+//!
+//! Every [`mpsync_cluster::sim::run`] invocation *is* the verifier — it
+//! panics if any acked op is lost, double-applied, or answered
+//! inconsistently, if replicas diverge after quiesce, or if the workload
+//! livelocks. These tests sweep seeds across progressively nastier
+//! weather:
+//!
+//! * fair-weather drops/duplications/delays (message reordering falls out
+//!   of randomized per-message delays),
+//! * live slot handoffs under load,
+//! * a permanent primary crash (backup promotion),
+//! * a temporary partition (minority stall, majority failover, then
+//!   demotion + resync on heal),
+//!
+//! plus bit-identical replay checks: the same seed must reproduce the
+//! exact trace hash, which is what makes any failing seed in this file a
+//! deterministic, debuggable artifact.
+
+use mpsync_cluster::sim::{run, Fault, SimConfig};
+
+/// Fair weather, 100 seeds: drops, duplicates, reorder via random delays.
+#[test]
+fn hundred_seeds_of_lossy_weather() {
+    for seed in 0..100u64 {
+        let mut cfg = SimConfig::new(seed);
+        // Escalate the weather with the seed so the sweep spans mild to
+        // nasty: up to 20% drops, 15% duplicates.
+        cfg.drop_p = 0.02 + (seed % 10) as f64 * 0.02;
+        cfg.dup_p = 0.01 + (seed % 7) as f64 * 0.02;
+        cfg.delay_max = 1 + seed % 5;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: missing acks"
+        );
+    }
+}
+
+/// Live handoffs while the workload runs: slots migrate with queued ops
+/// re-forwarded and clients redirected, losing nothing.
+#[test]
+fn thirty_seeds_of_live_handoffs() {
+    for seed in 1000..1030u64 {
+        let mut cfg = SimConfig::new(seed);
+        cfg.handoffs = 1 + (seed % 5) as u32;
+        cfg.drop_p = 0.05;
+        cfg.dup_p = 0.05;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: missing acks across handoff"
+        );
+    }
+}
+
+/// Primary crash mid-run, 30 seeds: the backup must promote and every op
+/// acked before or after the crash must survive with its original result.
+#[test]
+fn thirty_seeds_of_crash_failover() {
+    for seed in 2000..2030u64 {
+        let mut cfg = SimConfig::new(seed);
+        cfg.fault = Fault::Crash {
+            at: 100 + (seed % 7) * 97,
+        };
+        cfg.drop_p = 0.05;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: missing acks across crash failover"
+        );
+    }
+}
+
+/// Temporary partition, 20 seeds: majority fails the minority's slots
+/// over; the deposed primary must demote, discard, and resync on heal.
+#[test]
+fn twenty_seeds_of_partition_and_heal() {
+    for seed in 3000..3020u64 {
+        let mut cfg = SimConfig::new(seed);
+        let at = 150 + (seed % 5) * 60;
+        cfg.fault = Fault::Partition {
+            at,
+            heal_at: at + 400 + (seed % 3) * 150,
+        };
+        cfg.drop_p = 0.04;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: missing acks across partition"
+        );
+    }
+}
+
+/// Determinism: replaying a seed reproduces the identical trace hash,
+/// reply counts, and final store contents — across every fault class.
+#[test]
+fn ten_seeds_replay_bit_identically() {
+    for seed in 0..10u64 {
+        let mut cfg = SimConfig::new(seed * 7 + 1);
+        match seed % 3 {
+            0 => cfg.fault = Fault::Crash { at: 250 },
+            1 => {
+                cfg.fault = Fault::Partition {
+                    at: 200,
+                    heal_at: 700,
+                }
+            }
+            _ => cfg.handoffs = 3,
+        }
+        cfg.drop_p = 0.08;
+        cfg.dup_p = 0.05;
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a, b, "seed {} did not replay bit-identically", cfg.seed);
+        assert_ne!(a.trace_hash, 0);
+    }
+}
+
+/// A larger cluster under the nastiest weather the suite uses.
+#[test]
+fn five_node_cluster_survives_heavy_loss() {
+    for seed in 4000..4010u64 {
+        let mut cfg = SimConfig::new(seed);
+        cfg.nodes = 5;
+        cfg.slots = 32;
+        cfg.clients = 6;
+        cfg.drop_p = 0.20;
+        cfg.dup_p = 0.10;
+        cfg.delay_max = 6;
+        cfg.horizon = 120_000;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: missing acks on 5-node cluster"
+        );
+    }
+}

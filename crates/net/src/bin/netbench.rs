@@ -401,7 +401,7 @@ fn closed_loop_conn(
                         out.closed += 1;
                         budget = 0; // server is going away; just drain
                     }
-                    Status::BadRequest => out.rejected += 1,
+                    Status::BadRequest | Status::Redirect => out.rejected += 1,
                 }
             }
             Ok(None) => {
@@ -530,7 +530,7 @@ fn multi_conn_worker(
                             out.closed += 1;
                             c.budget = 0;
                         }
-                        Status::BadRequest => out.rejected += 1,
+                        Status::BadRequest | Status::Redirect => out.rejected += 1,
                     }
                 }
                 Ok(None) => {
@@ -588,7 +588,7 @@ fn open_loop_conn(
                         }
                         Status::Busy => r.busy += 1,
                         Status::Closed => r.closed += 1,
-                        Status::BadRequest => r.rejected += 1,
+                        Status::BadRequest | Status::Redirect => r.rejected += 1,
                     }
                 }
                 Ok(None) => {
@@ -1186,11 +1186,15 @@ fn run_pinned(opts: &Opts) -> Result<(), String> {
         }
     }
     rows.extend(best.into_iter().flatten());
-    let mut json = format!(
-        "{{\n  \"bench\": \"netbench-pinned\",\n  \"scenario\": {{ \"backend\": \"mp-server\", \
+    let mut json =
+        format!(
+        "{{\n  \"bench\": \"netbench-pinned\",\n  \"git_rev\": {:?},\n  \"hostname\": {:?},\n  \
+         \"scenario\": {{ \"backend\": \"mp-server\", \
          \"shards\": {}, \"connections\": {}, \"pipeline\": {}, \"keys\": {}, \"theta\": {}, \
          \"open_loop_rate\": {OPEN_RATE}, \"open_loop_trials\": {OPEN_TRIALS}, \"seed\": {} \
          }},\n  \"rows\": [\n",
+        mpsync_telemetry::meta::git_revision(),
+        mpsync_telemetry::meta::hostname(),
         pinned.shards, pinned.connections, pinned.pipeline, pinned.keys, pinned.theta, pinned.seed,
     );
     for (i, r) in rows.iter().enumerate() {

@@ -37,6 +37,11 @@ pub enum ClientError {
     /// The server answered [`Status::BadRequest`]; payload is the
     /// [`reject`](crate::frame::reject) code.
     Rejected(u64),
+    /// The server answered [`Status::Redirect`]: the key's slot lives on
+    /// another cluster node; payload is that node's id. Plain `NetClient`
+    /// does not follow redirects — cluster-aware callers re-issue the op
+    /// (same request id) against the named node.
+    Redirected(u64),
 }
 
 impl std::fmt::Display for ClientError {
@@ -50,6 +55,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Closed => write!(f, "server runtime is closed"),
             ClientError::Busy => write!(f, "server busy (retries exhausted)"),
             ClientError::Rejected(code) => write!(f, "request rejected (code {code})"),
+            ClientError::Redirected(node) => {
+                write!(f, "key is owned by cluster node {node}")
+            }
         }
     }
 }
@@ -311,6 +319,7 @@ impl NetClient {
                 }
                 Status::Closed => return Err(ClientError::Closed),
                 Status::BadRequest => return Err(ClientError::Rejected(resp.value)),
+                Status::Redirect => return Err(ClientError::Redirected(resp.value)),
             }
         }
     }
@@ -326,6 +335,7 @@ impl NetClient {
             Status::Busy => Err(ClientError::Busy),
             Status::Closed => Err(ClientError::Closed),
             Status::BadRequest => Err(ClientError::Rejected(resp.value)),
+            Status::Redirect => Err(ClientError::Redirected(resp.value)),
         }
     }
 

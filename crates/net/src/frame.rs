@@ -1,7 +1,7 @@
 //! The wire protocol: little-endian, length-prefixed binary frames.
 //!
 //! Every frame is a `u32` body length followed by the body; the first body
-//! byte is a tag. Three frames exist:
+//! byte is a tag. The client-facing protocol has three frames:
 //!
 //! | tag | frame | body layout |
 //! |---|---|---|
@@ -15,6 +15,15 @@
 //! the order it received them (per-connection FIFO — the property that lets
 //! a client match responses without a reorder buffer).
 //!
+//! The `0x10`–`0x1a` tag range carries the **node-to-node** protocol
+//! ([`NodeMsg`]): a versioned handshake ([`NodeMsg::Hello`], checked
+//! against [`NODE_PROTO_VERSION`]), forwarded client operations that keep
+//! their origin request id as a cluster-wide dedup uid ([`NodeMsg::Fwd`]),
+//! the primary→backup replication stream, slot-state transfer chunks for
+//! live handoff, and routing-epoch gossip. `mpsync-cluster` gives these
+//! frames their semantics; this module only defines the wire layout so
+//! both directions share one codec and one [`FrameReader`].
+//!
 //! Decoding is strict and total: a zero-length body, an over-limit length
 //! prefix, an unknown tag, or a tag whose body length does not match all
 //! surface as a typed [`FrameError`] — never a panic, and never a partial
@@ -27,6 +36,36 @@ pub const TAG_PING: u8 = 0x02;
 /// Body tag of a response.
 pub const TAG_REPLY: u8 = 0x81;
 
+/// Body tag of a node-to-node [`NodeMsg::Hello`] handshake/heartbeat.
+pub const TAG_HELLO: u8 = 0x10;
+/// Body tag of a node-to-node [`NodeMsg::HelloAck`].
+pub const TAG_HELLO_ACK: u8 = 0x11;
+/// Body tag of a forwarded client operation ([`NodeMsg::Fwd`]).
+pub const TAG_FWD: u8 = 0x12;
+/// Body tag of a forwarded-operation reply ([`NodeMsg::FwdReply`]).
+pub const TAG_FWD_REPLY: u8 = 0x13;
+/// Body tag of a primary→backup replication record ([`NodeMsg::Repl`]).
+pub const TAG_REPL: u8 = 0x14;
+/// Body tag of a cumulative replication ack ([`NodeMsg::ReplAck`]).
+pub const TAG_REPL_ACK: u8 = 0x15;
+/// Body tag of a routing-epoch update ([`NodeMsg::RouteUpdate`]).
+pub const TAG_ROUTE: u8 = 0x16;
+/// Body tag of a handoff state-transfer chunk ([`NodeMsg::SlotChunk`]).
+pub const TAG_CHUNK: u8 = 0x17;
+/// Body tag of a slot-transfer acknowledgement ([`NodeMsg::SlotAck`]).
+pub const TAG_SLOT_ACK: u8 = 0x18;
+/// Body tag of a slot resynchronisation request ([`NodeMsg::SyncReq`]).
+pub const TAG_SYNC_REQ: u8 = 0x19;
+/// Body tag of an administrative handoff trigger ([`NodeMsg::Handoff`]).
+pub const TAG_HANDOFF: u8 = 0x1a;
+
+/// Version word carried in [`NodeMsg::Hello`]; a node drops peer
+/// connections that greet with any other version.
+pub const NODE_PROTO_VERSION: u16 = 1;
+
+/// Sentinel node id meaning "no node" (e.g. a slot with no backup).
+pub const NO_NODE: u16 = u16::MAX;
+
 /// Body length of an `Op` request (tag + id + key + op + arg).
 const OP_BODY: usize = 1 + 8 + 8 + 1 + 8;
 /// Body length of a `Ping` request (tag + id).
@@ -34,9 +73,10 @@ const PING_BODY: usize = 1 + 8;
 /// Body length of a response (tag + id + status + value).
 const REPLY_BODY: usize = 1 + 8 + 1 + 8;
 
-/// Largest body a peer may send unless configured otherwise. Every real
-/// frame is ≤ 26 bytes; the headroom exists so future frame kinds don't
-/// need a protocol bump, while still bounding a malicious length prefix.
+/// Largest body a peer may send unless configured otherwise. Every
+/// fixed-layout frame is ≤ 44 bytes; [`NodeMsg::SlotChunk`] is the one
+/// variable frame and its senders cap entries so a chunk fits this bound,
+/// which in turn bounds a malicious length prefix.
 pub const DEFAULT_MAX_FRAME: u32 = 1024;
 
 /// Why a byte stream failed to decode.
@@ -99,6 +139,10 @@ pub enum Status {
     /// The request was malformed (key or opcode out of range); `value`
     /// holds a [`reject`] reason code. The operation was not applied.
     BadRequest = 3,
+    /// The key's slot is owned by another node; `value` holds the owning
+    /// node id. The operation was not applied — retry against that node
+    /// with the **same** request id so cluster dedup still recognises it.
+    Redirect = 4,
 }
 
 impl Status {
@@ -108,6 +152,7 @@ impl Status {
             1 => Ok(Status::Busy),
             2 => Ok(Status::Closed),
             3 => Ok(Status::BadRequest),
+            4 => Ok(Status::Redirect),
             other => Err(FrameError::BadStatus(other)),
         }
     }
@@ -165,6 +210,14 @@ pub struct Response {
 
 fn rd_u64(b: &[u8]) -> u64 {
     u64::from_le_bytes(b[..8].try_into().expect("slice is 8 bytes"))
+}
+
+fn rd_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("slice is 4 bytes"))
+}
+
+fn rd_u16(b: &[u8]) -> u16 {
+    u16::from_le_bytes(b[..2].try_into().expect("slice is 2 bytes"))
 }
 
 /// A frame body: encodable into and decodable from raw bytes. Implemented
@@ -262,6 +315,391 @@ impl Wire for Response {
             status: Status::from_u8(body[9])?,
             value: rd_u64(&body[10..]),
         })
+    }
+}
+
+/// A node-to-node frame (tags `0x10`–`0x1a`).
+///
+/// These frames run over the same length-prefixed transport as the client
+/// protocol but between cluster members (and from an admin tool, for
+/// [`NodeMsg::Handoff`]). Node ids are `u16`; [`NO_NODE`] is the "none"
+/// sentinel. The semantics live in `mpsync-cluster`; this type is only the
+/// codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeMsg {
+    /// Handshake and heartbeat. First frame on every peer connection;
+    /// thereafter sent periodically. `digest` summarises the sender's
+    /// routing table (sum of slot epochs) so peers can detect divergence
+    /// and anti-entropy-gossip their routes.
+    Hello {
+        /// Sender's protocol version; must equal [`NODE_PROTO_VERSION`].
+        version: u16,
+        /// Sender's node id.
+        node: u16,
+        /// Routing-table digest (sum of slot epochs).
+        digest: u64,
+    },
+    /// Reply to [`NodeMsg::Hello`]; same layout and digest semantics.
+    HelloAck {
+        /// Responder's protocol version.
+        version: u16,
+        /// Responder's node id.
+        node: u16,
+        /// Responder's routing-table digest.
+        digest: u64,
+    },
+    /// A client operation forwarded to the key's owner. `uid` is the
+    /// origin client's request id, globally unique per logical operation —
+    /// it travels with the op so the owner's dedup table makes retries
+    /// (from the client or from a re-forwarding node) exactly-once.
+    Fwd {
+        /// Origin request id; the cluster-wide dedup key.
+        uid: u64,
+        /// Routing key.
+        key: u64,
+        /// Opcode.
+        op: u8,
+        /// Argument word.
+        arg: u64,
+    },
+    /// Answer to a [`NodeMsg::Fwd`] with the same `uid`.
+    FwdReply {
+        /// Echo of the forwarded op's uid.
+        uid: u64,
+        /// Outcome; [`Status::Redirect`]'s `value` names the real owner.
+        status: Status,
+        /// Result word (or reason code / owner id, per `status`).
+        value: u64,
+    },
+    /// One primary→backup replication record. Sequenced per `(slot,
+    /// epoch)`; the backup applies in order and holds back gaps.
+    Repl {
+        /// Slot this record belongs to.
+        slot: u16,
+        /// Ownership epoch the sequence is scoped to.
+        epoch: u64,
+        /// Position in the slot's replication stream for this epoch.
+        seq: u64,
+        /// Dedup uid of the replicated operation.
+        uid: u64,
+        /// Routing key.
+        key: u64,
+        /// Opcode.
+        op: u8,
+        /// Argument word.
+        arg: u64,
+    },
+    /// Cumulative replication ack: the backup has applied every record of
+    /// `(slot, epoch)` with sequence ≤ `seq`.
+    ReplAck {
+        /// Slot being acknowledged.
+        slot: u16,
+        /// Epoch the acknowledged sequence is scoped to.
+        epoch: u64,
+        /// Highest contiguously-applied sequence number.
+        seq: u64,
+    },
+    /// Routing gossip: `slot` is owned by `owner` (backed by `backup`,
+    /// [`NO_NODE`] if none) as of `epoch`. Higher epochs win.
+    RouteUpdate {
+        /// Slot whose route changed.
+        slot: u16,
+        /// Ownership epoch; stale updates (lower epoch) are ignored.
+        epoch: u64,
+        /// Owning node id.
+        owner: u16,
+        /// Backup node id, or [`NO_NODE`].
+        backup: u16,
+    },
+    /// One chunk of slot state during handoff or resync. Chunks are
+    /// idempotent by `(epoch, index)`; `done` marks the final chunk.
+    SlotChunk {
+        /// Slot being transferred.
+        slot: u16,
+        /// Epoch the receiving node will own the slot under.
+        epoch: u64,
+        /// Chunk index within this transfer (for idempotent re-delivery).
+        index: u32,
+        /// Payload kind: [`chunk_kind::DATA`] or [`chunk_kind::DEDUP`].
+        kind: u8,
+        /// 1 on the final chunk of the transfer, else 0.
+        done: u8,
+        /// Key→value pairs (`DATA`) or uid→result pairs (`DEDUP`).
+        entries: Vec<(u64, u64)>,
+    },
+    /// The receiver has durably imported the whole transfer for
+    /// `(slot, epoch)` and now owns the slot.
+    SlotAck {
+        /// Slot whose transfer completed.
+        slot: u16,
+        /// Epoch of the completed transfer.
+        epoch: u64,
+    },
+    /// Ask the slot's owner to stream current state (a fresh transfer at
+    /// `epoch`); sent by a node that discarded a stale copy.
+    SyncReq {
+        /// Slot to resynchronise.
+        slot: u16,
+        /// Requester's last-known epoch for the slot.
+        epoch: u64,
+    },
+    /// Administrative trigger: migrate `slot` to node `to`. Sent by an
+    /// operator/driver connection, not by peers.
+    Handoff {
+        /// Slot to migrate.
+        slot: u16,
+        /// Destination node id.
+        to: u16,
+    },
+}
+
+/// Payload kinds for [`NodeMsg::SlotChunk`].
+pub mod chunk_kind {
+    /// Entries are object state: key → value pairs.
+    pub const DATA: u8 = 0;
+    /// Entries are dedup state: uid → result pairs.
+    pub const DEDUP: u8 = 1;
+}
+
+/// Fixed body length (tag included) for each fixed-layout node frame.
+const HELLO_BODY: usize = 1 + 2 + 2 + 8;
+const FWD_BODY: usize = 1 + 8 + 8 + 1 + 8;
+const FWD_REPLY_BODY: usize = 1 + 8 + 1 + 8;
+const REPL_BODY: usize = 1 + 2 + 8 + 8 + 8 + 8 + 1 + 8;
+const REPL_ACK_BODY: usize = 1 + 2 + 8 + 8;
+const ROUTE_BODY: usize = 1 + 2 + 8 + 2 + 2;
+const CHUNK_HEADER: usize = 1 + 2 + 8 + 4 + 1 + 1;
+const SLOT_EPOCH_BODY: usize = 1 + 2 + 8;
+const HANDOFF_BODY: usize = 1 + 2 + 2;
+
+impl Wire for NodeMsg {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match *self {
+            NodeMsg::Hello {
+                version,
+                node,
+                digest,
+            }
+            | NodeMsg::HelloAck {
+                version,
+                node,
+                digest,
+            } => {
+                out.push(if matches!(self, NodeMsg::Hello { .. }) {
+                    TAG_HELLO
+                } else {
+                    TAG_HELLO_ACK
+                });
+                out.extend_from_slice(&version.to_le_bytes());
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            NodeMsg::Fwd { uid, key, op, arg } => {
+                out.push(TAG_FWD);
+                out.extend_from_slice(&uid.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out.push(op);
+                out.extend_from_slice(&arg.to_le_bytes());
+            }
+            NodeMsg::FwdReply { uid, status, value } => {
+                out.push(TAG_FWD_REPLY);
+                out.extend_from_slice(&uid.to_le_bytes());
+                out.push(status as u8);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            NodeMsg::Repl {
+                slot,
+                epoch,
+                seq,
+                uid,
+                key,
+                op,
+                arg,
+            } => {
+                out.push(TAG_REPL);
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&uid.to_le_bytes());
+                out.extend_from_slice(&key.to_le_bytes());
+                out.push(op);
+                out.extend_from_slice(&arg.to_le_bytes());
+            }
+            NodeMsg::ReplAck { slot, epoch, seq } => {
+                out.push(TAG_REPL_ACK);
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            NodeMsg::RouteUpdate {
+                slot,
+                epoch,
+                owner,
+                backup,
+            } => {
+                out.push(TAG_ROUTE);
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&owner.to_le_bytes());
+                out.extend_from_slice(&backup.to_le_bytes());
+            }
+            NodeMsg::SlotChunk {
+                slot,
+                epoch,
+                index,
+                kind,
+                done,
+                ref entries,
+            } => {
+                out.push(TAG_CHUNK);
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+                out.push(kind);
+                out.push(done);
+                for &(k, v) in entries {
+                    out.extend_from_slice(&k.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            NodeMsg::SlotAck { slot, epoch } | NodeMsg::SyncReq { slot, epoch } => {
+                out.push(if matches!(self, NodeMsg::SlotAck { .. }) {
+                    TAG_SLOT_ACK
+                } else {
+                    TAG_SYNC_REQ
+                });
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+            }
+            NodeMsg::Handoff { slot, to } => {
+                out.push(TAG_HANDOFF);
+                out.extend_from_slice(&slot.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        let tag = body[0];
+        let need = |want: usize| -> Result<(), FrameError> {
+            if body.len() != want {
+                Err(FrameError::Length {
+                    tag,
+                    got: body.len(),
+                    want,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match tag {
+            TAG_HELLO | TAG_HELLO_ACK => {
+                need(HELLO_BODY)?;
+                let version = rd_u16(&body[1..]);
+                let node = rd_u16(&body[3..]);
+                let digest = rd_u64(&body[5..]);
+                Ok(if tag == TAG_HELLO {
+                    NodeMsg::Hello {
+                        version,
+                        node,
+                        digest,
+                    }
+                } else {
+                    NodeMsg::HelloAck {
+                        version,
+                        node,
+                        digest,
+                    }
+                })
+            }
+            TAG_FWD => {
+                need(FWD_BODY)?;
+                Ok(NodeMsg::Fwd {
+                    uid: rd_u64(&body[1..]),
+                    key: rd_u64(&body[9..]),
+                    op: body[17],
+                    arg: rd_u64(&body[18..]),
+                })
+            }
+            TAG_FWD_REPLY => {
+                need(FWD_REPLY_BODY)?;
+                Ok(NodeMsg::FwdReply {
+                    uid: rd_u64(&body[1..]),
+                    status: Status::from_u8(body[9])?,
+                    value: rd_u64(&body[10..]),
+                })
+            }
+            TAG_REPL => {
+                need(REPL_BODY)?;
+                Ok(NodeMsg::Repl {
+                    slot: rd_u16(&body[1..]),
+                    epoch: rd_u64(&body[3..]),
+                    seq: rd_u64(&body[11..]),
+                    uid: rd_u64(&body[19..]),
+                    key: rd_u64(&body[27..]),
+                    op: body[35],
+                    arg: rd_u64(&body[36..]),
+                })
+            }
+            TAG_REPL_ACK => {
+                need(REPL_ACK_BODY)?;
+                Ok(NodeMsg::ReplAck {
+                    slot: rd_u16(&body[1..]),
+                    epoch: rd_u64(&body[3..]),
+                    seq: rd_u64(&body[11..]),
+                })
+            }
+            TAG_ROUTE => {
+                need(ROUTE_BODY)?;
+                Ok(NodeMsg::RouteUpdate {
+                    slot: rd_u16(&body[1..]),
+                    epoch: rd_u64(&body[3..]),
+                    owner: rd_u16(&body[11..]),
+                    backup: rd_u16(&body[13..]),
+                })
+            }
+            TAG_CHUNK => {
+                if body.len() < CHUNK_HEADER || !(body.len() - CHUNK_HEADER).is_multiple_of(16) {
+                    return Err(FrameError::Length {
+                        tag,
+                        got: body.len(),
+                        want: CHUNK_HEADER,
+                    });
+                }
+                let mut entries = Vec::with_capacity((body.len() - CHUNK_HEADER) / 16);
+                let mut at = CHUNK_HEADER;
+                while at < body.len() {
+                    entries.push((rd_u64(&body[at..]), rd_u64(&body[at + 8..])));
+                    at += 16;
+                }
+                Ok(NodeMsg::SlotChunk {
+                    slot: rd_u16(&body[1..]),
+                    epoch: rd_u64(&body[3..]),
+                    index: rd_u32(&body[11..]),
+                    kind: body[15],
+                    done: body[16],
+                    entries,
+                })
+            }
+            TAG_SLOT_ACK | TAG_SYNC_REQ => {
+                need(SLOT_EPOCH_BODY)?;
+                let slot = rd_u16(&body[1..]);
+                let epoch = rd_u64(&body[3..]);
+                Ok(if tag == TAG_SLOT_ACK {
+                    NodeMsg::SlotAck { slot, epoch }
+                } else {
+                    NodeMsg::SyncReq { slot, epoch }
+                })
+            }
+            TAG_HANDOFF => {
+                need(HANDOFF_BODY)?;
+                Ok(NodeMsg::Handoff {
+                    slot: rd_u16(&body[1..]),
+                    to: rd_u16(&body[3..]),
+                })
+            }
+            other => Err(FrameError::UnknownTag(other)),
+        }
     }
 }
 
@@ -658,6 +1096,168 @@ mod tests {
             fb.next_frame::<Request>(),
             Err(FrameError::Oversized { len: 65, max: 64 })
         );
+    }
+
+    fn sample_node_msgs() -> Vec<NodeMsg> {
+        vec![
+            NodeMsg::Hello {
+                version: NODE_PROTO_VERSION,
+                node: 0,
+                digest: 7,
+            },
+            NodeMsg::HelloAck {
+                version: NODE_PROTO_VERSION,
+                node: 1,
+                digest: u64::MAX,
+            },
+            NodeMsg::Fwd {
+                uid: (3 << 32) | 9,
+                key: (1 << 56) - 1,
+                op: 255,
+                arg: u64::MAX,
+            },
+            NodeMsg::FwdReply {
+                uid: 42,
+                status: Status::Redirect,
+                value: 2,
+            },
+            NodeMsg::Repl {
+                slot: 65534,
+                epoch: 3,
+                seq: 100,
+                uid: 5,
+                key: 6,
+                op: 1,
+                arg: 7,
+            },
+            NodeMsg::ReplAck {
+                slot: 0,
+                epoch: 3,
+                seq: 100,
+            },
+            NodeMsg::RouteUpdate {
+                slot: 12,
+                epoch: 4,
+                owner: 1,
+                backup: NO_NODE,
+            },
+            NodeMsg::SlotChunk {
+                slot: 12,
+                epoch: 4,
+                index: 9,
+                kind: chunk_kind::DEDUP,
+                done: 1,
+                entries: vec![(1, 2), (u64::MAX, 0), (3, u64::MAX)],
+            },
+            NodeMsg::SlotChunk {
+                slot: 1,
+                epoch: 1,
+                index: 0,
+                kind: chunk_kind::DATA,
+                done: 0,
+                entries: vec![],
+            },
+            NodeMsg::SlotAck { slot: 12, epoch: 4 },
+            NodeMsg::SyncReq { slot: 12, epoch: 3 },
+            NodeMsg::Handoff { slot: 12, to: 1 },
+        ]
+    }
+
+    #[test]
+    fn node_msg_roundtrip_every_variant() {
+        let msgs = sample_node_msgs();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            m.encode_frame(&mut bytes);
+        }
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        for m in &msgs {
+            assert_eq!(r.next_frame::<NodeMsg>().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(r.next_frame::<NodeMsg>().unwrap(), None);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn node_msg_bad_lengths_are_typed_errors() {
+        // A Hello body one byte short.
+        let mut bytes = Vec::new();
+        NodeMsg::Hello {
+            version: 1,
+            node: 0,
+            digest: 0,
+        }
+        .encode_frame(&mut bytes);
+        bytes.pop();
+        let body_len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(
+            r.next_frame::<NodeMsg>(),
+            Err(FrameError::Length {
+                tag: TAG_HELLO,
+                got: 12,
+                want: 13,
+            })
+        );
+
+        // A chunk whose entry area is not a multiple of 16 bytes.
+        let mut bytes = Vec::new();
+        NodeMsg::SlotChunk {
+            slot: 0,
+            epoch: 0,
+            index: 0,
+            kind: 0,
+            done: 0,
+            entries: vec![(1, 2)],
+        }
+        .encode_frame(&mut bytes);
+        bytes.pop();
+        let body_len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&body_len.to_le_bytes());
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert!(matches!(
+            r.next_frame::<NodeMsg>(),
+            Err(FrameError::Length { tag: TAG_CHUNK, .. })
+        ));
+    }
+
+    #[test]
+    fn node_msg_rejects_client_tags_and_vice_versa() {
+        let mut bytes = Vec::new();
+        Request::Ping { id: 1 }.encode_frame(&mut bytes);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(
+            r.next_frame::<NodeMsg>(),
+            Err(FrameError::UnknownTag(TAG_PING))
+        );
+
+        let mut bytes = Vec::new();
+        NodeMsg::SlotAck { slot: 1, epoch: 1 }.encode_frame(&mut bytes);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(
+            r.next_frame::<Request>(),
+            Err(FrameError::UnknownTag(TAG_SLOT_ACK))
+        );
+    }
+
+    #[test]
+    fn redirect_status_roundtrips_in_response() {
+        let resp = Response {
+            id: 4,
+            status: Status::Redirect,
+            value: 3,
+        };
+        let mut bytes = Vec::new();
+        resp.encode_frame(&mut bytes);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(r.next_frame::<Response>().unwrap(), Some(resp));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! or garbage — can make the decoder panic.
 
 use mpsync_net::frame::{
-    FrameError, FrameReader, Request, Response, Status, Wire, DEFAULT_MAX_FRAME,
+    chunk_kind, FrameError, FrameReader, NodeMsg, Request, Response, Status, Wire,
+    DEFAULT_MAX_FRAME, NODE_PROTO_VERSION,
 };
 use proptest::prelude::*;
 
@@ -45,6 +46,82 @@ fn arb_response(seed: u64) -> Response {
             _ => Status::BadRequest,
         },
         value: next(),
+    }
+}
+
+/// One node-to-node frame of any variant, fields drawn from `seed`.
+fn arb_node_msg(seed: u64) -> NodeMsg {
+    let mut next = mix(seed);
+    match next() % 11 {
+        0 => NodeMsg::Hello {
+            version: NODE_PROTO_VERSION,
+            node: next() as u16,
+            digest: next(),
+        },
+        1 => NodeMsg::HelloAck {
+            version: NODE_PROTO_VERSION,
+            node: next() as u16,
+            digest: next(),
+        },
+        2 => NodeMsg::Fwd {
+            uid: next(),
+            key: next(),
+            op: next() as u8,
+            arg: next(),
+        },
+        3 => NodeMsg::FwdReply {
+            uid: next(),
+            status: match next() % 3 {
+                0 => Status::Ok,
+                1 => Status::Busy,
+                _ => Status::Redirect,
+            },
+            value: next(),
+        },
+        4 => NodeMsg::Repl {
+            slot: next() as u16,
+            epoch: next(),
+            seq: next(),
+            uid: next(),
+            key: next(),
+            op: next() as u8,
+            arg: next(),
+        },
+        5 => NodeMsg::ReplAck {
+            slot: next() as u16,
+            epoch: next(),
+            seq: next(),
+        },
+        6 => NodeMsg::RouteUpdate {
+            slot: next() as u16,
+            epoch: next(),
+            owner: next() as u16,
+            backup: next() as u16,
+        },
+        7 => NodeMsg::SlotChunk {
+            slot: next() as u16,
+            epoch: next(),
+            index: next() as u32,
+            kind: if next().is_multiple_of(2) {
+                chunk_kind::DATA
+            } else {
+                chunk_kind::DEDUP
+            },
+            done: (next() % 2) as u8,
+            entries: (0..next() % 17).map(|_| (next(), next())).collect(),
+        },
+        8 => NodeMsg::SlotAck {
+            slot: next() as u16,
+            epoch: next(),
+        },
+        9 => NodeMsg::SyncReq {
+            slot: next() as u16,
+            epoch: next(),
+        },
+        _ => NodeMsg::Handoff {
+            slot: next() as u16,
+            to: next() as u16,
+        },
     }
 }
 
@@ -105,6 +182,62 @@ proptest! {
         }
         let got = decode_chunked::<Response>(&bytes, &chunks).expect("valid stream");
         prop_assert_eq!(got, resps);
+    }
+
+    /// The node-to-node protocol frames (handshake, forwards, replication,
+    /// routing, handoff chunks) survive any read-chunking too — these carry
+    /// variable-length entry lists, so the body-resumption path matters.
+    #[test]
+    fn node_msgs_roundtrip_any_chunking(
+        seeds in prop::collection::vec(any::<u64>(), 0..20),
+        chunks in prop::collection::vec(1usize..40, 0..8),
+    ) {
+        let msgs: Vec<NodeMsg> = seeds.into_iter().map(arb_node_msg).collect();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            m.encode_frame(&mut bytes);
+        }
+        let got = decode_chunked::<NodeMsg>(&bytes, &chunks).expect("valid stream");
+        prop_assert_eq!(got, msgs);
+    }
+
+    /// Resumption at an arbitrary straddle point: split the stream in two
+    /// reads at *any* byte offset — inside the 4-byte length prefix, on its
+    /// boundary, or mid-body. The reader must yield nothing it cannot yet
+    /// prove complete, keep exact byte accounting across the torn read, and
+    /// decode the full sequence once the rest arrives.
+    #[test]
+    fn torn_read_resumes_at_any_offset(
+        seeds in prop::collection::vec(any::<u64>(), 1..10),
+        cut_word in any::<u64>(),
+    ) {
+        let msgs: Vec<NodeMsg> = seeds.into_iter().map(arb_node_msg).collect();
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            m.encode_frame(&mut bytes);
+        }
+        let cut = 1 + (cut_word % (bytes.len() as u64 - 1).max(1)) as usize;
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.extend(&bytes[..cut]);
+        let mut got = Vec::new();
+        while let Some(m) = reader.next_frame::<NodeMsg>().expect("valid prefix") {
+            got.push(m);
+        }
+        // Whatever was not decodable is still buffered, byte for byte.
+        let consumed: usize = {
+            let mut enc = Vec::new();
+            for m in &got {
+                m.encode_frame(&mut enc);
+            }
+            enc.len()
+        };
+        prop_assert_eq!(reader.buffered(), cut - consumed);
+        reader.extend(&bytes[cut..]);
+        while let Some(m) = reader.next_frame::<NodeMsg>().expect("valid rest") {
+            got.push(m);
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(reader.buffered(), 0);
     }
 
     /// Arbitrary garbage never panics the decoder: every outcome is a clean

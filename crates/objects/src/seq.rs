@@ -5,7 +5,7 @@
 //! small integers (the paper's §5.2 opcode optimization), and results are
 //! single 64-bit words ([`EMPTY`] encodes "nothing").
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::EMPTY;
 
@@ -142,11 +142,17 @@ pub mod kv_ops {
     /// Subtract `arg` from `key`'s value, wrapping (missing keys start at
     /// 0); returns the new value.
     pub const SUB: u64 = 4;
+    /// Cursor scan: returns the smallest **present** key ≥ `arg` in this
+    /// shard's map, or `EMPTY` if none. The routing `key` is ignored (any
+    /// key routed to the shard works as a probe). Together with `GET` this
+    /// lets an external driver enumerate a shard's entries without a bulk
+    /// frame format — the state-export path used by cluster handoff.
+    pub const SCAN: u64 = 5;
 }
 
 /// A `u64 → u64` map: the sequential state behind one shard of a key-value
-/// store.
-pub type KvMap = HashMap<u64, u64>;
+/// store. Ordered so [`kv_ops::SCAN`] can cursor through a shard's keys.
+pub type KvMap = BTreeMap<u64, u64>;
 
 /// Critical-section body for a key-value shard (see [`kv_ops`]).
 ///
@@ -170,6 +176,7 @@ pub fn kv_dispatch(state: &mut KvMap, key: u64, op: u64, arg: u64) -> u64 {
             *cell = cell.wrapping_sub(arg);
             *cell
         }
+        kv_ops::SCAN => state.range(arg..).next().map(|(&k, _)| k).unwrap_or(EMPTY),
         _ => panic!("kv: unknown opcode {op}"),
     }
 }
@@ -280,5 +287,29 @@ mod tests {
             25u64.wrapping_sub(30)
         );
         assert_eq!(kv_dispatch(&mut s, 1, kv_ops::GET, 0), EMPTY);
+    }
+
+    #[test]
+    fn kv_scan_cursors_through_present_keys() {
+        let mut s = KvMap::new();
+        assert_eq!(kv_dispatch(&mut s, 0, kv_ops::SCAN, 0), EMPTY);
+        for k in [10u64, 3, 77] {
+            kv_dispatch(&mut s, k, kv_ops::PUT, k + 100);
+        }
+        // Cursor walk visits every key in ascending order.
+        let mut cursor = 0u64;
+        let mut seen = Vec::new();
+        loop {
+            let k = kv_dispatch(&mut s, 0, kv_ops::SCAN, cursor);
+            if k == EMPTY {
+                break;
+            }
+            seen.push(k);
+            cursor = k + 1;
+        }
+        assert_eq!(seen, vec![3, 10, 77]);
+        // SCAN at an exact present key returns it; past the last, EMPTY.
+        assert_eq!(kv_dispatch(&mut s, 0, kv_ops::SCAN, 77), 77);
+        assert_eq!(kv_dispatch(&mut s, 0, kv_ops::SCAN, 78), EMPTY);
     }
 }

@@ -61,6 +61,6 @@ pub use control::RuntimeError;
 pub use drive::ShardDriver;
 pub use mpsync_telemetry::Log2Hist;
 pub use objects::{BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore};
-pub use router::{pack, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};
+pub use router::{pack, probe_key, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};
 pub use runtime::{KeyedDispatch, Runtime, Session, ShutdownReport};
 pub use stats::{RuntimeStats, ShardStats};

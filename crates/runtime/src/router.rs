@@ -30,6 +30,19 @@ pub fn shard_for(key: u64, shards: usize) -> usize {
     ((h * shards as u64) >> 32) as usize
 }
 
+/// The smallest key routed to `shard` — a "probe" key for operations whose
+/// routing key is only a shard selector (e.g. cursor scans that address a
+/// shard, not an entry).
+///
+/// With the multiplicative hash above sequential keys stripe round-robin-ish
+/// across shards, so the linear search terminates within a few steps.
+pub fn probe_key(shard: usize, shards: usize) -> u64 {
+    debug_assert!(shard < shards);
+    (0..)
+        .find(|&k| shard_for(k, shards) == shard)
+        .expect("every shard owns at least one small key")
+}
+
 /// Packs `(key, op)` into the single `op` word submitted through
 /// [`ApplyOp`](mpsync_core::ApplyOp).
 ///

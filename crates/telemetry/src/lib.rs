@@ -26,6 +26,7 @@
 
 pub mod alloc;
 pub mod hist;
+pub mod meta;
 pub mod report;
 pub mod ring;
 pub(crate) mod sync;
@@ -58,16 +59,20 @@ pub enum Algo {
     Runtime = 4,
     /// The wire-facing serving layer (`mpsync-net`).
     Net = 5,
+    /// The multi-node layer (`mpsync-cluster`): forwarding, replication,
+    /// handoff.
+    Cluster = 6,
 }
 
 impl Algo {
-    pub const ALL: [Algo; 6] = [
+    pub const ALL: [Algo; 7] = [
         Algo::Udn,
         Algo::MpServer,
         Algo::HybComb,
         Algo::CcSynch,
         Algo::Runtime,
         Algo::Net,
+        Algo::Cluster,
     ];
 
     /// Stable lowercase name used in JSON and trace output.
@@ -79,6 +84,7 @@ impl Algo {
             Algo::CcSynch => "cc_synch",
             Algo::Runtime => "runtime",
             Algo::Net => "net",
+            Algo::Cluster => "cluster",
         }
     }
 
@@ -203,10 +209,27 @@ pub enum Counter {
     /// Heap allocations observed inside reactor serve passes (only advances
     /// when the process installs [`alloc::CountingAlloc`]).
     NetServeAllocs = 18,
+    /// Client ops applied locally by a cluster node that owned the slot.
+    ClusterLocalOps = 19,
+    /// Client ops forwarded to the owning node.
+    ClusterForwards = 20,
+    /// Forwarded/retried ops answered from the dedup table instead of
+    /// re-applying (the exactly-once path doing its job).
+    ClusterDedupHits = 21,
+    /// Replication records sent primary → backup.
+    ClusterReplSent = 22,
+    /// Replication records applied on a backup.
+    ClusterReplApplied = 23,
+    /// Slot handoffs completed (receiver imported state and took ownership).
+    ClusterHandoffs = 24,
+    /// Backup promotions after a primary was declared dead.
+    ClusterFailovers = 25,
+    /// Responses redirecting a client to the owning node.
+    ClusterRedirects = 26,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 27] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -226,6 +249,14 @@ impl Counter {
         Counter::NetReactorWakes,
         Counter::NetReactorBatches,
         Counter::NetServeAllocs,
+        Counter::ClusterLocalOps,
+        Counter::ClusterForwards,
+        Counter::ClusterDedupHits,
+        Counter::ClusterReplSent,
+        Counter::ClusterReplApplied,
+        Counter::ClusterHandoffs,
+        Counter::ClusterFailovers,
+        Counter::ClusterRedirects,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -250,6 +281,14 @@ impl Counter {
             Counter::NetReactorWakes => "net.reactor_wakes",
             Counter::NetReactorBatches => "net.reactor_batches",
             Counter::NetServeAllocs => "net.serve_allocs",
+            Counter::ClusterLocalOps => "cluster.local_ops",
+            Counter::ClusterForwards => "cluster.forwards",
+            Counter::ClusterDedupHits => "cluster.dedup_hits",
+            Counter::ClusterReplSent => "cluster.repl_sent",
+            Counter::ClusterReplApplied => "cluster.repl_applied",
+            Counter::ClusterHandoffs => "cluster.handoffs",
+            Counter::ClusterFailovers => "cluster.failovers",
+            Counter::ClusterRedirects => "cluster.redirects",
         }
     }
 }

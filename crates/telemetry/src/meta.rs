@@ -1,0 +1,66 @@
+//! Run-attribution metadata for benchmark reports: which build, which
+//! machine produced a number. Always compiled (not gated on `enabled`) —
+//! these run once per report, never on a hot path.
+
+use std::process::Command;
+
+/// The git revision of the working tree, as `rev-parse --short=12 HEAD`
+/// reports it, with `-dirty` appended when tracked files have local
+/// modifications. `"unknown"` when not in a git checkout (or git is
+/// missing) so report writers never have to special-case failure.
+pub fn git_revision() -> String {
+    let rev = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    let Some(rev) = rev else {
+        return "unknown".to_string();
+    };
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain", "--untracked-files=no"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
+/// The machine's hostname: `/proc/sys/kernel/hostname` when available
+/// (Linux), else the `HOSTNAME` environment variable, else `"unknown"`.
+pub fn hostname() -> String {
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim();
+        if !h.is_empty() {
+            return h.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(h) if !h.trim().is_empty() => h.trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_nonempty_and_stable() {
+        let rev = git_revision();
+        let host = hostname();
+        assert!(!rev.is_empty());
+        assert!(!host.is_empty());
+        // Stable within a process run (reports stamp it once).
+        assert_eq!(rev, git_revision());
+        assert_eq!(host, hostname());
+    }
+}
