@@ -27,8 +27,10 @@ use std::time::{Duration, Instant};
 
 use mpsync_cluster::tcp::{admin_handoff, ClusterClient, ClusterNode, TcpNodeConfig};
 use mpsync_cluster::{slot_for, NodeConfig, NodeId, RuntimeStore};
+use mpsync_net::{AdminClient, STAT_SNAPSHOT_VERSION};
 use mpsync_objects::seq::{kv_dispatch, kv_ops, KvMap};
 use mpsync_runtime::{RuntimeConfig, ShardedKvStore};
+use mpsync_telemetry::{Algo, Lane};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -224,6 +226,45 @@ fn client_load(
     Ok((opts.ops as u64, resends, redirects, dedup_checks))
 }
 
+/// One admin snapshot scrape (None on any connection/protocol trouble).
+fn scrape(addr: &str) -> Option<String> {
+    let mut ac = AdminClient::connect_tcp(addr).ok()?;
+    let _ = ac.set_read_timeout(Some(Duration::from_secs(2)));
+    ac.fetch_snapshot().ok()
+}
+
+/// Naive extraction of an unsigned integer field from flat JSON.
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = json[json.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the balanced `{…}` object following `"key":` (the payloads
+/// pulled this way — flight dumps — contain no braces inside strings).
+fn json_object(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let rest = &json[json.find(&pat)? + pat.len()..];
+    let start = rest.find('{')?;
+    let mut depth = 0usize;
+    for (j, c) in rest[start..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[start..start + j + 1].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
 /// `--drive`: verified load + one live handoff against a running cluster.
 fn drive(addrs: &[(NodeId, String)], opts: &Opts) -> String {
     let started = Instant::now();
@@ -242,8 +283,36 @@ fn drive(addrs: &[(NodeId, String)], opts: &Opts) -> String {
     std::thread::sleep(Duration::from_millis(30));
     let hot_key = 1u64; // client 0's first key
     let slot = slot_for(hot_key, h_opts.slots);
-    let to = handoff_addrs[1 % handoff_addrs.len()].0;
-    let handoff_ok = admin_handoff(&handoff_addrs[0].1, slot, to).is_ok();
+
+    // Mid-run admin scrape: the stats endpoint must answer while the node
+    // is under load, with a parseable versioned snapshot. It doubles as
+    // owner discovery so the handoff below genuinely migrates the slot
+    // (handing a slot to its current owner is an intentional no-op).
+    let mid = scrape(&handoff_addrs[0].1).unwrap_or_default();
+    if json_u64(&mid, "version") != Some(STAT_SNAPSHOT_VERSION as u64)
+        || !mid.contains("\"source\": \"cluster\"")
+        || !mid.contains("\"slots\":")
+    {
+        eprintln!("FAIL: mid-run admin snapshot malformed: {mid:?}");
+        std::process::exit(1);
+    }
+    let owner = mid
+        .find(&format!("\"slot\":{slot},"))
+        .and_then(|i| json_u64(&mid[i..], "owner"))
+        .unwrap_or(handoff_addrs[0].0 as u64) as NodeId;
+    let to = handoff_addrs
+        .iter()
+        .map(|&(n, _)| n)
+        .find(|&n| n != owner)
+        .unwrap_or(owner);
+    // Addressed to the owner: a node asked to hand a slot to *itself*
+    // ignores the command rather than forwarding it.
+    let owner_addr = handoff_addrs
+        .iter()
+        .find(|&&(n, _)| n == owner)
+        .map(|(_, a)| a.as_str())
+        .unwrap_or(&handoff_addrs[0].1);
+    let handoff_ok = admin_handoff(owner_addr, slot, to).is_ok();
 
     let (mut ok, mut resends, mut redirects, mut dedup_checks) = (0u64, 0u64, 0u64, 0u64);
     let mut failures = Vec::new();
@@ -264,10 +333,89 @@ fn drive(addrs: &[(NodeId, String)], opts: &Opts) -> String {
         }
         std::process::exit(1);
     }
+
+    // Traced tail: a burst of ops under fresh trace ids, spread across
+    // slots so some are forwarded — the hop spans land in the nodes'
+    // rings for the span scrape below to pull.
+    let mut tclient = ClusterClient::connect(
+        addrs.to_vec(),
+        Duration::from_millis(500),
+        (opts.clients as u64 + 1) << 32,
+    );
+    let mut traced_ops = 0u64;
+    for i in 0..64u64 {
+        if let Ok((_, trace_id)) = tclient.call_traced(1 + i * 37, kv_ops::PUT as u8, i + 1) {
+            if trace_id != 0 {
+                traced_ops += 1;
+            }
+        }
+    }
+
+    // Post-run scrapes: both nodes must converge on one routing digest
+    // (anti-entropy gossip), and each embeds its flight-recorder dump in
+    // the verdict.
+    let digest_deadline = Instant::now() + Duration::from_secs(10);
+    let (route_digest, flights) = loop {
+        let snaps: Vec<String> = addrs
+            .iter()
+            .map(|(_, a)| scrape(a).unwrap_or_default())
+            .collect();
+        let digests: Vec<Option<u64>> = snaps.iter().map(|s| json_u64(s, "route_digest")).collect();
+        if digests.iter().all(|d| d.is_some() && *d == digests[0]) {
+            let flights: Vec<String> = snaps
+                .iter()
+                .map(|s| json_object(s, "flight").unwrap_or_else(|| "null".to_string()))
+                .collect();
+            break (digests[0].expect("all some"), flights);
+        }
+        if Instant::now() > digest_deadline {
+            eprintln!("FAIL: route digests did not converge: {digests:?}");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // A real migration leaves structural events in every node's flight
+    // recorder (draining/transferring on the old owner, promotion on the
+    // new) — and the recorder is on even with telemetry compiled out.
+    if handoff_ok && flights.iter().any(|f| json_u64(f, "recorded") == Some(0)) {
+        eprintln!("FAIL: handoff left an empty flight recorder: {flights:?}");
+        std::process::exit(1);
+    }
+
+    // Span scrape: with telemetry compiled in, the traced tail must have
+    // left owner-side Cluster/Serve hop spans on the nodes and ClientWait
+    // root spans in this process.
+    let mut node_serve_spans = 0usize;
+    for (_, a) in addrs {
+        let spans = AdminClient::connect_tcp(a)
+            .ok()
+            .and_then(|mut c| c.fetch_spans().ok())
+            .unwrap_or_default();
+        node_serve_spans += spans
+            .iter()
+            .filter(|s| s.algo == Algo::Cluster && s.lane == Lane::Serve)
+            .count();
+    }
+    let client_spans = mpsync_telemetry::drain_spans()
+        .iter()
+        .filter(|s| s.algo == Algo::Cluster && s.lane == Lane::ClientWait)
+        .count();
+    if mpsync_telemetry::ENABLED && (node_serve_spans == 0 || client_spans == 0) {
+        eprintln!(
+            "FAIL: traced ops left no hop spans \
+             (serve {node_serve_spans}, client {client_spans})"
+        );
+        std::process::exit(1);
+    }
+    println!("ADMIN OK");
+
     format!(
         "{{\"ok_ops\":{ok},\"resends\":{resends},\"redirects\":{redirects},\
          \"dedup_checks\":{dedup_checks},\"handoff\":{handoff_ok},\
-         \"elapsed_ms\":{}}}",
+         \"route_digest\":{route_digest},\"traced_ops\":{traced_ops},\
+         \"node_serve_spans\":{node_serve_spans},\"client_spans\":{client_spans},\
+         \"flights\":[{}],\"elapsed_ms\":{}}}",
+        flights.join(","),
         started.elapsed().as_millis()
     )
 }

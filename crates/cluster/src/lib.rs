@@ -50,7 +50,7 @@ pub mod sim;
 pub mod store;
 pub mod tcp;
 
-pub use node::{ApplyRecord, NodeConfig, NodeCore, Origin, Outbox};
+pub use node::{ApplyRecord, NodeConfig, NodeCore, Origin, Outbox, SlotSnapshot};
 pub use ring::{slot_for, HashRing};
 pub use route::{RouteTable, SlotRoute};
 pub use store::{ModelStore, RuntimeStore, SlotStore};

@@ -64,9 +64,13 @@
 // dedup snapshots — to order deterministically.
 use std::collections::{BTreeMap, VecDeque};
 
-use mpsync_net::frame::{chunk_kind, NodeMsg, Response, Status, NODE_PROTO_VERSION, NO_NODE};
+use mpsync_net::frame::{
+    chunk_kind, trace_word, NodeMsg, Response, Status, NODE_PROTO_VERSION, NO_NODE,
+};
 use mpsync_runtime::{MAX_KEY, MAX_OPCODE};
-use mpsync_telemetry::{count, Counter};
+use mpsync_telemetry::{
+    count, flight, flight_sampled, now_ns, record_span, Algo, Counter, FlightKind, Lane,
+};
 
 use crate::ring::{slot_for, HashRing};
 use crate::route::RouteTable;
@@ -259,8 +263,9 @@ struct SlotState {
     // --- backup role ---
     /// Next replication sequence expected from the primary.
     backup_next: u64,
-    /// Out-of-order records held until the gap fills: seq → op.
-    holdback: BTreeMap<u64, (u64, u64, u8, u64)>,
+    /// Out-of-order records held until the gap fills: seq →
+    /// `(uid, key, op, arg, trace)`.
+    holdback: BTreeMap<u64, (u64, u64, u8, u64, u64)>,
     // --- both roles ---
     /// uid → completion state.
     dedup: BTreeMap<u64, Dedup>,
@@ -268,8 +273,8 @@ struct SlotState {
     dedup_order: VecDeque<u64>,
     /// Beyond-normal activity (drain/transfer).
     phase: Phase,
-    /// Ops queued while not `Normal`.
-    queued: VecDeque<(Origin, u64, u64, u8, u64)>,
+    /// Ops queued while not `Normal`: `(origin, uid, key, op, arg, trace)`.
+    queued: VecDeque<(Origin, u64, u64, u8, u64, u64)>,
     /// Incoming transfer reassembly: epoch → (index → chunk), plus the
     /// final index once the `done` chunk arrived.
     import: Option<ImportState>,
@@ -364,6 +369,58 @@ struct PendingFwd {
     arg: u64,
     to: NodeId,
     sent_at: u64,
+    /// Trace word the op arrived with (0 = untraced); forwarded frames
+    /// carry `trace_word::next_hop` of this.
+    trace: u64,
+    /// Telemetry timestamp the forward decision was made at, closing the
+    /// forwarder's `Cluster/Send` hop span when the reply lands.
+    t0_ns: u64,
+}
+
+/// Point-in-time observability view of one slot, as served by the admin
+/// `Stat` endpoint. Pure data — building one reads the node but never
+/// mutates protocol state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Slot index.
+    pub slot: Slot,
+    /// This node's role for the slot: `"owner"`, `"backup"`, or `"none"`.
+    pub role: &'static str,
+    /// Route epoch.
+    pub epoch: u64,
+    /// Current owner.
+    pub owner: NodeId,
+    /// Current backup, if any.
+    pub backup: Option<NodeId>,
+    /// Beyond-normal activity: `"normal"`, `"await_import"`, `"draining"`,
+    /// or `"transferring"`.
+    pub phase: &'static str,
+    /// Replication records applied locally but not yet acked by the
+    /// backup (owner role; 0 otherwise).
+    pub repl_lag: u64,
+    /// Ops parked while the slot is not serving.
+    pub queued: usize,
+    /// Dedup-table occupancy (completed + in-flight uids).
+    pub dedup: usize,
+}
+
+impl SlotSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"slot\":{},\"role\":\"{}\",\"epoch\":{},\"owner\":{},\"backup\":{},\
+             \"phase\":\"{}\",\"repl_lag\":{},\"queued\":{},\"dedup\":{}}}",
+            self.slot,
+            self.role,
+            self.epoch,
+            self.owner,
+            self.backup.map_or(-1i64, |b| b as i64),
+            self.phase,
+            self.repl_lag,
+            self.queued,
+            self.dedup,
+        )
+    }
 }
 
 impl<S: SlotStore> NodeCore<S> {
@@ -418,6 +475,45 @@ impl<S: SlotStore> NodeCore<S> {
         self.store
     }
 
+    /// In-flight forwards awaiting a `FwdReply` (admin observability).
+    pub fn pending_fwds(&self) -> usize {
+        self.pending_fwd.len()
+    }
+
+    /// Observability snapshot of every slot (admin `Stat` endpoint).
+    pub fn slot_snapshots(&self) -> Vec<SlotSnapshot> {
+        (0..self.cfg.slots)
+            .map(|slot| {
+                let r = self.route.get(slot);
+                let st = &self.slots[slot as usize];
+                let role = if r.owner == self.cfg.id {
+                    "owner"
+                } else if r.backup == Some(self.cfg.id) {
+                    "backup"
+                } else {
+                    "none"
+                };
+                let phase = match st.phase {
+                    Phase::Normal => "normal",
+                    Phase::AwaitImport { .. } => "await_import",
+                    Phase::Draining { .. } => "draining",
+                    Phase::Transferring { .. } => "transferring",
+                };
+                SlotSnapshot {
+                    slot,
+                    role,
+                    epoch: r.epoch,
+                    owner: r.owner,
+                    backup: r.backup,
+                    phase,
+                    repl_lag: st.repl_seq.saturating_sub(st.repl_acked),
+                    queued: st.queued.len(),
+                    dedup: st.dedup.len(),
+                }
+            })
+            .collect()
+    }
+
     /// Peers other than this node.
     fn peers(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.cfg.nodes.iter().copied().filter(|&n| n != self.cfg.id)
@@ -439,11 +535,40 @@ impl<S: SlotStore> NodeCore<S> {
         arg: u64,
         out: &mut Outbox,
     ) {
-        self.ingress(Origin::Client(token, id), id, key, op, arg, out);
+        self.on_client_op_traced(token, id, key, op, arg, 0, out);
+    }
+
+    /// [`NodeCore::on_client_op`] with a trace word (see
+    /// `mpsync_net::frame::trace_word`): hop spans recorded while handling
+    /// the op use the word's trace id as their track, so a collector can
+    /// stitch client → owner → backup causality across nodes. `trace == 0`
+    /// means untraced.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_client_op_traced(
+        &mut self,
+        token: ClientToken,
+        id: u64,
+        key: u64,
+        op: u8,
+        arg: u64,
+        trace: u64,
+        out: &mut Outbox,
+    ) {
+        self.ingress(Origin::Client(token, id), id, key, op, arg, trace, out);
     }
 
     /// Shared ingress for client ops and peer-forwarded ops.
-    fn ingress(&mut self, origin: Origin, uid: u64, key: u64, op: u8, arg: u64, out: &mut Outbox) {
+    #[allow(clippy::too_many_arguments)]
+    fn ingress(
+        &mut self,
+        origin: Origin,
+        uid: u64,
+        key: u64,
+        op: u8,
+        arg: u64,
+        trace: u64,
+        out: &mut Outbox,
+    ) {
         if key >= MAX_KEY || op as u64 >= MAX_OPCODE {
             out.reply(origin, uid, Status::BadRequest, 1);
             return;
@@ -459,6 +584,7 @@ impl<S: SlotStore> NodeCore<S> {
                     if self.pending_fwd.len() >= self.cfg.queue_cap * 4
                         && !self.pending_fwd.contains_key(&uid)
                     {
+                        flight_sampled(FlightKind::Busy, 64, uid, key);
                         out.reply(origin, uid, Status::Busy, 0);
                         return;
                     }
@@ -472,9 +598,20 @@ impl<S: SlotStore> NodeCore<S> {
                             arg,
                             to: r.owner,
                             sent_at: self.now,
+                            trace,
+                            t0_ns: now_ns(),
                         },
                     );
-                    out.send(r.owner, NodeMsg::Fwd { uid, key, op, arg });
+                    out.send(
+                        r.owner,
+                        NodeMsg::Fwd {
+                            uid,
+                            key,
+                            op,
+                            arg,
+                            trace: trace_word::next_hop(trace),
+                        },
+                    );
                 }
                 Origin::Node(n) => {
                     // Peer mis-routed (stale table): point it at the owner.
@@ -495,9 +632,10 @@ impl<S: SlotStore> NodeCore<S> {
         let st = &mut self.slots[slot as usize];
         if st.phase != Phase::Normal {
             if st.queued.len() >= self.cfg.queue_cap {
+                flight_sampled(FlightKind::Busy, 64, uid, key);
                 out.reply(origin, uid, Status::Busy, 0);
             } else {
-                st.queued.push_back((origin, uid, key, op, arg));
+                st.queued.push_back((origin, uid, key, op, arg, trace));
             }
             return;
         }
@@ -520,7 +658,14 @@ impl<S: SlotStore> NodeCore<S> {
         }
 
         // Fresh op: apply as primary.
+        let t_serve = now_ns();
         let result = self.store.apply(slot, key, op, arg);
+        if trace_word::id(trace) != 0 {
+            // Owner hop span: tracked by trace id so the cross-node
+            // collector can lay it on the same timeline as the client's
+            // and backup's spans.
+            record_span(trace_word::id(trace), Algo::Cluster, Lane::Serve, t_serve);
+        }
         count(Counter::ClusterLocalOps, 1);
         out.applied.push(ApplyRecord {
             uid,
@@ -567,6 +712,7 @@ impl<S: SlotStore> NodeCore<S> {
                         key,
                         op,
                         arg,
+                        trace: trace_word::next_hop(trace),
                     },
                 );
             }
@@ -614,8 +760,14 @@ impl<S: SlotStore> NodeCore<S> {
                 }
                 self.anti_entropy(from, digest, out);
             }
-            NodeMsg::Fwd { uid, key, op, arg } => {
-                self.ingress(Origin::Node(from), uid, key, op, arg, out);
+            NodeMsg::Fwd {
+                uid,
+                key,
+                op,
+                arg,
+                trace,
+            } => {
+                self.ingress(Origin::Node(from), uid, key, op, arg, trace, out);
             }
             NodeMsg::FwdReply { uid, status, value } => {
                 self.on_fwd_reply(uid, status, value, out);
@@ -628,8 +780,9 @@ impl<S: SlotStore> NodeCore<S> {
                 key,
                 op,
                 arg,
+                trace,
             } => {
-                self.on_repl(from, slot, epoch, seq, uid, key, op, arg, out);
+                self.on_repl(from, slot, epoch, seq, uid, key, op, arg, trace, out);
             }
             NodeMsg::ReplAck { slot, epoch, seq } => {
                 self.on_repl_ack(slot, epoch, seq, out);
@@ -701,12 +854,22 @@ impl<S: SlotStore> NodeCore<S> {
                     pf.to = to;
                     pf.sent_at = self.now;
                     let (key, op, arg) = (pf.key, pf.op, pf.arg);
-                    out.send(to, NodeMsg::Fwd { uid, key, op, arg });
+                    let trace = trace_word::next_hop(pf.trace);
+                    out.send(
+                        to,
+                        NodeMsg::Fwd {
+                            uid,
+                            key,
+                            op,
+                            arg,
+                            trace,
+                        },
+                    );
                 } else {
                     // Referral loops back to us: our table moved since the
                     // forward; re-ingress locally.
                     let pf = self.pending_fwd.remove(&uid).expect("checked above");
-                    self.ingress(pf.origin, uid, pf.key, pf.op, pf.arg, out);
+                    self.ingress(pf.origin, uid, pf.key, pf.op, pf.arg, pf.trace, out);
                 }
             }
             Status::Busy => {
@@ -715,6 +878,16 @@ impl<S: SlotStore> NodeCore<S> {
             }
             _ => {
                 let pf = self.pending_fwd.remove(&uid).expect("checked above");
+                if trace_word::id(pf.trace) != 0 {
+                    // Forwarder hop span: the whole forward round-trip,
+                    // from the forward decision to the relayed reply.
+                    record_span(
+                        trace_word::id(pf.trace),
+                        Algo::Cluster,
+                        Lane::Send,
+                        pf.t0_ns,
+                    );
+                }
                 out.reply(pf.origin, uid, status, value);
             }
         }
@@ -731,6 +904,7 @@ impl<S: SlotStore> NodeCore<S> {
         key: u64,
         op: u8,
         arg: u64,
+        trace: u64,
         out: &mut Outbox,
     ) {
         let r = self.route.get(slot);
@@ -766,7 +940,7 @@ impl<S: SlotStore> NodeCore<S> {
             );
             return;
         }
-        st.holdback.insert(seq, (uid, key, op, arg));
+        st.holdback.insert(seq, (uid, key, op, arg, trace));
         // Drain the contiguous prefix (apply strictly in sequence order).
         let mut progressed = false;
         loop {
@@ -780,11 +954,16 @@ impl<S: SlotStore> NodeCore<S> {
                     None => None,
                 }
             };
-            let Some((uid, key, op, arg)) = next else {
+            let Some((uid, key, op, arg, trace)) = next else {
                 break;
             };
             progressed = true;
+            let t_recv = now_ns();
             let result = self.store.apply(slot, key, op, arg);
+            if trace_word::id(trace) != 0 {
+                // Backup hop span: the replicated apply on the standby.
+                record_span(trace_word::id(trace), Algo::Cluster, Lane::Receive, t_recv);
+            }
             count(Counter::ClusterReplApplied, 1);
             out.applied.push(ApplyRecord {
                 uid,
@@ -848,6 +1027,7 @@ impl<S: SlotStore> NodeCore<S> {
         let was_owner = before.owner == me;
         let st = &mut self.slots[slot as usize];
         if was_owner && owner != me {
+            flight(FlightKind::Demote, slot as u64, epoch, owner as u64);
             // Deposed while we thought we were primary: our store may hold
             // applied-but-unacked writes the new primary never saw. Answer
             // anything pending with a redirect, discard the diverged copy,
@@ -879,8 +1059,10 @@ impl<S: SlotStore> NodeCore<S> {
             // Becoming owner. In a handoff this `RouteUpdate` precedes the
             // state stream: until the import at this epoch completes we
             // must not serve against missing state — queue instead.
+            flight(FlightKind::Promote, slot as u64, epoch, me as u64);
             st.reset_repl();
             if st.imported_epoch < epoch {
+                flight(FlightKind::HandoffPhase, slot as u64, 1, epoch);
                 st.phase = Phase::AwaitImport { epoch };
             }
         } else if backup == Some(me) && before.backup != Some(me) && owner != me {
@@ -908,6 +1090,7 @@ impl<S: SlotStore> NodeCore<S> {
                         key: pf.key,
                         op: pf.op,
                         arg: pf.arg,
+                        trace: trace_word::next_hop(pf.trace),
                     },
                 )
             })
@@ -980,6 +1163,7 @@ impl<S: SlotStore> NodeCore<S> {
         }
         if matches!(st.phase, Phase::AwaitImport { epoch: e } if e <= epoch) {
             st.phase = Phase::Normal;
+            flight(FlightKind::HandoffPhase, slot as u64, 0, epoch);
         }
         out.send(from, NodeMsg::SlotAck { slot, epoch });
         // If the preceding RouteUpdate made us owner, we are now live for
@@ -1002,10 +1186,12 @@ impl<S: SlotStore> NodeCore<S> {
             return;
         }
         st.phase = Phase::Normal;
+        flight(FlightKind::HandoffPhase, slot as u64, 0, epoch);
         match recv_role {
             RecvRole::Owner => {
                 // Handoff complete: receiver owns the slot, we back it up.
                 count(Counter::ClusterHandoffs, 1);
+                flight(FlightKind::Demote, slot as u64, epoch, to as u64);
                 self.route.apply(slot, epoch, to, Some(self.cfg.id));
                 let st = &mut self.slots[slot as usize];
                 st.reset_repl();
@@ -1023,9 +1209,9 @@ impl<S: SlotStore> NodeCore<S> {
                 }
                 // Queued ops chase the new owner, uids preserved.
                 let queued: Vec<_> = self.slots[slot as usize].queued.drain(..).collect();
-                for (origin, uid, key, op, arg) in queued {
+                for (origin, uid, key, op, arg, trace) in queued {
                     match origin {
-                        Origin::Client(..) => self.ingress(origin, uid, key, op, arg, out),
+                        Origin::Client(..) => self.ingress(origin, uid, key, op, arg, trace, out),
                         Origin::Node(n) => {
                             count(Counter::ClusterRedirects, 1);
                             out.send(
@@ -1068,6 +1254,7 @@ impl<S: SlotStore> NodeCore<S> {
         // Already draining/transferring (possibly to the same node): let
         // that finish; the requester re-requests if still stale.
         if st.phase == Phase::Normal {
+            flight(FlightKind::HandoffPhase, slot as u64, 2, r.epoch);
             st.phase = Phase::Draining {
                 to: from,
                 recv_role: RecvRole::Backup,
@@ -1097,6 +1284,7 @@ impl<S: SlotStore> NodeCore<S> {
         if st.phase != Phase::Normal {
             return;
         }
+        flight(FlightKind::HandoffPhase, slot as u64, 2, r.epoch);
         st.phase = Phase::Draining {
             to,
             recv_role: RecvRole::Owner,
@@ -1178,6 +1366,7 @@ impl<S: SlotStore> NodeCore<S> {
             out.send(to, c.clone());
         }
         let st = &mut self.slots[slot as usize];
+        flight(FlightKind::HandoffPhase, slot as u64, 3, epoch);
         st.phase = Phase::Transferring {
             to,
             recv_role,
@@ -1196,8 +1385,8 @@ impl<S: SlotStore> NodeCore<S> {
             return;
         }
         let queued: Vec<_> = self.slots[slot as usize].queued.drain(..).collect();
-        for (origin, uid, key, op, arg) in queued {
-            self.ingress(origin, uid, key, op, arg, out);
+        for (origin, uid, key, op, arg, trace) in queued {
+            self.ingress(origin, uid, key, op, arg, trace, out);
         }
     }
 
@@ -1242,7 +1431,7 @@ impl<S: SlotStore> NodeCore<S> {
             if owner == self.cfg.id {
                 // Ownership moved to us since the forward; serve locally.
                 let pf = self.pending_fwd.remove(&uid).expect("collected above");
-                self.ingress(pf.origin, uid, pf.key, pf.op, pf.arg, out);
+                self.ingress(pf.origin, uid, pf.key, pf.op, pf.arg, pf.trace, out);
             } else {
                 let pf = self.pending_fwd.get_mut(&uid).expect("collected above");
                 pf.to = owner;
@@ -1254,6 +1443,7 @@ impl<S: SlotStore> NodeCore<S> {
                         key: pf.key,
                         op: pf.op,
                         arg: pf.arg,
+                        trace: trace_word::next_hop(pf.trace),
                     },
                 );
             }
@@ -1278,6 +1468,10 @@ impl<S: SlotStore> NodeCore<S> {
                                 key: e.key,
                                 op: e.op,
                                 arg: e.arg,
+                                // Retransmits are untraced: the hop span
+                                // for the original send already exists (or
+                                // the trace was never sampled).
+                                trace: 0,
                             })
                             .collect();
                         for m in resends {
@@ -1383,6 +1577,7 @@ impl<S: SlotStore> NodeCore<S> {
             {
                 count(Counter::ClusterFailovers, 1);
                 let epoch = r.epoch + 1;
+                flight(FlightKind::Promote, slot as u64, epoch, me as u64);
                 self.route.apply(slot, epoch, me, None);
                 let st = &mut self.slots[slot as usize];
                 st.reset_repl();
@@ -1406,6 +1601,7 @@ impl<S: SlotStore> NodeCore<S> {
                 if let Some(b) = r.backup {
                     if self.now.saturating_sub(self.heard(b)) >= deadline {
                         let epoch = r.epoch + 1;
+                        flight(FlightKind::Demote, slot as u64, epoch, b as u64);
                         self.route.apply(slot, epoch, me, None);
                         let st = &mut self.slots[slot as usize];
                         // Everything in the log is applied locally; with no

@@ -241,6 +241,10 @@ struct Sim {
 /// divergence, final-state mismatch against the oracle) or when the
 /// workload fails to complete before `cfg.horizon` (livelock).
 pub fn run(cfg: &SimConfig) -> SimReport {
+    // Invariant violations panic with the seed in the message; the hook
+    // appends the flight recorder's last structural events (promotions,
+    // handoff phases, busy rejections) to the failing-seed report.
+    mpsync_telemetry::install_panic_hook();
     assert!(cfg.nodes >= 1 && cfg.clients >= 1 && cfg.slots >= 1);
     let membership: Vec<NodeId> = (0..cfg.nodes).collect();
     let nodes = membership

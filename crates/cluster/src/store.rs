@@ -124,6 +124,12 @@ impl RuntimeStore {
         drop(self.session);
         self.store
     }
+
+    /// The runtime's per-shard stats as JSON (the cluster admin snapshot's
+    /// `runtime` section — same shape the single-node server reports).
+    pub fn runtime_stats_json(&self) -> String {
+        self.store.stats().to_json()
+    }
 }
 
 impl SlotStore for RuntimeStore {

@@ -32,9 +32,12 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use mpsync_net::frame::{
-    FrameError, FrameReader, NodeMsg, Request, Response, Status, Wire, DEFAULT_MAX_FRAME,
-    NODE_PROTO_VERSION, TAG_HANDOFF, TAG_HELLO,
+    encode_spans, stat_kind, trace_word, FrameError, FrameReader, NodeMsg, Request, Response,
+    StatReply, Status, Wire, DEFAULT_MAX_FRAME, NODE_PROTO_VERSION, TAG_HANDOFF, TAG_HELLO,
 };
+use mpsync_net::STAT_SNAPSHOT_VERSION;
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::{Algo, Lane};
 
 use crate::node::{NodeConfig, NodeCore, Outbox};
 use crate::store::RuntimeStore;
@@ -74,11 +77,13 @@ enum Input {
 }
 
 /// Shared fan-out tables: conn threads register themselves, the core
-/// thread resolves outbox destinations through them.
+/// thread resolves outbox destinations through them. Client writers take
+/// pre-encoded frames so ordinary [`Response`]s and admin [`StatReply`]s
+/// share one ordered stream per connection.
 #[derive(Default)]
 struct Registry {
     peers: Mutex<BTreeMap<NodeId, mpsc::Sender<NodeMsg>>>,
-    clients: Mutex<BTreeMap<u64, mpsc::Sender<Response>>>,
+    clients: Mutex<BTreeMap<u64, mpsc::Sender<Vec<u8>>>>,
 }
 
 /// Configuration for one TCP cluster member.
@@ -107,6 +112,9 @@ impl ClusterNode {
     /// Boots the node: starts the acceptor, the outbound peer writers, and
     /// the core loop.
     pub fn start(cfg: TcpNodeConfig, store: RuntimeStore) -> io::Result<Self> {
+        // A node that dies mid-protocol should leave its last structural
+        // events (promotions, handoffs, busy rejections) on stderr.
+        telemetry::install_panic_hook();
         let local = cfg.listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let reg = Arc::new(Registry::default());
@@ -160,9 +168,13 @@ impl ClusterNode {
                     let mut out = Outbox::default();
                     match rx.recv_timeout(Duration::from_millis(tick_ms / 2 + 1)) {
                         Ok(Input::Client { token, req }) => match req {
-                            Request::Op { id, key, op, arg } => {
-                                node.on_client_op(token, id, key, op, arg, &mut out)
-                            }
+                            Request::Op {
+                                id,
+                                key,
+                                op,
+                                arg,
+                                trace,
+                            } => node.on_client_op_traced(token, id, key, op, arg, trace, &mut out),
                             Request::Ping { id } => out.replies.push((
                                 token,
                                 Response {
@@ -171,6 +183,22 @@ impl ClusterNode {
                                     value: 0,
                                 },
                             )),
+                            Request::Stat { id, kind } => {
+                                // Served from the core thread: the slot
+                                // table and routing view are read without
+                                // racing the mutator. Not an op — no
+                                // protocol state changes.
+                                let payload = match kind {
+                                    stat_kind::SPANS => encode_spans(&telemetry::drain_spans()),
+                                    _ => cluster_snapshot_json(&node).into_bytes(),
+                                };
+                                let mut buf = Vec::with_capacity(payload.len() + 32);
+                                StatReply { id, kind, payload }.encode_frame(&mut buf);
+                                let clients = reg.clients.lock().expect("registry lock");
+                                if let Some(ctx) = clients.get(&token) {
+                                    let _ = ctx.send(buf);
+                                }
+                            }
                         },
                         Ok(Input::Peer { from, msg }) => node.on_node_msg(from, msg, &mut out),
                         Err(RecvTimeoutError::Timeout) => {}
@@ -228,10 +256,36 @@ fn dispatch(reg: &Registry, out: Outbox) {
         let clients = reg.clients.lock().expect("registry lock");
         for (token, resp) in out.replies {
             if let Some(tx) = clients.get(&token) {
-                let _ = tx.send(resp);
+                let mut buf = Vec::with_capacity(32);
+                resp.encode_frame(&mut buf);
+                let _ = tx.send(buf);
             }
         }
     }
+}
+
+/// Builds the versioned admin snapshot (`stat_kind::SNAPSHOT`) for a
+/// cluster member: node identity, routing digest, per-slot protocol state
+/// (role, epoch, phase, replication lag, queue/dedup occupancy), the
+/// runtime's per-shard stats, the telemetry report (empty with the
+/// feature off), and the flight-recorder dump (always on).
+///
+/// Shares [`STAT_SNAPSHOT_VERSION`] with the single-node server: the
+/// `source` field ("cluster" vs "net") tells a scraper which shape it got.
+fn cluster_snapshot_json(node: &NodeCore<RuntimeStore>) -> String {
+    let slots: Vec<String> = node.slot_snapshots().iter().map(|s| s.to_json()).collect();
+    format!(
+        "{{\n\"version\": {STAT_SNAPSHOT_VERSION},\n\"source\": \"cluster\",\n\"node\": {},\n\
+         \"route_digest\": {},\n\"pending_fwds\": {},\n\"slots\": [{}],\n\"runtime\": {},\n\
+         \"telemetry\": {},\n\"flight\": {}\n}}",
+        node.id(),
+        node.route().digest(),
+        node.pending_fwds(),
+        slots.join(","),
+        node.store().runtime_stats_json(),
+        telemetry::TelemetryReport::capture().to_json(),
+        telemetry::flight_json()
+    )
 }
 
 /// Outbound writer: reconnect with backoff, handshake, drain the queue.
@@ -381,8 +435,9 @@ fn serve_conn(
                     }
                     if !is_client {
                         is_client = true;
-                        // Per-connection response writer.
-                        let (ctx, crx) = mpsc::channel::<Response>();
+                        // Per-connection response writer (pre-encoded
+                        // frames: responses and admin stat replies).
+                        let (ctx, crx) = mpsc::channel::<Vec<u8>>();
                         reg.clients
                             .lock()
                             .expect("registry lock")
@@ -391,13 +446,10 @@ fn serve_conn(
                             let stop = Arc::clone(&stop);
                             thread::spawn(move || {
                                 let mut clone = clone;
-                                let mut buf = Vec::with_capacity(64);
                                 while !stop.load(Ordering::Acquire) {
                                     match crx.recv_timeout(Duration::from_millis(200)) {
-                                        Ok(resp) => {
-                                            buf.clear();
-                                            resp.encode_frame(&mut buf);
-                                            if clone.write_all(&buf).is_err() {
+                                        Ok(frame) => {
+                                            if clone.write_all(&frame).is_err() {
                                                 return;
                                             }
                                         }
@@ -443,6 +495,8 @@ pub struct ClusterClient {
     timeout: Duration,
     target: usize,
     next_id: u64,
+    /// LCG state for trace-id generation ([`ClusterClient::call_traced`]).
+    trace_state: u64,
 }
 
 impl ClusterClient {
@@ -457,6 +511,7 @@ impl ClusterClient {
             timeout,
             target: 0,
             next_id: first_id,
+            trace_state: first_id ^ 0x9E37_79B9_7F4A_7C15,
         }
     }
 
@@ -464,13 +519,59 @@ impl ClusterClient {
     pub fn call(&mut self, key: u64, op: u8, arg: u64) -> io::Result<CallOutcome> {
         let id = self.next_id;
         self.next_id += 1;
-        self.call_with_id(id, key, op, arg)
+        self.call_inner(id, key, op, arg, 0)
+    }
+
+    /// A fresh non-zero trace id packed as a hop-0 trace word, or 0 when
+    /// the build has telemetry disabled (nothing would record the spans).
+    fn new_trace(&mut self) -> u64 {
+        if !telemetry::ENABLED {
+            return 0;
+        }
+        let mut id = 0u32;
+        while id == 0 {
+            self.trace_state = self
+                .trace_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            id = (self.trace_state >> 32) as u32;
+        }
+        trace_word::pack(id, 0)
+    }
+
+    /// Runs one op with a fresh id under a fresh trace: every node the op
+    /// touches records hop spans tracked by the returned trace id, and the
+    /// client's own `Cluster/ClientWait` root span brackets the whole
+    /// round-trip. Returns the outcome and the trace id (0 when telemetry
+    /// is compiled out).
+    pub fn call_traced(&mut self, key: u64, op: u8, arg: u64) -> io::Result<(CallOutcome, u32)> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let trace = self.new_trace();
+        let t0 = telemetry::now_ns();
+        let outcome = self.call_inner(id, key, op, arg, trace)?;
+        let trace_id = trace_word::id(trace);
+        if trace_id != 0 {
+            telemetry::record_span(trace_id, Algo::Cluster, Lane::ClientWait, t0);
+        }
+        Ok((outcome, trace_id))
     }
 
     /// Runs one op under a caller-chosen id. Calling twice with the same
     /// id must yield the same value (dedup) — the bench asserts exactly
     /// that.
     pub fn call_with_id(&mut self, id: u64, key: u64, op: u8, arg: u64) -> io::Result<CallOutcome> {
+        self.call_inner(id, key, op, arg, 0)
+    }
+
+    fn call_inner(
+        &mut self,
+        id: u64,
+        key: u64,
+        op: u8,
+        arg: u64,
+        trace: u64,
+    ) -> io::Result<CallOutcome> {
         // Keep `call`'s fresh-id counter ahead of every id used here:
         // an accidental reuse would be answered from the server's dedup
         // table with the *old* op's result.
@@ -486,7 +587,7 @@ impl ClusterClient {
                 ));
             }
             let node = self.addrs[self.target % self.addrs.len()].0;
-            match self.try_once(node, id, key, op, arg) {
+            match self.try_once(node, id, key, op, arg, trace) {
                 Ok(resp) => match resp.status {
                     Status::Ok => {
                         return Ok(CallOutcome {
@@ -531,6 +632,7 @@ impl ClusterClient {
         key: u64,
         op: u8,
         arg: u64,
+        trace: u64,
     ) -> io::Result<Response> {
         if !self.conns.contains_key(&node) {
             let addr = &self
@@ -547,7 +649,14 @@ impl ClusterClient {
         }
         let (stream, reader) = self.conns.get_mut(&node).expect("just inserted");
         let mut buf = Vec::with_capacity(64);
-        Request::Op { id, key, op, arg }.encode_frame(&mut buf);
+        Request::Op {
+            id,
+            key,
+            op,
+            arg,
+            trace,
+        }
+        .encode_frame(&mut buf);
         stream.write_all(&buf)?;
         let mut chunk = [0u8; 4096];
         loop {

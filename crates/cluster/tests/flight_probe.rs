@@ -1,0 +1,52 @@
+//! Flight-recorder coverage of the cluster control plane: structural
+//! transitions (handoff phases, promote/demote) must leave typed events in
+//! the always-on recorder, and the per-slot admin snapshot must describe
+//! every slot. The recorder is process-global, so assertions filter by
+//! kind/argument instead of assuming exclusive ownership of the log.
+
+use mpsync_cluster::{ModelStore, NodeConfig, NodeCore, Outbox};
+use mpsync_telemetry::{flight_count, flight_snapshot, FlightKind};
+
+#[test]
+fn handoff_records_flight_events() {
+    let cfg = NodeConfig::new(0, vec![0, 1]);
+    let slots = cfg.slots;
+    let mut a = NodeCore::new(cfg, ModelStore::new(slots));
+    let before = flight_count();
+    let slot = (0..slots).find(|&s| a.route().get(s).owner == 0).unwrap();
+    let mut out = Outbox::default();
+    a.start_handoff(slot, 1, &mut out);
+    assert!(
+        flight_count() > before,
+        "start_handoff left the flight recorder empty"
+    );
+    // The drain transition is recorded as HandoffPhase(slot, draining=2, _).
+    let events = flight_snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == FlightKind::HandoffPhase && e.a == slot as u64 && e.b == 2),
+        "no draining HandoffPhase event for slot {slot}: {events:?}"
+    );
+}
+
+#[test]
+fn slot_snapshots_cover_every_slot() {
+    let cfg = NodeConfig::new(0, vec![0, 1]);
+    let slots = cfg.slots;
+    let a = NodeCore::new(cfg, ModelStore::new(slots));
+    let snaps = a.slot_snapshots();
+    assert_eq!(snaps.len(), slots as usize);
+    for s in &snaps {
+        assert!(matches!(s.role, "owner" | "backup" | "none"), "{}", s.role);
+        assert_eq!(s.phase, "normal");
+        assert_eq!(s.repl_lag, 0);
+        let json = s.to_json();
+        assert!(json.contains(&format!("\"slot\":{}", s.slot)));
+        assert!(json.contains("\"role\":\""));
+        assert!(json.contains("\"epoch\":"));
+    }
+    // Exactly the configured keyspace, each slot once, ascending.
+    let ids: Vec<u16> = snaps.iter().map(|s| s.slot).collect();
+    assert_eq!(ids, (0..slots).collect::<Vec<_>>());
+}

@@ -1,0 +1,269 @@
+//! mpstat: scrape the admin stats endpoint of one or more running
+//! mpsync-net servers / mpsync-cluster nodes.
+//!
+//! Speaks the same length-prefixed wire protocol as the data plane
+//! (`StatRequest`/`StatReply`, DESIGN.md §13) against the servers' ordinary
+//! listeners — no side port, no extra thread on the server. Endpoints
+//! containing a `/` are unix-socket paths, anything else is `host:port`.
+//!
+//! Modes:
+//!
+//! * default — one human-readable summary line per endpoint;
+//! * `--json` — the raw snapshots merged into one JSON document
+//!   (`{"mpstat":[{"endpoint":…,"snapshot":…},…]}`), for scripts;
+//! * `--watch SECS` — re-scrape and re-print every SECS seconds;
+//! * `--trace FILE` — drain span rings from *all* endpoints and stitch
+//!   them into one Chrome `trace_event` file (process row per node), so a
+//!   forwarded cluster op shows its client→owner→backup hops together.
+//!
+//! Exit code 0 only if every endpoint answered.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mpsync_net::AdminClient;
+use mpsync_telemetry::trace::chrome_trace_json_nodes;
+use mpsync_telemetry::SpanEvent;
+
+const USAGE: &str = "\
+mpstat — admin-plane scraper for mpsync servers and cluster nodes
+
+USAGE: mpstat [FLAGS] ENDPOINT [ENDPOINT ...]
+
+  ENDPOINT          host:port, or a unix socket path (contains '/')
+  --json            print raw snapshots as one merged JSON document
+  --watch SECS      repeat every SECS seconds until interrupted
+  --trace FILE      drain telemetry spans from every endpoint and write
+                    a stitched Chrome trace (open in chrome://tracing)
+  --timeout SECS    per-endpoint read timeout                       [2]
+  --help            this text
+";
+
+struct Opts {
+    endpoints: Vec<String>,
+    json: bool,
+    watch: Option<Duration>,
+    trace: Option<std::path::PathBuf>,
+    timeout: Duration,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut o = Opts {
+        endpoints: Vec::new(),
+        json: false,
+        watch: None,
+        trace: None,
+        timeout: Duration::from_secs(2),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => o.json = true,
+            "--watch" => {
+                let v = args.next().ok_or("--watch needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--watch: bad number {v:?}"))?;
+                o.watch = Some(Duration::from_secs_f64(secs.max(0.1)));
+            }
+            "--trace" => o.trace = Some(args.next().ok_or("--trace needs a path")?.into()),
+            "--timeout" => {
+                let v = args.next().ok_or("--timeout needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--timeout: bad number {v:?}"))?;
+                o.timeout = Duration::from_secs_f64(secs.max(0.1));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?} (see --help)"))
+            }
+            ep => o.endpoints.push(ep.to_string()),
+        }
+    }
+    if o.endpoints.is_empty() {
+        return Err("at least one ENDPOINT required".into());
+    }
+    Ok(o)
+}
+
+fn connect(endpoint: &str, timeout: Duration) -> std::io::Result<AdminClient> {
+    let client = if endpoint.contains('/') {
+        AdminClient::connect_uds(endpoint)?
+    } else {
+        AdminClient::connect_tcp(endpoint)?
+    };
+    client.set_read_timeout(Some(timeout))?;
+    Ok(client)
+}
+
+// ------------------------------------------------- tolerant JSON extraction
+//
+// Snapshots are flat enough that targeted scans beat a parser: find the
+// first `"key":` and read the literal after it. Good for the known schema,
+// not a general JSON reader.
+
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let rest = json[json.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_str<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = json[json.find(&pat)? + pat.len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Occurrences of `"key":"value"` anywhere in the document.
+fn count_matches(json: &str, needle: &str) -> usize {
+    json.matches(needle).count()
+}
+
+// ------------------------------------------------------------- one scrape
+
+fn summary_line(endpoint: &str, snap: &str) -> String {
+    let source = json_str(snap, "source").unwrap_or("?");
+    let version = json_u64(snap, "version").unwrap_or(0);
+    let flights = json_u64(snap, "recorded").unwrap_or(0);
+    match source {
+        "cluster" => {
+            let node = json_u64(snap, "node").unwrap_or(u64::MAX);
+            let digest = json_u64(snap, "route_digest").unwrap_or(0);
+            let pending = json_u64(snap, "pending_fwds").unwrap_or(0);
+            let owned = count_matches(snap, "\"role\":\"owner\"");
+            let backup = count_matches(snap, "\"role\":\"backup\"");
+            // Worst replication ack lag across this node's owned slots.
+            let mut max_lag = 0u64;
+            let mut idx = 0;
+            while let Some(i) = snap[idx..].find("\"repl_lag\":") {
+                let start = idx + i;
+                if let Some(l) = json_u64(&snap[start..], "repl_lag") {
+                    max_lag = max_lag.max(l);
+                }
+                idx = start + "\"repl_lag\":".len();
+            }
+            format!(
+                "{endpoint}  cluster v{version} node={node} digest={digest:#018x} \
+                 slots: {owned} owned / {backup} backup  pending_fwds={pending} \
+                 max_repl_lag={max_lag} flight={flights}"
+            )
+        }
+        "net" => {
+            let conns = json_u64(snap, "connections").unwrap_or(0);
+            let requests = json_u64(snap, "requests").unwrap_or(0);
+            let acked = json_u64(snap, "acked").unwrap_or(0);
+            let busy = json_u64(snap, "busy").unwrap_or(0);
+            format!(
+                "{endpoint}  net v{version} connections={conns} requests={requests} \
+                 acked={acked} busy={busy} flight={flights}"
+            )
+        }
+        other => format!("{endpoint}  {other} v{version} (unrecognized source)"),
+    }
+}
+
+fn scrape_all(opts: &Opts) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::with_capacity(opts.endpoints.len());
+    for ep in &opts.endpoints {
+        let mut admin = connect(ep, opts.timeout).map_err(|e| format!("{ep}: connect: {e}"))?;
+        let snap = admin
+            .fetch_snapshot()
+            .map_err(|e| format!("{ep}: fetch: {e}"))?;
+        out.push((ep.clone(), snap));
+    }
+    Ok(out)
+}
+
+fn print_scrape(opts: &Opts, snaps: &[(String, String)]) {
+    if opts.json {
+        let mut s = String::from("{\"mpstat\":[");
+        for (i, (ep, snap)) in snaps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n{{\"endpoint\":{ep:?},\"snapshot\":{snap}}}"));
+        }
+        s.push_str("\n]}");
+        println!("{s}");
+    } else {
+        for (ep, snap) in snaps {
+            println!("{}", summary_line(ep, snap));
+        }
+    }
+}
+
+/// `--trace`: drain spans from every endpoint and stitch one Chrome trace.
+/// The process row id is the cluster node id when the snapshot has one,
+/// else the endpoint's position on the command line.
+fn write_trace(
+    opts: &Opts,
+    snaps: &[(String, String)],
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let mut nodes: Vec<(u32, Vec<SpanEvent>)> = Vec::with_capacity(opts.endpoints.len());
+    let mut total = 0usize;
+    for (i, ep) in opts.endpoints.iter().enumerate() {
+        let mut admin = connect(ep, opts.timeout).map_err(|e| format!("{ep}: connect: {e}"))?;
+        let spans = admin
+            .fetch_spans()
+            .map_err(|e| format!("{ep}: fetch spans: {e}"))?;
+        let pid = snaps
+            .iter()
+            .find(|(e, _)| e == ep)
+            .and_then(|(_, s)| json_u64(s, "node"))
+            .unwrap_or(i as u64) as u32;
+        total += spans.len();
+        nodes.push((pid, spans));
+    }
+    std::fs::write(path, chrome_trace_json_nodes(&nodes))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    eprintln!(
+        "wrote {} spans from {} endpoint(s) to {} (load in chrome://tracing)",
+        total,
+        nodes.len(),
+        path.display()
+    );
+    if total == 0 {
+        eprintln!("note: span rings were empty — servers built without the telemetry feature?");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mpstat: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    loop {
+        let snaps = match scrape_all(&opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mpstat: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print_scrape(&opts, &snaps);
+        if let Some(path) = &opts.trace {
+            if let Err(e) = write_trace(&opts, &snaps, path) {
+                eprintln!("mpstat: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match opts.watch {
+            Some(period) => std::thread::sleep(period),
+            None => return ExitCode::SUCCESS,
+        }
+    }
+}

@@ -44,7 +44,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use mpsync_net::{NetClient, NetServer, ServerConfig, ServerModel};
+use mpsync_net::{
+    AdminClient, NetClient, NetServer, ServerConfig, ServerModel, STAT_SNAPSHOT_VERSION,
+};
 use mpsync_objects::seq::{keyed_counter_ops, kv_ops};
 use mpsync_runtime::{
     Backend, RuntimeConfig, RuntimeStats, ShardedCounter, ShardedKvStore, SubmitPolicy,
@@ -1055,12 +1057,53 @@ fn run_smoke(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), St
         ));
     }
 
-    // Let traffic build, then shut down gracefully *under load*.
+    // Let traffic build, then scrape the admin endpoint *mid-run* — the
+    // stats plane must answer on the same listener while data-plane
+    // requests are in flight — and only then shut down gracefully.
     let runtime_cap = opts
         .duration
         .unwrap_or(Duration::from_millis(400))
         .max(Duration::from_millis(100));
     std::thread::sleep(runtime_cap);
+    let snap = {
+        let admin = match &ep {
+            Endpoint::Tcp(addr) => AdminClient::connect_tcp(addr),
+            Endpoint::Uds(path) => AdminClient::connect_uds(path),
+        };
+        let mut admin = admin.map_err(|e| format!("[{tag}] admin connect: {e}"))?;
+        let _ = admin.set_read_timeout(Some(Duration::from_secs(2)));
+        admin
+            .fetch_snapshot()
+            .map_err(|e| format!("[{tag}] admin fetch: {e}"))?
+    };
+    for needle in [
+        &format!("\"version\": {STAT_SNAPSHOT_VERSION}") as &str,
+        "\"source\": \"net\"",
+        "\"server\"",
+        "\"telemetry\"",
+        "\"flight\"",
+    ] {
+        if !snap.contains(needle) {
+            return fail(format!("admin snapshot missing {needle:?}: {snap}"));
+        }
+    }
+    // The scrape races the load, but by now the steady streams have been
+    // running for `runtime_cap`; a snapshot showing zero accepted
+    // connections means the stats plane is lying.
+    let conns_seen = snap
+        .find("\"connections\":")
+        .and_then(|i| {
+            let rest = snap["\"connections\":".len() + i..].trim_start();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse::<u64>().ok()
+        })
+        .unwrap_or(0);
+    if conns_seen == 0 {
+        return fail(format!("mid-run snapshot reports no connections: {snap}"));
+    }
+    println!("[{tag}] ADMIN OK ({conns_seen} conns in mid-run snapshot)");
     stop.store(true, Ordering::Relaxed);
     let report = server.shutdown();
 
@@ -1111,10 +1154,11 @@ fn run_smoke(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), St
             ));
         }
     }
-    if report.connections != (STEADY + CHURN) as u64 {
+    // +1: the mid-run admin scrape is an ordinary accepted connection.
+    if report.connections != (STEADY + CHURN + 1) as u64 {
         return fail(format!(
             "expected {} connections, server saw {}",
-            STEADY + CHURN,
+            STEADY + CHURN + 1,
             report.connections
         ));
     }

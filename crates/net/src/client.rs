@@ -16,7 +16,10 @@ use std::time::Duration;
 
 use rand::{Rng, RngCore};
 
-use crate::frame::{FrameError, FrameReader, Request, Response, Status, Wire, DEFAULT_MAX_FRAME};
+use crate::frame::{
+    trace_word, FrameError, FrameReader, Request, Response, StatReply, Status, Wire,
+    ADMIN_MAX_FRAME, DEFAULT_MAX_FRAME,
+};
 
 /// Everything that can go wrong on the client side of a call.
 #[derive(Debug)]
@@ -246,10 +249,36 @@ impl NetClient {
     /// Queues one op request without flushing; returns its request id.
     /// Use with [`NetClient::flush`]/[`NetClient::recv`] for pipelining.
     pub fn send(&mut self, key: u64, op: u8, arg: u64) -> u64 {
+        self.send_traced(key, op, arg, 0)
+    }
+
+    /// [`NetClient::send`] carrying an explicit trace word (0 = untraced).
+    pub fn send_traced(&mut self, key: u64, op: u8, arg: u64, trace: u64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        Request::Op { id, key, op, arg }.encode_frame(&mut self.wbuf);
+        Request::Op {
+            id,
+            key,
+            op,
+            arg,
+            trace,
+        }
+        .encode_frame(&mut self.wbuf);
         id
+    }
+
+    /// A fresh non-zero trace word (hop 0) from the client's RNG, or 0
+    /// when telemetry is compiled out — feed to [`NetClient::send_traced`]
+    /// to tag a request for cross-node tracing.
+    pub fn new_trace(&mut self) -> u64 {
+        if !mpsync_telemetry::ENABLED {
+            return 0;
+        }
+        let mut id = 0u32;
+        while id == 0 {
+            id = self.rng.next_u32();
+        }
+        trace_word::pack(id, 0)
     }
 
     /// Queues a ping; returns its request id.
@@ -302,9 +331,38 @@ impl NetClient {
     /// Must not be mixed with un-received pipelined [`NetClient::send`]s —
     /// it expects the next response to answer this call.
     pub fn call(&mut self, key: u64, op: u8, arg: u64) -> Result<u64, ClientError> {
+        self.call_traced(key, op, arg, 0)
+    }
+
+    /// [`NetClient::call`] tagged with a trace word (see
+    /// [`NetClient::new_trace`]): the op carries the word to the server
+    /// (and onward across forwards), and the client records a
+    /// `net.client_wait` span on the trace's track covering the whole
+    /// round trip — the root of the stitched cross-node trace.
+    pub fn call_traced(
+        &mut self,
+        key: u64,
+        op: u8,
+        arg: u64,
+        trace: u64,
+    ) -> Result<u64, ClientError> {
+        let t0 = mpsync_telemetry::now_ns();
+        let result = self.call_inner(key, op, arg, trace);
+        if trace != 0 {
+            mpsync_telemetry::record_span(
+                trace_word::id(trace),
+                mpsync_telemetry::Algo::Net,
+                mpsync_telemetry::Lane::ClientWait,
+                t0,
+            );
+        }
+        result
+    }
+
+    fn call_inner(&mut self, key: u64, op: u8, arg: u64, trace: u64) -> Result<u64, ClientError> {
         let mut attempt = 0u32;
         loop {
-            let id = self.send(key, op, arg);
+            let id = self.send_traced(key, op, arg, trace);
             self.flush()?;
             let resp = self.recv()?.ok_or(ClientError::Disconnected)?;
             debug_assert_eq!(resp.id, id, "call/response pairing broken");
@@ -377,7 +435,14 @@ impl ClientSender {
     pub fn send(&mut self, key: u64, op: u8, arg: u64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        Request::Op { id, key, op, arg }.encode_frame(&mut self.wbuf);
+        Request::Op {
+            id,
+            key,
+            op,
+            arg,
+            trace: 0,
+        }
+        .encode_frame(&mut self.wbuf);
         id
     }
 
@@ -433,6 +498,95 @@ impl ClientReceiver {
                 Err(e) => return Err(ClientError::Io(e)),
             }
         }
+    }
+}
+
+/// A blocking admin connection: polls the stats endpoint any listener
+/// (single-node server or cluster node) serves on its client port.
+///
+/// Separate from [`NetClient`] because [`StatReply`] frames routinely
+/// exceed [`DEFAULT_MAX_FRAME`] — this reader decodes with
+/// [`ADMIN_MAX_FRAME`].
+pub struct AdminClient {
+    sock: ClientSock,
+    reader: FrameReader,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    next_id: u64,
+}
+
+impl AdminClient {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self::from_sock(ClientSock::Tcp(stream)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Self::from_sock(ClientSock::Unix(stream)))
+    }
+
+    fn from_sock(sock: ClientSock) -> Self {
+        Self {
+            sock,
+            reader: FrameReader::new(ADMIN_MAX_FRAME),
+            rbuf: vec![0u8; 64 * 1024],
+            wbuf: Vec::with_capacity(64),
+            next_id: 0,
+        }
+    }
+
+    /// Optional timeout for [`AdminClient::fetch`] reads.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.sock.set_read_timeout(dur)
+    }
+
+    /// One stats round trip: requests `kind` (a [`stat_kind`] constant) and
+    /// blocks for the matching reply.
+    ///
+    /// [`stat_kind`]: crate::frame::stat_kind
+    pub fn fetch(&mut self, kind: u8) -> Result<StatReply, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.wbuf.clear();
+        Request::Stat { id, kind }.encode_frame(&mut self.wbuf);
+        self.sock.write_all(&self.wbuf)?;
+        self.sock.flush()?;
+        loop {
+            if let Some(reply) = self.reader.next_frame::<StatReply>()? {
+                debug_assert_eq!(reply.id, id, "stat request/reply pairing broken");
+                return Ok(reply);
+            }
+            match self.sock.read(&mut self.rbuf) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => {
+                    let chunk = &self.rbuf[..n];
+                    self.reader.extend(chunk);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Fetches the JSON snapshot ([`stat_kind::SNAPSHOT`]) as a string.
+    ///
+    /// [`stat_kind::SNAPSHOT`]: crate::frame::stat_kind::SNAPSHOT
+    pub fn fetch_snapshot(&mut self) -> Result<String, ClientError> {
+        let reply = self.fetch(crate::frame::stat_kind::SNAPSHOT)?;
+        Ok(String::from_utf8_lossy(&reply.payload).into_owned())
+    }
+
+    /// Fetches and unpacks the span dump ([`stat_kind::SPANS`]).
+    ///
+    /// [`stat_kind::SPANS`]: crate::frame::stat_kind::SPANS
+    pub fn fetch_spans(&mut self) -> Result<Vec<mpsync_telemetry::SpanEvent>, ClientError> {
+        let reply = self.fetch(crate::frame::stat_kind::SPANS)?;
+        Ok(crate::frame::decode_spans(&reply.payload)?)
     }
 }
 

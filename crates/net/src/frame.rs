@@ -5,9 +5,31 @@
 //!
 //! | tag | frame | body layout |
 //! |---|---|---|
-//! | `0x01` | request `Op`   | `id: u64, key: u64, op: u8, arg: u64` |
+//! | `0x01` | request `Op`   | `id: u64, key: u64, op: u8, arg: u64[, trace: u64]` |
 //! | `0x02` | request `Ping` | `id: u64` |
 //! | `0x81` | [`Response`]   | `id: u64, status: u8, value: u64` |
+//!
+//! `Op` (and the node-side `Fwd`/`Repl`) optionally carry a trailing
+//! **trace word** (see [`trace_word`]): a `u32` trace id plus a `u16` hop
+//! count that rides with a request across forwards and replication so
+//! every node can record a hop span under the same id. The suffix is
+//! encoded only when non-zero and *decoded unconditionally*, so a
+//! telemetry-enabled client interoperates with a disabled server and vice
+//! versa.
+//!
+//! The `0x20`+ range is the **admin** protocol, served on the same
+//! listeners as client traffic:
+//!
+//! | tag | frame | body layout |
+//! |---|---|---|
+//! | `0x20` | request `Stat` | `id: u64, kind: u8` |
+//! | `0x21` | [`StatReply`]  | `id: u64, kind: u8, payload: bytes` |
+//!
+//! `kind` selects the payload ([`stat_kind`]): a versioned JSON snapshot
+//! of counters/histograms/shard/cluster state, or a binary span dump
+//! ([`encode_spans`]) a collector stitches into a cross-node Chrome
+//! trace. `StatReply` bodies routinely exceed [`DEFAULT_MAX_FRAME`];
+//! admin clients read them with an [`ADMIN_MAX_FRAME`] bound instead.
 //!
 //! Request IDs are chosen by the client and echoed verbatim in the matching
 //! response. A connection is a full-duplex pipeline: clients may keep many
@@ -59,6 +81,53 @@ pub const TAG_SYNC_REQ: u8 = 0x19;
 /// Body tag of an administrative handoff trigger ([`NodeMsg::Handoff`]).
 pub const TAG_HANDOFF: u8 = 0x1a;
 
+/// Body tag of an admin stats request ([`Request::Stat`]).
+pub const TAG_STAT_REQ: u8 = 0x20;
+/// Body tag of an admin stats reply ([`StatReply`]).
+pub const TAG_STAT_REPLY: u8 = 0x21;
+
+/// Payload kinds for [`Request::Stat`] / [`StatReply`].
+pub mod stat_kind {
+    /// Versioned JSON snapshot: counters, histograms, per-shard runtime
+    /// stats, per-slot cluster state, flight-recorder dump.
+    pub const SNAPSHOT: u8 = 0;
+    /// Binary span dump ([`super::encode_spans`]): the server drains its
+    /// telemetry span rings and ships the raw records for cross-node
+    /// trace stitching.
+    pub const SPANS: u8 = 1;
+}
+
+/// Packing helpers for the optional trace word carried by `Op`/`Fwd`/`Repl`
+/// frames: `trace_id` in the top 32 bits, hop count in bits 16–31, low 16
+/// bits reserved (zero). The whole word being 0 means "no trace", so
+/// generators must pick non-zero trace ids.
+pub mod trace_word {
+    /// Packs a trace id and hop count into a wire trace word.
+    pub fn pack(trace_id: u32, hop: u16) -> u64 {
+        ((trace_id as u64) << 32) | ((hop as u64) << 16)
+    }
+
+    /// The trace id (0 when the word is "no trace").
+    pub fn id(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+
+    /// The hop count: how many times the op has been relayed so far.
+    pub fn hop(word: u64) -> u16 {
+        (word >> 16) as u16
+    }
+
+    /// The word to put on the next outbound leg: same id, hop + 1
+    /// (saturating). Passing 0 yields 0 — relaying never invents a trace.
+    pub fn next_hop(word: u64) -> u64 {
+        if word == 0 {
+            0
+        } else {
+            pack(id(word), hop(word).saturating_add(1))
+        }
+    }
+}
+
 /// Version word carried in [`NodeMsg::Hello`]; a node drops peer
 /// connections that greet with any other version.
 pub const NODE_PROTO_VERSION: u16 = 1;
@@ -72,12 +141,24 @@ const OP_BODY: usize = 1 + 8 + 8 + 1 + 8;
 const PING_BODY: usize = 1 + 8;
 /// Body length of a response (tag + id + status + value).
 const REPLY_BODY: usize = 1 + 8 + 1 + 8;
+/// Body length of a `Stat` request (tag + id + kind).
+const STAT_REQ_BODY: usize = 1 + 8 + 1;
+/// Minimum body length of a [`StatReply`] (tag + id + kind, empty payload).
+const STAT_REPLY_MIN: usize = 1 + 8 + 1;
+/// Extra body bytes when a frame carries a trace word.
+const TRACE_SUFFIX: usize = 8;
 
 /// Largest body a peer may send unless configured otherwise. Every
-/// fixed-layout frame is ≤ 44 bytes; [`NodeMsg::SlotChunk`] is the one
+/// fixed-layout frame is ≤ 52 bytes; [`NodeMsg::SlotChunk`] is the one
 /// variable frame and its senders cap entries so a chunk fits this bound,
 /// which in turn bounds a malicious length prefix.
 pub const DEFAULT_MAX_FRAME: u32 = 1024;
+
+/// Frame bound for connections expecting [`StatReply`] bodies: the JSON
+/// snapshot and span dumps are as large as the telemetry state behind
+/// them, so admin clients read with this bound instead of
+/// [`DEFAULT_MAX_FRAME`].
+pub const ADMIN_MAX_FRAME: u32 = 4 * 1024 * 1024;
 
 /// Why a byte stream failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,11 +261,22 @@ pub enum Request {
         op: u8,
         /// Argument word.
         arg: u64,
+        /// Trace word ([`trace_word`]), or 0 for untraced. Encoded as an
+        /// optional body suffix: absent on the wire when 0.
+        trace: u64,
     },
     /// Liveness probe; answered `Ok` with value 0, applied to nothing.
     Ping {
         /// Client-chosen ID echoed in the response.
         id: u64,
+    },
+    /// Admin stats poll: answered with a [`StatReply`] of the same `id`
+    /// and `kind`. Served by every listener, applied to nothing.
+    Stat {
+        /// Client-chosen ID echoed in the reply.
+        id: u64,
+        /// Which payload to return ([`stat_kind`]).
+        kind: u8,
     },
 }
 
@@ -192,7 +284,7 @@ impl Request {
     /// The client-chosen request ID.
     pub fn id(&self) -> u64 {
         match *self {
-            Request::Op { id, .. } | Request::Ping { id } => id,
+            Request::Op { id, .. } | Request::Ping { id } | Request::Stat { id, .. } => id,
         }
     }
 }
@@ -240,19 +332,50 @@ pub trait Wire: Sized {
     }
 }
 
+/// Validates an optional trace suffix: a body of `base` bytes carries no
+/// trace (returns 0), `base + 8` carries the trace word in its tail; any
+/// other length is a typed error against the base layout.
+fn rd_trace(tag: u8, body: &[u8], base: usize) -> Result<u64, FrameError> {
+    if body.len() == base {
+        Ok(0)
+    } else if body.len() == base + TRACE_SUFFIX {
+        Ok(rd_u64(&body[base..]))
+    } else {
+        Err(FrameError::Length {
+            tag,
+            got: body.len(),
+            want: base,
+        })
+    }
+}
+
 impl Wire for Request {
     fn encode_body(&self, out: &mut Vec<u8>) {
         match *self {
-            Request::Op { id, key, op, arg } => {
+            Request::Op {
+                id,
+                key,
+                op,
+                arg,
+                trace,
+            } => {
                 out.push(TAG_OP);
                 out.extend_from_slice(&id.to_le_bytes());
                 out.extend_from_slice(&key.to_le_bytes());
                 out.push(op);
                 out.extend_from_slice(&arg.to_le_bytes());
+                if trace != 0 {
+                    out.extend_from_slice(&trace.to_le_bytes());
+                }
             }
             Request::Ping { id } => {
                 out.push(TAG_PING);
                 out.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Stat { id, kind } => {
+                out.push(TAG_STAT_REQ);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.push(kind);
             }
         }
     }
@@ -260,18 +383,13 @@ impl Wire for Request {
     fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
         match body[0] {
             TAG_OP => {
-                if body.len() != OP_BODY {
-                    return Err(FrameError::Length {
-                        tag: TAG_OP,
-                        got: body.len(),
-                        want: OP_BODY,
-                    });
-                }
+                let trace = rd_trace(TAG_OP, body, OP_BODY)?;
                 Ok(Request::Op {
                     id: rd_u64(&body[1..]),
                     key: rd_u64(&body[9..]),
                     op: body[17],
                     arg: rd_u64(&body[18..]),
+                    trace,
                 })
             }
             TAG_PING => {
@@ -284,6 +402,19 @@ impl Wire for Request {
                 }
                 Ok(Request::Ping {
                     id: rd_u64(&body[1..]),
+                })
+            }
+            TAG_STAT_REQ => {
+                if body.len() != STAT_REQ_BODY {
+                    return Err(FrameError::Length {
+                        tag: TAG_STAT_REQ,
+                        got: body.len(),
+                        want: STAT_REQ_BODY,
+                    });
+                }
+                Ok(Request::Stat {
+                    id: rd_u64(&body[1..]),
+                    kind: body[9],
                 })
             }
             other => Err(FrameError::UnknownTag(other)),
@@ -316,6 +447,98 @@ impl Wire for Response {
             value: rd_u64(&body[10..]),
         })
     }
+}
+
+/// The answer to a [`Request::Stat`] with the same `id`: an opaque payload
+/// whose shape is selected by `kind` ([`stat_kind`]). Not a [`Response`]
+/// variant because the payload is variable-size (and routinely large) —
+/// admin readers use their own [`FrameReader`] with [`ADMIN_MAX_FRAME`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatReply {
+    /// Echo of the request's ID.
+    pub id: u64,
+    /// Echo of the requested payload kind.
+    pub kind: u8,
+    /// JSON bytes (`SNAPSHOT`) or packed span records (`SPANS`).
+    pub payload: Vec<u8>,
+}
+
+impl Wire for StatReply {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(TAG_STAT_REPLY);
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.payload);
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, FrameError> {
+        if body[0] != TAG_STAT_REPLY {
+            return Err(FrameError::UnknownTag(body[0]));
+        }
+        if body.len() < STAT_REPLY_MIN {
+            return Err(FrameError::Length {
+                tag: TAG_STAT_REPLY,
+                got: body.len(),
+                want: STAT_REPLY_MIN,
+            });
+        }
+        Ok(StatReply {
+            id: rd_u64(&body[1..]),
+            kind: body[9],
+            payload: body[10..].to_vec(),
+        })
+    }
+}
+
+/// Bytes per packed span record in a `SPANS` payload.
+pub const SPAN_RECORD: usize = 24;
+
+/// Packs drained telemetry spans into a `SPANS` payload: 24 bytes per
+/// record — `track: u32, algo: u8, lane: u8, pad: u16, start_ns: u64,
+/// dur_ns: u64`, little-endian. Binary rather than JSON so a scraper can
+/// pull tens of thousands of spans per poll without a parser.
+pub fn encode_spans(spans: &[mpsync_telemetry::SpanEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(spans.len() * SPAN_RECORD);
+    for e in spans {
+        out.extend_from_slice(&e.track.to_le_bytes());
+        out.push(e.algo as u8);
+        out.push(e.lane as u8);
+        out.extend_from_slice(&[0u8; 2]);
+        out.extend_from_slice(&e.start_ns.to_le_bytes());
+        out.extend_from_slice(&e.dur_ns.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks a `SPANS` payload. Records whose algo/lane byte is outside this
+/// build's enums are skipped (a newer peer may know more of either);
+/// a payload that is not a whole number of records is a typed error.
+pub fn decode_spans(payload: &[u8]) -> Result<Vec<mpsync_telemetry::SpanEvent>, FrameError> {
+    use mpsync_telemetry::{Algo, Lane};
+    if !payload.len().is_multiple_of(SPAN_RECORD) {
+        return Err(FrameError::Length {
+            tag: TAG_STAT_REPLY,
+            got: payload.len(),
+            want: SPAN_RECORD,
+        });
+    }
+    let mut spans = Vec::with_capacity(payload.len() / SPAN_RECORD);
+    for rec in payload.chunks_exact(SPAN_RECORD) {
+        let (algo, lane) = (
+            Algo::ALL.get(rec[4] as usize),
+            Lane::ALL.get(rec[5] as usize),
+        );
+        if let (Some(&algo), Some(&lane)) = (algo, lane) {
+            spans.push(mpsync_telemetry::SpanEvent {
+                track: rd_u32(rec),
+                algo,
+                lane,
+                start_ns: rd_u64(&rec[8..]),
+                dur_ns: rd_u64(&rec[16..]),
+            });
+        }
+    }
+    Ok(spans)
 }
 
 /// A node-to-node frame (tags `0x10`–`0x1a`).
@@ -361,6 +584,8 @@ pub enum NodeMsg {
         op: u8,
         /// Argument word.
         arg: u64,
+        /// Trace word ([`trace_word`]), or 0; optional body suffix.
+        trace: u64,
     },
     /// Answer to a [`NodeMsg::Fwd`] with the same `uid`.
     FwdReply {
@@ -388,6 +613,8 @@ pub enum NodeMsg {
         op: u8,
         /// Argument word.
         arg: u64,
+        /// Trace word ([`trace_word`]), or 0; optional body suffix.
+        trace: u64,
     },
     /// Cumulative replication ack: the backup has applied every record of
     /// `(slot, epoch)` with sequence ≤ `seq`.
@@ -494,12 +721,21 @@ impl Wire for NodeMsg {
                 out.extend_from_slice(&node.to_le_bytes());
                 out.extend_from_slice(&digest.to_le_bytes());
             }
-            NodeMsg::Fwd { uid, key, op, arg } => {
+            NodeMsg::Fwd {
+                uid,
+                key,
+                op,
+                arg,
+                trace,
+            } => {
                 out.push(TAG_FWD);
                 out.extend_from_slice(&uid.to_le_bytes());
                 out.extend_from_slice(&key.to_le_bytes());
                 out.push(op);
                 out.extend_from_slice(&arg.to_le_bytes());
+                if trace != 0 {
+                    out.extend_from_slice(&trace.to_le_bytes());
+                }
             }
             NodeMsg::FwdReply { uid, status, value } => {
                 out.push(TAG_FWD_REPLY);
@@ -515,6 +751,7 @@ impl Wire for NodeMsg {
                 key,
                 op,
                 arg,
+                trace,
             } => {
                 out.push(TAG_REPL);
                 out.extend_from_slice(&slot.to_le_bytes());
@@ -524,6 +761,9 @@ impl Wire for NodeMsg {
                 out.extend_from_slice(&key.to_le_bytes());
                 out.push(op);
                 out.extend_from_slice(&arg.to_le_bytes());
+                if trace != 0 {
+                    out.extend_from_slice(&trace.to_le_bytes());
+                }
             }
             NodeMsg::ReplAck { slot, epoch, seq } => {
                 out.push(TAG_REPL_ACK);
@@ -613,12 +853,13 @@ impl Wire for NodeMsg {
                 })
             }
             TAG_FWD => {
-                need(FWD_BODY)?;
+                let trace = rd_trace(TAG_FWD, body, FWD_BODY)?;
                 Ok(NodeMsg::Fwd {
                     uid: rd_u64(&body[1..]),
                     key: rd_u64(&body[9..]),
                     op: body[17],
                     arg: rd_u64(&body[18..]),
+                    trace,
                 })
             }
             TAG_FWD_REPLY => {
@@ -630,7 +871,7 @@ impl Wire for NodeMsg {
                 })
             }
             TAG_REPL => {
-                need(REPL_BODY)?;
+                let trace = rd_trace(TAG_REPL, body, REPL_BODY)?;
                 Ok(NodeMsg::Repl {
                     slot: rd_u16(&body[1..]),
                     epoch: rd_u64(&body[3..]),
@@ -639,6 +880,7 @@ impl Wire for NodeMsg {
                     key: rd_u64(&body[27..]),
                     op: body[35],
                     arg: rd_u64(&body[36..]),
+                    trace,
                 })
             }
             TAG_REPL_ACK => {
@@ -899,6 +1141,7 @@ mod tests {
                 key: 7,
                 op: 0,
                 arg: 42,
+                trace: 0,
             },
             Request::Ping { id: 2 },
             Request::Op {
@@ -906,6 +1149,22 @@ mod tests {
                 key: (1 << 56) - 1,
                 op: 255,
                 arg: u64::MAX,
+                trace: 0,
+            },
+            Request::Op {
+                id: 5,
+                key: 9,
+                op: 3,
+                arg: 11,
+                trace: trace_word::pack(0xDEAD_BEEF, 2),
+            },
+            Request::Stat {
+                id: 77,
+                kind: stat_kind::SNAPSHOT,
+            },
+            Request::Stat {
+                id: 78,
+                kind: stat_kind::SPANS,
             },
         ]
     }
@@ -946,6 +1205,7 @@ mod tests {
             key: 5,
             op: 1,
             arg: 9,
+            trace: 0,
         };
         let mut bytes = Vec::new();
         req.encode_frame(&mut bytes);
@@ -1115,6 +1375,14 @@ mod tests {
                 key: (1 << 56) - 1,
                 op: 255,
                 arg: u64::MAX,
+                trace: 0,
+            },
+            NodeMsg::Fwd {
+                uid: 10,
+                key: 20,
+                op: 1,
+                arg: 30,
+                trace: trace_word::pack(7, 1),
             },
             NodeMsg::FwdReply {
                 uid: 42,
@@ -1129,6 +1397,17 @@ mod tests {
                 key: 6,
                 op: 1,
                 arg: 7,
+                trace: 0,
+            },
+            NodeMsg::Repl {
+                slot: 2,
+                epoch: 3,
+                seq: 101,
+                uid: 8,
+                key: 6,
+                op: 1,
+                arg: 7,
+                trace: trace_word::pack(u32::MAX, u16::MAX),
             },
             NodeMsg::ReplAck {
                 slot: 0,
@@ -1276,5 +1555,147 @@ mod tests {
         r.extend(&bytes[5..]);
         assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
         assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn trace_word_packs_and_relays() {
+        let w = trace_word::pack(0x1234_5678, 3);
+        assert_eq!(trace_word::id(w), 0x1234_5678);
+        assert_eq!(trace_word::hop(w), 3);
+        assert_eq!(w & 0xFFFF, 0, "low 16 bits are reserved zero");
+        let next = trace_word::next_hop(w);
+        assert_eq!(trace_word::id(next), 0x1234_5678);
+        assert_eq!(trace_word::hop(next), 4);
+        assert_eq!(trace_word::next_hop(0), 0, "no trace stays no trace");
+        let sat = trace_word::pack(1, u16::MAX);
+        assert_eq!(trace_word::hop(trace_word::next_hop(sat)), u16::MAX);
+    }
+
+    #[test]
+    fn trace_suffix_changes_wire_length_only_when_set() {
+        let untraced = Request::Op {
+            id: 1,
+            key: 2,
+            op: 3,
+            arg: 4,
+            trace: 0,
+        };
+        let traced = Request::Op {
+            id: 1,
+            key: 2,
+            op: 3,
+            arg: 4,
+            trace: trace_word::pack(9, 0),
+        };
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        untraced.encode_frame(&mut a);
+        traced.encode_frame(&mut b);
+        assert_eq!(a.len(), 4 + OP_BODY);
+        assert_eq!(b.len(), 4 + OP_BODY + TRACE_SUFFIX);
+        // Both lengths decode; anything in between is a typed error.
+        for (bytes, want) in [(&a, untraced), (&b, traced)] {
+            let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+            r.extend(bytes);
+            assert_eq!(r.next_frame::<Request>().unwrap(), Some(want));
+        }
+        let mut bad = b.clone();
+        bad.pop();
+        let body_len = (bad.len() - 4) as u32;
+        bad[..4].copy_from_slice(&body_len.to_le_bytes());
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bad);
+        assert_eq!(
+            r.next_frame::<Request>(),
+            Err(FrameError::Length {
+                tag: TAG_OP,
+                got: OP_BODY + TRACE_SUFFIX - 1,
+                want: OP_BODY,
+            })
+        );
+    }
+
+    #[test]
+    fn stat_request_and_reply_roundtrip() {
+        let req = Request::Stat {
+            id: 31,
+            kind: stat_kind::SNAPSHOT,
+        };
+        let mut bytes = Vec::new();
+        req.encode_frame(&mut bytes);
+        assert_eq!(bytes.len(), 4 + STAT_REQ_BODY);
+        let mut r = FrameReader::new(DEFAULT_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(r.next_frame::<Request>().unwrap(), Some(req));
+
+        for payload in [Vec::new(), b"{\"version\":1}".to_vec(), vec![0u8; 4096]] {
+            let reply = StatReply {
+                id: 31,
+                kind: stat_kind::SNAPSHOT,
+                payload,
+            };
+            let mut bytes = Vec::new();
+            reply.encode_frame(&mut bytes);
+            let mut r = FrameReader::new(ADMIN_MAX_FRAME);
+            r.extend(&bytes);
+            assert_eq!(r.next_frame::<StatReply>().unwrap().as_ref(), Some(&reply));
+            assert_eq!(r.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn stat_reply_too_short_is_typed_error() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.push(TAG_STAT_REPLY);
+        bytes.extend_from_slice(&[0u8; 4]);
+        let mut r = FrameReader::new(ADMIN_MAX_FRAME);
+        r.extend(&bytes);
+        assert_eq!(
+            r.next_frame::<StatReply>(),
+            Err(FrameError::Length {
+                tag: TAG_STAT_REPLY,
+                got: 5,
+                want: STAT_REPLY_MIN,
+            })
+        );
+    }
+
+    #[test]
+    fn span_payload_roundtrips() {
+        use mpsync_telemetry::{Algo, Lane, SpanEvent};
+        let spans = vec![
+            SpanEvent {
+                track: 42,
+                algo: Algo::Cluster,
+                lane: Lane::Serve,
+                start_ns: 1_000_000,
+                dur_ns: 2_500,
+            },
+            SpanEvent {
+                track: u32::MAX,
+                algo: Algo::Net,
+                lane: Lane::Send,
+                start_ns: u64::MAX,
+                dur_ns: 0,
+            },
+        ];
+        let payload = encode_spans(&spans);
+        assert_eq!(payload.len(), spans.len() * SPAN_RECORD);
+        assert_eq!(decode_spans(&payload).unwrap(), spans);
+        assert_eq!(decode_spans(&[]).unwrap(), Vec::new());
+
+        // Unknown algo byte: record skipped, not an error.
+        let mut alien = payload.clone();
+        alien[4] = 0xEE;
+        assert_eq!(decode_spans(&alien).unwrap(), &spans[1..]);
+
+        // Ragged payload: typed error.
+        assert!(matches!(
+            decode_spans(&payload[..SPAN_RECORD + 3]),
+            Err(FrameError::Length {
+                tag: TAG_STAT_REPLY,
+                ..
+            })
+        ));
     }
 }

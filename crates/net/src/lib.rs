@@ -62,5 +62,8 @@ mod server;
 #[cfg(target_os = "linux")]
 mod sys;
 
-pub use client::{Backoff, ClientError, ClientReceiver, ClientSender, NetClient};
-pub use server::{DrainReport, NetServer, ServerBuilder, ServerConfig, ServerModel, Service};
+pub use client::{AdminClient, Backoff, ClientError, ClientReceiver, ClientSender, NetClient};
+pub use server::{
+    DrainReport, NetServer, ServerBuilder, ServerConfig, ServerModel, Service,
+    STAT_SNAPSHOT_VERSION,
+};

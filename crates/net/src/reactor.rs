@@ -651,6 +651,12 @@ impl<'a> Reactor<'a> {
         self.free.push(slot);
         let _ = self.epoll.del(conn.sock.raw_fd());
         self.shared.stats.migrations.fetch_add(1, Ordering::Relaxed);
+        telemetry::flight(
+            telemetry::FlightKind::ConnMigrate,
+            conn.id,
+            self.idx as u64,
+            target as u64,
+        );
         self.peers[target].inject(Migrant::Moved(conn, first));
     }
 

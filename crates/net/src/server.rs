@@ -40,7 +40,10 @@ use mpsync_runtime::{KeyedDispatch, Runtime, RuntimeError, Session, ShardDriver,
 use mpsync_telemetry as telemetry;
 use mpsync_telemetry::{Algo, Counter, Lane};
 
-use crate::frame::{reject, FrameError, FrameReader, Request, Response, Status, Wire};
+use crate::frame::{
+    reject, stat_kind, trace_word, FrameError, FrameReader, Request, Response, StatReply, Status,
+    Wire,
+};
 
 /// Anything that can hand out runtime [`Session`]s — the server's only
 /// coupling to the layer below. Implemented by [`Runtime`] itself and by
@@ -72,6 +75,14 @@ pub trait Service: Send + Sync {
     fn take_driver(&self, _shard: usize) -> Option<ShardDriver> {
         None
     }
+
+    /// Per-shard runtime counters as JSON (the
+    /// [`RuntimeStats::to_json`](mpsync_runtime::RuntimeStats::to_json)
+    /// schema), embedded in the admin snapshot. `None` when the service
+    /// has no runtime counters to report.
+    fn runtime_stats_json(&self) -> Option<String> {
+        None
+    }
 }
 
 impl<S, F> Service for Runtime<S, F>
@@ -94,6 +105,10 @@ where
     fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
         Runtime::take_driver(self, shard)
     }
+
+    fn runtime_stats_json(&self) -> Option<String> {
+        Some(self.stats().to_json())
+    }
 }
 
 impl Service for mpsync_runtime::ShardedKvStore {
@@ -112,6 +127,10 @@ impl Service for mpsync_runtime::ShardedKvStore {
     fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
         mpsync_runtime::ShardedKvStore::take_driver(self, shard)
     }
+
+    fn runtime_stats_json(&self) -> Option<String> {
+        Some(self.stats().to_json())
+    }
 }
 
 impl Service for mpsync_runtime::ShardedCounter {
@@ -129,6 +148,10 @@ impl Service for mpsync_runtime::ShardedCounter {
 
     fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
         mpsync_runtime::ShardedCounter::take_driver(self, shard)
+    }
+
+    fn runtime_stats_json(&self) -> Option<String> {
+        Some(self.stats().to_json())
     }
 }
 
@@ -294,6 +317,28 @@ impl NetStatsInner {
     }
 }
 
+impl DrainReport {
+    /// Hand-rolled JSON with one key per counter, embedded as the
+    /// `"server"` object of the admin snapshot.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{ \"connections\": {}, \"refused_sessions\": {}, \"requests\": {}, \"acked\": {}, \"busy\": {}, \"closed_responses\": {}, \"bad_requests\": {}, \"protocol_errors\": {}, \"disconnects\": {}, \"drained\": {}, \"migrated\": {}, \"serve_allocs\": {} }}",
+            self.connections,
+            self.refused_sessions,
+            self.requests,
+            self.acked,
+            self.busy,
+            self.closed_responses,
+            self.bad_requests,
+            self.protocol_errors,
+            self.disconnects,
+            self.drained,
+            self.migrated,
+            self.serve_allocs
+        )
+    }
+}
+
 impl std::fmt::Display for DrainReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
@@ -456,6 +501,9 @@ impl ServerBuilder {
                 "server needs at least one listener",
             ));
         }
+        // A crashing server should leave its last structural events on
+        // stderr; the hook chains and installs once per process.
+        telemetry::install_panic_hook();
         let shared = Arc::new(Shared {
             service: self.service,
             cfg: self.cfg,
@@ -651,6 +699,12 @@ impl NetServer {
             return self.shared.stats.snapshot();
         }
         self.done = true;
+        telemetry::flight(
+            telemetry::FlightKind::DrainStart,
+            self.shared.stats.connections.load(Ordering::Relaxed),
+            self.shared.stats.requests.load(Ordering::Relaxed),
+            0,
+        );
         self.shared.stop.store(true, Ordering::SeqCst);
         for a in self.accepters.drain(..) {
             let _ = a.join();
@@ -685,7 +739,14 @@ impl NetServer {
         for path in &self.uds_paths {
             let _ = std::fs::remove_file(path);
         }
-        self.shared.stats.snapshot()
+        let report = self.shared.stats.snapshot();
+        telemetry::flight(
+            telemetry::FlightKind::DrainEnd,
+            report.drained,
+            report.acked,
+            0,
+        );
+        report
     }
 }
 
@@ -927,6 +988,38 @@ fn slurp_received(sock: &mut Sock, reader: &mut FrameReader, rbuf: &mut [u8]) {
     }
 }
 
+/// The admin snapshot version; bump when the JSON shape changes
+/// incompatibly (key removal or meaning change — adding keys is fine).
+pub const STAT_SNAPSHOT_VERSION: u32 = 1;
+
+/// Builds the versioned admin snapshot (`stat_kind::SNAPSHOT`) for a
+/// single-node server: always-on wire counters, the runtime's per-shard
+/// stats, the telemetry report (empty with the feature off), and the
+/// flight-recorder dump (always on).
+pub(crate) fn snapshot_json(shared: &Shared) -> String {
+    let runtime = shared
+        .service
+        .runtime_stats_json()
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\n\"version\": {STAT_SNAPSHOT_VERSION},\n\"source\": \"net\",\n\"server\": {},\n\"runtime\": {},\n\"telemetry\": {},\n\"flight\": {}\n}}",
+        shared.stats.snapshot().to_json(),
+        runtime,
+        telemetry::TelemetryReport::capture().to_json(),
+        telemetry::flight_json()
+    )
+}
+
+/// The payload a `Stat` request of `kind` gets from this server. Unknown
+/// kinds fall back to the snapshot, so an older node still answers a
+/// newer scraper with something parseable.
+pub(crate) fn stat_payload(shared: &Shared, kind: u8) -> Vec<u8> {
+    match kind {
+        stat_kind::SPANS => crate::frame::encode_spans(&telemetry::drain_spans()),
+        _ => snapshot_json(shared).into_bytes(),
+    }
+}
+
 /// Answers one request into `wbuf`. `submit` abstracts how the op reaches
 /// the runtime: the thread model passes a plain [`Session::submit`]; the
 /// reactor passes a submit that keeps ticking its own shard executor while
@@ -945,7 +1038,24 @@ pub(crate) fn handle_request(
             status: Status::Ok,
             value: 0,
         },
-        Request::Op { id, key, op, arg } => {
+        Request::Stat { id, kind } => {
+            // Served even while draining: the last scrape sees the final
+            // counters. Not an op — no effect, no request accounting.
+            StatReply {
+                id,
+                kind,
+                payload: stat_payload(shared, kind),
+            }
+            .encode_frame(wbuf);
+            return;
+        }
+        Request::Op {
+            id,
+            key,
+            op,
+            arg,
+            trace,
+        } => {
             shared.stats.requests.fetch_add(1, Ordering::Relaxed);
             telemetry::count(Counter::NetRequests, 1);
             let t0 = telemetry::now_ns();
@@ -973,6 +1083,9 @@ pub(crate) fn handle_request(
                     Err(RuntimeError::Busy) => {
                         shared.stats.busy.fetch_add(1, Ordering::Relaxed);
                         telemetry::count(Counter::NetBusy, 1);
+                        // Sampled so a backpressure storm leaves a mark in
+                        // the flight log without evicting rarer events.
+                        telemetry::flight_sampled(telemetry::FlightKind::Busy, 64, conn_id, key);
                         Response {
                             id,
                             status: Status::Busy,
@@ -997,6 +1110,11 @@ pub(crate) fn handle_request(
                 telemetry::count(Counter::NetDrainedOps, 1);
             }
             telemetry::record_span(conn_id as u32, Algo::Net, Lane::Serve, t0);
+            if trace != 0 {
+                // Hop span on the trace's own track, so a collector can
+                // stitch this serve leg under the client's trace id.
+                telemetry::record_span(trace_word::id(trace), Algo::Net, Lane::Serve, t0);
+            }
             resp
         }
     };

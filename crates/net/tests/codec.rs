@@ -3,10 +3,20 @@
 //! or garbage — can make the decoder panic.
 
 use mpsync_net::frame::{
-    chunk_kind, FrameError, FrameReader, NodeMsg, Request, Response, Status, Wire,
-    DEFAULT_MAX_FRAME, NODE_PROTO_VERSION,
+    chunk_kind, stat_kind, trace_word, FrameError, FrameReader, NodeMsg, Request, Response, Status,
+    Wire, DEFAULT_MAX_FRAME, NODE_PROTO_VERSION,
 };
 use proptest::prelude::*;
+
+/// An arbitrary trace word: none half the time, else a packed non-zero
+/// id + hop (the only shapes senders produce).
+fn arb_trace(next: &mut impl FnMut() -> u64) -> u64 {
+    if next().is_multiple_of(2) {
+        0
+    } else {
+        trace_word::pack(next() as u32 | 1, next() as u16)
+    }
+}
 
 /// splitmix64: expands one generated word into independent field values
 /// (the vendored proptest has no tuple strategies).
@@ -23,15 +33,23 @@ fn mix(mut x: u64) -> impl FnMut() -> u64 {
 fn arb_request(seed: u64) -> Request {
     let mut next = mix(seed);
     let id = next();
-    if next().is_multiple_of(4) {
-        Request::Ping { id }
-    } else {
-        Request::Op {
+    match next() % 8 {
+        0 | 1 => Request::Ping { id },
+        2 => Request::Stat {
+            id,
+            kind: if next().is_multiple_of(2) {
+                stat_kind::SNAPSHOT
+            } else {
+                stat_kind::SPANS
+            },
+        },
+        _ => Request::Op {
             id,
             key: next() & ((1 << 56) - 1),
             op: next() as u8,
             arg: next(),
-        }
+            trace: arb_trace(&mut next),
+        },
     }
 }
 
@@ -68,6 +86,7 @@ fn arb_node_msg(seed: u64) -> NodeMsg {
             key: next(),
             op: next() as u8,
             arg: next(),
+            trace: arb_trace(&mut next),
         },
         3 => NodeMsg::FwdReply {
             uid: next(),
@@ -86,6 +105,7 @@ fn arb_node_msg(seed: u64) -> NodeMsg {
             key: next(),
             op: next() as u8,
             arg: next(),
+            trace: arb_trace(&mut next),
         },
         5 => NodeMsg::ReplAck {
             slot: next() as u16,
@@ -292,6 +312,7 @@ fn long_stream_keeps_buffer_bounded() {
         key: 2,
         op: 3,
         arg: 4,
+        trace: 0,
     }
     .encode_frame(&mut frame);
     for _ in 0..200_000 {

@@ -138,6 +138,21 @@ where
     /// state, `f` is the keyed critical-section body every shard runs.
     pub fn new(config: RuntimeConfig, mut init: impl FnMut(usize) -> S, f: F) -> Self {
         config.validate();
+        // Flight-record each shard's executor choice: after a panic or a
+        // failed smoke run the first question is "what was this runtime
+        // actually running?", and the recorder works with telemetry off.
+        let backend_disc = Backend::ALL
+            .iter()
+            .position(|&b| b == config.backend)
+            .unwrap_or(0) as u64;
+        for i in 0..config.shards {
+            telemetry::flight(
+                telemetry::FlightKind::Backend,
+                i as u64,
+                backend_disc,
+                config.external_drive as u64,
+            );
+        }
         let control = Arc::new(Control::new(
             config.shards,
             config.queue_depth,

@@ -23,10 +23,29 @@
 //! const-folds. The data types ([`Log2Hist`], [`SpanEvent`],
 //! [`TelemetryReport`]) are always compiled: downstream code can hold and
 //! merge histograms regardless of the feature.
+//!
+//! The one deliberate exception to the feature gate is the **flight
+//! recorder** ([`recorder`]): a bounded log of rare structural events
+//! (drains, handoffs, promotions, backend choices) that stays on even in
+//! disabled builds, because its events are orders of magnitude rarer than
+//! the hot-path measurements the gate exists to protect.
+//!
+//! # Resetting
+//!
+//! [`reset`] zeroes histograms and counters, clears the **calling
+//! thread's** span ring, and hides every span recorded before the reset
+//! from future [`drain_spans`] calls. It cannot physically clear other
+//! threads' rings: each ring is single-writer by construction (the seqlock
+//! protocol reserves slot writes for the owning thread), so another
+//! thread's retained spans are only *masked* by the reset timestamp, and
+//! per-ring `pushed`/`dropped` tallies from before the reset survive in
+//! [`spans_recorded`] (ever-recorded semantics) while [`spans_dropped`]
+//! restarts from zero.
 
 pub mod alloc;
 pub mod hist;
 pub mod meta;
+pub mod recorder;
 pub mod report;
 pub mod ring;
 pub(crate) mod sync;
@@ -36,6 +55,10 @@ pub mod trace;
 mod loom_models;
 
 pub use hist::{bucket_bounds, bucket_of, AtomicLog2Hist, Log2Hist, HIST_BUCKETS};
+pub use recorder::{
+    flight, flight_count, flight_events_json, flight_json, flight_sampled, flight_snapshot,
+    install_panic_hook, FlightEvent, FlightKind, FLIGHT_CAPACITY,
+};
 pub use report::TelemetryReport;
 pub use ring::RING_CAPACITY;
 
@@ -411,8 +434,11 @@ mod imp {
         HISTS[hist_index(algo, lane)].snapshot()
     }
 
-    /// Copies the retained spans of every thread's ring (spans recorded
-    /// before the last [`reset`] excluded), sorted by start time.
+    /// Drains every thread's ring (spans recorded before the last
+    /// [`reset`] excluded), sorted by start time. Consuming: each span is
+    /// returned by at most one drain, so periodic scrapers — the admin
+    /// `Stat{kind: SPANS}` endpoint, `mpstat --watch` — see increments,
+    /// never replays. Calls are serialized on the ring-registry lock.
     pub fn drain_spans() -> Vec<SpanEvent> {
         let cutoff = RESET_NS.load(Ordering::Acquire);
         let mut out = Vec::new();
@@ -429,9 +455,20 @@ mod imp {
         rings().lock().unwrap().iter().map(|r| r.pushed()).sum()
     }
 
-    /// Zeroes every histogram and counter and hides previously recorded
-    /// spans from future [`drain_spans`] calls. Only meaningful at
-    /// quiescent points (e.g. between bench phases).
+    /// Spans lost to ring overwrite before any [`drain_spans`] observed
+    /// them, summed over every thread's ring. Non-zero means traces are
+    /// incomplete: drain more often or raise [`crate::RING_CAPACITY`].
+    pub fn spans_dropped() -> u64 {
+        rings().lock().unwrap().iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Zeroes every histogram, counter, and per-ring drop tally, clears
+    /// the **calling thread's** span ring, and hides previously recorded
+    /// spans from future [`drain_spans`] calls. Other threads' rings
+    /// cannot be cleared from here (single-writer seqlock — see the
+    /// crate-level "Resetting" docs); their retained spans are masked by
+    /// the reset timestamp instead. Only meaningful at quiescent points
+    /// (e.g. between bench phases).
     pub fn reset() {
         for h in &HISTS {
             h.clear();
@@ -439,6 +476,10 @@ mod imp {
         for c in &COUNTERS {
             c.store(0, Ordering::Relaxed);
         }
+        for ring in rings().lock().unwrap().iter() {
+            ring.reset_dropped();
+        }
+        MY_RING.with(|r| r.clear());
         RESET_NS.store(now_ns(), Ordering::Release);
     }
 }
@@ -487,12 +528,17 @@ mod imp {
     }
 
     #[inline(always)]
+    pub fn spans_dropped() -> u64 {
+        0
+    }
+
+    #[inline(always)]
     pub fn reset() {}
 }
 
 pub use imp::{
     count, counter_value, drain_spans, hist_snapshot, now_ns, record_span, record_value, reset,
-    spans_recorded,
+    spans_dropped, spans_recorded,
 };
 
 #[cfg(test)]
@@ -513,6 +559,110 @@ mod tests {
         }
     }
 
+    /// Pins every `name()` against its variant list. A new variant that
+    /// lands without extending these tables fails here instead of silently
+    /// drifting the JSON/trace schema; a renamed variant fails loudly.
+    #[test]
+    fn names_are_exhaustively_pinned() {
+        let algo_names: Vec<_> = Algo::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            algo_names,
+            [
+                "udn",
+                "mp_server",
+                "hybcomb",
+                "cc_synch",
+                "runtime",
+                "net",
+                "cluster",
+            ]
+        );
+        let lane_names: Vec<_> = Lane::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            lane_names,
+            [
+                "client_wait",
+                "queue_wait",
+                "serve",
+                "hold",
+                "batch",
+                "send",
+                "receive",
+                "blocked",
+                "submit",
+                "occupancy",
+                "poll",
+                "flush",
+            ]
+        );
+        let counter_names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            counter_names,
+            [
+                "udn.sends",
+                "udn.receives",
+                "udn.blocked_sends",
+                "mp_server.served",
+                "hybcomb.rounds",
+                "hybcomb.served",
+                "cc_synch.rounds",
+                "cc_synch.served",
+                "runtime.submits",
+                "runtime.batches",
+                "udn.failed_sends",
+                "net.connections",
+                "net.requests",
+                "net.busy",
+                "net.disconnects",
+                "net.drained_ops",
+                "net.reactor_wakes",
+                "net.reactor_batches",
+                "net.serve_allocs",
+                "cluster.local_ops",
+                "cluster.forwards",
+                "cluster.dedup_hits",
+                "cluster.repl_sent",
+                "cluster.repl_applied",
+                "cluster.handoffs",
+                "cluster.failovers",
+                "cluster.redirects",
+            ]
+        );
+        // Discriminants must match ALL order: the hist/counter arrays and
+        // the span meta word index by `as usize`.
+        for (i, a) in Algo::ALL.iter().enumerate() {
+            assert_eq!(*a as usize, i);
+        }
+        for (i, l) in Lane::ALL.iter().enumerate() {
+            assert_eq!(*l as usize, i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    /// Serializes the enabled-feature facade tests: they reset/drain the
+    /// same process-global state and would race each other.
+    #[cfg(feature = "enabled")]
+    static FACADE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn span_overflow_is_counted_not_silent() {
+        let _guard = FACADE_LOCK.lock().unwrap();
+        let before = spans_dropped();
+        let t = now_ns();
+        for _ in 0..(RING_CAPACITY + 10) {
+            record_span(90_001, Algo::Net, Lane::Flush, t);
+        }
+        // At least the 10 beyond-capacity pushes overwrote spans no drain
+        // ever observed.
+        assert!(
+            spans_dropped() >= before + 10,
+            "overflowing the ring must surface in spans_dropped"
+        );
+    }
+
     #[test]
     fn names_are_unique() {
         let mut algo_names: Vec<_> = Algo::ALL.iter().map(|a| a.name()).collect();
@@ -529,7 +679,7 @@ mod tests {
     #[cfg(feature = "enabled")]
     #[test]
     fn enabled_facade_records_and_resets() {
-        // Serialized against nothing: this test owns its (algo, lane) keys.
+        let _guard = FACADE_LOCK.lock().unwrap();
         reset();
         assert!(now_ns() > 0);
         count(Counter::UdnSends, 3);

@@ -2,7 +2,9 @@
 //! renderable as an aligned text table or hand-rolled JSON (the repo carries
 //! no serde; JSON mirrors the style of `mpsync-bench`'s `TimingReport`).
 
-use crate::{counter_value, hist_snapshot, spans_recorded, Algo, Counter, Lane, Log2Hist};
+use crate::{
+    counter_value, hist_snapshot, spans_dropped, spans_recorded, Algo, Counter, Lane, Log2Hist,
+};
 
 /// A point-in-time copy of the process's telemetry state.
 #[derive(Clone, Debug, Default)]
@@ -14,6 +16,9 @@ pub struct TelemetryReport {
     pub counters: Vec<(&'static str, u64)>,
     /// Total spans ever recorded (rings may have overwritten some).
     pub spans_recorded: u64,
+    /// Spans lost to ring overwrite before any drain observed them —
+    /// non-zero means exported traces are incomplete.
+    pub spans_dropped: u64,
 }
 
 impl TelemetryReport {
@@ -38,6 +43,7 @@ impl TelemetryReport {
             hists,
             counters,
             spans_recorded: spans_recorded(),
+            spans_dropped: spans_dropped(),
         }
     }
 
@@ -60,8 +66,8 @@ impl TelemetryReport {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!(
-            "  \"spans_recorded\": {},\n  \"counters\": {{",
-            self.spans_recorded
+            "  \"spans_recorded\": {},\n  \"spans_dropped\": {},\n  \"counters\": {{",
+            self.spans_recorded, self.spans_dropped
         ));
         for (i, (name, v)) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -126,7 +132,11 @@ impl std::fmt::Display for TelemetryReport {
             }
             writeln!(f)?;
         }
-        writeln!(f, "spans recorded: {}", self.spans_recorded)
+        writeln!(
+            f,
+            "spans recorded: {} (dropped: {})",
+            self.spans_recorded, self.spans_dropped
+        )
     }
 }
 
@@ -152,11 +162,13 @@ mod tests {
             hists: vec![(Algo::MpServer, Lane::QueueWait, h)],
             counters: vec![("udn.sends", 7)],
             spans_recorded: 3,
+            spans_dropped: 1,
         };
         let j = r.to_json();
         assert!(j.contains("\"mp_server.queue_wait\""));
         assert!(j.contains("\"udn.sends\": 7"));
         assert!(j.contains("\"spans_recorded\": 3"));
+        assert!(j.contains("\"spans_dropped\": 1"));
         assert!(j.contains("\"count\": 3"));
         assert!(j.contains("\"max\": 1000"));
         assert!(r.hist(Algo::MpServer, Lane::QueueWait).is_some());

@@ -1,7 +1,9 @@
 //! Per-thread span rings: bounded, lock-free, overwrite-oldest.
 //!
-//! Each recording thread owns one [`Ring`]; readers only ever *drain*
-//! snapshots. A slot is four `AtomicU64`s guarded by a per-slot sequence
+//! Each recording thread owns one [`Ring`]; readers *drain* it — every
+//! span is returned by at most one drain, so periodic scrapers (the admin
+//! `Stat` endpoint, `mpstat --watch`) see increments rather than replays.
+//! A slot is four `AtomicU64`s guarded by a per-slot sequence
 //! word (a seqlock): the writer bumps the sequence to an odd value, writes
 //! the payload, then publishes the even value `2 * pos + 2` (where `pos` is
 //! the monotone write position). A reader re-checks the sequence after
@@ -36,6 +38,12 @@ pub struct Ring {
     slots: Box<[Slot]>,
     /// Monotone count of spans ever pushed; the writer's cursor.
     head: AtomicU64,
+    /// Drains have observed (or deliberately discarded) every position
+    /// below this cursor: the next drain resumes here, and a push that
+    /// overwrites a position at or above it loses a span nobody ever read.
+    read_through: AtomicU64,
+    /// Spans lost to overwrite-before-read (see `read_through`).
+    dropped: AtomicU64,
 }
 
 impl Default for Ring {
@@ -56,6 +64,8 @@ impl Ring {
                 })
                 .collect(),
             head: AtomicU64::new(0),
+            read_through: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -65,6 +75,14 @@ impl Ring {
         // Relaxed: `head` is the single writer's private cursor; readers
         // only consume it through the Release store at the end of this call.
         let pos = self.head.load(Ordering::Relaxed);
+        // Overwrite accounting: position `pos - CAPACITY` is about to be
+        // lapped; it counts as dropped unless a drain already got to it.
+        // Relaxed is enough — `dropped` is a statistic, not a protocol.
+        if pos >= RING_CAPACITY as u64
+            && self.read_through.load(Ordering::Relaxed) <= pos - RING_CAPACITY as u64
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         let slot = &self.slots[(pos % RING_CAPACITY as u64) as usize];
         // Release + fence: orders the odd-seq "write in progress" marker
         // before the payload stores, so a reader's post-copy re-check (its
@@ -87,14 +105,67 @@ impl Ring {
         self.head.load(Ordering::Acquire)
     }
 
-    /// Copies out every currently retained span, oldest first. Slots that a
-    /// concurrent `push` is overwriting are skipped, so under contention the
-    /// result is a consistent subset rather than torn data.
+    /// Spans overwritten before any drain observed them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the drop counter (used by `telemetry::reset`; safe from any
+    /// thread — it is plain accounting outside the seqlock protocol).
+    pub fn reset_dropped(&self) {
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Advances `read_through` to `target` (monotone; concurrent drains
+    /// race benignly). The vendored loom facade has no `fetch_max`, hence
+    /// the CAS loop.
+    fn mark_read_through(&self, target: u64) {
+        let mut cur = self.read_through.load(Ordering::Relaxed);
+        while cur < target {
+            match self.read_through.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Forgets every retained span. **Must only be called by the owning
+    /// thread**: it writes the slot sequence words the seqlock protocol
+    /// reserves for the single writer. Concurrent drains simply skip the
+    /// cleared slots. `pushed()` is unaffected (it is an ever-recorded
+    /// count); the cleared spans count as read, not dropped.
+    pub fn clear(&self) {
+        let head = self.head.load(Ordering::Relaxed);
+        for slot in self.slots.iter() {
+            // Release for symmetry with the push protocol: a racing drain
+            // that still copies the payload re-checks seq and skips.
+            slot.seq.store(0, Ordering::Release);
+        }
+        self.mark_read_through(head);
+    }
+
+    /// Copies out every retained span no previous drain observed, oldest
+    /// first, and marks them read: a span is returned by at most one drain
+    /// (consuming semantics — repeat scrapes see increments, not replays).
+    /// Slots that a concurrent `push` is overwriting are skipped — those
+    /// are exactly the lapped positions, lost under any semantics — so
+    /// under contention the result is a consistent subset, never torn data.
     pub fn drain(&self, out: &mut Vec<SpanEvent>) {
         // Acquire: pairs with the writer's final Release store — every slot
         // counted by `head` is at least seq-published from here on.
         let head = self.head.load(Ordering::Acquire);
-        let start = head.saturating_sub(RING_CAPACITY as u64);
+        // Start past both the lap horizon and whatever an earlier drain
+        // already consumed. Relaxed: `read_through` only ever advances, and
+        // concurrent drains are serialized by the registry lock upstream —
+        // a stale read can only re-emit to a reader racing outside it.
+        let start = head
+            .saturating_sub(RING_CAPACITY as u64)
+            .max(self.read_through.load(Ordering::Relaxed));
         for pos in start..head {
             let slot = &self.slots[(pos % RING_CAPACITY as u64) as usize];
             let expect = 2 * pos + 2;
@@ -116,6 +187,9 @@ impl Ring {
             }
             out.push(SpanEvent::unpack(meta, start_ns, dur_ns));
         }
+        // Everything below `head` is now either copied out or already lost
+        // to a lap; later overwrites of those positions are not new drops.
+        self.mark_read_through(head);
     }
 }
 
@@ -142,6 +216,82 @@ mod tests {
     }
 
     #[test]
+    fn drain_consumes_each_span_once() {
+        let r = Ring::new();
+        for i in 0..5u64 {
+            r.push(i, i, 1);
+        }
+        let mut out = Vec::new();
+        r.drain(&mut out);
+        assert_eq!(out.len(), 5);
+        // A second drain with nothing new pushed returns nothing: spans
+        // are consumed, not replayed.
+        out.clear();
+        r.drain(&mut out);
+        assert!(out.is_empty(), "drain replayed spans: {out:?}");
+        // New pushes after a drain come out exactly once too.
+        r.push(7, 7, 1);
+        r.drain(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].start_ns, 7);
+        out.clear();
+        r.drain(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dropped_counts_only_unread_overwrites() {
+        let r = Ring::new();
+        // Fill exactly to capacity: nothing overwritten yet.
+        for i in 0..RING_CAPACITY as u64 {
+            r.push(i, 1, 1);
+        }
+        assert_eq!(r.dropped(), 0);
+        // 10 laps past capacity without a drain: 10 unread spans lost.
+        for i in 0..10u64 {
+            r.push(i, 1, 1);
+        }
+        assert_eq!(r.dropped(), 10);
+        // After a drain the retained window is read; lapping it again
+        // within capacity drops nothing new.
+        let mut out = Vec::new();
+        r.drain(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        for i in 0..RING_CAPACITY as u64 {
+            r.push(i, 1, 1);
+        }
+        assert_eq!(r.dropped(), 10);
+        // One more push overwrites a post-drain span nobody read.
+        r.push(0, 1, 1);
+        assert_eq!(r.dropped(), 11);
+        r.reset_dropped();
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn clear_forgets_retained_spans_without_counting_drops() {
+        let r = Ring::new();
+        for i in 0..5u64 {
+            r.push(i, 2, 2);
+        }
+        r.clear();
+        let mut out = Vec::new();
+        r.drain(&mut out);
+        assert!(out.is_empty(), "cleared ring must drain empty");
+        assert_eq!(r.pushed(), 5, "pushed() is an ever-recorded count");
+        assert_eq!(r.dropped(), 0);
+        // The ring keeps working after a clear, and overwriting the
+        // positions the clear discarded is not a drop.
+        for i in 0..RING_CAPACITY as u64 {
+            r.push(i, 3, 3);
+        }
+        out.clear();
+        r.drain(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
     fn drain_under_contention_never_tears() {
         use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
@@ -164,18 +314,37 @@ mod tests {
                 i
             })
         };
+        let mut seen = 0u64;
+        let mut last: Option<u64> = None;
         let mut out = Vec::new();
         for _ in 0..DRAINS {
             out.clear();
             r.drain(&mut out);
             for e in &out {
                 assert_eq!(e.start_ns, e.dur_ns, "torn slot escaped the seqlock");
+                // Consuming drains never re-emit: the writer's counter is
+                // strictly increasing across every drain of this ring.
+                if let Some(p) = last {
+                    assert!(e.start_ns > p, "span {} replayed after {p}", e.start_ns);
+                }
+                last = Some(e.start_ns);
             }
+            seen += out.len() as u64;
         }
         stop.store(true, Ordering::Relaxed);
         let pushed = writer.join().unwrap();
         out.clear();
         r.drain(&mut out);
-        assert_eq!(out.len(), (pushed as usize).min(RING_CAPACITY));
+        seen += out.len() as u64;
+        assert!(seen <= pushed, "emitted {seen} of {pushed} pushed");
+        // Quiescent now: everything pushed was either emitted exactly once
+        // or lost to a lap; nothing is left to replay.
+        out.clear();
+        r.drain(&mut out);
+        assert!(
+            out.is_empty(),
+            "quiescent ring replayed {} spans",
+            out.len()
+        );
     }
 }

@@ -30,6 +30,45 @@ pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
     s
 }
 
+/// Stitches span dumps from several processes into one Chrome trace:
+/// each `(node_id, spans)` pair becomes its own process row (`pid` =
+/// node id), labelled `node <id>` via a metadata event, so a forwarded
+/// cluster op shows its client/owner/backup hops stacked vertically.
+///
+/// Each node's timestamps are nanoseconds since *that process's*
+/// telemetry epoch — the rows share a time axis only approximately (the
+/// collector does no clock alignment), which is fine for causality
+/// reading since hop spans are microseconds and epochs start at process
+/// boot.
+pub fn chrome_trace_json_nodes(nodes: &[(u32, Vec<SpanEvent>)]) -> String {
+    let total: usize = nodes.iter().map(|(_, s)| s.len()).sum();
+    let mut s = String::with_capacity(128 + total * 96 + nodes.len() * 96);
+    s.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (node, spans) in nodes {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\"args\":{{\"name\":\"node {node}\"}}}}"
+        ));
+        for e in spans {
+            s.push_str(&format!(
+                ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                e.lane.name(),
+                e.algo.name(),
+                node,
+                e.track,
+                e.start_ns as f64 / 1000.0,
+                e.dur_ns as f64 / 1000.0
+            ));
+        }
+    }
+    s.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +106,39 @@ mod tests {
         let j = chrome_trace_json(&[]);
         assert!(j.contains("\"traceEvents\":["));
         assert!(!j.contains("},]"));
+    }
+
+    #[test]
+    fn multi_node_trace_keeps_nodes_on_separate_pids() {
+        let span = |track: u32, lane: Lane, start: u64| SpanEvent {
+            track,
+            algo: Algo::Cluster,
+            lane,
+            start_ns: start,
+            dur_ns: 100,
+        };
+        let nodes = vec![
+            (0u32, vec![span(9, Lane::Send, 1000)]),
+            (1u32, vec![span(9, Lane::Serve, 1200)]),
+            (2u32, vec![]),
+        ];
+        let j = chrome_trace_json_nodes(&nodes);
+        assert!(j.contains("\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"node 0\"}"));
+        assert!(j.contains("\"ph\":\"M\",\"pid\":1"));
+        assert!(j.contains("\"ph\":\"M\",\"pid\":2"));
+        assert!(
+            j.contains("\"name\":\"send\",\"cat\":\"cluster\",\"ph\":\"X\",\"pid\":0,\"tid\":9")
+        );
+        assert!(
+            j.contains("\"name\":\"serve\",\"cat\":\"cluster\",\"ph\":\"X\",\"pid\":1,\"tid\":9")
+        );
+        assert!(!j.contains(",]") && !j.contains(",,"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_multi_node_trace_is_valid() {
+        let j = chrome_trace_json_nodes(&[]);
+        assert!(j.contains("\"traceEvents\":[\n]"));
     }
 }

@@ -80,6 +80,47 @@ proptest! {
         prop_assert_eq!(&xy, &all);
         prop_assert_eq!(&yx, &all);
     }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(any::<u64>(), 0..120),
+        ys in prop::collection::vec(any::<u64>(), 0..120),
+        zs in prop::collection::vec(any::<u64>(), 0..120),
+    ) {
+        let rec = |vals: &[u64]| {
+            let mut h = Log2Hist::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (rec(&xs), rec(&ys), rec(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Reported quantiles are monotone: p50 ≤ p95 ≤ p99 ≤ max on any
+    /// input (including empty-adjacent edge shapes like all-zeros).
+    #[test]
+    fn percentiles_are_monotone(
+        values in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let mut h = Log2Hist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (p50, p95, p99, max) = (h.p50(), h.p95(), h.p99(), h.max());
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= max, "p99 {p99} > max {max}");
+    }
 }
 
 /// The zero-overhead contract: with the `enabled` feature off, a million
