@@ -31,12 +31,19 @@
 //! acked write survives the primary's death by construction. Backups apply
 //! strictly in sequence order (gaps held back) and dedup-record results.
 //!
-//! **Exactly-once.** Every op carries a uid chosen by the origin client.
+//! **Exactly-once.** Every op carries a uid chosen by the origin client —
+//! `origin << 32 | seq`, with `seq` strictly increasing per origin.
 //! Primaries consult a per-slot dedup table before applying: a retry of a
 //! completed op is answered from the table; a retry of an in-flight op
 //! attaches to the pending record. The table replicates with the slot
 //! (inside [`NodeMsg::Repl`] and the handoff stream), so neither failover
-//! nor handoff forgets an applied uid.
+//! nor handoff forgets an applied uid. The table is bounded
+//! ([`NodeConfig::dedup_cap`], FIFO eviction), and eviction must not
+//! reopen the double-apply hole: each slot keeps a per-origin *eviction
+//! watermark* — the highest evicted `seq` per origin — and a dedup miss at
+//! or below the watermark is answered [`Status::Stale`] ("applied, result
+//! lost") instead of being re-executed. Watermarks travel in the handoff
+//! stream ([`chunk_kind::FLOOR`]) and survive demotion resyncs.
 //!
 //! **Handoff.** Migrating a slot: the owner drains its replication log,
 //! queues new arrivals, streams state + dedup as idempotent
@@ -69,7 +76,8 @@ use mpsync_net::frame::{
 };
 use mpsync_runtime::{MAX_KEY, MAX_OPCODE};
 use mpsync_telemetry::{
-    count, flight, flight_sampled, now_ns, record_span, Algo, Counter, FlightKind, Lane,
+    count, flight, flight_sampled, now_ns, record_span, trace_track, Algo, Counter, FlightKind,
+    Lane,
 };
 
 use crate::ring::{slot_for, HashRing};
@@ -238,6 +246,19 @@ struct LogEntry {
     waiters: Vec<Origin>,
 }
 
+/// The origin half of a dedup uid: clients mint uids as
+/// `origin << 32 | seq` with `seq` strictly increasing per origin (the
+/// simulator's `(client+1) << 32 | op_index`, the TCP client's
+/// `client_no << 32` id bands).
+fn uid_origin(uid: u64) -> u64 {
+    uid >> 32
+}
+
+/// The per-origin monotone sequence half of a dedup uid.
+fn uid_seq(uid: u64) -> u64 {
+    uid & 0xffff_ffff
+}
+
 /// Completed vs in-flight dedup state for a uid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dedup {
@@ -271,6 +292,13 @@ struct SlotState {
     dedup: BTreeMap<u64, Dedup>,
     /// FIFO of `Done` uids for capped eviction.
     dedup_order: VecDeque<u64>,
+    /// Per-origin eviction watermark: origin (uid high half) → highest
+    /// `Done` sequence (uid low half) evicted from `dedup`. Because each
+    /// origin's sequences complete in order, any dedup *miss* at or below
+    /// the watermark is a retry of an already-applied op whose result was
+    /// evicted — re-executing it would double-apply; it is answered
+    /// `Status::Stale` instead.
+    evict_floor: BTreeMap<u64, u64>,
     /// Beyond-normal activity (drain/transfer).
     phase: Phase,
     /// Ops queued while not `Normal`: `(origin, uid, key, op, arg, trace)`.
@@ -301,6 +329,7 @@ impl SlotState {
             holdback: BTreeMap::new(),
             dedup: BTreeMap::new(),
             dedup_order: VecDeque::new(),
+            evict_floor: BTreeMap::new(),
             phase: Phase::Normal,
             queued: VecDeque::new(),
             import: None,
@@ -312,16 +341,36 @@ impl SlotState {
     /// cap. In-flight entries are never evicted (they answer retries of
     /// unacked ops and are bounded by the log length).
     fn dedup_done(&mut self, uid: u64, result: u64, cap: usize) {
-        if self.dedup.insert(uid, Dedup::Done(result)) != Some(Dedup::InFlight) {
-            // fresh completion (not an in-flight upgrade): track for FIFO
+        if matches!(
+            self.dedup.insert(uid, Dedup::Done(result)),
+            Some(Dedup::Done(_))
+        ) {
+            // Idempotent re-completion (replicated replay, import): the
+            // uid is already FIFO-tracked; pushing it again would make it
+            // occupy two queue entries and evict a neighbour early.
+            return;
         }
         self.dedup_order.push_back(uid);
         while self.dedup_order.len() > cap {
             let old = self.dedup_order.pop_front().expect("len > cap > 0");
             if let Some(Dedup::Done(_)) = self.dedup.get(&old) {
                 self.dedup.remove(&old);
+                // Remember what was forgotten: a later retry of `old` (or
+                // of any earlier seq from its origin) must be refused as
+                // Stale, not re-applied.
+                let floor = self.evict_floor.entry(uid_origin(old)).or_insert(0);
+                *floor = (*floor).max(uid_seq(old));
             }
         }
+    }
+
+    /// True when `uid` misses the dedup table only because its completion
+    /// was evicted: its sequence is at or below its origin's eviction
+    /// watermark.
+    fn evicted(&self, uid: u64) -> bool {
+        self.evict_floor
+            .get(&uid_origin(uid))
+            .is_some_and(|&floor| uid_seq(uid) <= floor)
     }
 
     /// Resets the replication stream for a new epoch (ownership change).
@@ -654,7 +703,17 @@ impl<S: SlotStore> NodeCore<S> {
                 }
                 return;
             }
-            None => {}
+            None => {
+                if st.evicted(uid) {
+                    // Dedup miss *below the origin's eviction watermark*:
+                    // this op was applied and completed once already; only
+                    // its recorded result has been forgotten. Re-executing
+                    // would double-apply — answer "applied, result lost".
+                    count(Counter::ClusterStaleRetries, 1);
+                    out.reply(origin, uid, Status::Stale, 0);
+                    return;
+                }
+            }
         }
 
         // Fresh op: apply as primary.
@@ -664,7 +723,12 @@ impl<S: SlotStore> NodeCore<S> {
             // Owner hop span: tracked by trace id so the cross-node
             // collector can lay it on the same timeline as the client's
             // and backup's spans.
-            record_span(trace_word::id(trace), Algo::Cluster, Lane::Serve, t_serve);
+            record_span(
+                trace_track(trace_word::id(trace)),
+                Algo::Cluster,
+                Lane::Serve,
+                t_serve,
+            );
         }
         count(Counter::ClusterLocalOps, 1);
         out.applied.push(ApplyRecord {
@@ -882,7 +946,7 @@ impl<S: SlotStore> NodeCore<S> {
                     // Forwarder hop span: the whole forward round-trip,
                     // from the forward decision to the relayed reply.
                     record_span(
-                        trace_word::id(pf.trace),
+                        trace_track(trace_word::id(pf.trace)),
                         Algo::Cluster,
                         Lane::Send,
                         pf.t0_ns,
@@ -962,7 +1026,12 @@ impl<S: SlotStore> NodeCore<S> {
             let result = self.store.apply(slot, key, op, arg);
             if trace_word::id(trace) != 0 {
                 // Backup hop span: the replicated apply on the standby.
-                record_span(trace_word::id(trace), Algo::Cluster, Lane::Receive, t_recv);
+                record_span(
+                    trace_track(trace_word::id(trace)),
+                    Algo::Cluster,
+                    Lane::Receive,
+                    t_recv,
+                );
             }
             count(Counter::ClusterReplApplied, 1);
             out.applied.push(ApplyRecord {
@@ -1050,6 +1119,10 @@ impl<S: SlotStore> NodeCore<S> {
             let st = &mut self.slots[slot as usize];
             st.dedup.clear();
             st.dedup_order.clear();
+            // The watermarks stay: they record completions that were
+            // replication-acked, so the new primary's history includes
+            // them — refusing their retries remains correct even while
+            // our local dedup copy is being resynced.
             if backup == Some(me) {
                 // The new primary expects us as backup but our copy is
                 // gone; ask for a fresh stream.
@@ -1148,16 +1221,25 @@ impl<S: SlotStore> NodeCore<S> {
         st.dedup_order.clear();
         let mut data = Vec::new();
         let mut dedup = Vec::new();
+        let mut floors = Vec::new();
         for (_, (kind, entries)) in import.chunks {
             match kind {
                 chunk_kind::DATA => data.extend(entries),
                 chunk_kind::DEDUP => dedup.extend(entries),
+                chunk_kind::FLOOR => floors.extend(entries),
                 _ => {}
             }
         }
         self.store.discard(slot);
         self.store.import(slot, &data);
         let st = &mut self.slots[slot as usize];
+        // Watermarks first (max-merged with anything already known), so an
+        // eviction triggered by installing the dedup entries below lands on
+        // top of the sender's floors rather than under them.
+        for (origin, floor) in floors {
+            let f = st.evict_floor.entry(origin).or_insert(0);
+            *f = (*f).max(floor);
+        }
         for (uid, result) in dedup {
             st.dedup_done(uid, result, self.cfg.dedup_cap);
         }
@@ -1345,6 +1427,24 @@ impl<S: SlotStore> NodeCore<S> {
                 epoch,
                 index: chunks.len() as u32,
                 kind: chunk_kind::DEDUP,
+                done: 0,
+                entries: batch.to_vec(),
+            });
+        }
+        // Eviction watermarks travel with the dedup entries they bound:
+        // without them the receiver would re-apply a retry of an op this
+        // node applied and then evicted.
+        let floors: Vec<(u64, u64)> = st
+            .evict_floor
+            .iter()
+            .map(|(&origin, &floor)| (origin, floor))
+            .collect();
+        for batch in floors.chunks(per) {
+            chunks.push(NodeMsg::SlotChunk {
+                slot,
+                epoch,
+                index: chunks.len() as u32,
+                kind: chunk_kind::FLOOR,
                 done: 0,
                 entries: batch.to_vec(),
             });

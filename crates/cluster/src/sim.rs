@@ -97,6 +97,11 @@ pub struct SimConfig {
     pub fault: Fault,
     /// Panic (livelock) if the workload hasn't completed by this tick.
     pub horizon: u64,
+    /// Per-slot completed-op dedup entries nodes retain (the
+    /// [`NodeConfig::dedup_cap`] FIFO). Tiny caps force evictions while
+    /// retries are still in flight — the regression surface for the
+    /// evicted-uid double-apply, answered by `Status::Stale`.
+    pub dedup_cap: usize,
 }
 
 impl SimConfig {
@@ -116,6 +121,7 @@ impl SimConfig {
             handoffs: 0,
             fault: Fault::None,
             horizon: 60_000,
+            dedup_cap: 4096,
         }
     }
 }
@@ -133,6 +139,9 @@ pub struct SimReport {
     /// Duplicate terminal replies observed (same uid answered again) —
     /// all were verified to carry the identical value.
     pub dup_replies: u64,
+    /// `Stale` completions: the op was applied once but its dedup record
+    /// was evicted before the retry landed, so the result word was lost.
+    pub stale_replies: u64,
     /// Client resends (timeout, `Busy`, or `Redirect` driven).
     pub resends: u64,
     /// Messages the adversarial network dropped.
@@ -228,6 +237,7 @@ struct Sim {
     trace: u64,
     ok_replies: u64,
     dup_replies: u64,
+    stale_replies: u64,
     resends: u64,
     dropped: u64,
     fault_node: NodeId,
@@ -252,6 +262,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         .map(|&id| {
             let mut nc = NodeConfig::new(id, membership.clone());
             nc.slots = cfg.slots;
+            nc.dedup_cap = cfg.dedup_cap;
             Some(NodeCore::new(nc, ModelStore::new(cfg.slots)))
         })
         .collect();
@@ -297,6 +308,7 @@ pub fn run(cfg: &SimConfig) -> SimReport {
         trace: 0xcbf2_9ce4_8422_2325,
         ok_replies: 0,
         dup_replies: 0,
+        stale_replies: 0,
         resends: 0,
         dropped: 0,
         fault_node: 0,
@@ -609,6 +621,19 @@ impl Sim {
             Status::Busy => {
                 // Leave it to the retry timer.
             }
+            Status::Stale => {
+                // The cluster applied this op exactly once, then evicted
+                // its dedup record before our retry landed: the result
+                // word is lost but the effect is in the store, which the
+                // oracle (applied at issue time) already reflects. Settle
+                // the op; the post-run state comparison still verifies
+                // single application.
+                let p = self.clients[c].outstanding.take().expect("matched above");
+                self.completed.insert(p.uid, p.expected);
+                self.stale_replies += 1;
+                self.clients[c].next_op += 1;
+                self.issue(c);
+            }
             s => panic!(
                 "unexpected status {s:?} for a well-formed op (seed {})",
                 self.cfg.seed
@@ -684,6 +709,7 @@ impl Sim {
             elapsed: self.now,
             ok_replies: self.ok_replies,
             dup_replies: self.dup_replies,
+            stale_replies: self.stale_replies,
             resends: self.resends,
             dropped: self.dropped,
             final_entries,

@@ -552,7 +552,12 @@ impl ClusterClient {
         let outcome = self.call_inner(id, key, op, arg, trace)?;
         let trace_id = trace_word::id(trace);
         if trace_id != 0 {
-            telemetry::record_span(trace_id, Algo::Cluster, Lane::ClientWait, t0);
+            telemetry::record_span(
+                telemetry::trace_track(trace_id),
+                Algo::Cluster,
+                Lane::ClientWait,
+                t0,
+            );
         }
         Ok((outcome, trace_id))
     }

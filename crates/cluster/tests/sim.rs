@@ -142,3 +142,39 @@ fn five_node_cluster_survives_heavy_loss() {
         );
     }
 }
+
+/// Dedup-eviction pressure, 40 seeds: a 1-2 entry dedup FIFO per slot
+/// evicts completed-op records while retries of those very ops are still
+/// wandering the network (lost `FwdReply`s force client resends; `dup_p`
+/// re-delivers forwarded ops late). Before the per-origin eviction
+/// watermark, such a retry re-executed the op — `run` panics on the
+/// resulting oracle divergence. With the guard, the node answers
+/// `Status::Stale` ("applied, result lost") and the client settles the op
+/// exactly once. Handoffs on half the seeds route the watermark through
+/// `FLOOR` chunks so the guard survives slot migration too.
+#[test]
+fn forty_seeds_of_dedup_eviction_pressure() {
+    let mut stale_total = 0u64;
+    for seed in 5000..5040u64 {
+        let mut cfg = SimConfig::new(seed);
+        cfg.dedup_cap = 1 + (seed % 2) as usize;
+        cfg.slots = 2;
+        cfg.drop_p = 0.10 + (seed % 5) as f64 * 0.03;
+        cfg.dup_p = 0.10;
+        cfg.delay_max = 1 + seed % 6;
+        cfg.client_timeout = 8;
+        cfg.handoffs = (seed % 2) as u32 * 2;
+        cfg.horizon = 120_000;
+        let r = run(&cfg);
+        assert_eq!(
+            r.ok_replies + r.stale_replies,
+            (cfg.clients as u64) * (cfg.ops_per_client as u64),
+            "seed {seed}: every op must settle exactly once"
+        );
+        stale_total += r.stale_replies;
+    }
+    assert!(
+        stale_total > 0,
+        "sweep never hit the eviction-retry window; tighten the weather"
+    );
+}

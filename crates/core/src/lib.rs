@@ -79,6 +79,7 @@ pub use hybcomb::{HybComb, HybCombHandle, HybCombStats, DEFAULT_MAX_OPS};
 pub use locks::{CsLock, LockCs, LockCsHandle, McsLock, TasLock, TicketLock};
 pub use mp_server::{MpClient, MpServer};
 pub use shm_server::{ShmClient, ShmServer};
+pub use state::CsState;
 
 /// A per-thread handle through which operations are submitted for execution
 /// in mutual exclusion (the paper's `apply_op`).

@@ -15,7 +15,11 @@ use crate::sync::{AtomicBool, Ordering, UnsafeCell};
 /// that under `--cfg loom` the model checker sees the exact extent of every
 /// critical section and reports any pair of overlapping accesses as a data
 /// race — the executable form of each construction's mutual-exclusion proof.
-pub(crate) struct CsState<S> {
+///
+/// Public so layers above can build *their own* mutual-exclusion protocols
+/// over one state — the runtime's adaptive backend hands a single `CsState`
+/// between a lock, a combiner, and a server thread across live switches.
+pub struct CsState<S> {
     cell: UnsafeCell<S>,
 }
 
@@ -27,7 +31,8 @@ pub(crate) struct CsState<S> {
 unsafe impl<S: Send> Sync for CsState<S> {}
 
 impl<S> CsState<S> {
-    pub(crate) fn new(state: S) -> Self {
+    /// Wraps `state` for protocol-guarded shared access.
+    pub fn new(state: S) -> Self {
         Self {
             cell: UnsafeCell::new(state),
         }
@@ -41,7 +46,7 @@ impl<S> CsState<S> {
     /// of `f`: a dedicated server, the active combiner, or a lock holder. No
     /// other reference (shared or exclusive) may exist concurrently.
     #[inline]
-    pub(crate) unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
         // SAFETY: forwarded to the caller's contract above; the pointer is
         // valid and uniquely accessible while `f` runs.
         self.cell.with_mut(|p| f(unsafe { &mut *p }))
@@ -49,7 +54,7 @@ impl<S> CsState<S> {
 
     /// Consumes the holder, returning the state (used on shutdown once all
     /// servicing activity has quiesced).
-    pub(crate) fn into_inner(self) -> S {
+    pub fn into_inner(self) -> S {
         self.cell.into_inner()
     }
 }

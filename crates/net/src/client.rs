@@ -45,6 +45,11 @@ pub enum ClientError {
     /// does not follow redirects — cluster-aware callers re-issue the op
     /// (same request id) against the named node.
     Redirected(u64),
+    /// The server answered [`Status::Stale`]: the op **was applied** by an
+    /// earlier attempt, but its recorded result has been evicted from the
+    /// cluster's dedup table. Do not resubmit (that would double-apply);
+    /// recover the value by re-reading if needed.
+    Stale,
 }
 
 impl std::fmt::Display for ClientError {
@@ -60,6 +65,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Rejected(code) => write!(f, "request rejected (code {code})"),
             ClientError::Redirected(node) => {
                 write!(f, "key is owned by cluster node {node}")
+            }
+            ClientError::Stale => {
+                write!(f, "op already applied; its recorded result was evicted")
             }
         }
     }
@@ -350,7 +358,7 @@ impl NetClient {
         let result = self.call_inner(key, op, arg, trace);
         if trace != 0 {
             mpsync_telemetry::record_span(
-                trace_word::id(trace),
+                mpsync_telemetry::trace_track(trace_word::id(trace)),
                 mpsync_telemetry::Algo::Net,
                 mpsync_telemetry::Lane::ClientWait,
                 t0,
@@ -378,6 +386,7 @@ impl NetClient {
                 Status::Closed => return Err(ClientError::Closed),
                 Status::BadRequest => return Err(ClientError::Rejected(resp.value)),
                 Status::Redirect => return Err(ClientError::Redirected(resp.value)),
+                Status::Stale => return Err(ClientError::Stale),
             }
         }
     }
@@ -394,6 +403,7 @@ impl NetClient {
             Status::Closed => Err(ClientError::Closed),
             Status::BadRequest => Err(ClientError::Rejected(resp.value)),
             Status::Redirect => Err(ClientError::Redirected(resp.value)),
+            Status::Stale => Err(ClientError::Stale),
         }
     }
 

@@ -224,6 +224,11 @@ pub enum Status {
     /// node id. The operation was not applied — retry against that node
     /// with the **same** request id so cluster dedup still recognises it.
     Redirect = 4,
+    /// The operation **was applied** earlier, but its recorded result has
+    /// since been evicted from the dedup table — the result word is lost
+    /// (`value` is 0). Returned instead of re-executing, which would
+    /// double-apply. Do not retry; treat as applied with unknown result.
+    Stale = 5,
 }
 
 impl Status {
@@ -234,6 +239,7 @@ impl Status {
             2 => Ok(Status::Closed),
             3 => Ok(Status::BadRequest),
             4 => Ok(Status::Redirect),
+            5 => Ok(Status::Stale),
             other => Err(FrameError::BadStatus(other)),
         }
     }
@@ -686,6 +692,9 @@ pub mod chunk_kind {
     pub const DATA: u8 = 0;
     /// Entries are dedup state: uid → result pairs.
     pub const DEDUP: u8 = 1;
+    /// Entries are eviction watermarks: origin (uid high 32 bits) →
+    /// highest dedup-evicted sequence (uid low 32 bits) for that origin.
+    pub const FLOOR: u8 = 2;
 }
 
 /// Fixed body length (tag included) for each fixed-layout node frame.

@@ -1113,7 +1113,12 @@ pub(crate) fn handle_request(
             if trace != 0 {
                 // Hop span on the trace's own track, so a collector can
                 // stitch this serve leg under the client's trace id.
-                telemetry::record_span(trace_word::id(trace), Algo::Net, Lane::Serve, t0);
+                telemetry::record_span(
+                    telemetry::trace_track(trace_word::id(trace)),
+                    Algo::Net,
+                    Lane::Serve,
+                    t0,
+                );
             }
             resp
         }

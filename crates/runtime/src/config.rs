@@ -20,10 +20,19 @@ pub enum Backend {
     CcSynch,
     /// A plain MCS-lock critical section per shard (classical baseline).
     Lock,
+    /// Per-shard adaptive executor: starts on a lock and live-switches each
+    /// shard between lock, combining, and MP-SERVER modes as observed
+    /// contention changes (the paper's "no single construction wins
+    /// everywhere" conclusion, closed as a runtime control loop).
+    Adaptive,
 }
 
 impl Backend {
-    /// Every backend, in the order benches sweep them.
+    /// Every *fixed* backend, in the order benches sweep them.
+    ///
+    /// [`Backend::Adaptive`] is deliberately not listed: it is a policy over
+    /// these four, and sweeps compare it *against* them rather than
+    /// alongside them.
     pub const ALL: [Backend; 4] = [
         Backend::MpServer,
         Backend::HybComb,
@@ -38,7 +47,47 @@ impl Backend {
             Backend::HybComb => "hybcomb",
             Backend::CcSynch => "cc-synch",
             Backend::Lock => "lock",
+            Backend::Adaptive => "adaptive",
         }
+    }
+}
+
+/// A set of opcodes (0..=255), used to mark which operations are safe for
+/// the runtime's read-side fast path and which may be merged inside a batch.
+///
+/// The default mask is empty: both optimisations are strictly opt-in because
+/// they rely on semantic contracts the runtime cannot check (see
+/// [`RuntimeConfig::read_fast`] and [`RuntimeConfig::merge_ops`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpMask([u64; 4]);
+
+impl OpMask {
+    /// The empty mask (no opcodes marked).
+    pub const EMPTY: OpMask = OpMask([0; 4]);
+
+    /// Builds a mask from the given opcodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any opcode is ≥ 256 (the router packs opcodes into 8 bits).
+    pub fn of(ops: &[u8]) -> Self {
+        let mut words = [0u64; 4];
+        for &op in ops {
+            words[(op >> 6) as usize] |= 1u64 << (op & 63);
+        }
+        Self(words)
+    }
+
+    /// Whether `op` is in the mask. Opcodes ≥ 256 are never in any mask.
+    #[inline]
+    pub fn contains(self, op: u64) -> bool {
+        op < 256 && self.0[(op >> 6) as usize] & (1u64 << (op & 63)) != 0
+    }
+
+    /// Whether no opcode is marked.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == [0; 4]
     }
 }
 
@@ -80,6 +129,45 @@ pub struct RuntimeConfig {
     /// Ignored by the inline backends (HybComb / CcSynch / Lock), which
     /// already execute on the submitting thread.
     pub external_drive: bool,
+    /// Opcodes answerable from the per-shard read cache without entering
+    /// the executor at all.
+    ///
+    /// **Contract:** a masked opcode must be a pure read of its key's value
+    /// — for a given state, `dispatch(word, arg)` returns the key's current
+    /// value and mutates nothing, for any `arg`. The runtime publishes a
+    /// versioned `(word, value)` snapshot after each such read and answers
+    /// repeat reads from it while no mutation has *started* since; any
+    /// conflict falls back to normal delegation.
+    pub read_fast: OpMask,
+    /// Opcodes the shard loop may merge within one batch.
+    ///
+    /// **Contract:** a masked opcode must be fetch-add-shaped — for word
+    /// `w`: `dispatch(w, a)` performs `v' = v ⊞ a` (wrapping add) and
+    /// returns the *old* value `v`. The shard merges same-word runs into a
+    /// single dispatch of the wrapped sum and reconstructs each caller's
+    /// return value as `old ⊞ (sum of earlier args in the run)`.
+    pub merge_ops: OpMask,
+    /// When the backend is [`Backend::Adaptive`]: spawn the contention
+    /// controller thread that samples each shard and switches modes
+    /// automatically. With `false`, shards stay in their current mode until
+    /// [`Runtime::force_backend`](crate::Runtime::force_backend) moves them.
+    pub adaptive_auto: bool,
+    /// Controller sampling interval in microseconds. The controller
+    /// sub-samples occupancy 4× per interval, so its wakeup rate is
+    /// `4 / interval` — keep the interval in the milliseconds for
+    /// production runtimes (timer wakeups cost real CPU on virtualized
+    /// hosts); contention regimes shift on far coarser timescales anyway.
+    pub adaptive_interval_us: u64,
+    /// Consecutive agreeing samples required before the controller switches
+    /// a shard (hysteresis: one noisy interval never flips a mode).
+    pub adaptive_confirm: u32,
+    /// Mean in-flight occupancy (EWMA, in operations) at or below which a
+    /// shard is considered uncontended → lock mode.
+    pub adaptive_low: f64,
+    /// Mean in-flight occupancy at or above which a shard is considered
+    /// heavily contended → MP-SERVER mode. Between `adaptive_low` and this,
+    /// the controller picks combining.
+    pub adaptive_high: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +180,13 @@ impl Default for RuntimeConfig {
             max_sessions: 8,
             submit: SubmitPolicy::Block,
             external_drive: false,
+            read_fast: OpMask::EMPTY,
+            merge_ops: OpMask::EMPTY,
+            adaptive_auto: true,
+            adaptive_interval_us: 5_000,
+            adaptive_confirm: 4,
+            adaptive_low: 1.25,
+            adaptive_high: 4.0,
         }
     }
 }
@@ -142,11 +237,58 @@ impl RuntimeConfig {
         self
     }
 
+    /// Marks opcodes for the read-side fast path (see
+    /// [`RuntimeConfig::read_fast`] for the required contract).
+    pub fn with_read_fast(mut self, mask: OpMask) -> Self {
+        self.read_fast = mask;
+        self
+    }
+
+    /// Marks opcodes for in-batch merging (see [`RuntimeConfig::merge_ops`]
+    /// for the required contract).
+    pub fn with_merge_ops(mut self, mask: OpMask) -> Self {
+        self.merge_ops = mask;
+        self
+    }
+
+    /// Enables or disables the adaptive controller thread.
+    pub fn with_adaptive_auto(mut self, auto: bool) -> Self {
+        self.adaptive_auto = auto;
+        self
+    }
+
+    /// Tunes the adaptive controller: sampling interval (µs), confirmation
+    /// streak, and the low/high occupancy thresholds.
+    pub fn with_adaptive_thresholds(
+        mut self,
+        interval_us: u64,
+        confirm: u32,
+        low: f64,
+        high: f64,
+    ) -> Self {
+        self.adaptive_interval_us = interval_us;
+        self.adaptive_confirm = confirm;
+        self.adaptive_low = low;
+        self.adaptive_high = high;
+        self
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.shards > 0, "runtime needs at least one shard");
         assert!(self.max_batch > 0, "max_batch must be positive");
         assert!(self.queue_depth > 0, "queue_depth must be positive");
         assert!(self.max_sessions > 0, "runtime needs session capacity");
+        if self.backend == Backend::Adaptive {
+            assert!(
+                self.adaptive_interval_us > 0,
+                "adaptive interval must be positive"
+            );
+            assert!(self.adaptive_confirm > 0, "adaptive confirm must be ≥ 1");
+            assert!(
+                self.adaptive_low <= self.adaptive_high,
+                "adaptive_low must not exceed adaptive_high"
+            );
+        }
     }
 }
 
@@ -175,5 +317,38 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         RuntimeConfig::new(0).validate();
+    }
+
+    #[test]
+    fn op_mask_membership() {
+        let m = OpMask::of(&[0, 7, 63, 64, 200, 255]);
+        for op in 0..256u64 {
+            let expect = matches!(op, 0 | 7 | 63 | 64 | 200 | 255);
+            assert_eq!(m.contains(op), expect, "op {op}");
+        }
+        // Words above the opcode space never match, even with low bits set.
+        assert!(!m.contains(256));
+        assert!(!m.contains(u64::MAX));
+        assert!(OpMask::EMPTY.is_empty());
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn adaptive_defaults_validate() {
+        RuntimeConfig::new(2)
+            .with_backend(Backend::Adaptive)
+            .validate();
+        assert_eq!(Backend::Adaptive.label(), "adaptive");
+        // The fixed-backend sweep list must not grow Adaptive implicitly.
+        assert!(!Backend::ALL.contains(&Backend::Adaptive));
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive_low")]
+    fn inverted_adaptive_thresholds_rejected() {
+        RuntimeConfig::new(1)
+            .with_backend(Backend::Adaptive)
+            .with_adaptive_thresholds(500, 4, 8.0, 2.0)
+            .validate();
     }
 }

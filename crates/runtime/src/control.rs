@@ -6,7 +6,7 @@
 //! backpressure and its exactly-once shutdown guarantee uniform across
 //! MP-SERVER, HYBCOMB, CC-SYNCH and plain locks.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 use mpsync_telemetry::AtomicLog2Hist;
@@ -52,6 +52,11 @@ pub(crate) struct ShardMetrics {
     pub retried: AtomicU64,
     /// Admitted-but-incomplete operations (bounded by `queue_depth`).
     pub inflight: AtomicUsize,
+    /// While `true`, submissions to this shard wait (even under the Fail
+    /// policy — a pause is transient, bounded by the drain of at most
+    /// `queue_depth` in-flight operations). The adaptive executor raises it
+    /// to quiesce a shard before swapping its backend mode.
+    pub paused: AtomicBool,
     /// Service batches/combining rounds observed.
     pub batches: AtomicU64,
     /// Log2 histogram of batch sizes (always recorded — one update per
@@ -84,6 +89,9 @@ pub(crate) struct Control {
     queue_depth: usize,
     submit: SubmitPolicy,
     pub shards: Box<[CachePadded<ShardMetrics>]>,
+    /// Per-shard versioned read caches, allocated only when the runtime's
+    /// `read_fast` mask is non-empty.
+    read: Option<Box<[CachePadded<ReadCache>]>>,
 }
 
 impl Control {
@@ -95,7 +103,24 @@ impl Control {
             queue_depth,
             submit,
             shards: (0..shards).map(|_| CachePadded::default()).collect(),
+            read: None,
         }
+    }
+
+    /// Allocates a [`ReadCache`] per shard (builder; call before sharing).
+    pub fn with_read_cache(mut self) -> Self {
+        self.read = Some(
+            (0..self.shards.len())
+                .map(|_| CachePadded::new(ReadCache::new()))
+                .collect(),
+        );
+        self
+    }
+
+    /// The shard's read cache, if the runtime enabled the fast path.
+    #[inline]
+    pub fn read_cache(&self, shard: usize) -> Option<&ReadCache> {
+        self.read.as_ref().map(|r| &*r[shard])
     }
 
     pub fn is_closed(&self) -> bool {
@@ -136,6 +161,14 @@ impl Control {
             if self.closed.load(Ordering::SeqCst) {
                 return Err(RuntimeError::Closed);
             }
+            if m.paused.load(Ordering::SeqCst) {
+                // A backend swap is quiescing this shard; wait it out. This
+                // is deliberately a wait even under the Fail policy: unlike
+                // a full window, a pause is not load the caller could shed.
+                idle();
+                spin(&mut spins);
+                continue;
+            }
             let cur = m.inflight.load(Ordering::Acquire);
             if cur < self.queue_depth {
                 if m.inflight
@@ -145,6 +178,17 @@ impl Control {
                     if self.closed.load(Ordering::SeqCst) {
                         m.inflight.fetch_sub(1, Ordering::AcqRel);
                         return Err(RuntimeError::Closed);
+                    }
+                    if m.paused.load(Ordering::SeqCst) {
+                        // Same protocol as the closed re-check: if the
+                        // swapper's SeqCst `paused` store precedes this
+                        // load, back out so its quiesce poll cannot miss
+                        // us; if our load precedes the store, our increment
+                        // does too and the poll waits for us.
+                        m.inflight.fetch_sub(1, Ordering::AcqRel);
+                        idle();
+                        spin(&mut spins);
+                        continue;
                     }
                     m.submitted.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
@@ -182,6 +226,29 @@ impl Control {
         m.batch_hist.record(n);
     }
 
+    /// Closes `shard`'s admission gate without erroring waiters: new
+    /// submissions block until [`Control::unpause`]. SeqCst to pair with the
+    /// re-check in [`Control::admit_with`].
+    pub fn pause(&self, shard: usize) {
+        self.shards[shard].paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Reopens a paused shard.
+    pub fn unpause(&self, shard: usize) {
+        self.shards[shard].paused.store(false, Ordering::SeqCst);
+    }
+
+    /// Blocks until `shard`'s window is empty. Only meaningful while the
+    /// shard is paused (or the runtime closed) — otherwise new admissions
+    /// keep arriving. The SeqCst load pairs with the admit protocol exactly
+    /// like [`Control::drain_inflight`]'s.
+    pub fn wait_quiesced(&self, shard: usize) {
+        let mut spins = 0u32;
+        while self.shards[shard].inflight.load(Ordering::SeqCst) != 0 {
+            spin(&mut spins);
+        }
+    }
+
     /// Blocks until every shard's window is empty. Only meaningful after
     /// [`Control::close`] (otherwise new submissions keep arriving).
     pub fn drain_inflight(&self) {
@@ -199,6 +266,116 @@ impl Control {
         while self.sessions_live.load(Ordering::Acquire) != 0 {
             spin(&mut spins);
         }
+    }
+}
+
+/// Slots in each shard's read cache (direct-mapped by key hash).
+const READ_SLOTS: usize = 64;
+
+struct ReadSlot {
+    /// Seqlock sequence: odd while the executor rewrites the slot.
+    seq: AtomicU64,
+    /// The packed `(key, op)` word this slot caches.
+    word: AtomicU64,
+    /// The cached return value.
+    ret: AtomicU64,
+    /// The shard mutation version the value was read under.
+    ver: AtomicU64,
+}
+
+/// A per-shard versioned snapshot of recently read keys, letting sessions
+/// answer read-mostly hot keys (the Zipf head) without a delegation
+/// round-trip.
+///
+/// Single writer, many readers. The *writer* is whatever thread currently
+/// executes the shard's dispatches — unique at any instant by the executor's
+/// own mutual-exclusion protocol, and across adaptive mode switches by the
+/// pause/quiesce swap. It maintains two things:
+///
+/// * `version`, bumped (SeqCst RMW) **before** any mutating dispatch begins;
+/// * per-slot seqlock-published `(word, ret, ver)` tuples recorded after
+///   each masked read executes, with `ver` the version it executed under.
+///
+/// A reader that copies a consistent tuple for its word and then observes
+/// `version == ver` (SeqCst) knows no mutation has begun on the shard since
+/// the cached read executed, so the cached value is still the key's current
+/// value; the read linearizes at the version load. A session's own completed
+/// write bumps the version with a happens-before edge to the session (the
+/// response hand-off), so the session can never read its own write's
+/// pre-image — per-session per-key FIFO holds. Any conflict (torn slot,
+/// wrong word, stale version) falls back to normal submission.
+pub(crate) struct ReadCache {
+    version: AtomicU64,
+    slots: Box<[ReadSlot]>,
+}
+
+impl ReadCache {
+    fn new() -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            slots: (0..READ_SLOTS)
+                .map(|_| ReadSlot {
+                    seq: AtomicU64::new(0),
+                    word: AtomicU64::new(u64::MAX), // matches no packed word
+                    ret: AtomicU64::new(0),
+                    ver: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn slot_of(word: u64) -> usize {
+        // Fibonacci hash; top 6 bits index the direct-mapped table.
+        (word.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58) as usize
+    }
+
+    /// Executor side: marks the start of a mutating dispatch. SeqCst so the
+    /// bump and every reader's validation load fall in one total order.
+    #[inline]
+    pub fn begin_mutation(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Executor side: records that reading `word` returned `ret`, valid as
+    /// of the current version. Must only be called by the shard's unique
+    /// executing thread (the seqlock write side is single-writer).
+    #[inline]
+    pub fn publish(&self, word: u64, ret: u64) {
+        // The executor is the only thread that bumps `version`, so its own
+        // Relaxed load is exact.
+        let ver = self.version.load(Ordering::Relaxed);
+        let s = &self.slots[Self::slot_of(word)];
+        let seq = s.seq.load(Ordering::Relaxed);
+        s.seq.store(seq.wrapping_add(1), Ordering::Relaxed); // odd: writing
+        fence(Ordering::Release);
+        s.word.store(word, Ordering::Relaxed);
+        s.ret.store(ret, Ordering::Relaxed);
+        s.ver.store(ver, Ordering::Relaxed);
+        s.seq.store(seq.wrapping_add(2), Ordering::Release); // even: published
+    }
+
+    /// Session side: attempts to answer a read of `word` from the cache.
+    #[inline]
+    pub fn try_read(&self, word: u64) -> Option<u64> {
+        let s = &self.slots[Self::slot_of(word)];
+        let seq = s.seq.load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            return None; // writer mid-update
+        }
+        let w = s.word.load(Ordering::Relaxed);
+        let r = s.ret.load(Ordering::Relaxed);
+        let v = s.ver.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if s.seq.load(Ordering::Relaxed) != seq || w != word {
+            return None; // torn copy or a different key owns the slot
+        }
+        // The tuple is consistent; it is *current* iff no mutation has
+        // begun since it was read (see the type-level argument).
+        if self.version.load(Ordering::SeqCst) != v {
+            return None;
+        }
+        Some(r)
     }
 }
 
@@ -248,6 +425,53 @@ mod tests {
         assert_eq!(hist.bucket_count(bucket_of(1)), 1);
         assert_eq!(hist.bucket_count(bucket_of(2)), 2);
         assert_eq!(c.shards[0].batches.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn paused_shard_blocks_even_under_fail_policy() {
+        use std::sync::Arc;
+        let c = Arc::new(Control::new(1, 4, SubmitPolicy::Fail));
+        c.pause(0);
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.admit(0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!t.is_finished(), "admit must wait out a pause, not fail");
+        c.unpause(0);
+        assert_eq!(t.join().unwrap(), Ok(()));
+        // Pauses are not rejections.
+        assert_eq!(c.shards[0].rejected.load(Ordering::Relaxed), 0);
+        c.complete(0);
+    }
+
+    #[test]
+    fn quiesce_waits_for_inflight() {
+        let c = Control::new(1, 4, SubmitPolicy::Block);
+        assert!(c.admit(0).is_ok());
+        c.pause(0);
+        // Quiesce must not return while the pre-pause admission is live.
+        c.complete(0);
+        c.wait_quiesced(0);
+        c.unpause(0);
+        assert!(c.admit(0).is_ok());
+        c.complete(0);
+    }
+
+    #[test]
+    fn read_cache_hits_until_mutation() {
+        let c = Control::new(1, 4, SubmitPolicy::Block).with_read_cache();
+        let rc = c.read_cache(0).expect("cache allocated");
+        assert_eq!(rc.try_read(42), None, "cold cache misses");
+        rc.publish(42, 7);
+        assert_eq!(rc.try_read(42), Some(7));
+        assert_eq!(rc.try_read(43), None, "other words miss");
+        rc.begin_mutation();
+        assert_eq!(rc.try_read(42), None, "any mutation invalidates");
+        rc.publish(42, 9);
+        assert_eq!(rc.try_read(42), Some(9));
+        // A control plane without the builder has no cache.
+        assert!(Control::new(1, 4, SubmitPolicy::Block)
+            .read_cache(0)
+            .is_none());
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!   ([`shard_for`]); each shard owns a partition of the key space and one
 //!   copy of the sequential state, so per-key operations are linearizable
 //!   and sessions see their own per-key order preserved;
-//! * **one API, four backends** — each shard is served by any [`Backend`]:
+//! * **one API, five backends** — each shard is served by any [`Backend`]:
 //!   a dedicated batched MP-SERVER thread, HYBCOMB or CC-SYNCH combining,
-//!   or a plain MCS lock. Application code is identical across them;
+//!   a plain MCS lock, or [`Backend::Adaptive`], which live-switches each
+//!   shard between lock, combining, and server modes as its contention
+//!   moves (`src/adaptive.rs`, DESIGN.md §14). Application code is
+//!   identical across them;
 //! * **adaptive batching** — the paper's `MAX_OPS` combining degree (§5.1)
 //!   becomes runtime configuration ([`RuntimeConfig::max_batch`]); the
 //!   MP-SERVER backend drains up to that many queued requests per service
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod adaptive;
 mod config;
 mod control;
 mod drive;
@@ -56,7 +60,7 @@ mod runtime;
 mod shard;
 mod stats;
 
-pub use config::{Backend, RuntimeConfig, SubmitPolicy};
+pub use config::{Backend, OpMask, RuntimeConfig, SubmitPolicy};
 pub use control::RuntimeError;
 pub use drive::ShardDriver;
 pub use mpsync_telemetry::Log2Hist;

@@ -63,6 +63,12 @@ impl ShardedCounter {
         self.runtime.take_driver(shard)
     }
 
+    /// Completed backend switches on `shard` — always 0 for fixed
+    /// backends (delegates to [`Runtime::swap_epoch`]).
+    pub fn swap_epoch(&self, shard: usize) -> u64 {
+        self.runtime.swap_epoch(shard)
+    }
+
     /// Stops admissions (delegates to [`Runtime::close`]).
     pub fn close(&self) {
         self.runtime.close();
@@ -176,6 +182,12 @@ impl ShardedKvStore {
     /// [`Runtime::take_driver`]).
     pub fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
         self.runtime.take_driver(shard)
+    }
+
+    /// Completed backend switches on `shard` — always 0 for fixed
+    /// backends (delegates to [`Runtime::swap_epoch`]).
+    pub fn swap_epoch(&self, shard: usize) -> u64 {
+        self.runtime.swap_epoch(shard)
     }
 
     /// Stops admissions (delegates to [`Runtime::close`]).

@@ -10,7 +10,11 @@ use mpsync_udn::{
     Endpoint, EndpointId, Fabric, FabricConfig, CHANNELS_PER_CORE, QUEUE_CAPACITY_WORDS,
 };
 
-use crate::config::{Backend, RuntimeConfig};
+use crate::adaptive::{
+    backend_mode, mode_backend, spawn_controller, AdaptiveAccess, AdaptiveHandle, AdaptiveShard,
+    Controller, MpModeDispatch, SlotLease, SlotPool, MODE_MP,
+};
+use crate::config::{Backend, OpMask, RuntimeConfig};
 use crate::control::Control;
 use crate::drive::{CoreDrive, DriveShard, ShardDriver};
 use crate::router::{pack, shard_for};
@@ -36,11 +40,13 @@ impl<S, F> KeyedDispatch<S> for F where
 }
 
 /// The per-shard [`Dispatcher`] adapter: unpacks the `(key, op)` request
-/// word, counts the execution, and calls the keyed body.
+/// word, counts the execution, maintains the shard's read cache (when the
+/// fast path is on), and calls the keyed body.
 pub(crate) struct RtDispatch<F> {
-    f: F,
-    control: Arc<Control>,
-    shard: usize,
+    pub(crate) f: F,
+    pub(crate) control: Arc<Control>,
+    pub(crate) shard: usize,
+    pub(crate) read_fast: OpMask,
 }
 
 impl<S, F> Dispatcher<S> for RtDispatch<F>
@@ -54,6 +60,18 @@ where
         self.control.shards[self.shard]
             .ops
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(cache) = self.control.read_cache(self.shard) {
+            if self.read_fast.contains(op) {
+                // A masked read mutates nothing: execute it, then publish
+                // the result for future fast reads of this word.
+                let ret = (self.f)(state, key, op, arg);
+                cache.publish(word, ret);
+                return ret;
+            }
+            // Potentially mutating: invalidate *before* touching the state
+            // so no fast read can serve a value this dispatch outdates.
+            cache.begin_mutation();
+        }
         (self.f)(state, key, op, arg)
     }
 }
@@ -86,6 +104,17 @@ where
     },
     Lock {
         execs: Vec<LockCs<S, McsLock, RtDispatch<F>>>,
+    },
+    /// The adaptive executor: every shard can be served by a lock, a
+    /// combiner, or its (always-running) MP server thread, switched live by
+    /// the controller or [`Runtime::force_backend`].
+    Adaptive {
+        fabric: Arc<Fabric>,
+        shards: Vec<Arc<AdaptiveShard<S, F>>>,
+        servers: Vec<ShardServer<Arc<AdaptiveShard<S, F>>>>,
+        server_ids: Arc<[EndpointId]>,
+        slots: Arc<SlotPool>,
+        controller: Option<Controller>,
     },
 }
 
@@ -141,10 +170,12 @@ where
         // Flight-record each shard's executor choice: after a panic or a
         // failed smoke run the first question is "what was this runtime
         // actually running?", and the recorder works with telemetry off.
-        let backend_disc = Backend::ALL
-            .iter()
-            .position(|&b| b == config.backend)
-            .unwrap_or(0) as u64;
+        // Adaptive is not in `Backend::ALL` (it is a policy over the fixed
+        // four); the recorder gives it the next discriminant.
+        let backend_disc = match config.backend {
+            Backend::Adaptive => Backend::ALL.len() as u64,
+            b => Backend::ALL.iter().position(|&x| x == b).unwrap_or(0) as u64,
+        };
         for i in 0..config.shards {
             telemetry::flight(
                 telemetry::FlightKind::Backend,
@@ -153,15 +184,16 @@ where
                 config.external_drive as u64,
             );
         }
-        let control = Arc::new(Control::new(
-            config.shards,
-            config.queue_depth,
-            config.submit,
-        ));
+        let mut control = Control::new(config.shards, config.queue_depth, config.submit);
+        if !config.read_fast.is_empty() {
+            control = control.with_read_cache();
+        }
+        let control = Arc::new(control);
         let dispatch = |shard: usize| RtDispatch {
             f: f.clone(),
             control: Arc::clone(&control),
             shard,
+            read_fast: config.read_fast,
         };
         let executors = match config.backend {
             Backend::MpServer if config.external_drive => {
@@ -179,6 +211,7 @@ where
                         Arc::clone(&control),
                         i,
                         config.max_batch,
+                        config.merge_ops,
                     );
                     let slot = Arc::new(Mutex::new(None));
                     drivers
@@ -207,6 +240,8 @@ where
                         Arc::clone(&control),
                         i,
                         config.max_batch,
+                        config.merge_ops,
+                        None,
                     ));
                 }
                 Executors::Mp {
@@ -236,6 +271,54 @@ where
                     .map(|i| LockCs::new(init(i), dispatch(i)))
                     .collect(),
             },
+            Backend::Adaptive => {
+                let fabric = sized_fabric(&config, config.shards + config.max_sessions);
+                let mut shards = Vec::with_capacity(config.shards);
+                let mut servers = Vec::with_capacity(config.shards);
+                let mut server_ids = Vec::with_capacity(config.shards);
+                for i in 0..config.shards {
+                    let ep = fabric.register_any().expect("fabric sized for shards");
+                    server_ids.push(ep.id());
+                    let sh = Arc::new(AdaptiveShard::new(
+                        init(i),
+                        dispatch(i),
+                        Arc::clone(&control),
+                        i,
+                        &config,
+                    ));
+                    // The Mp-mode server runs for the shard's whole life,
+                    // but deadline-polling costs a core: gate it on the
+                    // shard's mode so that outside Mp mode it sleeps
+                    // instead of competing with the lock/comb executors.
+                    let gate = {
+                        let sh = Arc::clone(&sh);
+                        Arc::new(move || sh.mode() == MODE_MP)
+                            as Arc<dyn Fn() -> bool + Send + Sync>
+                    };
+                    servers.push(ShardServer::spawn(
+                        ep,
+                        Arc::clone(&sh),
+                        MpModeDispatch,
+                        Arc::clone(&control),
+                        i,
+                        config.max_batch,
+                        config.merge_ops,
+                        Some(gate),
+                    ));
+                    shards.push(sh);
+                }
+                let controller = config
+                    .adaptive_auto
+                    .then(|| spawn_controller(shards.clone(), Arc::clone(&control), config));
+                Executors::Adaptive {
+                    fabric,
+                    shards,
+                    servers,
+                    server_ids: server_ids.into(),
+                    slots: SlotPool::new(config.max_sessions),
+                    controller,
+                }
+            }
         };
         Self {
             config,
@@ -302,7 +385,7 @@ where
                 }
                 self.control.sessions_live.fetch_add(1, Ordering::AcqRel);
             }
-            Backend::MpServer | Backend::Lock => {
+            Backend::MpServer | Backend::Lock | Backend::Adaptive => {
                 // Concurrency budget: slots are returned on session drop.
                 if self
                     .control
@@ -354,12 +437,68 @@ where
                     .map(|e| Box::new(e.handle()) as Box<dyn ApplyOp + Send>)
                     .collect(),
             },
+            Executors::Adaptive {
+                fabric,
+                shards,
+                server_ids,
+                slots,
+                ..
+            } => {
+                let lease = slots.acquire();
+                Transport::Adaptive {
+                    endpoint: fabric
+                        .register_any()
+                        .expect("fabric sized for session budget"),
+                    servers: Arc::clone(server_ids),
+                    handles: shards
+                        .iter()
+                        .map(|sh| {
+                            Box::new(AdaptiveHandle::new(Arc::clone(sh), lease.slot))
+                                as Box<dyn AdaptiveAccess>
+                        })
+                        .collect(),
+                    _lease: lease,
+                }
+            }
         };
         Ok(Session {
             control: Arc::clone(&self.control),
             shards: self.config.shards,
+            read_fast: self.config.read_fast,
             transport,
         })
+    }
+
+    /// Pins `shard` to the fixed backend's execution mode, switching live
+    /// (quiesce → install → reopen) and excluding the shard from the
+    /// controller's decisions. Returns `false` when this runtime is not
+    /// adaptive or `backend` has no adaptive mode (`CcSynch`, `Adaptive`).
+    pub fn force_backend(&self, shard: usize, backend: Backend) -> bool {
+        if let (Executors::Adaptive { shards, .. }, Some(mode)) =
+            (&self.executors, backend_mode(backend))
+        {
+            shards[shard].force(mode);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The fixed backend currently serving `shard`: the live mode for an
+    /// adaptive runtime, the configured backend otherwise.
+    pub fn shard_backend(&self, shard: usize) -> Backend {
+        match &self.executors {
+            Executors::Adaptive { shards, .. } => mode_backend(shards[shard].mode()),
+            _ => self.config.backend,
+        }
+    }
+
+    /// Completed backend switches on `shard` (always 0 for fixed backends).
+    pub fn swap_epoch(&self, shard: usize) -> u64 {
+        match &self.executors {
+            Executors::Adaptive { shards, .. } => shards[shard].epoch(),
+            _ => 0,
+        }
     }
 
     /// Stops admitting new operations. Operations already admitted still
@@ -400,6 +539,15 @@ where
                     s.batches = s.ops;
                     if s.ops > 0 {
                         s.avg_batch = 1.0;
+                    }
+                }
+            }
+            Executors::Adaptive { .. } => {
+                // Every mode records batches into the control plane (lock
+                // ops as batches of one), so the Mp arithmetic applies.
+                for s in &mut stats.shards {
+                    if s.batches > 0 {
+                        s.avg_batch = s.ops as f64 / s.batches as f64;
                     }
                 }
             }
@@ -444,6 +592,28 @@ where
             Executors::Hyb { combs, .. } => combs.into_iter().map(HybComb::into_state).collect(),
             Executors::Cc { execs } => execs.into_iter().map(CcSynch::into_state).collect(),
             Executors::Lock { execs } => execs.into_iter().map(LockCs::into_state).collect(),
+            Executors::Adaptive {
+                shards,
+                servers,
+                controller,
+                ..
+            } => {
+                // Stop the controller first: it holds shard Arcs and could
+                // otherwise race a switch against teardown.
+                if let Some(controller) = controller {
+                    controller.stop();
+                }
+                let arcs: Vec<_> = servers.into_iter().map(ShardServer::stop).collect();
+                drop(shards);
+                arcs.into_iter()
+                    .map(|sh| {
+                        Arc::try_unwrap(sh)
+                            .ok()
+                            .expect("adaptive shard still shared after drain")
+                            .into_state()
+                    })
+                    .collect()
+            }
         };
         ShutdownReport { states, stats }
     }
@@ -483,6 +653,17 @@ enum Transport {
     Inline {
         handles: Vec<Box<dyn ApplyOp + Send>>,
     },
+    /// Adaptive backend: per-shard handles that apply inline in Lock/Comb
+    /// modes and fall through to the wire (like Mp) when the shard's server
+    /// owns execution.
+    Adaptive {
+        endpoint: Endpoint,
+        servers: Arc<[EndpointId]>,
+        handles: Vec<Box<dyn AdaptiveAccess>>,
+        /// The session's combining-record slot, shared by all its handles;
+        /// recycled when the session drops.
+        _lease: SlotLease,
+    },
 }
 
 /// A client connection to a [`Runtime`]. Sessions are `Send` — move each to
@@ -490,6 +671,7 @@ enum Transport {
 pub struct Session {
     control: Arc<Control>,
     shards: usize,
+    read_fast: OpMask,
     transport: Transport,
 }
 
@@ -513,6 +695,9 @@ impl Session {
         let word = pack(key, op); // validate before claiming a slot
         let shard = shard_for(key, self.shards);
         let t0 = telemetry::now_ns();
+        if let Some(ret) = self.try_fast_read(shard, word, op, t0) {
+            return Ok(ret);
+        }
         self.control.admit(shard)?;
         let ret = self.apply_on(shard, word, arg);
         self.control.complete(shard);
@@ -546,28 +731,24 @@ impl Session {
         let word = pack(key, op);
         let shard = shard_for(key, self.shards);
         let t0 = telemetry::now_ns();
+        if let Some(ret) = self.try_fast_read(shard, word, op, t0) {
+            return Ok(ret);
+        }
         self.control.admit_with(shard, &mut idle)?;
         let ret = match &mut self.transport {
             Transport::Mp { endpoint, servers } => {
-                endpoint
-                    .send(
-                        servers[shard],
-                        &wire::request(endpoint.id().to_word(), word, arg),
-                    )
-                    .expect("shard server vanished");
-                // Responses are a single word, so a successful try_receive
-                // is always complete.
-                let mut buf = [0u64; 1];
-                let mut spins = 0u32;
-                loop {
-                    if endpoint.try_receive(&mut buf) == 1 {
-                        break buf[0];
-                    }
-                    idle();
-                    crate::control::spin(&mut spins);
-                }
+                Self::wire_apply_with(endpoint, servers[shard], word, arg, &mut idle)
             }
             Transport::Inline { handles } => handles[shard].apply(word, arg),
+            Transport::Adaptive {
+                endpoint,
+                servers,
+                handles,
+                ..
+            } => match handles[shard].try_apply_local(word, arg) {
+                Some(ret) => ret,
+                None => Self::wire_apply_with(endpoint, servers[shard], word, arg, &mut idle),
+            },
         };
         self.control.complete(shard);
         if telemetry::ENABLED {
@@ -607,6 +788,73 @@ impl Session {
                 endpoint.receive1()
             }
             Transport::Inline { handles } => handles[shard].apply(word, arg),
+            Transport::Adaptive {
+                endpoint,
+                servers,
+                handles,
+                ..
+            } => match handles[shard].try_apply_local(word, arg) {
+                Some(ret) => ret,
+                None => {
+                    endpoint
+                        .send(
+                            servers[shard],
+                            &wire::request(endpoint.id().to_word(), word, arg),
+                        )
+                        .expect("shard server vanished");
+                    endpoint.receive1()
+                }
+            },
+        }
+    }
+
+    /// Wire round-trip with an idle hook on the receive wait.
+    fn wire_apply_with(
+        endpoint: &mut Endpoint,
+        server: EndpointId,
+        word: u64,
+        arg: u64,
+        idle: &mut impl FnMut(),
+    ) -> u64 {
+        endpoint
+            .send(server, &wire::request(endpoint.id().to_word(), word, arg))
+            .expect("shard server vanished");
+        // Responses are a single word, so a successful try_receive is
+        // always complete.
+        let mut buf = [0u64; 1];
+        let mut spins = 0u32;
+        loop {
+            if endpoint.try_receive(&mut buf) == 1 {
+                break buf[0];
+            }
+            idle();
+            crate::control::spin(&mut spins);
+        }
+    }
+
+    /// The read-side fast path: answers a masked read from the shard's
+    /// versioned snapshot without claiming a slot or entering the executor.
+    /// `None` = take the normal path (and count the fallback when the op
+    /// was eligible).
+    #[inline]
+    fn try_fast_read(&self, shard: usize, word: u64, op: u64, t0: u64) -> Option<u64> {
+        if !self.read_fast.contains(op) || self.control.is_closed() {
+            return None;
+        }
+        let cache = self.control.read_cache(shard)?;
+        match cache.try_read(word) {
+            Some(ret) => {
+                if telemetry::ENABLED {
+                    telemetry::record_span(shard as u32, Algo::Runtime, Lane::Submit, t0);
+                    telemetry::count(Counter::RuntimeSubmits, 1);
+                    telemetry::count(Counter::RuntimeFastReads, 1);
+                }
+                Some(ret)
+            }
+            None => {
+                telemetry::count(Counter::RuntimeFastFallbacks, 1);
+                None
+            }
         }
     }
 }

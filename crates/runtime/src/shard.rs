@@ -34,11 +34,23 @@ use mpsync_telemetry as telemetry;
 use mpsync_telemetry::{Algo, Counter, Lane};
 use mpsync_udn::{Endpoint, EndpointId};
 
+use crate::config::OpMask;
 use crate::control::Control;
+use crate::router::unpack;
 
 /// How long the serve loop blocks for a first request before re-checking
 /// its stop flag.
 const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Gated-inactive server sleep bounds (see [`ShardServer::spawn`]'s
+/// `active` parameter): the sleep starts at `GATED_IDLE_MIN` right after
+/// the gate closes — so a quick switch back into MP mode is barely
+/// delayed — and doubles to `GATED_IDLE_MAX` while the shard stays in
+/// another mode, where each wake only re-reads the gate. Timer wakeups are
+/// not free (on virtualized hosts they cost tens of microseconds), so a
+/// long-parked server must converge to a few wakes per second.
+const GATED_IDLE_MIN: Duration = Duration::from_micros(200);
+const GATED_IDLE_MAX: Duration = Duration::from_millis(20);
 
 /// One shard's executor: endpoint, state, dispatcher, and batching policy.
 ///
@@ -53,9 +65,18 @@ pub(crate) struct ShardCore<S, D> {
     control: Arc<Control>,
     shard: usize,
     max_batch: u64,
+    /// Opcodes that may be merged within a batch (see
+    /// [`RuntimeConfig::merge_ops`](crate::RuntimeConfig::merge_ops) for
+    /// the fetch-add contract). Empty = the plain streaming serve path.
+    merge: OpMask,
+    /// Collected raw requests for the merging path (reused allocation).
+    pending: Vec<[u64; wire::REQ_WORDS]>,
+    /// Per-batch "already served" scratch for the merging path.
+    done: Vec<bool>,
 }
 
 impl<S, D: Dispatcher<S>> ShardCore<S, D> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         endpoint: Endpoint,
         state: S,
@@ -63,6 +84,7 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
         control: Arc<Control>,
         shard: usize,
         max_batch: u64,
+        merge: OpMask,
     ) -> Self {
         Self {
             endpoint,
@@ -71,6 +93,9 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
             control,
             shard,
             max_batch,
+            merge,
+            pending: Vec::new(),
+            done: Vec::new(),
         }
     }
 
@@ -89,10 +114,7 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
             // blocking receive is safe.
             self.endpoint.receive(&mut buf[n..]);
         }
-        self.answer(buf);
-        let batch = 1 + self.drain(self.max_batch - 1);
-        self.finish_batch(batch, t_batch);
-        batch
+        self.serve_from(buf, t_batch)
     }
 
     /// Blocks for the head of the next batch until `deadline`, then serves
@@ -104,8 +126,22 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
             return 0;
         }
         let t_batch = telemetry::now_ns();
-        self.answer(buf);
-        let batch = 1 + self.drain(self.max_batch - 1);
+        self.serve_from(buf, t_batch)
+    }
+
+    /// Serves the batch headed by `head`: streaming when merging is off,
+    /// collect-then-merge otherwise.
+    fn serve_from(&mut self, head: [u64; wire::REQ_WORDS], t_batch: u64) -> u64 {
+        if self.merge.is_empty() {
+            self.answer(head);
+            let batch = 1 + self.drain(self.max_batch - 1);
+            self.finish_batch(batch, t_batch);
+            return batch;
+        }
+        self.pending.clear();
+        self.pending.push(head);
+        self.collect(self.max_batch);
+        let batch = self.serve_merged();
         self.finish_batch(batch, t_batch);
         batch
     }
@@ -128,17 +164,113 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
         served
     }
 
+    /// Non-blocking collection of raw requests into `pending`, up to
+    /// `budget` total.
+    fn collect(&mut self, budget: u64) {
+        let mut buf = [0u64; wire::REQ_WORDS];
+        while (self.pending.len() as u64) < budget {
+            let n = self.endpoint.try_receive(&mut buf);
+            if n == 0 {
+                break;
+            }
+            if n < buf.len() {
+                self.endpoint.receive(&mut buf[n..]);
+            }
+            self.pending.push(buf);
+        }
+    }
+
+    /// Serves the collected batch, merging same-word runs of mergeable
+    /// opcodes into one dispatch each.
+    ///
+    /// The contract (see `RuntimeConfig::merge_ops`): a mergeable op is
+    /// fetch-add-shaped — it wrapping-adds its argument and returns the old
+    /// value. Dispatching the group's wrapped sum once yields the first
+    /// member's return value; member `k`'s is reconstructed as
+    /// `old ⊞ (args of members before k)`. Replies go out in arrival order,
+    /// so per-session FIFO is preserved.
+    fn serve_merged(&mut self) -> u64 {
+        let pending = std::mem::take(&mut self.pending);
+        let n = pending.len();
+        self.done.clear();
+        self.done.resize(n, false);
+        for i in 0..n {
+            if self.done[i] {
+                continue;
+            }
+            let req = wire::decode(pending[i]);
+            let (_key, op) = unpack(req.op);
+            if !self.merge.contains(op) {
+                self.answer(pending[i]);
+                continue;
+            }
+            // Gather the group: every later un-served request for the same
+            // packed word (same key *and* opcode).
+            let mut total = req.arg;
+            let mut group = 1u64;
+            for j in i + 1..n {
+                if !self.done[j] && pending[j][1] == pending[i][1] {
+                    total = total.wrapping_add(wire::decode(pending[j]).arg);
+                    self.done[j] = true;
+                    group += 1;
+                }
+            }
+            if group == 1 {
+                self.answer(pending[i]);
+                continue;
+            }
+            let track = telemetry::local_track(self.endpoint.id().index() as u32);
+            let t_serve = if telemetry::ENABLED {
+                telemetry::record_span(track, Algo::Runtime, Lane::QueueWait, req.submit_ns);
+                telemetry::now_ns()
+            } else {
+                0
+            };
+            let old = self.dispatch.dispatch(&mut self.state, req.op, total);
+            // One dispatch executed `group` logical operations: keep the
+            // ops counter (and the merged-ops telemetry) truthful.
+            self.control.shards[self.shard]
+                .ops
+                .fetch_add(group - 1, Ordering::Relaxed);
+            telemetry::count(Counter::RuntimeMergedOps, group - 1);
+            let mut prefix = 0u64;
+            for (j, raw) in pending.iter().enumerate().take(n).skip(i) {
+                if j != i && !(self.done[j] && raw[1] == pending[i][1]) {
+                    continue;
+                }
+                let member = wire::decode(*raw);
+                if j != i && telemetry::ENABLED {
+                    telemetry::record_span(track, Algo::Runtime, Lane::QueueWait, member.submit_ns);
+                }
+                self.endpoint
+                    .send(
+                        EndpointId::from_word(member.sender),
+                        &[old.wrapping_add(prefix)],
+                    )
+                    .expect("shard client endpoint vanished");
+                prefix = prefix.wrapping_add(member.arg);
+            }
+            if telemetry::ENABLED {
+                telemetry::record_span(track, Algo::Runtime, Lane::Serve, t_serve);
+            }
+        }
+        self.pending = pending;
+        n as u64
+    }
+
     fn finish_batch(&mut self, batch: u64, t_batch: u64) {
         self.control.record_batch(self.shard, batch);
         if telemetry::ENABLED {
-            let track = self.endpoint.id().index() as u32;
+            // Local-namespace track: endpoint indices must never land on
+            // the same trace row as client-chosen trace ids.
+            let track = telemetry::local_track(self.endpoint.id().index() as u32);
             telemetry::record_span(track, Algo::Runtime, Lane::Batch, t_batch);
             telemetry::count(Counter::RuntimeBatches, 1);
         }
     }
 
     fn answer(&mut self, buf: [u64; wire::REQ_WORDS]) {
-        let track = self.endpoint.id().index() as u32;
+        let track = telemetry::local_track(self.endpoint.id().index() as u32);
         let req = wire::decode(buf);
         let t_serve = if telemetry::ENABLED {
             // Queue wait: the client's submit stamp → this shard picking
@@ -173,6 +305,14 @@ pub(crate) struct ShardServer<S> {
 
 impl<S: Send + 'static> ShardServer<S> {
     /// Spawns the serve loop for shard `shard` on `endpoint`.
+    ///
+    /// `active` gates the polling loop: while it returns `false` the thread
+    /// drains whatever is already queued and then *sleeps* instead of
+    /// deadline-polling. The adaptive runtime passes the shard's
+    /// mode-is-MP predicate here so that the standing MP server stops
+    /// burning a core (the deadline poll yield-spins) while the shard is
+    /// served by its lock or combining mode. `None` = always active.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn<D>(
         endpoint: Endpoint,
         state: S,
@@ -180,17 +320,41 @@ impl<S: Send + 'static> ShardServer<S> {
         control: Arc<Control>,
         shard: usize,
         max_batch: u64,
+        merge: OpMask,
+        active: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
     ) -> Self
     where
         D: Dispatcher<S>,
     {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let mut core = ShardCore::new(endpoint, state, dispatch, control, shard, max_batch);
+        let mut core = ShardCore::new(endpoint, state, dispatch, control, shard, max_batch, merge);
         let join = std::thread::Builder::new()
             .name(format!("rt-shard-{shard}"))
             .spawn(move || {
+                let mut nap = GATED_IDLE_MIN;
                 loop {
+                    if let Some(gate) = &active {
+                        if !gate() {
+                            // Inactive mode: serve stragglers already on the
+                            // wire (sent just before a swap quiesced), then
+                            // sleep with exponential backoff. The swap
+                            // protocol quiesces before the mode changes, so
+                            // nothing new arrives until `gate()` flips back
+                            // — worst case the first post-switch op waits
+                            // one current nap.
+                            if core.tick() != 0 {
+                                continue;
+                            }
+                            if stop2.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep(nap);
+                            nap = (nap * 2).min(GATED_IDLE_MAX);
+                            continue;
+                        }
+                        nap = GATED_IDLE_MIN;
+                    }
                     // Block for the head of the next batch, waking at
                     // IDLE_POLL to check the stop flag.
                     if core.tick_blocking(Instant::now() + IDLE_POLL) == 0
@@ -256,6 +420,8 @@ mod tests {
             Arc::clone(&control),
             0,
             4,
+            OpMask::EMPTY,
+            None,
         );
         let mut client = fabric.register_any().unwrap();
         for i in 1..=10u64 {
@@ -280,6 +446,8 @@ mod tests {
             control,
             0,
             4,
+            OpMask::EMPTY,
+            None,
         );
         assert_eq!(server.stop(), 7);
     }
@@ -297,6 +465,8 @@ mod tests {
             Arc::clone(&control),
             0,
             2,
+            OpMask::EMPTY,
+            None,
         );
         let mut client = fabric.register_any().unwrap();
         // Queue several requests before reading any response so the server
@@ -320,6 +490,56 @@ mod tests {
     }
 
     #[test]
+    fn merged_batch_returns_per_caller_old_values() {
+        use crate::router::pack;
+        // Fetch-add body matching the merge contract: add, return OLD.
+        fn fetch_add(state: &mut u64, _op: u64, arg: u64) -> u64 {
+            let old = *state;
+            *state = state.wrapping_add(arg);
+            old
+        }
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let control = Arc::new(Control::new(1, 64, SubmitPolicy::Block));
+        let server_ep = fabric.register_any().unwrap();
+        let sid = server_ep.id();
+        let mut core = ShardCore::new(
+            server_ep,
+            0u64,
+            fetch_add as fn(&mut u64, u64, u64) -> u64,
+            Arc::clone(&control),
+            0,
+            64,
+            OpMask::of(&[0]), // opcode 0 merges; opcode 1 does not
+        );
+        // One client queues three adds on the same word with a
+        // non-mergeable op interleaved; arrival order is FIFO.
+        let mut client = fabric.register_any().unwrap();
+        let me = client.id().to_word();
+        let w_add = pack(5, 0);
+        let w_other = pack(5, 1);
+        client.send(sid, &wire::request(me, w_add, 10)).unwrap();
+        client.send(sid, &wire::request(me, w_other, 7)).unwrap();
+        client.send(sid, &wire::request(me, w_add, 20)).unwrap();
+        client.send(sid, &wire::request(me, w_add, 30)).unwrap();
+        assert_eq!(core.tick(), 4, "one batch serves all four requests");
+        // The add group [10, 20, 30] merges into one dispatch of 60 and
+        // replies with prefix sums of the old value; those replies go out
+        // at the group head's position, so the non-merged op's reply (the
+        // state after the merged adds: 60) arrives last.
+        let replies: Vec<u64> = (0..4).map(|_| client.receive1()).collect();
+        assert_eq!(replies, vec![0, 10, 30, 60]);
+        // The merged-away ops land on the shard's ops counter (the per-
+        // dispatch increment is RtDispatch's job, not exercised by this
+        // bare fn-pointer dispatcher): 3 adds − 1 dispatch = 2 extras.
+        assert_eq!(control.shards[0].ops.load(Ordering::Relaxed), 2);
+        let hist = control.shards[0].batch_hist.snapshot();
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), 4);
+        drop(client);
+        assert_eq!(core.into_state(), 67);
+    }
+
+    #[test]
     fn core_ticks_nonblocking() {
         let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
         let control = Arc::new(Control::new(1, 8, SubmitPolicy::Block));
@@ -332,6 +552,7 @@ mod tests {
             Arc::clone(&control),
             0,
             4,
+            OpMask::EMPTY,
         );
         assert_eq!(core.tick(), 0, "empty queue ticks to zero");
         let mut client = fabric.register_any().unwrap();

@@ -32,15 +32,22 @@
 //!
 //! # Resetting
 //!
-//! [`reset`] zeroes histograms and counters, clears the **calling
-//! thread's** span ring, and hides every span recorded before the reset
-//! from future [`drain_spans`] calls. It cannot physically clear other
-//! threads' rings: each ring is single-writer by construction (the seqlock
-//! protocol reserves slot writes for the owning thread), so another
-//! thread's retained spans are only *masked* by the reset timestamp, and
-//! per-ring `pushed`/`dropped` tallies from before the reset survive in
+//! [`reset`] zeroes histograms and counters, discards the retained spans
+//! of **every** registered ring (whichever thread owns it), and hides any
+//! span recorded before the reset from future [`drain_spans`] calls.
+//! Per-ring `pushed` tallies from before the reset survive in
 //! [`spans_recorded`] (ever-recorded semantics) while [`spans_dropped`]
 //! restarts from zero.
+//!
+//! # Span track namespaces
+//!
+//! Spans carry a caller-chosen 32-bit `track` rendered as the Chrome-trace
+//! `tid` row. Two id families feed it: small process-local indices
+//! (endpoint ids, shard/connection indices) and client-chosen 32-bit trace
+//! ids that follow a request across nodes. [`trace_track`] sets the
+//! reserved [`TRACK_TRACE_BIT`] on the latter so the two namespaces can
+//! never collide in one stitched trace file; local recorders use
+//! [`local_track`].
 
 pub mod alloc;
 pub mod hist;
@@ -65,6 +72,25 @@ pub use ring::RING_CAPACITY;
 /// `true` when the `enabled` cargo feature is on. Const-folds, so
 /// `if telemetry::ENABLED { … }` costs nothing in disabled builds.
 pub const ENABLED: bool = cfg!(feature = "enabled");
+
+/// High bit of a span `track`, reserved for the cross-node trace-id
+/// namespace (see the crate-level "Span track namespaces" docs).
+pub const TRACK_TRACE_BIT: u32 = 1 << 31;
+
+/// Track for a process-local id (endpoint index, shard, connection id):
+/// the trace bit is cleared, so local rows can never collide with
+/// [`trace_track`] rows no matter what 32-bit id a client chose.
+#[inline]
+pub const fn local_track(id: u32) -> u32 {
+    id & !TRACK_TRACE_BIT
+}
+
+/// Track for a client-chosen cross-node trace id: the reserved high bit is
+/// set, placing the span in the trace-id namespace.
+#[inline]
+pub const fn trace_track(id: u32) -> u32 {
+    id | TRACK_TRACE_BIT
+}
 
 /// Which synchronization layer or algorithm a measurement belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -249,10 +275,24 @@ pub enum Counter {
     ClusterFailovers = 25,
     /// Responses redirecting a client to the owning node.
     ClusterRedirects = 26,
+    /// Read-mostly ops answered from the shard's versioned snapshot
+    /// without entering the combiner/server at all.
+    RuntimeFastReads = 27,
+    /// Fast-path read attempts that missed (cold entry or version
+    /// conflict) and fell back to delegation.
+    RuntimeFastFallbacks = 28,
+    /// Commutative ops collapsed into a merged apply inside one service
+    /// batch (counts the ops elided, not the merged applies).
+    RuntimeMergedOps = 29,
+    /// Live backend switches performed by adaptive shards.
+    RuntimeSwitches = 30,
+    /// Retries of an already-applied-and-evicted op rejected by the
+    /// cluster dedup eviction watermark instead of re-applied.
+    ClusterStaleRetries = 31,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 32] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -280,6 +320,11 @@ impl Counter {
         Counter::ClusterHandoffs,
         Counter::ClusterFailovers,
         Counter::ClusterRedirects,
+        Counter::RuntimeFastReads,
+        Counter::RuntimeFastFallbacks,
+        Counter::RuntimeMergedOps,
+        Counter::RuntimeSwitches,
+        Counter::ClusterStaleRetries,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -312,6 +357,11 @@ impl Counter {
             Counter::ClusterHandoffs => "cluster.handoffs",
             Counter::ClusterFailovers => "cluster.failovers",
             Counter::ClusterRedirects => "cluster.redirects",
+            Counter::RuntimeFastReads => "runtime.fast_reads",
+            Counter::RuntimeFastFallbacks => "runtime.fast_fallbacks",
+            Counter::RuntimeMergedOps => "runtime.merged_ops",
+            Counter::RuntimeSwitches => "runtime.switches",
+            Counter::ClusterStaleRetries => "cluster.stale_retries",
         }
     }
 }
@@ -462,13 +512,13 @@ mod imp {
         rings().lock().unwrap().iter().map(|r| r.dropped()).sum()
     }
 
-    /// Zeroes every histogram, counter, and per-ring drop tally, clears
-    /// the **calling thread's** span ring, and hides previously recorded
-    /// spans from future [`drain_spans`] calls. Other threads' rings
-    /// cannot be cleared from here (single-writer seqlock — see the
-    /// crate-level "Resetting" docs); their retained spans are masked by
-    /// the reset timestamp instead. Only meaningful at quiescent points
-    /// (e.g. between bench phases).
+    /// Zeroes every histogram, counter, and per-ring drop tally and
+    /// discards the retained spans of **every** registered ring, whichever
+    /// thread owns it ([`Ring::forget`] only advances the read cursor, so
+    /// it is safe under the single-writer seqlock). A span push racing the
+    /// reset may slip past the forget; the reset timestamp masks those
+    /// stragglers out of [`drain_spans`] too. Only meaningful at quiescent
+    /// points (e.g. between bench phases).
     pub fn reset() {
         for h in &HISTS {
             h.clear();
@@ -477,9 +527,9 @@ mod imp {
             c.store(0, Ordering::Relaxed);
         }
         for ring in rings().lock().unwrap().iter() {
+            ring.forget();
             ring.reset_dropped();
         }
-        MY_RING.with(|r| r.clear());
         RESET_NS.store(now_ns(), Ordering::Release);
     }
 }
@@ -626,6 +676,11 @@ mod tests {
                 "cluster.handoffs",
                 "cluster.failovers",
                 "cluster.redirects",
+                "runtime.fast_reads",
+                "runtime.fast_fallbacks",
+                "runtime.merged_ops",
+                "runtime.switches",
+                "cluster.stale_retries",
             ]
         );
         // Discriminants must match ALL order: the hist/counter arrays and

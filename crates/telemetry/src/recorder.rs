@@ -55,10 +55,14 @@ pub enum FlightKind {
     /// A connection migrated between reactors/shards: `a` = connection id,
     /// `b` = source shard, `c` = destination shard.
     ConnMigrate = 7,
+    /// An adaptive runtime shard live-switched its backend:
+    /// `a` = shard index, `b` = `from_mode << 8 | to_mode` (mode
+    /// discriminants), `c` = the shard's swap epoch after the switch.
+    BackendSwitch = 8,
 }
 
 impl FlightKind {
-    pub const ALL: [FlightKind; 8] = [
+    pub const ALL: [FlightKind; 9] = [
         FlightKind::Backend,
         FlightKind::DrainStart,
         FlightKind::DrainEnd,
@@ -67,6 +71,7 @@ impl FlightKind {
         FlightKind::Demote,
         FlightKind::Busy,
         FlightKind::ConnMigrate,
+        FlightKind::BackendSwitch,
     ];
 
     /// Stable lowercase name used in JSON output.
@@ -80,6 +85,7 @@ impl FlightKind {
             FlightKind::Demote => "demote",
             FlightKind::Busy => "busy",
             FlightKind::ConnMigrate => "conn_migrate",
+            FlightKind::BackendSwitch => "backend_switch",
         }
     }
 }
@@ -352,6 +358,7 @@ mod tests {
                 "demote",
                 "busy",
                 "conn_migrate",
+                "backend_switch",
             ]
         );
         for (i, k) in FlightKind::ALL.iter().enumerate() {

@@ -134,6 +134,19 @@ impl Ring {
         }
     }
 
+    /// Discards every retained span without touching the slots: marks the
+    /// whole window read, so subsequent drains start at the current head
+    /// and later overwrites of the discarded positions are not new drops.
+    /// Safe from **any** thread — it only advances the `read_through`
+    /// cursor, never the seqlock words the owning thread reserves — which
+    /// is what lets `telemetry::reset` clear rings other threads own.
+    /// A push racing this call may survive (the head was read first);
+    /// callers that need a hard cutoff mask by timestamp on top.
+    pub fn forget(&self) {
+        // Acquire: see every position a completed push published.
+        self.mark_read_through(self.head.load(Ordering::Acquire));
+    }
+
     /// Forgets every retained span. **Must only be called by the owning
     /// thread**: it writes the slot sequence words the seqlock protocol
     /// reserves for the single writer. Concurrent drains simply skip the
@@ -289,6 +302,27 @@ mod tests {
         r.drain(&mut out);
         assert_eq!(out.len(), RING_CAPACITY);
         assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn forget_discards_like_a_drain_nobody_kept() {
+        let r = Ring::new();
+        for i in 0..RING_CAPACITY as u64 {
+            r.push(i, 4, 4);
+        }
+        r.forget();
+        let mut out = Vec::new();
+        r.drain(&mut out);
+        assert!(out.is_empty(), "forgotten spans must not drain");
+        // Overwriting the forgotten window is not a drop…
+        for i in 0..RING_CAPACITY as u64 {
+            r.push(i, 5, 5);
+        }
+        assert_eq!(r.dropped(), 0);
+        // …and the new window drains normally.
+        r.drain(&mut out);
+        assert_eq!(out.len(), RING_CAPACITY);
+        assert_eq!(r.pushed(), 2 * RING_CAPACITY as u64);
     }
 
     #[test]

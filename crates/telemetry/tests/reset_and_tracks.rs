@@ -1,0 +1,111 @@
+//! Regression tests for two PR-8 follow-up bugs:
+//!
+//! * `telemetry::reset` used to clear only the calling thread's span ring,
+//!   so another thread's retained-but-unread spans were lapped after a
+//!   reset and surfaced as bogus `spans_dropped` — reset must forget every
+//!   registered ring regardless of the registering thread.
+//! * Runtime shards used raw endpoint indices as span tracks while traced
+//!   cross-node hops used raw client-chosen trace ids; in one stitched
+//!   Chrome trace the two namespaces collided on the same `tid` row. The
+//!   `local_track`/`trace_track` helpers must keep them disjoint.
+
+#![cfg(feature = "enabled")]
+
+use std::sync::Mutex;
+
+use mpsync_telemetry::{
+    drain_spans, local_track, now_ns, record_span, reset, spans_dropped, trace_track, Algo, Lane,
+    SpanEvent, RING_CAPACITY, TRACK_TRACE_BIT,
+};
+
+/// These tests mutate the same process-global telemetry state; serialize
+/// them (each integration-test file is its own binary, so this lock only
+/// has to cover this file).
+static FACADE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Pre-fix, `reset()` could not touch a ring owned by another thread: the
+/// other thread's full ring stayed retained-but-unread, and its next
+/// `RING_CAPACITY` pushes lapped every one of those spans, counting
+/// `RING_CAPACITY` drops that the reset was supposed to forget. Post-fix
+/// the reset forgets all registered rings, so the same sequence drops
+/// nothing.
+#[test]
+fn reset_clears_rings_registered_by_other_threads() {
+    let _guard = FACADE_LOCK.lock().unwrap();
+    use std::sync::mpsc;
+    let (to_worker, at_worker) = mpsc::channel::<()>();
+    let (to_main, at_main) = mpsc::channel::<()>();
+    let worker = std::thread::spawn(move || {
+        let t = now_ns();
+        for _ in 0..RING_CAPACITY {
+            record_span(7_001, Algo::Net, Lane::Serve, t);
+        }
+        to_main.send(()).unwrap();
+        at_worker.recv().unwrap(); // main has reset()
+        let t = now_ns();
+        for _ in 0..RING_CAPACITY {
+            record_span(7_002, Algo::Net, Lane::Serve, t);
+        }
+    });
+    at_main.recv().unwrap();
+    reset();
+    to_worker.send(()).unwrap();
+    worker.join().unwrap();
+    assert_eq!(
+        spans_dropped(),
+        0,
+        "reset() left another thread's ring retained: its post-reset \
+         pushes lapped spans the reset should have forgotten"
+    );
+    // The post-reset burst is intact and the pre-reset one is gone.
+    let spans = drain_spans();
+    assert_eq!(
+        spans.iter().filter(|e| e.track == 7_002).count(),
+        RING_CAPACITY
+    );
+    assert_eq!(spans.iter().filter(|e| e.track == 7_001).count(), 0);
+}
+
+/// The two track namespaces are disjoint for every possible id pair, and
+/// the reserved bit survives the ring's meta-word packing.
+#[test]
+fn local_and_trace_tracks_never_collide() {
+    for &local in &[0u32, 1, 3, 7, 4_095, i32::MAX as u32, u32::MAX] {
+        for &trace in &[0u32, 1, 3, 7, 4_095, i32::MAX as u32, u32::MAX] {
+            assert_ne!(
+                local_track(local),
+                trace_track(trace),
+                "local id {local} collides with trace id {trace}"
+            );
+        }
+    }
+    assert_eq!(trace_track(3) & TRACK_TRACE_BIT, TRACK_TRACE_BIT);
+    assert_eq!(local_track(3) & TRACK_TRACE_BIT, 0);
+    // pack/unpack round-trips the full 32-bit track including the bit.
+    let meta = SpanEvent::pack_meta(trace_track(3), Algo::Cluster, Lane::Serve);
+    assert_eq!(SpanEvent::unpack(meta, 1, 1).track, trace_track(3));
+}
+
+/// The concrete PR-8 collision: a runtime shard on endpoint index 3 and a
+/// traced hop with client-chosen trace id 3 must land on different trace
+/// rows once recorded through the namespace helpers.
+#[test]
+fn shard_and_trace_spans_land_on_distinct_rows() {
+    let _guard = FACADE_LOCK.lock().unwrap();
+    reset();
+    let t = now_ns();
+    record_span(local_track(3), Algo::Runtime, Lane::Serve, t);
+    record_span(trace_track(3), Algo::Cluster, Lane::Serve, t);
+    let spans = drain_spans();
+    let shard_row = spans
+        .iter()
+        .find(|e| e.algo == Algo::Runtime && e.lane == Lane::Serve)
+        .expect("shard span drained")
+        .track;
+    let trace_row = spans
+        .iter()
+        .find(|e| e.algo == Algo::Cluster && e.lane == Lane::Serve)
+        .expect("traced hop span drained")
+        .track;
+    assert_ne!(shard_row, trace_row, "namespaces collided on one tid row");
+}
