@@ -1,0 +1,118 @@
+//! Sharded leaderboard: member scores plus an ordered `(score, member)`
+//! index per shard.
+//!
+//! Writes (`LB_ADD`, `LB_REMOVE`) keep the index coherent inside the
+//! shard's critical section. Rank reads (`LB_NTH`, `LB_COUNT_GE`) are
+//! shard-local; the suite's [`Leaderboard`](crate::suite::Leaderboard)
+//! facet walks every shard with [`probe_key`](mpsync_runtime::probe_key)
+//! and merges client-side — a global top-K is a *sharded* query here, the
+//! same shape the cluster layer uses for scatter-gather reads.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mpsync_objects::EMPTY;
+
+use crate::ops;
+
+/// One shard's board: member → score, plus the ordered index.
+#[derive(Debug, Default)]
+pub(crate) struct BoardState {
+    scores: BTreeMap<u64, u64>,
+    /// `(score, member)` pairs; iterating backwards yields the shard's
+    /// descending rank order (ties broken by higher member key first).
+    index: BTreeSet<(u64, u64)>,
+}
+
+impl BoardState {
+    pub(crate) fn len(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+/// Sequential dispatcher for the `LB_*` band.
+pub(crate) fn dispatch(state: &mut BoardState, key: u64, op: u64, arg: u64) -> u64 {
+    match op {
+        ops::LB_ADD => {
+            let score = state.scores.entry(key).or_insert(0);
+            if *score != 0 || state.index.contains(&(0, key)) {
+                state.index.remove(&(*score, key));
+            }
+            *score = score.wrapping_add(arg);
+            debug_assert_ne!(*score, EMPTY, "EMPTY sentinel is not a storable score");
+            state.index.insert((*score, key));
+            *score
+        }
+        ops::LB_GET => state.scores.get(&key).copied().unwrap_or(EMPTY),
+        ops::LB_NTH => state
+            .index
+            .iter()
+            .rev()
+            .nth(arg as usize)
+            .map(|&(_, member)| member)
+            .unwrap_or(EMPTY),
+        ops::LB_COUNT_GE => state.index.range((arg, 0)..).count() as u64,
+        ops::LB_REMOVE => match state.scores.remove(&key) {
+            Some(score) => {
+                state.index.remove(&(score, key));
+                score
+            }
+            None => EMPTY,
+        },
+        ops::LB_SCAN => state
+            .scores
+            .range(arg..)
+            .next()
+            .map(|(&k, _)| k)
+            .unwrap_or(EMPTY),
+        _ => panic!("leaderboard: unknown opcode {op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb(state: &mut BoardState, op: u64, key: u64, arg: u64) -> u64 {
+        dispatch(state, key, op, arg)
+    }
+
+    #[test]
+    fn add_accumulates_and_reorders_index() {
+        let mut s = BoardState::default();
+        assert_eq!(lb(&mut s, ops::LB_ADD, 1, 10), 10);
+        assert_eq!(lb(&mut s, ops::LB_ADD, 2, 30), 30);
+        assert_eq!(lb(&mut s, ops::LB_ADD, 3, 20), 20);
+        assert_eq!(lb(&mut s, ops::LB_NTH, 0, 0), 2);
+        assert_eq!(lb(&mut s, ops::LB_NTH, 0, 1), 3);
+        assert_eq!(lb(&mut s, ops::LB_ADD, 1, 25), 35, "1 jumps to the top");
+        assert_eq!(lb(&mut s, ops::LB_NTH, 0, 0), 1);
+        assert_eq!(lb(&mut s, ops::LB_NTH, 0, 3), EMPTY);
+        assert_eq!(s.index.len(), s.scores.len(), "index stays coherent");
+    }
+
+    #[test]
+    fn get_remove_and_count_ge() {
+        let mut s = BoardState::default();
+        lb(&mut s, ops::LB_ADD, 1, 10);
+        lb(&mut s, ops::LB_ADD, 2, 30);
+        assert_eq!(lb(&mut s, ops::LB_GET, 1, 0), 10);
+        assert_eq!(lb(&mut s, ops::LB_GET, 9, 0), EMPTY);
+        assert_eq!(lb(&mut s, ops::LB_COUNT_GE, 0, 10), 2);
+        assert_eq!(lb(&mut s, ops::LB_COUNT_GE, 0, 11), 1);
+        assert_eq!(lb(&mut s, ops::LB_REMOVE, 2, 0), 30);
+        assert_eq!(lb(&mut s, ops::LB_REMOVE, 2, 0), EMPTY);
+        assert_eq!(lb(&mut s, ops::LB_COUNT_GE, 0, 0), 1);
+        assert_eq!(s.index.len(), 1);
+    }
+
+    #[test]
+    fn zero_score_members_are_ranked() {
+        let mut s = BoardState::default();
+        assert_eq!(lb(&mut s, ops::LB_ADD, 5, 0), 0);
+        assert_eq!(lb(&mut s, ops::LB_NTH, 0, 0), 5);
+        assert_eq!(lb(&mut s, ops::LB_ADD, 5, 0), 0, "re-add keeps one entry");
+        assert_eq!(s.index.len(), 1);
+        assert_eq!(lb(&mut s, ops::LB_SCAN, 0, 0), 5);
+        assert_eq!(lb(&mut s, ops::LB_SCAN, 0, 6), EMPTY);
+    }
+}

@@ -1,0 +1,128 @@
+//! Bank-ledger accounts with two-phase multi-key transfers.
+//!
+//! Single-word ops only ever touch one account, so each is linearizable on
+//! its shard. A multi-key transfer is a client-driven two-phase apply
+//! (see [`Ledger::transfer_multi`](crate::suite::Ledger::transfer_multi)):
+//! phase one `LG_RESERVE`s every debit in ascending `(shard, key)` order —
+//! moving funds from `available` to `held`, never negative by construction
+//! — then either `LG_COMMIT`s the holds and `LG_DEPOSIT`s the credits, or
+//! `LG_RELEASE`s everything reserved so far on the first failure. Money is
+//! conserved at every intermediate step: `available + held` totals only
+//! change by completed deposits.
+
+use std::collections::BTreeMap;
+
+use mpsync_objects::EMPTY;
+
+use crate::ops;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Account {
+    available: u64,
+    held: u64,
+}
+
+/// One shard's accounts.
+#[derive(Debug, Default)]
+pub(crate) struct LedgerState {
+    accounts: BTreeMap<u64, Account>,
+}
+
+impl LedgerState {
+    /// `(Σ available, Σ held)` across the shard.
+    pub(crate) fn totals(&self) -> (u64, u64) {
+        self.accounts
+            .values()
+            .fold((0, 0), |(a, h), acct| (a + acct.available, h + acct.held))
+    }
+}
+
+/// Sequential dispatcher for the `LG_*` band.
+pub(crate) fn dispatch(state: &mut LedgerState, key: u64, op: u64, arg: u64) -> u64 {
+    match op {
+        ops::LG_DEPOSIT => {
+            let acct = state.accounts.entry(key).or_default();
+            acct.available = acct.available.saturating_add(arg);
+            acct.available
+        }
+        ops::LG_BALANCE => state.accounts.get(&key).map_or(0, |a| a.available),
+        ops::LG_RESERVE => match state.accounts.get_mut(&key) {
+            Some(a) if a.available >= arg => {
+                a.available -= arg;
+                a.held += arg;
+                1
+            }
+            _ => 0,
+        },
+        ops::LG_COMMIT => match state.accounts.get_mut(&key) {
+            Some(a) if a.held >= arg => {
+                a.held -= arg;
+                1
+            }
+            _ => 0,
+        },
+        ops::LG_RELEASE => match state.accounts.get_mut(&key) {
+            Some(a) if a.held >= arg => {
+                a.held -= arg;
+                a.available += arg;
+                1
+            }
+            _ => 0,
+        },
+        ops::LG_HELD => state.accounts.get(&key).map_or(0, |a| a.held),
+        ops::LG_SCAN => state
+            .accounts
+            .range(arg..)
+            .next()
+            .map(|(&k, _)| k)
+            .unwrap_or(EMPTY),
+        _ => panic!("ledger: unknown opcode {op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lg(state: &mut LedgerState, op: u64, key: u64, arg: u64) -> u64 {
+        dispatch(state, key, op, arg)
+    }
+
+    #[test]
+    fn reserve_commit_moves_money_once() {
+        let mut s = LedgerState::default();
+        assert_eq!(lg(&mut s, ops::LG_DEPOSIT, 1, 100), 100);
+        assert_eq!(lg(&mut s, ops::LG_RESERVE, 1, 30), 1);
+        assert_eq!(lg(&mut s, ops::LG_BALANCE, 1, 0), 70);
+        assert_eq!(lg(&mut s, ops::LG_HELD, 1, 0), 30);
+        assert_eq!(s.totals(), (70, 30), "reserve conserves");
+        assert_eq!(lg(&mut s, ops::LG_COMMIT, 1, 30), 1);
+        assert_eq!(lg(&mut s, ops::LG_HELD, 1, 0), 0);
+        assert_eq!(lg(&mut s, ops::LG_COMMIT, 1, 30), 0, "nothing held twice");
+        assert_eq!(s.totals(), (70, 0));
+    }
+
+    #[test]
+    fn reserve_fails_without_funds_and_release_restores() {
+        let mut s = LedgerState::default();
+        lg(&mut s, ops::LG_DEPOSIT, 1, 50);
+        assert_eq!(lg(&mut s, ops::LG_RESERVE, 1, 60), 0, "insufficient");
+        assert_eq!(lg(&mut s, ops::LG_RESERVE, 9, 1), 0, "absent account");
+        assert_eq!(lg(&mut s, ops::LG_RESERVE, 1, 50), 1);
+        assert_eq!(lg(&mut s, ops::LG_BALANCE, 1, 0), 0);
+        assert_eq!(lg(&mut s, ops::LG_RELEASE, 1, 50), 1);
+        assert_eq!(lg(&mut s, ops::LG_BALANCE, 1, 0), 50);
+        assert_eq!(lg(&mut s, ops::LG_RELEASE, 1, 1), 0, "nothing held");
+        assert_eq!(s.totals(), (50, 0));
+    }
+
+    #[test]
+    fn scan_walks_accounts() {
+        let mut s = LedgerState::default();
+        lg(&mut s, ops::LG_DEPOSIT, 4, 1);
+        lg(&mut s, ops::LG_DEPOSIT, 8, 1);
+        assert_eq!(lg(&mut s, ops::LG_SCAN, 0, 0), 4);
+        assert_eq!(lg(&mut s, ops::LG_SCAN, 0, 5), 8);
+        assert_eq!(lg(&mut s, ops::LG_SCAN, 0, 9), EMPTY);
+    }
+}

@@ -1,0 +1,257 @@
+//! TTL session store: the application the timer wheel exists for.
+//!
+//! Every `SS_PUT` with a nonzero TTL arms a per-shard wheel timer; the
+//! runtime fires it inside the shard's critical section (before a mutating
+//! op on any backend, and from the idle shard loop on MP-SERVER shards), so
+//! expiry linearizes like any other mutation. Reads are belt-and-braces:
+//! `SS_GET`/`SS_TTL`/`SS_TOUCH`/`SS_SCAN` re-check the deadline and retire
+//! an overdue entry on the spot — an expired session is never served even
+//! on an inline backend whose idle shard has no one to run the sweep.
+//!
+//! TTL 0 means immortal: no timer, no deadline, fully deterministic (the
+//! lincheck histories use this mode so results are clock-independent).
+
+use std::collections::BTreeMap;
+
+use mpsync_objects::EMPTY;
+use mpsync_runtime::{mono_ns, TimerWheel};
+use mpsync_telemetry as telemetry;
+use mpsync_telemetry::Counter;
+
+use crate::{ops, Timer};
+
+/// Packs an `SS_PUT` argument: TTL (ms) in the high 32 bits, value in the
+/// low 32. TTL 0 = immortal.
+pub fn pack_put(value: u32, ttl_ms: u32) -> u64 {
+    ((ttl_ms as u64) << 32) | value as u64
+}
+
+/// Inverse of [`pack_put`]: `(value, ttl_ms)`.
+pub fn unpack_put(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: u64,
+    /// 0 = immortal.
+    deadline_ns: u64,
+    /// Wheel timer id, 0 = none (wheel ids start at 1).
+    timer: u64,
+}
+
+/// One shard's sessions.
+#[derive(Debug, Default)]
+pub(crate) struct SessionState {
+    entries: BTreeMap<u64, Entry>,
+}
+
+impl SessionState {
+    /// Timer-path expiry: retires `key` iff it is still armed with the
+    /// fired timer `id` (a PUT/TOUCH after arming re-keys the timer, which
+    /// orphans the old firing). Returns whether an entry was retired.
+    pub(crate) fn expire_one(&mut self, key: u64, id: u64) -> bool {
+        match self.entries.get(&key) {
+            Some(e) if e.timer == id => {
+                self.entries.remove(&key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    pub(crate) fn live(&self, now_ns: u64) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.deadline_ns == 0 || e.deadline_ns > now_ns)
+            .count()
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Retires `key` if its deadline has passed; returns true if it did.
+fn lazy_expire(
+    state: &mut SessionState,
+    wheel: &mut TimerWheel<Timer>,
+    key: u64,
+    now_ns: u64,
+) -> bool {
+    let Some(e) = state.entries.get(&key) else {
+        return false;
+    };
+    if e.deadline_ns == 0 || e.deadline_ns > now_ns {
+        return false;
+    }
+    let timer = e.timer;
+    state.entries.remove(&key);
+    if timer != 0 {
+        wheel.cancel(timer);
+    }
+    telemetry::count(Counter::AppSessionLazyExpired, 1);
+    true
+}
+
+/// Removes `key` unconditionally, cancelling its timer.
+fn take(state: &mut SessionState, wheel: &mut TimerWheel<Timer>, key: u64) -> Option<u64> {
+    let e = state.entries.remove(&key)?;
+    if e.timer != 0 {
+        wheel.cancel(e.timer);
+    }
+    Some(e.value)
+}
+
+/// Sequential dispatcher for the `SS_*` band. Shares the shard's wheel so
+/// puts arm timers and lazy retirement cancels them.
+pub(crate) fn dispatch(
+    state: &mut SessionState,
+    wheel: &mut TimerWheel<Timer>,
+    key: u64,
+    op: u64,
+    arg: u64,
+) -> u64 {
+    match op {
+        ops::SS_PUT => {
+            let (value, ttl_ms) = unpack_put(arg);
+            let old = take(state, wheel, key).unwrap_or(EMPTY);
+            let (deadline_ns, timer) = if ttl_ms > 0 {
+                let deadline = mono_ns() + ttl_ms as u64 * 1_000_000;
+                (deadline, wheel.insert(deadline, Timer::Session(key)))
+            } else {
+                (0, 0)
+            };
+            state.entries.insert(
+                key,
+                Entry {
+                    value: value as u64,
+                    deadline_ns,
+                    timer,
+                },
+            );
+            old
+        }
+        ops::SS_GET => {
+            if lazy_expire(state, wheel, key, mono_ns()) {
+                return EMPTY;
+            }
+            state.entries.get(&key).map(|e| e.value).unwrap_or(EMPTY)
+        }
+        ops::SS_DEL => take(state, wheel, key).unwrap_or(EMPTY),
+        ops::SS_TTL => {
+            let now = mono_ns();
+            if lazy_expire(state, wheel, key, now) {
+                return EMPTY;
+            }
+            match state.entries.get(&key) {
+                Some(e) if e.deadline_ns == 0 => 0,
+                Some(e) => (e.deadline_ns - now).div_ceil(1_000_000),
+                None => EMPTY,
+            }
+        }
+        ops::SS_TOUCH => {
+            let now = mono_ns();
+            if lazy_expire(state, wheel, key, now) {
+                return 0;
+            }
+            let Some(e) = state.entries.get_mut(&key) else {
+                return 0;
+            };
+            if e.timer != 0 {
+                wheel.cancel(e.timer);
+            }
+            if arg > 0 {
+                e.deadline_ns = now + arg * 1_000_000;
+                e.timer = wheel.insert(e.deadline_ns, Timer::Session(key));
+            } else {
+                e.deadline_ns = 0;
+                e.timer = 0;
+            }
+            1
+        }
+        ops::SS_SCAN => {
+            let now = mono_ns();
+            let mut cursor = arg;
+            loop {
+                let Some((&k, _)) = state.entries.range(cursor..).next() else {
+                    return EMPTY;
+                };
+                if !lazy_expire(state, wheel, k, now) {
+                    return k;
+                }
+                cursor = k; // the expired key is gone; resume at the gap
+            }
+        }
+        _ => panic!("session: unknown opcode {op}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel<Timer> {
+        TimerWheel::new(1_000_000)
+    }
+
+    fn ss(s: &mut SessionState, w: &mut TimerWheel<Timer>, op: u64, key: u64, arg: u64) -> u64 {
+        dispatch(s, w, key, op, arg)
+    }
+
+    #[test]
+    fn immortal_put_get_del_roundtrip() {
+        let (mut s, mut w) = (SessionState::default(), wheel());
+        assert_eq!(ss(&mut s, &mut w, ops::SS_PUT, 1, pack_put(42, 0)), EMPTY);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), 42);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_TTL, 1, 0), 0, "immortal");
+        assert_eq!(ss(&mut s, &mut w, ops::SS_PUT, 1, pack_put(43, 0)), 42);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_DEL, 1, 0), 43);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), EMPTY);
+        assert!(w.is_empty(), "immortal sessions arm no timers");
+    }
+
+    #[test]
+    fn ttl_put_arms_timer_and_lazy_get_expires() {
+        let (mut s, mut w) = (SessionState::default(), wheel());
+        ss(&mut s, &mut w, ops::SS_PUT, 1, pack_put(7, 50));
+        assert_eq!(w.len(), 1);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), 7, "live before TTL");
+        let ttl = ss(&mut s, &mut w, ops::SS_TTL, 1, 0);
+        assert!((1..=50).contains(&ttl), "remaining ttl in range, got {ttl}");
+        // Force the deadline into the past without sleeping.
+        s.entries.get_mut(&1).unwrap().deadline_ns = 1;
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), EMPTY, "lazy expiry");
+        assert!(w.is_empty(), "lazy expiry cancels the timer");
+    }
+
+    #[test]
+    fn timer_expiry_respects_rearm() {
+        let (mut s, mut w) = (SessionState::default(), wheel());
+        ss(&mut s, &mut w, ops::SS_PUT, 1, pack_put(7, 50));
+        let old_timer = s.entries[&1].timer;
+        assert_eq!(ss(&mut s, &mut w, ops::SS_TOUCH, 1, 100), 1);
+        let new_timer = s.entries[&1].timer;
+        assert_ne!(old_timer, new_timer);
+        assert!(!s.expire_one(1, old_timer), "stale firing is orphaned");
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), 7);
+        assert!(s.expire_one(1, new_timer), "current firing retires");
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 1, 0), EMPTY);
+    }
+
+    #[test]
+    fn touch_zero_makes_immortal_and_scan_skips_expired() {
+        let (mut s, mut w) = (SessionState::default(), wheel());
+        ss(&mut s, &mut w, ops::SS_PUT, 1, pack_put(1, 50));
+        ss(&mut s, &mut w, ops::SS_PUT, 2, pack_put(2, 50));
+        ss(&mut s, &mut w, ops::SS_PUT, 3, pack_put(3, 0));
+        assert_eq!(ss(&mut s, &mut w, ops::SS_TOUCH, 1, 0), 1);
+        assert_eq!(s.entries[&1].deadline_ns, 0);
+        s.entries.get_mut(&2).unwrap().deadline_ns = 1; // force-expire 2
+        assert_eq!(ss(&mut s, &mut w, ops::SS_SCAN, 0, 0), 1);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_SCAN, 0, 2), 3, "2 retired");
+        assert_eq!(ss(&mut s, &mut w, ops::SS_GET, 2, 0), EMPTY);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_SCAN, 0, 4), EMPTY);
+        assert_eq!(ss(&mut s, &mut w, ops::SS_TOUCH, 9, 10), 0, "absent");
+    }
+}

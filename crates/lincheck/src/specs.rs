@@ -2,7 +2,7 @@
 //! counters (§5.3), FIFO queues and LIFO stacks (§5.4), plus a register used
 //! in the checker's own tests.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::SeqSpec;
 
@@ -132,6 +132,292 @@ impl SeqSpec for StackSpec {
     }
 }
 
+/// The "absent" sentinel the application suite returns over the wire
+/// (mirrors `mpsync_objects::EMPTY`; redefined here so the checker stays
+/// dependency-free).
+pub const APP_EMPTY: u64 = u64::MAX;
+
+/// One operation against the `mpsync-apps` suite: five application objects
+/// (token-bucket rate limiter, leaderboard, priority queue, session store,
+/// ledger) sharing one keyed state. Sessions are modeled in immortal mode
+/// (TTL 0) so the spec is clock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppOp {
+    /// Take `n` tokens from `key`'s bucket (1 granted / 0 denied).
+    RateAcquire {
+        /// Bucket key.
+        key: u64,
+        /// Tokens requested.
+        n: u64,
+    },
+    /// Read `key`'s tokens clamped to capacity.
+    RatePeek {
+        /// Bucket key.
+        key: u64,
+    },
+    /// Add `n` tokens; returns the old raw count (fetch-add shape).
+    RateFill {
+        /// Bucket key.
+        key: u64,
+        /// Tokens added.
+        n: u64,
+    },
+    /// Add `delta` to `member`'s score; returns the new score.
+    BoardAdd {
+        /// Member key.
+        member: u64,
+        /// Score delta.
+        delta: u64,
+    },
+    /// Read `member`'s score, or `APP_EMPTY`.
+    BoardGet {
+        /// Member key.
+        member: u64,
+    },
+    /// The member ranked `rank` (0 = highest score), or `APP_EMPTY`.
+    BoardNth {
+        /// 0-based rank from the top.
+        rank: u64,
+    },
+    /// Count of members with score `>= score`.
+    BoardCountGe {
+        /// Score threshold.
+        score: u64,
+    },
+    /// Remove `member`; returns the removed score or `APP_EMPTY`.
+    BoardRemove {
+        /// Member key.
+        member: u64,
+    },
+    /// Push `(prio, item)` onto `queue`; returns the new length.
+    PqPush {
+        /// Queue key.
+        queue: u64,
+        /// Priority (lower is served first).
+        prio: u32,
+        /// Item id.
+        item: u32,
+    },
+    /// Pop the min-priority task (FIFO within a priority), packed
+    /// `prio << 32 | item`, or `APP_EMPTY`.
+    PqPop {
+        /// Queue key.
+        queue: u64,
+    },
+    /// Read the min-priority task without removing it.
+    PqPeek {
+        /// Queue key.
+        queue: u64,
+    },
+    /// Read the queue length.
+    PqLen {
+        /// Queue key.
+        queue: u64,
+    },
+    /// Store `value` under session `key` (immortal); returns the replaced
+    /// value or `APP_EMPTY`.
+    SessPut {
+        /// Session key.
+        key: u64,
+        /// Stored value.
+        value: u32,
+    },
+    /// Read session `key`, or `APP_EMPTY`.
+    SessGet {
+        /// Session key.
+        key: u64,
+    },
+    /// Delete session `key`; returns the removed value or `APP_EMPTY`.
+    SessDel {
+        /// Session key.
+        key: u64,
+    },
+    /// Credit `key` with `amount`; returns the new available balance.
+    LgDeposit {
+        /// Account key.
+        key: u64,
+        /// Amount credited.
+        amount: u64,
+    },
+    /// Read `key`'s available balance (0 if absent).
+    LgBalance {
+        /// Account key.
+        key: u64,
+    },
+    /// Move `amount` from available to held (1 ok / 0 refused).
+    LgReserve {
+        /// Account key.
+        key: u64,
+        /// Amount to hold.
+        amount: u64,
+    },
+    /// Burn `amount` of held funds (1 ok / 0 refused).
+    LgCommit {
+        /// Account key.
+        key: u64,
+        /// Amount to commit.
+        amount: u64,
+    },
+    /// Return `amount` of held funds to available (1 ok / 0 refused).
+    LgRelease {
+        /// Account key.
+        key: u64,
+        /// Amount to release.
+        amount: u64,
+    },
+    /// Read `key`'s held amount (0 if absent).
+    LgHeld {
+        /// Account key.
+        key: u64,
+    },
+}
+
+/// One modeled priority queue: `(prio, seq)` → item, plus the next
+/// FIFO sequence number.
+pub type PqQueueModel = (BTreeMap<(u64, u64), u64>, u64);
+
+/// Abstract state of the application suite (see [`AppSpec`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AppModel {
+    /// Bucket key → raw (unclamped) token count.
+    pub rate: BTreeMap<u64, u64>,
+    /// Member → score.
+    pub scores: BTreeMap<u64, u64>,
+    /// Queue key → (`(prio, seq)` → item, next seq).
+    pub queues: BTreeMap<u64, PqQueueModel>,
+    /// Session key → value (immortal sessions only).
+    pub sessions: BTreeMap<u64, u64>,
+    /// Account key → (available, held).
+    pub accounts: BTreeMap<u64, (u64, u64)>,
+}
+
+/// Sequential specification of the `mpsync-apps` suite, mirroring its
+/// dispatcher semantics exactly (buckets start full at `cap`; leaderboard
+/// rank order is descending `(score, member)`; pops are priority-then-FIFO;
+/// ledger holds are conserved).
+#[derive(Debug, Clone, Copy)]
+pub struct AppSpec {
+    /// Token-bucket capacity (`RuntimeConfig`-side `bucket_capacity`).
+    pub cap: u64,
+}
+
+impl SeqSpec for AppSpec {
+    type State = AppModel;
+    type Op = AppOp;
+    type Ret = u64;
+
+    fn init(&self) -> AppModel {
+        AppModel::default()
+    }
+
+    fn apply(&self, s: &AppModel, op: &AppOp) -> (AppModel, u64) {
+        let mut next = s.clone();
+        let ret = match *op {
+            AppOp::RateAcquire { key, n } => {
+                let tokens = next.rate.entry(key).or_insert(self.cap);
+                *tokens = (*tokens).min(self.cap);
+                if *tokens >= n {
+                    *tokens -= n;
+                    1
+                } else {
+                    0
+                }
+            }
+            AppOp::RatePeek { key } => next
+                .rate
+                .get(&key)
+                .copied()
+                .unwrap_or(self.cap)
+                .min(self.cap),
+            AppOp::RateFill { key, n } => {
+                let tokens = next.rate.entry(key).or_insert(self.cap);
+                let old = *tokens;
+                *tokens = old.wrapping_add(n);
+                old
+            }
+            AppOp::BoardAdd { member, delta } => {
+                let score = next.scores.entry(member).or_insert(0);
+                *score = score.wrapping_add(delta);
+                *score
+            }
+            AppOp::BoardGet { member } => next.scores.get(&member).copied().unwrap_or(APP_EMPTY),
+            AppOp::BoardNth { rank } => {
+                let mut ranked: Vec<(u64, u64)> =
+                    next.scores.iter().map(|(&m, &sc)| (sc, m)).collect();
+                ranked.sort_unstable_by(|a, b| b.cmp(a));
+                ranked
+                    .get(rank as usize)
+                    .map(|&(_, m)| m)
+                    .unwrap_or(APP_EMPTY)
+            }
+            AppOp::BoardCountGe { score } => {
+                next.scores.values().filter(|&&sc| sc >= score).count() as u64
+            }
+            AppOp::BoardRemove { member } => next.scores.remove(&member).unwrap_or(APP_EMPTY),
+            AppOp::PqPush { queue, prio, item } => {
+                let (tasks, seq) = next.queues.entry(queue).or_default();
+                tasks.insert((prio as u64, *seq), item as u64);
+                *seq += 1;
+                tasks.len() as u64
+            }
+            AppOp::PqPop { queue } => match next
+                .queues
+                .get_mut(&queue)
+                .and_then(|(tasks, _)| tasks.pop_first())
+            {
+                Some(((prio, _), item)) => (prio << 32) | item,
+                None => APP_EMPTY,
+            },
+            AppOp::PqPeek { queue } => next
+                .queues
+                .get(&queue)
+                .and_then(|(tasks, _)| tasks.first_key_value())
+                .map(|(&(prio, _), &item)| (prio << 32) | item)
+                .unwrap_or(APP_EMPTY),
+            AppOp::PqLen { queue } => next
+                .queues
+                .get(&queue)
+                .map_or(0, |(tasks, _)| tasks.len() as u64),
+            AppOp::SessPut { key, value } => {
+                next.sessions.insert(key, value as u64).unwrap_or(APP_EMPTY)
+            }
+            AppOp::SessGet { key } => next.sessions.get(&key).copied().unwrap_or(APP_EMPTY),
+            AppOp::SessDel { key } => next.sessions.remove(&key).unwrap_or(APP_EMPTY),
+            AppOp::LgDeposit { key, amount } => {
+                let (avail, _) = next.accounts.entry(key).or_default();
+                *avail = avail.saturating_add(amount);
+                *avail
+            }
+            AppOp::LgBalance { key } => next.accounts.get(&key).map_or(0, |&(a, _)| a),
+            AppOp::LgReserve { key, amount } => match next.accounts.get_mut(&key) {
+                Some((avail, held)) if *avail >= amount => {
+                    *avail -= amount;
+                    *held += amount;
+                    1
+                }
+                _ => 0,
+            },
+            AppOp::LgCommit { key, amount } => match next.accounts.get_mut(&key) {
+                Some((_, held)) if *held >= amount => {
+                    *held -= amount;
+                    1
+                }
+                _ => 0,
+            },
+            AppOp::LgRelease { key, amount } => match next.accounts.get_mut(&key) {
+                Some((avail, held)) if *held >= amount => {
+                    *held -= amount;
+                    *avail += amount;
+                    1
+                }
+                _ => 0,
+            },
+            AppOp::LgHeld { key } => next.accounts.get(&key).map_or(0, |&(_, h)| h),
+        };
+        (next, ret)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +457,97 @@ mod tests {
         let (st, r2) = s.apply(&st, &StackOp::Pop);
         let (_, r3) = s.apply(&st, &StackOp::Pop);
         assert_eq!((r1, r2, r3), (Some(2), Some(1), None));
+    }
+
+    #[test]
+    fn app_spec_bucket_starts_full_and_clamps() {
+        let spec = AppSpec { cap: 10 };
+        let st = spec.init();
+        let (st, granted) = spec.apply(&st, &AppOp::RateAcquire { key: 1, n: 4 });
+        assert_eq!(granted, 1);
+        let (st, old) = spec.apply(&st, &AppOp::RateFill { key: 1, n: 100 });
+        assert_eq!(old, 6);
+        let (_, peek) = spec.apply(&st, &AppOp::RatePeek { key: 1 });
+        assert_eq!(peek, 10, "peek clamps to cap");
+    }
+
+    #[test]
+    fn app_spec_pq_priority_then_fifo() {
+        let spec = AppSpec { cap: 1 };
+        let q = 7;
+        let (st, _) = spec.apply(
+            &spec.init(),
+            &AppOp::PqPush {
+                queue: q,
+                prio: 5,
+                item: 1,
+            },
+        );
+        let (st, _) = spec.apply(
+            &st,
+            &AppOp::PqPush {
+                queue: q,
+                prio: 5,
+                item: 2,
+            },
+        );
+        let (st, _) = spec.apply(
+            &st,
+            &AppOp::PqPush {
+                queue: q,
+                prio: 1,
+                item: 3,
+            },
+        );
+        let (st, a) = spec.apply(&st, &AppOp::PqPop { queue: q });
+        let (st, b) = spec.apply(&st, &AppOp::PqPop { queue: q });
+        let (st, c) = spec.apply(&st, &AppOp::PqPop { queue: q });
+        let (_, d) = spec.apply(&st, &AppOp::PqPop { queue: q });
+        assert_eq!(a, (1 << 32) | 3);
+        assert_eq!(b, (5 << 32) | 1, "FIFO within a priority");
+        assert_eq!(c, (5 << 32) | 2);
+        assert_eq!(d, APP_EMPTY);
+    }
+
+    #[test]
+    fn app_spec_ledger_conserves() {
+        let spec = AppSpec { cap: 1 };
+        let (st, _) = spec.apply(&spec.init(), &AppOp::LgDeposit { key: 1, amount: 50 });
+        let (st, ok) = spec.apply(&st, &AppOp::LgReserve { key: 1, amount: 20 });
+        assert_eq!(ok, 1);
+        let (st, bal) = spec.apply(&st, &AppOp::LgBalance { key: 1 });
+        let (st, held) = spec.apply(&st, &AppOp::LgHeld { key: 1 });
+        assert_eq!((bal, held), (30, 20));
+        let (st, ok) = spec.apply(&st, &AppOp::LgRelease { key: 1, amount: 20 });
+        assert_eq!(ok, 1);
+        let (_, bal) = spec.apply(&st, &AppOp::LgBalance { key: 1 });
+        assert_eq!(bal, 50);
+    }
+
+    #[test]
+    fn app_spec_board_ranks_descending() {
+        let spec = AppSpec { cap: 1 };
+        let (st, _) = spec.apply(
+            &spec.init(),
+            &AppOp::BoardAdd {
+                member: 1,
+                delta: 10,
+            },
+        );
+        let (st, _) = spec.apply(
+            &st,
+            &AppOp::BoardAdd {
+                member: 2,
+                delta: 30,
+            },
+        );
+        let (st, top) = spec.apply(&st, &AppOp::BoardNth { rank: 0 });
+        assert_eq!(top, 2);
+        let (st, n) = spec.apply(&st, &AppOp::BoardCountGe { score: 10 });
+        assert_eq!(n, 2);
+        let (st, removed) = spec.apply(&st, &AppOp::BoardRemove { member: 2 });
+        assert_eq!(removed, 30);
+        let (_, top) = spec.apply(&st, &AppOp::BoardNth { rank: 0 });
+        assert_eq!(top, 1);
     }
 }

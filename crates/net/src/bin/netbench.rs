@@ -44,12 +44,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use mpsync_apps::{ops as app_ops, pack_put, pack_task, unpack_task, AppConfig, AppSuite};
 use mpsync_net::{
     AdminClient, NetClient, NetServer, ServerConfig, ServerModel, STAT_SNAPSHOT_VERSION,
 };
 use mpsync_objects::seq::{keyed_counter_ops, kv_ops};
 use mpsync_runtime::{
-    Backend, RuntimeConfig, RuntimeStats, ShardedCounter, ShardedKvStore, SubmitPolicy,
+    probe_key, Backend, RuntimeConfig, RuntimeStats, ShardedCounter, ShardedKvStore, SubmitPolicy,
 };
 use mpsync_telemetry::Log2Hist;
 use rand::{Rng, SeedableRng, StdRng};
@@ -108,6 +109,26 @@ struct Opts {
 enum Workload {
     Counter,
     Kv,
+    /// Token buckets: read-mostly admission checks over the app suite.
+    Ratelimit,
+    /// Score updates + rank reads over the app suite's ordered index.
+    Leaderboard,
+    /// Push/pop-min against the app suite's priority queues.
+    Pq,
+    /// TTL session store: puts with live TTLs keep the timer wheel busy.
+    Session,
+    /// Single-op slice of the ledger band (deposits, balances, holds).
+    Txn,
+    /// Uniform mix across all five application bands.
+    Mixed,
+}
+
+impl Workload {
+    /// Whether this workload is served by the [`AppSuite`] (vs the plain
+    /// sharded counter / kv objects).
+    fn is_app(self) -> bool {
+        !matches!(self, Workload::Counter | Workload::Kv)
+    }
 }
 
 impl Default for Opts {
@@ -157,7 +178,8 @@ USAGE: netbench [FLAGS]
   --rate OPS_S       open loop: aggregate request rate (ops/s)
   --keys N           key-space size                               [1024]
   --theta F          Zipf skew, 0 = uniform                       [0.99]
-  --workload W       counter | kv                                 [counter]
+  --workload W       counter | kv | ratelimit | leaderboard |
+                     pq | session | txn | mixed                   [counter]
   --policy P         block | fail (fail surfaces BUSY)            [block]
   --queue-depth N    per-shard admission window                   [64]
   --uds PATH         serve over a unix socket instead of TCP
@@ -236,6 +258,12 @@ fn parse_args() -> Result<Opts, String> {
                 o.workload = match val(&mut args, &a)?.as_str() {
                     "counter" => Workload::Counter,
                     "kv" => Workload::Kv,
+                    "ratelimit" => Workload::Ratelimit,
+                    "leaderboard" => Workload::Leaderboard,
+                    "pq" => Workload::Pq,
+                    "session" => Workload::Session,
+                    "txn" => Workload::Txn,
+                    "mixed" => Workload::Mixed,
                     w => return Err(format!("unknown workload {w:?}")),
                 }
             }
@@ -362,6 +390,87 @@ fn op_for(workload: Workload, rng: &mut StdRng) -> (u8, u64) {
             } else {
                 (kv_ops::PUT as u8, rng.gen_range(1u64..1 << 32))
             }
+        }
+        // Read-mostly admission: peeks ride the read fast path, grants
+        // draw 1..4 tokens, occasional fills feed the op-merging path.
+        Workload::Ratelimit => {
+            let r = rng.gen_range(0u32..100);
+            if r < 70 {
+                (app_ops::RL_PEEK as u8, 0)
+            } else if r < 95 {
+                (app_ops::RL_ACQUIRE as u8, rng.gen_range(1u64..4))
+            } else {
+                (app_ops::RL_FILL as u8, rng.gen_range(1u64..8))
+            }
+        }
+        // Score reads dominate; rank reads hit the shard-local ordered
+        // index (the facet's cross-shard merge is a client concern).
+        Workload::Leaderboard => {
+            let r = rng.gen_range(0u32..100);
+            if r < 55 {
+                (app_ops::LB_GET as u8, 0)
+            } else if r < 85 {
+                (app_ops::LB_ADD as u8, rng.gen_range(1u64..100))
+            } else if r < 95 {
+                (app_ops::LB_NTH as u8, rng.gen_range(0u64..8))
+            } else {
+                (app_ops::LB_COUNT_GE as u8, rng.gen_range(1u64..1000))
+            }
+        }
+        // Balanced producer/consumer on the keyed queues.
+        Workload::Pq => {
+            if rng.gen_bool(0.5) {
+                (
+                    app_ops::PQ_PUSH as u8,
+                    pack_task(rng.gen_range(0u32..8), rng.gen_range(1u32..1 << 20)),
+                )
+            } else {
+                (app_ops::PQ_POP as u8, 0)
+            }
+        }
+        // Session cache shape: gets dominate, puts carry live 50–500 ms
+        // TTLs so the per-shard timer wheel stays armed under load.
+        Workload::Session => {
+            let r = rng.gen_range(0u32..100);
+            if r < 50 {
+                (app_ops::SS_GET as u8, 0)
+            } else if r < 85 {
+                (
+                    app_ops::SS_PUT as u8,
+                    pack_put(rng.gen_range(1u32..1 << 20), rng.gen_range(50u32..500)),
+                )
+            } else if r < 95 {
+                (app_ops::SS_TTL as u8, 0)
+            } else {
+                (app_ops::SS_DEL as u8, 0)
+            }
+        }
+        // Single-op slice of the ledger protocol; full two-phase transfers
+        // run in the apps smoke. Reserves and releases stay paired in
+        // expectation so holds drain.
+        Workload::Txn => {
+            let r = rng.gen_range(0u32..100);
+            if r < 35 {
+                (app_ops::LG_DEPOSIT as u8, rng.gen_range(1u64..100))
+            } else if r < 75 {
+                (app_ops::LG_BALANCE as u8, 0)
+            } else if r < 85 {
+                (app_ops::LG_RESERVE as u8, 1)
+            } else if r < 95 {
+                (app_ops::LG_RELEASE as u8, 1)
+            } else {
+                (app_ops::LG_HELD as u8, 0)
+            }
+        }
+        Workload::Mixed => {
+            let w = match rng.gen_range(0u32..5) {
+                0 => Workload::Ratelimit,
+                1 => Workload::Leaderboard,
+                2 => Workload::Pq,
+                3 => Workload::Session,
+                _ => Workload::Txn,
+            };
+            op_for(w, rng)
         }
     }
 }
@@ -672,6 +781,7 @@ fn open_loop_conn(
 enum Svc {
     Counter(Arc<ShardedCounter>),
     Kv(Arc<ShardedKvStore>),
+    Apps(Arc<AppSuite>),
 }
 
 impl Svc {
@@ -690,6 +800,15 @@ impl Svc {
         match opts.workload {
             Workload::Counter => Svc::Counter(Arc::new(ShardedCounter::new(cfg))),
             Workload::Kv => Svc::Kv(Arc::new(ShardedKvStore::new(cfg))),
+            // App workloads run the refill timer so the wheel fires under
+            // load, not just on session TTLs.
+            _ => Svc::Apps(Arc::new(AppSuite::with_app_config(
+                cfg,
+                AppConfig {
+                    refill_interval_ms: 10,
+                    ..AppConfig::default()
+                },
+            ))),
         }
     }
 
@@ -697,6 +816,7 @@ impl Svc {
         let max_op = match opts.workload {
             Workload::Counter => keyed_counter_ops::GET as u8,
             Workload::Kv => kv_ops::SUB as u8,
+            _ => (app_ops::OP_LIMIT - 1) as u8,
         };
         let cfg = ServerConfig::default()
             .with_max_op(max_op)
@@ -704,6 +824,7 @@ impl Svc {
         let builder = match self {
             Svc::Counter(svc) => NetServer::builder(svc.clone()),
             Svc::Kv(svc) => NetServer::builder(svc.clone()),
+            Svc::Apps(svc) => NetServer::builder(svc.clone()),
         }
         .config(cfg);
         match &opts.uds {
@@ -727,11 +848,13 @@ impl Svc {
         match self {
             Svc::Counter(svc) => (0..svc.shards()).map(|s| svc.swap_epoch(s)).sum(),
             Svc::Kv(svc) => (0..svc.shards()).map(|s| svc.swap_epoch(s)).sum(),
+            Svc::Apps(svc) => (0..svc.shards()).map(|s| svc.swap_epoch(s)).sum(),
         }
     }
 
     /// Consumes the service (the server must be shut down first so its
-    /// `Arc` clone is gone) and returns final state + stats.
+    /// `Arc` clone is gone) and returns final state + stats. The app suite
+    /// reports no per-key map here (its totals come via [`Svc::finish_apps`]).
     fn finish(self) -> (std::collections::HashMap<u64, u64>, RuntimeStats) {
         match self {
             Svc::Counter(svc) => match Arc::try_unwrap(svc) {
@@ -742,6 +865,25 @@ impl Svc {
                 Ok(svc) => svc.shutdown(),
                 Err(_) => panic!("service still shared after server shutdown"),
             },
+            Svc::Apps(svc) => match Arc::try_unwrap(svc) {
+                Ok(svc) => {
+                    let (_totals, stats) = svc.shutdown();
+                    (std::collections::HashMap::new(), stats)
+                }
+                Err(_) => panic!("service still shared after server shutdown"),
+            },
+        }
+    }
+
+    /// App-suite variant of [`Svc::finish`]: recovers the cross-shard
+    /// [`mpsync_apps::AppTotals`] the smoke's invariants are written against.
+    fn finish_apps(self) -> (mpsync_apps::AppTotals, RuntimeStats) {
+        match self {
+            Svc::Apps(svc) => match Arc::try_unwrap(svc) {
+                Ok(svc) => svc.shutdown(),
+                Err(_) => panic!("service still shared after server shutdown"),
+            },
+            _ => panic!("finish_apps on a non-app service"),
         }
     }
 }
@@ -1211,6 +1353,333 @@ fn run_smoke(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), St
     Ok(())
 }
 
+// -------------------------------------------------------------- apps smoke
+
+/// One synchronous request/response on a dedicated connection. With
+/// `SubmitPolicy::Block` every data-plane answer is `Ok`; anything else is
+/// a smoke failure.
+fn rpc(client: &mut NetClient, key: u64, op: u64, arg: u64) -> Result<u64, String> {
+    client.send(key, op as u8, arg);
+    client.flush().map_err(|e| format!("flush: {e}"))?;
+    match client.recv() {
+        Ok(Some(resp)) => match resp.status {
+            Status::Ok => Ok(resp.value),
+            s => Err(format!("key {key} op {op}: unexpected status {s:?}")),
+        },
+        Ok(None) => Err(format!("key {key} op {op}: connection closed")),
+        Err(e) => Err(format!("recv: {e}")),
+    }
+}
+
+/// Sentinel the app dispatcher returns for "absent" (`mpsync_objects::EMPTY`).
+const APPS_EMPTY: u64 = u64::MAX;
+
+/// Keys the apps smoke reserves for its deterministic checks; background
+/// noise runs at `NOISE_BASE +` so the invariants stay exact.
+const LEDGER_KEYS: std::ops::Range<u64> = 100..108;
+const SESSION_KEYS: std::ops::Range<u64> = 200..210;
+const IMMORTAL_KEY: u64 = 250;
+const PQ_KEY: u64 = 300;
+const RATE_KEY: u64 = 400;
+const BOARD_KEYS: std::ops::Range<u64> = 500..520;
+const NOISE_BASE: u64 = 10_000;
+
+/// The apps CI scenario: every application band verified over the wire on
+/// one live server, with background noise keeping the combiners and the
+/// per-shard timer wheels busy throughout.
+///
+/// * ledger — two-phase transfers between 8 accounts; conservation and
+///   zero residual holds, cross-checked against the shutdown totals;
+/// * sessions — TTL'd puts must be served before their deadline and
+///   **never after**, immortal entries survive;
+/// * priority queue — push/pop exactly-once, priority order, FIFO ties;
+/// * rate limiter — capacity clamp, deny-leaves-no-trace, timer refill;
+/// * leaderboard — client-side top-K merge over per-shard rank reads.
+fn run_apps_smoke(opts: &Opts, backend: Backend, model: ServerModel) -> Result<(), String> {
+    let tag = format!("apps-smoke {}/{}", backend.label(), model_label(model));
+    let fail = |msg: String| Err(format!("[{tag}] {msg}"));
+    let mut opts = opts.clone();
+    opts.workload = Workload::Mixed;
+    opts.policy = SubmitPolicy::Block;
+    let shards = opts.shards;
+    let svc = Svc::build(&opts, backend, model);
+    let (server, ep) = svc
+        .serve(&opts, model)
+        .map_err(|e| format!("server start: {e}"))?;
+
+    // Background noise: rate-limiter, pq, and session traffic on a
+    // disjoint keyspace (the ledger and leaderboard stay untouched so the
+    // conservation and top-K invariants below are exact). Session puts
+    // carry live TTLs, so the timer wheels stay armed under real load.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut noise = Vec::new();
+    for n in 0..2usize {
+        let ep = ep.clone();
+        let stop = Arc::clone(&stop);
+        let (keys, theta, seed) = (opts.keys, opts.theta, opts.seed);
+        noise.push(std::thread::spawn(move || -> Result<u64, String> {
+            let zipf = Zipf::new(keys, theta);
+            let mut rng = StdRng::seed_from_u64(seed ^ (n as u64 + 1).wrapping_mul(0xA51));
+            let mut client = connect(&ep).map_err(|e| format!("noise connect: {e}"))?;
+            let mut acked = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let w = match rng.gen_range(0u32..3) {
+                    0 => Workload::Ratelimit,
+                    1 => Workload::Pq,
+                    _ => Workload::Session,
+                };
+                let (op, arg) = op_for(w, &mut rng);
+                let key = NOISE_BASE + zipf.sample(&mut rng);
+                rpc(&mut client, key, op as u64, arg).map_err(|e| format!("noise rpc: {e}"))?;
+                acked += 1;
+            }
+            Ok(acked)
+        }));
+    }
+
+    let mut c = connect(&ep).map_err(|e| format!("connect: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // --- ledger: seed 8 accounts, then two-phase transfers between them.
+    const SEED_FUNDS: u64 = 1_000;
+    let total_funds = SEED_FUNDS * (LEDGER_KEYS.end - LEDGER_KEYS.start);
+    for key in LEDGER_KEYS {
+        let bal = rpc(&mut c, key, app_ops::LG_DEPOSIT, SEED_FUNDS)?;
+        if bal != SEED_FUNDS {
+            return fail(format!("account {key} seeded to {bal}, want {SEED_FUNDS}"));
+        }
+    }
+    let (mut commits, mut aborts) = (0u64, 0u64);
+    for _ in 0..300 {
+        let from = rng.gen_range(LEDGER_KEYS.start..LEDGER_KEYS.end);
+        let mut to = rng.gen_range(LEDGER_KEYS.start..LEDGER_KEYS.end);
+        if to == from {
+            to = LEDGER_KEYS.start
+                + (to + 1 - LEDGER_KEYS.start) % (LEDGER_KEYS.end - LEDGER_KEYS.start);
+        }
+        // Occasionally over-draw so the abort path runs too.
+        let amount = if rng.gen_bool(0.05) {
+            total_funds + 1
+        } else {
+            rng.gen_range(1u64..50)
+        };
+        if rpc(&mut c, from, app_ops::LG_RESERVE, amount)? == 1 {
+            if rpc(&mut c, from, app_ops::LG_COMMIT, amount)? != 1 {
+                return fail(format!("commit of reserved {amount} on {from} refused"));
+            }
+            rpc(&mut c, to, app_ops::LG_DEPOSIT, amount)?;
+            commits += 1;
+        } else {
+            aborts += 1;
+        }
+    }
+    let (mut sum_avail, mut sum_held) = (0u64, 0u64);
+    for key in LEDGER_KEYS {
+        sum_avail += rpc(&mut c, key, app_ops::LG_BALANCE, 0)?;
+        sum_held += rpc(&mut c, key, app_ops::LG_HELD, 0)?;
+    }
+    if sum_held != 0 {
+        return fail(format!("residual holds after transfers: {sum_held}"));
+    }
+    if sum_avail != total_funds {
+        return fail(format!(
+            "ledger lost money: {sum_avail} available, want {total_funds} \
+             ({commits} commits, {aborts} aborts)"
+        ));
+    }
+
+    // --- sessions: a TTL'd put is served before its deadline, never after.
+    const TTL_MS: u64 = 100;
+    let mut deadlines = Vec::new(); // earliest possible server-side deadline
+    for key in SESSION_KEYS {
+        let t_send = Instant::now();
+        let old = rpc(
+            &mut c,
+            key,
+            app_ops::SS_PUT,
+            pack_put(7_000 + key as u32, TTL_MS as u32),
+        )?;
+        if old != APPS_EMPTY {
+            return fail(format!("fresh session {key} replaced value {old}"));
+        }
+        deadlines.push((key, t_send + Duration::from_millis(TTL_MS)));
+    }
+    if rpc(&mut c, IMMORTAL_KEY, app_ops::SS_PUT, pack_put(9_999, 0))? != APPS_EMPTY {
+        return fail("immortal session key already occupied".into());
+    }
+    // Immediate reads: any GET answered before the earliest possible
+    // deadline must still see the value.
+    for &(key, deadline) in &deadlines {
+        let v = rpc(&mut c, key, app_ops::SS_GET, 0)?;
+        if Instant::now() < deadline && v != 7_000 + key {
+            return fail(format!("live session {key} read {v}, want {}", 7_000 + key));
+        }
+    }
+    // Wait out every deadline (+ slack for the server's later clock read),
+    // then a GET *sent* past the deadline must never be served: the
+    // dispatcher re-checks the deadline even if the timer sweep is late.
+    let latest = deadlines.iter().map(|&(_, d)| d).max().unwrap();
+    let wait = (latest + Duration::from_millis(50)).saturating_duration_since(Instant::now());
+    std::thread::sleep(wait);
+    for &(key, _) in &deadlines {
+        let v = rpc(&mut c, key, app_ops::SS_GET, 0)?;
+        if v != APPS_EMPTY {
+            return fail(format!("expired session {key} served value {v}"));
+        }
+    }
+    if rpc(&mut c, IMMORTAL_KEY, app_ops::SS_GET, 0)? != 9_999 {
+        return fail("immortal session lost".into());
+    }
+
+    // --- priority queue: exactly-once, priority order, FIFO within ties.
+    const TASKS: u32 = 200;
+    for i in 0..TASKS {
+        rpc(
+            &mut c,
+            PQ_KEY,
+            app_ops::PQ_PUSH,
+            pack_task(i % 8, 1_000 + i),
+        )?;
+    }
+    if rpc(&mut c, PQ_KEY, app_ops::PQ_LEN, 0)? != TASKS as u64 {
+        return fail("pq length after pushes wrong".into());
+    }
+    let mut popped = Vec::new();
+    loop {
+        let v = rpc(&mut c, PQ_KEY, app_ops::PQ_POP, 0)?;
+        if v == APPS_EMPTY {
+            break;
+        }
+        popped.push(unpack_task(v));
+    }
+    if popped.len() != TASKS as usize {
+        return fail(format!("popped {} tasks, pushed {TASKS}", popped.len()));
+    }
+    for pair in popped.windows(2) {
+        let ((p0, i0), (p1, i1)) = (pair[0], pair[1]);
+        if p1 < p0 || (p1 == p0 && i1 <= i0) {
+            return fail(format!("pop order broken: ({p0},{i0}) then ({p1},{i1})"));
+        }
+    }
+    let mut items: Vec<u32> = popped.iter().map(|&(_, i)| i).collect();
+    items.sort_unstable();
+    if items != (1_000..1_000 + TASKS).collect::<Vec<_>>() {
+        return fail("pq pop set differs from push set".into());
+    }
+
+    // --- rate limiter: clamp, deny-without-draining, timer refill.
+    let cap = AppConfig::default().bucket_capacity;
+    if rpc(&mut c, RATE_KEY, app_ops::RL_ACQUIRE, cap + 1)? != 0 {
+        return fail("over-capacity acquire granted".into());
+    }
+    let peek = rpc(&mut c, RATE_KEY, app_ops::RL_PEEK, 0)?;
+    if peek != cap {
+        return fail(format!(
+            "denied acquire drained tokens: peek {peek}, want {cap}"
+        ));
+    }
+    let t0 = Instant::now();
+    let mut granted = 0u64;
+    for _ in 0..2 * cap {
+        granted += rpc(&mut c, RATE_KEY, app_ops::RL_ACQUIRE, 1)?;
+    }
+    let refill_bound =
+        AppConfig::default().refill_amount * (t0.elapsed().as_millis() as u64 / 10 + 2);
+    if granted < cap || granted > cap + refill_bound {
+        return fail(format!(
+            "granted {granted} of a cap-{cap} bucket (refill bound {refill_bound})"
+        ));
+    }
+    // Drained (modulo refills); after a couple of refill periods the
+    // timer must have topped the bucket back up.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut refilled = false;
+    for _ in 0..5 {
+        if rpc(&mut c, RATE_KEY, app_ops::RL_ACQUIRE, 1)? == 1 {
+            refilled = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    if !refilled {
+        return fail("timer refill never topped the bucket up".into());
+    }
+
+    // --- leaderboard: per-shard rank reads merged client-side.
+    for m in BOARD_KEYS {
+        let score = (m - BOARD_KEYS.start + 1) * 10;
+        if rpc(&mut c, m, app_ops::LB_ADD, score)? != score {
+            return fail(format!("board add for {m} returned wrong score"));
+        }
+    }
+    let mut merged = Vec::new();
+    for shard in 0..shards {
+        let probe = probe_key(shard, shards);
+        for rank in 0..3u64 {
+            let member = rpc(&mut c, probe, app_ops::LB_NTH, rank)?;
+            if member == APPS_EMPTY {
+                break;
+            }
+            let score = rpc(&mut c, member, app_ops::LB_GET, 0)?;
+            merged.push((score, member));
+        }
+    }
+    merged.sort_unstable_by(|a, b| b.cmp(a));
+    merged.truncate(3);
+    let want: Vec<(u64, u64)> = (0..3)
+        .map(|i| (200 - 10 * i, BOARD_KEYS.end - 1 - i))
+        .collect();
+    if merged != want {
+        return fail(format!("top-3 merge {merged:?}, want {want:?}"));
+    }
+    let count_ge: u64 = (0..shards)
+        .map(|s| rpc(&mut c, probe_key(s, shards), app_ops::LB_COUNT_GE, 195))
+        .sum::<Result<u64, _>>()?;
+    if count_ge != 1 {
+        return fail(format!("count_ge(195) = {count_ge}, want 1"));
+    }
+
+    // --- wind down: noise must have run clean, totals must agree with
+    // what the wire saw.
+    stop.store(true, Ordering::Relaxed);
+    let mut noise_acked = 0u64;
+    for h in noise {
+        match h.join() {
+            Ok(Ok(n)) => noise_acked += n,
+            Ok(Err(e)) => return fail(format!("noise conn: {e}")),
+            Err(_) => return fail("noise conn panicked".into()),
+        }
+    }
+    if noise_acked == 0 {
+        return fail("background noise did no work".into());
+    }
+    let report = server.shutdown();
+    let (totals, _stats) = svc.finish_apps();
+    if totals.ledger_available != total_funds || totals.ledger_held != 0 {
+        return fail(format!(
+            "shutdown totals disagree with the wire: {} available / {} held, want {total_funds}/0",
+            totals.ledger_available, totals.ledger_held
+        ));
+    }
+    if totals.board_members as u64 != BOARD_KEYS.end - BOARD_KEYS.start {
+        return fail(format!(
+            "board members at shutdown: {}, want {}",
+            totals.board_members,
+            BOARD_KEYS.end - BOARD_KEYS.start
+        ));
+    }
+    if totals.sessions_live == 0 {
+        return fail("immortal session missing from shutdown totals".into());
+    }
+    println!(
+        "[{tag}] APPS OK: {commits} transfers committed / {aborts} aborted, \
+         {TASKS} pq tasks exactly-once, {} sessions expired on time, \
+         {noise_acked} noise ops; server: {report}",
+        SESSION_KEYS.end - SESSION_KEYS.start
+    );
+    Ok(())
+}
+
 // ----------------------------------------------------------- pinned suite
 
 /// The open-loop arrival rate of the pinned scenario (aggregate ops/s).
@@ -1537,7 +2006,9 @@ fn main() -> ExitCode {
     let mut failed = false;
     for &backend in &opts.backends {
         for &model in &opts.models {
-            let res = if opts.smoke {
+            let res = if opts.smoke && opts.workload.is_app() {
+                run_apps_smoke(&opts, backend, model)
+            } else if opts.smoke {
                 run_smoke(&opts, backend, model)
             } else {
                 run_bench(&opts, backend, model).map(|_| ())

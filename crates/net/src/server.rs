@@ -155,6 +155,28 @@ impl Service for mpsync_runtime::ShardedCounter {
     }
 }
 
+impl Service for mpsync_apps::AppSuite {
+    fn open_session(&self) -> Result<Session, RuntimeError> {
+        self.raw_session()
+    }
+
+    fn shards(&self) -> usize {
+        mpsync_apps::AppSuite::shards(self)
+    }
+
+    fn shard_of(&self, key: u64) -> usize {
+        mpsync_apps::AppSuite::shard_of(self, key)
+    }
+
+    fn take_driver(&self, shard: usize) -> Option<ShardDriver> {
+        mpsync_apps::AppSuite::take_driver(self, shard)
+    }
+
+    fn runtime_stats_json(&self) -> Option<String> {
+        Some(self.stats().to_json())
+    }
+}
+
 /// Which serving architecture a [`NetServer`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ServerModel {

@@ -135,7 +135,7 @@ pub(crate) struct AdaptiveShard<S, F> {
     /// Set by `force_backend`: the controller leaves this shard alone.
     pinned: AtomicBool,
     state: CsState<S>,
-    dispatch: RtDispatch<F>,
+    dispatch: RtDispatch<S, F>,
     mcs: McsLock,
     comb_lock: CachePadded<AtomicBool>,
     records: Box<[CachePadded<Record>]>,
@@ -151,7 +151,7 @@ where
 {
     pub fn new(
         state: S,
-        dispatch: RtDispatch<F>,
+        dispatch: RtDispatch<S, F>,
         control: Arc<Control>,
         shard: usize,
         config: &RuntimeConfig,
@@ -675,10 +675,9 @@ mod tests {
     use super::*;
     use crate::config::SubmitPolicy;
 
-    fn shard(
-        control: &Arc<Control>,
-        config: &RuntimeConfig,
-    ) -> AdaptiveShard<u64, fn(&mut u64, u64, u64, u64) -> u64> {
+    type TestDispatch = fn(&mut u64, u64, u64, u64) -> u64;
+
+    fn shard(control: &Arc<Control>, config: &RuntimeConfig) -> AdaptiveShard<u64, TestDispatch> {
         fn body(s: &mut u64, _key: u64, _op: u64, arg: u64) -> u64 {
             let old = *s;
             *s = s.wrapping_add(arg);
@@ -691,6 +690,7 @@ mod tests {
                 control: Arc::clone(control),
                 shard: 0,
                 read_fast: crate::config::OpMask::EMPTY,
+                expire: None,
             },
             Arc::clone(control),
             0,

@@ -59,12 +59,16 @@ mod router;
 mod runtime;
 mod shard;
 mod stats;
+pub mod timer;
 
 pub use config::{Backend, OpMask, RuntimeConfig, SubmitPolicy};
 pub use control::RuntimeError;
 pub use drive::ShardDriver;
 pub use mpsync_telemetry::Log2Hist;
-pub use objects::{BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore};
+pub use objects::{
+    BoundCounter, CounterSession, KvSession, ShardedCounter, ShardedKvStore, StateExport,
+};
 pub use router::{pack, probe_key, shard_for, unpack, MAX_KEY, MAX_OPCODE, OP_BITS};
 pub use runtime::{KeyedDispatch, Runtime, Session, ShutdownReport};
 pub use stats::{RuntimeStats, ShardStats};
+pub use timer::{mono_ns, Expire, Expired, TimerWheel};

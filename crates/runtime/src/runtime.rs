@@ -18,8 +18,9 @@ use crate::config::{Backend, OpMask, RuntimeConfig};
 use crate::control::Control;
 use crate::drive::{CoreDrive, DriveShard, ShardDriver};
 use crate::router::{pack, shard_for};
-use crate::shard::{ShardCore, ShardServer};
+use crate::shard::{ShardCore, ShardServer, Ticker};
 use crate::stats::RuntimeStats;
+use crate::timer::{self, Expire};
 use crate::RuntimeError;
 
 /// The keyed critical-section body a runtime executes: `(state, key, op,
@@ -39,17 +40,29 @@ impl<S, F> KeyedDispatch<S> for F where
 {
 }
 
+/// The expiry hook a timed runtime threads through every dispatcher: fires
+/// the state's due timers under the shard's exclusion (see
+/// [`Runtime::new_expiring`]).
+pub(crate) type ExpiryHook<S> = Arc<dyn Fn(&mut S) + Send + Sync>;
+
 /// The per-shard [`Dispatcher`] adapter: unpacks the `(key, op)` request
 /// word, counts the execution, maintains the shard's read cache (when the
-/// fast path is on), and calls the keyed body.
-pub(crate) struct RtDispatch<F> {
+/// fast path is on), runs due timer expirations, and calls the keyed body.
+pub(crate) struct RtDispatch<S, F> {
     pub(crate) f: F,
     pub(crate) control: Arc<Control>,
     pub(crate) shard: usize,
     pub(crate) read_fast: OpMask,
+    /// Timer pass for expiring states, run before each potentially-mutating
+    /// dispatch; `None` for untimed runtimes. This is what makes expiry
+    /// work identically on the inline backends (Lock/HybComb/CcSynch) and
+    /// in every Adaptive mode: whoever executes the critical section also
+    /// sweeps the timers, so expiry is always linearized before the op
+    /// that triggered the sweep.
+    pub(crate) expire: Option<ExpiryHook<S>>,
 }
 
-impl<S, F> Dispatcher<S> for RtDispatch<F>
+impl<S, F> Dispatcher<S> for RtDispatch<S, F>
 where
     F: KeyedDispatch<S>,
     S: 'static,
@@ -71,6 +84,11 @@ where
             // Potentially mutating: invalidate *before* touching the state
             // so no fast read can serve a value this dispatch outdates.
             cache.begin_mutation();
+        }
+        if let Some(expire) = &self.expire {
+            // Runs after begin_mutation (expiry mutates the state) and
+            // before the op, so the op observes fully-expired state.
+            expire(state);
         }
         (self.f)(state, key, op, arg)
     }
@@ -97,13 +115,13 @@ where
     },
     Hyb {
         fabric: Arc<Fabric>,
-        combs: Vec<HybComb<S, RtDispatch<F>>>,
+        combs: Vec<HybComb<S, RtDispatch<S, F>>>,
     },
     Cc {
-        execs: Vec<CcSynch<S, RtDispatch<F>>>,
+        execs: Vec<CcSynch<S, RtDispatch<S, F>>>,
     },
     Lock {
-        execs: Vec<LockCs<S, McsLock, RtDispatch<F>>>,
+        execs: Vec<LockCs<S, McsLock, RtDispatch<S, F>>>,
     },
     /// The adaptive executor: every shard can be served by a lock, a
     /// combiner, or its (always-running) MP server thread, switched live by
@@ -165,7 +183,16 @@ where
 {
     /// Builds the runtime: `init(shard)` produces each shard's initial
     /// state, `f` is the keyed critical-section body every shard runs.
-    pub fn new(config: RuntimeConfig, mut init: impl FnMut(usize) -> S, f: F) -> Self {
+    pub fn new(config: RuntimeConfig, init: impl FnMut(usize) -> S, f: F) -> Self {
+        Self::build(config, init, f, None)
+    }
+
+    fn build(
+        config: RuntimeConfig,
+        mut init: impl FnMut(usize) -> S,
+        f: F,
+        timers: Option<TimerWiring<S>>,
+    ) -> Self {
         config.validate();
         // Flight-record each shard's executor choice: after a panic or a
         // failed smoke run the first question is "what was this runtime
@@ -189,12 +216,15 @@ where
             control = control.with_read_cache();
         }
         let control = Arc::new(control);
+        let hook = timers.as_ref().map(|t| Arc::clone(&t.hook));
         let dispatch = |shard: usize| RtDispatch {
             f: f.clone(),
             control: Arc::clone(&control),
             shard,
             read_fast: config.read_fast,
+            expire: hook.clone(),
         };
+        let ticker = |shard: usize| timers.as_ref().map(|t| (t.ticker)(&control, shard));
         let executors = match config.backend {
             Backend::MpServer if config.external_drive => {
                 let fabric = sized_fabric(&config, config.shards + config.max_sessions);
@@ -204,7 +234,7 @@ where
                 for i in 0..config.shards {
                     let ep = fabric.register_any().expect("fabric sized for shards");
                     server_ids.push(ep.id());
-                    let core = ShardCore::new(
+                    let mut core = ShardCore::new(
                         ep,
                         init(i),
                         dispatch(i),
@@ -213,6 +243,9 @@ where
                         config.max_batch,
                         config.merge_ops,
                     );
+                    if let Some(t) = ticker(i) {
+                        core.set_ticker(t);
+                    }
                     let slot = Arc::new(Mutex::new(None));
                     drivers
                         .push(Some(Box::new(CoreDrive::new(core, Arc::clone(&slot)))
@@ -242,6 +275,7 @@ where
                         config.max_batch,
                         config.merge_ops,
                         None,
+                        ticker(i),
                     ));
                 }
                 Executors::Mp {
@@ -295,6 +329,12 @@ where
                         Arc::new(move || sh.mode() == MODE_MP)
                             as Arc<dyn Fn() -> bool + Send + Sync>
                     };
+                    // No core-level ticker here: the adaptive server thread
+                    // is only the executor while the shard is in Mp mode,
+                    // and the swap protocol doesn't quiesce against ticks.
+                    // Timed states expire through the dispatch hook
+                    // instead, which runs under whichever mode's exclusion
+                    // is current.
                     servers.push(ShardServer::spawn(
                         ep,
                         Arc::clone(&sh),
@@ -304,6 +344,7 @@ where
                         config.max_batch,
                         config.merge_ops,
                         Some(gate),
+                        None,
                     ));
                     shards.push(sh);
                 }
@@ -616,6 +657,65 @@ where
             }
         };
         ShutdownReport { states, stats }
+    }
+}
+
+/// Per-shard timer plumbing for expiring states (built by
+/// [`Runtime::new_expiring`], threaded through [`Runtime::build`]).
+struct TimerWiring<S> {
+    /// Dispatch-path hook: sweeps due timers before a mutating op.
+    hook: ExpiryHook<S>,
+    /// Builds the shard-loop ticker for MP-backed shards (idle expiry).
+    #[allow(clippy::type_complexity)]
+    ticker: Box<dyn Fn(&Arc<Control>, usize) -> Ticker<S>>,
+}
+
+impl<S, F> Runtime<S, F>
+where
+    S: Send + Expire + 'static,
+    F: KeyedDispatch<S>,
+{
+    /// Builds a runtime whose shard states carry timers ([`Expire`]).
+    ///
+    /// Expiry runs under each shard's mutual exclusion, on two paths:
+    ///
+    /// * **every backend** — before each potentially-mutating dispatch, the
+    ///   executing thread (server, reactor, combiner, lock holder, or any
+    ///   Adaptive mode's executor) sweeps timers that have come due;
+    /// * **MP-SERVER shards** (threaded or externally driven) — the shard
+    ///   loop additionally runs the sweep while *idle*: the blocking tick
+    ///   bounds its wait by the nearest deadline, so TTLs fire on time even
+    ///   with no traffic. Inline backends have no serving thread, so an
+    ///   idle shard's timers wait for the next operation — reads that must
+    ///   not observe expired entries should check deadlines themselves
+    ///   (the `mpsync-apps` session store does).
+    pub fn new_expiring(config: RuntimeConfig, init: impl FnMut(usize) -> S, f: F) -> Self {
+        let hook: ExpiryHook<S> = Arc::new(|s: &mut S| {
+            if let Some(d) = s.next_deadline_ns() {
+                let now = timer::mono_ns();
+                if d <= now {
+                    s.expire(now);
+                }
+            }
+        });
+        let ticker = Box::new(|control: &Arc<Control>, shard: usize| -> Ticker<S> {
+            let control = Arc::clone(control);
+            Box::new(move |s: &mut S| {
+                let next = s.next_deadline_ns()?;
+                let now = timer::mono_ns();
+                if next > now {
+                    return Some(next);
+                }
+                // Expiry mutates the state outside RtDispatch: invalidate
+                // the read cache first, exactly like a mutating dispatch.
+                if let Some(cache) = control.read_cache(shard) {
+                    cache.begin_mutation();
+                }
+                s.expire(now);
+                s.next_deadline_ns()
+            })
+        });
+        Self::build(config, init, f, Some(TimerWiring { hook, ticker }))
     }
 }
 

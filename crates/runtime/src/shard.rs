@@ -37,6 +37,13 @@ use mpsync_udn::{Endpoint, EndpointId};
 use crate::config::OpMask;
 use crate::control::Control;
 use crate::router::unpack;
+use crate::timer;
+
+/// The per-shard timer pass installed by
+/// [`Runtime::new_expiring`](crate::Runtime::new_expiring): runs due
+/// expirations against the state (under this core's exclusion) and returns
+/// the next pending deadline on the [`timer::mono_ns`] clock.
+pub(crate) type Ticker<S> = Box<dyn FnMut(&mut S) -> Option<u64> + Send>;
 
 /// How long the serve loop blocks for a first request before re-checking
 /// its stop flag.
@@ -73,6 +80,12 @@ pub(crate) struct ShardCore<S, D> {
     pending: Vec<[u64; wire::REQ_WORDS]>,
     /// Per-batch "already served" scratch for the merging path.
     done: Vec<bool>,
+    /// Timer pass for expiring states (see [`Ticker`]); `None` for
+    /// untimed runtimes.
+    ticker: Option<Ticker<S>>,
+    /// Cached next timer deadline ([`timer::mono_ns`] ns). Maintained by
+    /// every ticker run; `None` = no timer armed.
+    next_timer: Option<u64>,
 }
 
 impl<S, D: Dispatcher<S>> ShardCore<S, D> {
@@ -96,7 +109,17 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
             merge,
             pending: Vec::new(),
             done: Vec::new(),
+            ticker: None,
+            next_timer: None,
         }
+    }
+
+    /// Installs the timer pass. Runs it once immediately (the state's
+    /// constructor may already have armed timers) to seed the cached
+    /// deadline.
+    pub fn set_ticker(&mut self, mut ticker: Ticker<S>) {
+        self.next_timer = ticker(&mut self.state);
+        self.ticker = Some(ticker);
     }
 
     /// Serves every already-queued request, up to `max_batch`, without
@@ -105,6 +128,8 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
         let mut buf = [0u64; wire::REQ_WORDS];
         let n = self.endpoint.try_receive(&mut buf);
         if n == 0 {
+            // Idle: fire the timer pass only when a deadline is due.
+            self.run_due_timers();
             return 0;
         }
         let t_batch = telemetry::now_ns();
@@ -114,19 +139,48 @@ impl<S, D: Dispatcher<S>> ShardCore<S, D> {
             // blocking receive is safe.
             self.endpoint.receive(&mut buf[n..]);
         }
-        self.serve_from(buf, t_batch)
+        let served = self.serve_from(buf, t_batch);
+        // Served operations may have armed or disarmed timers: refresh the
+        // cached deadline (and expire anything that came due mid-batch).
+        self.refresh_timers();
+        served
     }
 
-    /// Blocks for the head of the next batch until `deadline`, then serves
-    /// like [`ShardCore::tick`]. Returns 0 if the deadline passed with no
-    /// traffic.
+    /// Blocks for the head of the next batch until `deadline` — or until
+    /// the nearest timer deadline, whichever is earlier — then serves like
+    /// [`ShardCore::tick`]. Returns 0 if the wait expired with no traffic
+    /// (any due timers still fire before returning).
     pub fn tick_blocking(&mut self, deadline: Instant) -> u64 {
         let mut buf = [0u64; wire::REQ_WORDS];
-        if self.endpoint.receive_deadline(&mut buf, deadline).is_none() {
+        // Bound the wait by the nearest armed timer so TTL expiry fires at
+        // its deadline instead of waiting out the caller's idle poll.
+        let bound = match self.next_timer {
+            Some(ns) => deadline.min(timer::instant_at(ns)),
+            None => deadline,
+        };
+        if self.endpoint.receive_deadline(&mut buf, bound).is_none() {
+            self.run_due_timers();
             return 0;
         }
         let t_batch = telemetry::now_ns();
-        self.serve_from(buf, t_batch)
+        let served = self.serve_from(buf, t_batch);
+        self.refresh_timers();
+        served
+    }
+
+    /// Runs the timer pass if its cached deadline has come due.
+    fn run_due_timers(&mut self) {
+        if self.next_timer.is_some_and(|ns| ns <= timer::mono_ns()) {
+            self.refresh_timers();
+        }
+    }
+
+    /// Runs the timer pass unconditionally (when one is installed) and
+    /// re-caches the next deadline.
+    fn refresh_timers(&mut self) {
+        if let Some(ticker) = &mut self.ticker {
+            self.next_timer = ticker(&mut self.state);
+        }
     }
 
     /// Serves the batch headed by `head`: streaming when merging is off,
@@ -322,6 +376,7 @@ impl<S: Send + 'static> ShardServer<S> {
         max_batch: u64,
         merge: OpMask,
         active: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+        ticker: Option<Ticker<S>>,
     ) -> Self
     where
         D: Dispatcher<S>,
@@ -329,6 +384,9 @@ impl<S: Send + 'static> ShardServer<S> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let mut core = ShardCore::new(endpoint, state, dispatch, control, shard, max_batch, merge);
+        if let Some(ticker) = ticker {
+            core.set_ticker(ticker);
+        }
         let join = std::thread::Builder::new()
             .name(format!("rt-shard-{shard}"))
             .spawn(move || {
@@ -422,6 +480,7 @@ mod tests {
             4,
             OpMask::EMPTY,
             None,
+            None,
         );
         let mut client = fabric.register_any().unwrap();
         for i in 1..=10u64 {
@@ -448,6 +507,7 @@ mod tests {
             4,
             OpMask::EMPTY,
             None,
+            None,
         );
         assert_eq!(server.stop(), 7);
     }
@@ -466,6 +526,7 @@ mod tests {
             0,
             2,
             OpMask::EMPTY,
+            None,
             None,
         );
         let mut client = fabric.register_any().unwrap();
@@ -537,6 +598,51 @@ mod tests {
         assert_eq!(hist.max(), 4);
         drop(client);
         assert_eq!(core.into_state(), 67);
+    }
+
+    #[test]
+    fn blocking_tick_wakes_for_timer_deadline() {
+        // Regression test for the idle-loop wake hook: a timer armed 3 ms
+        // out must fire ~at its deadline, not when the caller's (long)
+        // blocking deadline runs out.
+        let fabric = Arc::new(Fabric::new(FabricConfig::new(1)));
+        let control = Arc::new(Control::new(1, 8, SubmitPolicy::Block));
+        let mut core = ShardCore::new(
+            fabric.register_any().unwrap(),
+            Vec::<u64>::new(),
+            add_vec_dispatch as fn(&mut Vec<u64>, u64, u64) -> u64,
+            control,
+            0,
+            4,
+            OpMask::EMPTY,
+        );
+        let deadline_ns = timer::mono_ns() + 3_000_000;
+        let mut armed = Some(deadline_ns);
+        core.set_ticker(Box::new(move |log: &mut Vec<u64>| {
+            if let Some(d) = armed {
+                if timer::mono_ns() >= d {
+                    log.push(d);
+                    armed = None;
+                }
+            }
+            armed
+        }));
+        let t0 = Instant::now();
+        let served = core.tick_blocking(Instant::now() + Duration::from_millis(500));
+        let waited = t0.elapsed();
+        assert_eq!(served, 0, "no traffic was queued");
+        // Generous bound: far below the 500 ms idle deadline, so the wake
+        // can only have come from the timer bound.
+        assert!(
+            waited < Duration::from_millis(300),
+            "blocking tick must wake at the timer deadline, waited {waited:?}"
+        );
+        assert_eq!(core.into_state(), vec![deadline_ns], "timer fired once");
+    }
+
+    fn add_vec_dispatch(state: &mut Vec<u64>, _op: u64, arg: u64) -> u64 {
+        state.push(arg);
+        arg
     }
 
     #[test]

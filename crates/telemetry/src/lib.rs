@@ -289,10 +289,24 @@ pub enum Counter {
     /// Retries of an already-applied-and-evicted op rejected by the
     /// cluster dedup eviction watermark instead of re-applied.
     ClusterStaleRetries = 31,
+    /// Rate-limiter acquire attempts (mpsync-apps).
+    AppRateChecks = 32,
+    /// Rate-limiter acquires denied for lack of tokens.
+    AppRateDenied = 33,
+    /// Priority-queue pops that returned a task.
+    AppPqPops = 34,
+    /// Sessions removed by the timer-wheel expiry sweep.
+    AppSessionExpired = 35,
+    /// Sessions found expired at access time (lazy TTL check).
+    AppSessionLazyExpired = 36,
+    /// Two-phase transfers that committed.
+    AppTxnCommits = 37,
+    /// Two-phase transfers aborted at the reserve phase.
+    AppTxnAborts = 38,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 39] = [
         Counter::UdnSends,
         Counter::UdnReceives,
         Counter::UdnBlockedSends,
@@ -325,6 +339,13 @@ impl Counter {
         Counter::RuntimeMergedOps,
         Counter::RuntimeSwitches,
         Counter::ClusterStaleRetries,
+        Counter::AppRateChecks,
+        Counter::AppRateDenied,
+        Counter::AppPqPops,
+        Counter::AppSessionExpired,
+        Counter::AppSessionLazyExpired,
+        Counter::AppTxnCommits,
+        Counter::AppTxnAborts,
     ];
 
     /// Stable dotted name used in JSON output.
@@ -362,6 +383,13 @@ impl Counter {
             Counter::RuntimeMergedOps => "runtime.merged_ops",
             Counter::RuntimeSwitches => "runtime.switches",
             Counter::ClusterStaleRetries => "cluster.stale_retries",
+            Counter::AppRateChecks => "app.rate_checks",
+            Counter::AppRateDenied => "app.rate_denied",
+            Counter::AppPqPops => "app.pq_pops",
+            Counter::AppSessionExpired => "app.session_expired",
+            Counter::AppSessionLazyExpired => "app.session_lazy_expired",
+            Counter::AppTxnCommits => "app.txn_commits",
+            Counter::AppTxnAborts => "app.txn_aborts",
         }
     }
 }
@@ -681,6 +709,13 @@ mod tests {
                 "runtime.merged_ops",
                 "runtime.switches",
                 "cluster.stale_retries",
+                "app.rate_checks",
+                "app.rate_denied",
+                "app.pq_pops",
+                "app.session_expired",
+                "app.session_lazy_expired",
+                "app.txn_commits",
+                "app.txn_aborts",
             ]
         );
         // Discriminants must match ALL order: the hist/counter arrays and

@@ -59,10 +59,14 @@ pub enum FlightKind {
     /// `a` = shard index, `b` = `from_mode << 8 | to_mode` (mode
     /// discriminants), `c` = the shard's swap epoch after the switch.
     BackendSwitch = 8,
+    /// A timer-wheel expiry pass removed entries: `a` = shard index,
+    /// `b` = entries expired, `c` = lateness of the earliest entry in ns
+    /// (fire time − deadline).
+    Expire = 9,
 }
 
 impl FlightKind {
-    pub const ALL: [FlightKind; 9] = [
+    pub const ALL: [FlightKind; 10] = [
         FlightKind::Backend,
         FlightKind::DrainStart,
         FlightKind::DrainEnd,
@@ -72,6 +76,7 @@ impl FlightKind {
         FlightKind::Busy,
         FlightKind::ConnMigrate,
         FlightKind::BackendSwitch,
+        FlightKind::Expire,
     ];
 
     /// Stable lowercase name used in JSON output.
@@ -86,6 +91,7 @@ impl FlightKind {
             FlightKind::Busy => "busy",
             FlightKind::ConnMigrate => "conn_migrate",
             FlightKind::BackendSwitch => "backend_switch",
+            FlightKind::Expire => "expire",
         }
     }
 }
@@ -359,6 +365,7 @@ mod tests {
                 "busy",
                 "conn_migrate",
                 "backend_switch",
+                "expire",
             ]
         );
         for (i, k) in FlightKind::ALL.iter().enumerate() {

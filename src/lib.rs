@@ -12,6 +12,9 @@
 //!   (LCRQ, Treiber stack) from the paper's evaluation;
 //! * [`runtime`] — a sharded, batched delegation runtime that serves keyed
 //!   object traffic over any of the constructions;
+//! * [`apps`] — a served-application suite over the runtime (rate limiter,
+//!   leaderboard, priority queue, TTL session store, multi-key ledger)
+//!   driven by a per-shard timer wheel;
 //! * [`net`] — a wire-facing serving layer (TCP / Unix sockets) exposing the
 //!   runtime's keyed API over a length-prefixed binary protocol, with the
 //!   `netbench` load generator;
@@ -22,6 +25,7 @@
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! reproduction methodology.
 
+pub use mpsync_apps as apps;
 pub use mpsync_core as sync;
 pub use mpsync_lincheck as lincheck;
 pub use mpsync_net as net;

@@ -1,0 +1,163 @@
+//! Property test: the hierarchical [`TimerWheel`] against a sorted-map
+//! oracle under random insert / cancel / advance sequences.
+//!
+//! Checked invariants, per action:
+//! * never early — a fired entry's deadline is strictly before `now`;
+//! * bounded lateness — an entry whose bucket tick (plus the 2-tick cascade
+//!   allowance) has passed must have fired;
+//! * firing order — each `advance` yields entries sorted by
+//!   `(deadline, id)`, the oracle's key order;
+//! * bookkeeping — `len` and `next_deadline_ns` always match the oracle,
+//!   and `cancel` returns exactly what the oracle holds.
+
+use std::collections::BTreeMap;
+
+use mpsync::runtime::TimerWheel;
+use proptest::prelude::*;
+
+const TICK: u64 = 1_000;
+/// Cascade allowance: entries parked on a coarser level can re-bucket up to
+/// two ticks past their ideal slot.
+const CASCADE_SLACK: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Insert at `now + offset` ns.
+    Insert { offset: u64 },
+    /// Cancel a live id chosen by `seed` (no-op when nothing is live).
+    Cancel { seed: usize },
+    /// Advance the clock by `dt` ns.
+    Advance { dt: u64 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Vec<Action>> {
+    // (selector, magnitude) pairs decoded into a weighted action mix:
+    // mostly near inserts and small advances, with occasional far-future
+    // inserts (exercising the coarse levels and the overflow list — level 0
+    // spans 64 ticks = 64_000 ns here), cancels, and big clock jumps.
+    prop::collection::vec(
+        (0u64..10_000_000)
+            .prop_map(|v| (v % 10, v / 10))
+            .prop_map(|(kind, raw)| match kind {
+                0..=2 => Action::Insert {
+                    offset: raw % 300_000,
+                },
+                3 => Action::Insert {
+                    offset: 300_000 + raw * 40,
+                },
+                4 | 5 => Action::Cancel {
+                    seed: raw as usize % 64,
+                },
+                6..=8 => Action::Advance { dt: raw % 80_000 },
+                _ => Action::Advance {
+                    dt: 80_000 + raw * 2,
+                },
+            }),
+        1..250,
+    )
+}
+
+/// Oracle record: deadline, the tick the wheel had completed at insert
+/// time, and the payload.
+#[derive(Debug, Clone, Copy)]
+struct Expected {
+    deadline_ns: u64,
+    insert_tick: u64,
+    item: u64,
+}
+
+fn run(actions: &[Action]) -> Result<(), TestCaseError> {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new(TICK);
+    let mut oracle: BTreeMap<u64, Expected> = BTreeMap::new(); // id → expected
+    let mut now: u64 = 0;
+    let mut next_item: u64 = 0;
+    let mut fired = Vec::new();
+
+    for &action in actions {
+        match action {
+            Action::Insert { offset } => {
+                let deadline_ns = now + offset;
+                let item = next_item;
+                next_item += 1;
+                let id = wheel.insert(deadline_ns, item);
+                prop_assert!(!oracle.contains_key(&id), "id {id} reused");
+                oracle.insert(
+                    id,
+                    Expected {
+                        deadline_ns,
+                        insert_tick: now / TICK,
+                        item,
+                    },
+                );
+            }
+            Action::Cancel { seed } => {
+                let picked = oracle.keys().copied().nth(seed % (oracle.len().max(1)));
+                if let Some(id) = picked {
+                    let exp = oracle.remove(&id).unwrap();
+                    prop_assert_eq!(wheel.cancel(id), Some(exp.item));
+                    prop_assert_eq!(wheel.cancel(id), None, "double cancel");
+                }
+            }
+            Action::Advance { dt } => {
+                now += dt;
+                fired.clear();
+                wheel.advance(now, &mut fired);
+                let target_tick = now / TICK;
+                for pair in fired.windows(2) {
+                    prop_assert!(
+                        (pair[0].deadline_ns, pair[0].id) < (pair[1].deadline_ns, pair[1].id),
+                        "fired out of (deadline, id) order"
+                    );
+                }
+                for e in &fired {
+                    let exp = oracle.remove(&e.id);
+                    prop_assert!(exp.is_some(), "fired unknown id {}", e.id);
+                    let exp = exp.unwrap();
+                    prop_assert_eq!(e.item, exp.item);
+                    prop_assert_eq!(e.deadline_ns, exp.deadline_ns);
+                    prop_assert!(
+                        e.deadline_ns < now,
+                        "fired early: deadline {} at now {now}",
+                        e.deadline_ns
+                    );
+                }
+                for (id, exp) in &oracle {
+                    // The bucket an entry lands in: one tick past its
+                    // deadline, but never a tick the wheel had already
+                    // completed when it was inserted.
+                    let bucket = (exp.deadline_ns / TICK + 1).max(exp.insert_tick + 1);
+                    prop_assert!(
+                        bucket + CASCADE_SLACK > target_tick,
+                        "id {id} overdue: deadline {} bucket {bucket} now {now}",
+                        exp.deadline_ns
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(wheel.len(), oracle.len());
+        let oracle_min = oracle.values().map(|e| e.deadline_ns).min();
+        prop_assert_eq!(wheel.next_deadline_ns(), oracle_min);
+    }
+
+    // Drain: far-future advance fires everything that remains, in order.
+    now += 100_000_000;
+    fired.clear();
+    wheel.advance(now, &mut fired);
+    prop_assert_eq!(fired.len(), oracle.len(), "drain fires all");
+    for e in &fired {
+        let exp = oracle.remove(&e.id).expect("drained unknown id");
+        prop_assert_eq!(e.item, exp.item);
+    }
+    prop_assert!(wheel.is_empty());
+    prop_assert_eq!(wheel.next_deadline_ns(), None);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timer_wheel_matches_sorted_map_oracle(actions in action_strategy()) {
+        run(&actions)?;
+    }
+}
